@@ -1,0 +1,63 @@
+"""Microbenchmarks of the from-scratch crypto (wall time of *this* library).
+
+Not a paper artefact: these time our pure-Python implementations, which is
+exactly why the simulated clock uses the calibrated cost model instead
+(DESIGN.md §1). Useful for tracking implementation regressions.
+"""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.registry import get_kem, get_sig
+
+
+@pytest.fixture(scope="module")
+def drbg():
+    return Drbg("crypto-bench")
+
+
+KEMS = ["x25519", "p256", "kyber512", "kyber768", "hqc128", "bikel1",
+        "p256_kyber512"]
+
+
+@pytest.mark.parametrize("name", KEMS)
+def test_kem_roundtrip(benchmark, drbg, name):
+    kem = get_kem(name)
+    pk, sk = kem.keygen(drbg)
+
+    def roundtrip():
+        ct, ss = kem.encaps(pk, drbg)
+        assert kem.decaps(sk, ct) == ss
+
+    benchmark(roundtrip)
+
+
+SIGS = ["rsa:2048", "falcon512", "dilithium2", "dilithium2_aes",
+        "p256_dilithium2"]
+
+
+@pytest.mark.parametrize("name", SIGS)
+def test_sig_sign_verify(benchmark, drbg, name):
+    sig = get_sig(name)
+    pk, sk = sig.keygen(drbg)
+
+    def cycle():
+        s = sig.sign(sk, b"benchmark message", drbg)
+        assert sig.verify(pk, b"benchmark message", s)
+
+    benchmark(cycle)
+
+
+def test_aes_gcm_record(benchmark):
+    from repro.crypto.gcm import AesGcm
+
+    gcm = AesGcm(b"k" * 16)
+    payload = b"x" * 4096
+
+    benchmark(lambda: gcm.encrypt(b"n" * 12, payload))
+
+
+def test_haraka512(benchmark):
+    from repro.crypto.haraka import haraka512
+
+    benchmark(lambda: haraka512(bytes(64)))

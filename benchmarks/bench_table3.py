@@ -1,0 +1,51 @@
+"""Table 3: white-box (perf) measurements.
+
+Regenerates the CPU-cost / library-distribution table for the paper's
+eight (KA, SA) pairs and benchmarks one profiled experiment.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core import campaign, evaluate, report
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    return campaign.run_sets(["table3-perf"])
+
+
+def test_table3(results, artifacts_dir, benchmark):
+    rows = benchmark(lambda: evaluate.table3(results))
+    text = report.render_table3(rows)
+    print("\n" + text)
+    write_artifact(artifacts_dir, "table3.txt", text)
+
+    by_pair = {(row.kem, row.sig): row for row in rows}
+    baseline = by_pair[("x25519", "rsa:2048")]
+    # server-side computations dominate for the classical baseline (RSA sign)
+    assert baseline.server_cpu_ms > baseline.client_cpu_ms
+    # Kyber+Dilithium performs well with minimal decrease on higher levels
+    kd1 = by_pair[("kyber512", "dilithium2")]
+    kd5 = by_pair[("kyber1024", "dilithium5")]
+    assert kd5.server_cpu_ms < kd1.server_cpu_ms * 2.0
+    # BIKE+Dilithium: good on the server, bad on the client, and the
+    # client work lives in libssl (the paper's key observation)
+    bike = by_pair[("bikel1", "dilithium2")]
+    assert bike.client_cpu_ms > bike.server_cpu_ms
+    assert bike.client_library_share["libssl"] > bike.client_library_share.get("libcrypto", 0)
+    # Kyber+SPHINCS+: the server drowns in libcrypto
+    sphincs = by_pair[("kyber512", "sphincs128")]
+    assert sphincs.server_cpu_ms > 5 * baseline.server_cpu_ms
+    assert sphincs.server_library_share["libcrypto"] > 0.85
+    # libcrypto+kernel+libssl carry ~90 % everywhere (paper's 'first glance')
+    for row in rows:
+        core_share = sum(row.server_library_share.get(lib, 0)
+                         for lib in ("libcrypto", "kernel", "libssl"))
+        assert core_share > 0.75, (row.kem, row.sig)
+
+
+def test_benchmark_profiled_experiment(benchmark):
+    config = ExperimentConfig(kem="bikel1", sig="dilithium2", profiling=True)
+    benchmark(lambda: run_experiment(config, use_cache=False))

@@ -1,0 +1,62 @@
+"""Table 4: constrained environments (netem scenarios).
+
+Regenerates both halves of the appendix table across the six scenarios
+and benchmarks one lossy (LTE-M) experiment with its stochastic sampling.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core import campaign, evaluate, report
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES
+
+
+@pytest.fixture(scope="module")
+def results():
+    return campaign.run_sets(["all-kem-scenarios", "all-sig-scenarios"])
+
+
+def test_table4a(results, artifacts_dir, benchmark):
+    rows = benchmark(lambda: evaluate.table4(results, ALL_KEM_NAMES, vary="kem"))
+    text = report.render_table4(rows, "Table 4a: KAs combined with rsa:2048 as SA")
+    print("\n" + text)
+    write_artifact(artifacts_dir, "table4a.txt", text)
+
+    by_name = {row.algorithm: row for row in rows}
+    for row in rows:
+        # (i) loss is the mildest constraint
+        assert row.medians_ms["high-loss"] < row.medians_ms["low-bandwidth"] * 2
+        # (iii) latency grows ~linearly with delay: ~1 RTT floor
+        assert row.medians_ms["high-delay"] >= 999
+        # (iv) realistic scenarios mostly depend on the RTT
+        assert row.medians_ms["5g"] >= 44
+    # (ii) low bandwidth punishes data-heavy algorithms (HQC)
+    assert (by_name["hqc256"].medians_ms["low-bandwidth"]
+            > 4 * by_name["kyber1024"].medians_ms["low-bandwidth"])
+
+
+def test_table4b(results, artifacts_dir, benchmark):
+    rows = benchmark(lambda: evaluate.table4(results, ALL_SIG_NAMES, vary="sig"))
+    text = report.render_table4(rows, "Table 4b: SAs combined with X25519 as KA")
+    print("\n" + text)
+    write_artifact(artifacts_dir, "table4b.txt", text)
+
+    by_name = {row.algorithm: row for row in rows}
+    # CWND overflow at 1 s RTT: the paper's multi-RTT handshakes
+    assert 999 < by_name["falcon1024"].medians_ms["high-delay"] < 1300   # 1 RTT
+    assert 1900 < by_name["dilithium5"].medians_ms["high-delay"] < 2300  # 2 RTT
+    assert 1900 < by_name["sphincs128"].medians_ms["high-delay"] < 2400  # 2 RTT
+    assert 2900 < by_name["sphincs192"].medians_ms["high-delay"] < 3400  # 3 RTT
+    assert 3900 < by_name["sphincs256"].medians_ms["high-delay"] < 4400  # 4 RTT
+    # Kyber and Falcon surpass other PQC in low-bandwidth settings
+    assert (by_name["falcon512"].medians_ms["low-bandwidth"]
+            < by_name["dilithium2"].medians_ms["low-bandwidth"])
+    assert (by_name["sphincs128"].medians_ms["low-bandwidth"]
+            > 3 * by_name["dilithium2"].medians_ms["low-bandwidth"])
+
+
+def test_benchmark_lossy_experiment(benchmark):
+    config = ExperimentConfig(kem="kyber512", sig="dilithium2", scenario="lte-m",
+                              max_samples=101)
+    benchmark(lambda: run_experiment(config, use_cache=False))

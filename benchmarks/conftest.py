@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's artefacts (printed and
+written under ``benchmarks/out/``) and times a representative unit of the
+pipeline with pytest-benchmark. Recorded handshake scripts are cached
+under ``.cache/`` — the first cold run records real crypto and is slow
+(SPHINCS+ signing is minutes of pure-Python hashing); warm runs take
+seconds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(directory: Path, name: str, content: str) -> None:
+    path = directory / name
+    path.write_text(content if content.endswith("\n") else content + "\n")
+    print(f"\n[artifact] {path}")

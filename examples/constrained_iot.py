@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Choosing a PQ algorithm for a constrained link (the paper's §5.4).
+
+An IoT fleet talks over LTE-M (10 % loss, 200 ms RTT, 1 Mbit/s — the
+paper's 15 km scenario). This script compares candidate KA/SA pairs in
+that environment, plus the 1 s-RTT satellite-ish worst case where large
+handshakes overflow the initial TCP congestion window.
+
+    python examples/constrained_iot.py
+"""
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+CANDIDATES = [
+    # (ka, sa, why it is on the shortlist)
+    ("x25519", "rsa:2048", "today's classical baseline"),
+    ("kyber512", "falcon512", "smallest PQ keys+signatures"),
+    ("kyber512", "dilithium2", "NIST's primary picks"),
+    ("hqc128", "dilithium2", "4th-round code-based KA"),
+    ("kyber512", "sphincs128", "conservative hash-based SA"),
+]
+
+
+def main() -> None:
+    print("Scenario: LTE-M (10% loss, 200 ms RTT, 1 Mbit/s) and 1 s-RTT link")
+    print(f"{'KA':<10} {'SA':<12} {'LTE-M med':>10} {'1s-RTT':>8} {'bytes':>7}  note")
+    for kem, sig, note in CANDIDATES:
+        lte = run_experiment(ExperimentConfig(kem=kem, sig=sig, scenario="lte-m",
+                                              max_samples=101))
+        sat = run_experiment(ExperimentConfig(kem=kem, sig=sig, scenario="high-delay"))
+        volume = lte.client_bytes + lte.server_bytes
+        rtts = round(sat.total_median)
+        print(f"{kem:<10} {sig:<12} {lte.total_median * 1e3:8.0f} ms "
+              f"{rtts:>5d} RTT {volume:>7d}  {note}")
+    print()
+    print("Reading the table like the paper does:")
+    print(" - loss alone is mild; bandwidth charges you per byte, so the")
+    print("   compact Kyber/Falcon pair wins on LTE-M (paper §5.4 finding)")
+    print(" - at 1 s RTT, any server flight beyond the initial congestion")
+    print("   window costs whole extra round trips (SPHINCS+: 2+ RTTs)")
+    print(" - tune initcwnd if you must ship large PQ certificates")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Regenerate any of the paper's tables/figures from the command line.
+
+Thin veneer over the ``pqtls-experiment`` CLI:
+
+    python examples/paper_tables.py table2
+    python examples/paper_tables.py table3 table4 figure3 figure4 section55
+    python examples/paper_tables.py all
+
+Artifacts land in ``out/`` (override with -o). The first cold run records
+real handshakes (slow for SPHINCS+); later runs reuse ``.cache/``.
+"""
+
+import sys
+
+from repro.core.cli import ARTIFACTS, main
+
+
+def run() -> int:
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    names = ARTIFACTS if args == ["all"] else args
+    return main(["--evaluate", *names])
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -1,0 +1,53 @@
+"""Disk cache for recorded handshake scripts and experiment results.
+
+Recording a script runs real crypto (a SPHINCS+-256f signature alone is
+tens of seconds of pure-Python hashing), so scripts are cached under
+``.cache/`` keyed by configuration + a schema version. Delete the
+directory (or set ``REPRO_CACHE_DIR``) to force re-recording.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+SCHEMA_VERSION = 3
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[2] / ".cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _key_path(kind: str, key: str) -> Path:
+    digest = hashlib.sha256(f"v{SCHEMA_VERSION}:{kind}:{key}".encode()).hexdigest()[:24]
+    sub = cache_dir() / kind
+    sub.mkdir(parents=True, exist_ok=True)
+    return sub / f"{digest}.pkl"
+
+
+def load(kind: str, key: str):
+    path = _key_path(kind, key)
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    except Exception:
+        path.unlink(missing_ok=True)
+        return None
+
+
+def store(kind: str, key: str, value) -> None:
+    path = _key_path(kind, key)
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("wb") as handle:
+        pickle.dump(value, handle)
+    tmp.replace(path)

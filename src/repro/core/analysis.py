@@ -1,0 +1,72 @@
+"""The KA/SA-independence model of §5.2.
+
+If KA and SA contributed to handshake latency independently, the measured
+latency M would satisfy M(k1,s1) + M(k2,s2) = M(k1,s2) + M(k2,s1), so the
+expectation E(k,s) = M(k, rsa:2048) + M(x25519, s) - M(x25519, rsa:2048)
+would predict every combination. Figure 3 plots the deviation E - M
+(positive = faster than predicted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign import BASE_KEM, BASE_SIG
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+
+
+@dataclass(frozen=True)
+class Deviation:
+    kem: str
+    sig: str
+    level: int
+    expected: float   # E(k, s), seconds
+    measured: float   # M(k, s), seconds
+
+    @property
+    def deviation(self) -> float:
+        """E - M; positive means the combination was faster than predicted."""
+        return self.expected - self.measured
+
+
+class IndependenceModel:
+    """Builds E(k, s) from a result set containing the baselines."""
+
+    def __init__(self, results: dict[str, ExperimentResult], policy: str):
+        self._results = results
+        self._policy = policy
+
+    def _lookup(self, kem: str, sig: str) -> ExperimentResult:
+        config = ExperimentConfig(kem=kem, sig=sig, policy=self._policy)
+        try:
+            return self._results[config.key]
+        except KeyError:
+            raise KeyError(
+                f"missing measurement for ({kem}, {sig}, {self._policy})"
+            ) from None
+
+    def expected(self, kem: str, sig: str) -> float:
+        base_kk = self._lookup(kem, BASE_SIG).total_median
+        base_ss = self._lookup(BASE_KEM, sig).total_median
+        base = self._lookup(BASE_KEM, BASE_SIG).total_median
+        return base_kk + base_ss - base
+
+    def deviation(self, kem: str, sig: str, level: int) -> Deviation:
+        return Deviation(
+            kem=kem,
+            sig=sig,
+            level=level,
+            expected=self.expected(kem, sig),
+            measured=self._lookup(kem, sig).total_median,
+        )
+
+
+def deviations_for_levels(results: dict[str, ExperimentResult], policy: str,
+                          level_groups: dict) -> list[Deviation]:
+    model = IndependenceModel(results, policy)
+    out = []
+    for level_number, group in level_groups.items():
+        for kem in group["kems"]:
+            for sig in group["sigs"]:
+                out.append(model.deviation(kem, sig, level_number))
+    return out

@@ -1,0 +1,107 @@
+"""Command-line entry point mirroring the artifact's experiment.py.
+
+Usage::
+
+    pqtls-experiment -o OUT all-kem all-sig          # run experiment sets
+    pqtls-experiment --evaluate table2 table4 ...    # render paper artefacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import campaign, evaluate, report
+from repro.core.analysis import deviations_for_levels
+from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES, LEVEL_GROUPS
+
+
+def _progress(set_name: str, index: int, total: int, config) -> None:
+    print(f"[{set_name}] {index + 1}/{total} {config.kem} x {config.sig} "
+          f"({config.scenario}, {config.policy})", file=sys.stderr)
+
+
+def _write(outdir: Path, name: str, content: str) -> None:
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / name
+    path.write_text(content if content.endswith("\n") else content + "\n")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+ARTIFACTS = ["table2", "table3", "table4", "figure3", "figure4", "section55"]
+
+
+def evaluate_artifact(name: str, outdir: Path) -> None:
+    if name == "table2":
+        results = campaign.run_sets(["all-kem", "all-sig"], _progress)
+        rows_a = evaluate.table2a(results, ALL_KEM_NAMES)
+        rows_b = evaluate.table2b(results, ALL_SIG_NAMES)
+        _write(outdir, "table2a.txt", report.render_table2(rows_a, "Table 2a: KAs with rsa:2048"))
+        _write(outdir, "table2b.txt", report.render_table2(rows_b, "Table 2b: SAs with X25519"))
+        _write(outdir, "latencies_kem.csv", report.latencies_csv(rows_a))
+        _write(outdir, "latencies_sig.csv", report.latencies_csv(rows_b))
+    elif name == "table3":
+        results = campaign.run_sets(["table3-perf"], _progress)
+        rows = evaluate.table3(results)
+        _write(outdir, "table3.txt", report.render_table3(rows))
+    elif name == "table4":
+        results = campaign.run_sets(["all-kem-scenarios", "all-sig-scenarios"], _progress)
+        rows_a = evaluate.table4(results, ALL_KEM_NAMES, vary="kem")
+        rows_b = evaluate.table4(results, ALL_SIG_NAMES, vary="sig")
+        _write(outdir, "table4a.txt", report.render_table4(rows_a, "Table 4a: KAs per scenario"))
+        _write(outdir, "table4b.txt", report.render_table4(rows_b, "Table 4b: SAs per scenario"))
+    elif name == "figure3":
+        push = campaign.run_sets(["level1", "level3", "level5"], _progress)
+        nopush = campaign.run_sets(["level1-nopush", "level3-nopush", "level5-nopush"], _progress)
+        dev_push = deviations_for_levels(push, "optimized", LEVEL_GROUPS)
+        dev_nopush = deviations_for_levels(nopush, "default", LEVEL_GROUPS)
+        _write(outdir, "figure3a.txt",
+               report.render_deviations(dev_nopush, "Figure 3a: deviations, default OpenSSL"))
+        _write(outdir, "figure3b.txt",
+               report.render_deviations(dev_push, "Figure 3b: deviations, optimized OpenSSL"))
+        improvements = [
+            f"{n.kem:<14} {n.sig:<16} {1e3 * (n.measured - p.measured):+8.2f} ms"
+            for n, p in zip(dev_nopush, dev_push)
+        ]
+        _write(outdir, "figure3c.txt",
+               "Figure 3c: latency improvement of the optimized version\n"
+               + "\n".join(improvements))
+        _write(outdir, "deviations.csv", report.deviations_csv(dev_push))
+    elif name == "figure4":
+        results = campaign.run_sets(["all-kem", "all-sig"], _progress)
+        kem_ranks, sig_ranks = evaluate.figure4(results, ALL_KEM_NAMES, ALL_SIG_NAMES)
+        _write(outdir, "figure4.txt", report.render_ranking(kem_ranks, sig_ranks))
+    elif name == "section55":
+        results = campaign.run_sets(["table3-perf", "all-sig"], _progress)
+        whitebox = evaluate.table3(results)
+        t2b = evaluate.table2b(results, ALL_SIG_NAMES)
+        metrics = evaluate.attack_metrics(whitebox, t2b)
+        _write(outdir, "section55.txt", report.render_attack_metrics(metrics))
+    else:
+        raise KeyError(f"unknown artifact {name!r}; known: {ARTIFACTS}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the paper's experiment sets and regenerate its tables/figures.")
+    parser.add_argument("-o", "--output", default="out", help="output directory")
+    parser.add_argument("--evaluate", action="store_true",
+                        help="treat names as artifacts (table2, figure3, ...) "
+                             "instead of experiment sets")
+    parser.add_argument("names", nargs="+",
+                        help=f"experiment sets {sorted(campaign.EXPERIMENT_SETS)} "
+                             f"or, with --evaluate, artifacts {ARTIFACTS}")
+    args = parser.parse_args(argv)
+    outdir = Path(args.output)
+    if args.evaluate:
+        for name in args.names:
+            evaluate_artifact(name, outdir)
+    else:
+        results = campaign.run_sets(args.names, _progress)
+        print(f"ran {len(results)} experiments", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

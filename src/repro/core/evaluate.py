@@ -1,0 +1,208 @@
+"""Derived quantities for every table and figure of the paper."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.campaign import BASE_KEM, BASE_SIG, SCENARIO_ORDER
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.pqc.registry import CLASSICAL_KEMS, CLASSICAL_SIGS, get_kem, get_sig, is_hybrid
+
+
+def _result(results: dict[str, ExperimentResult], **kwargs) -> ExperimentResult:
+    config = ExperimentConfig(**kwargs)
+    try:
+        return results[config.key]
+    except KeyError:
+        raise KeyError(f"missing experiment {config.key}") from None
+
+
+# -- Table 2 -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table2Row:
+    level: int
+    algorithm: str
+    classical: bool
+    hybrid: bool
+    part_a_ms: float
+    part_b_ms: float
+    n_total: int
+    client_bytes: int
+    server_bytes: int
+
+
+def table2a(results: dict[str, ExperimentResult], kem_names: list[str]) -> list[Table2Row]:
+    rows = []
+    for kem in kem_names:
+        result = _result(results, kem=kem, sig=BASE_SIG)
+        rows.append(Table2Row(
+            level=get_kem(kem).nist_level,
+            algorithm=kem,
+            classical=kem in CLASSICAL_KEMS,
+            hybrid=is_hybrid(kem),
+            part_a_ms=result.part_a_median * 1e3,
+            part_b_ms=result.part_b_median * 1e3,
+            n_total=result.n_handshakes,
+            client_bytes=result.client_bytes,
+            server_bytes=result.server_bytes,
+        ))
+    return rows
+
+
+def table2b(results: dict[str, ExperimentResult], sig_names: list[str]) -> list[Table2Row]:
+    rows = []
+    for sig in sig_names:
+        result = _result(results, kem=BASE_KEM, sig=sig)
+        rows.append(Table2Row(
+            level=get_sig(sig).nist_level,
+            algorithm=sig,
+            classical=sig in CLASSICAL_SIGS,
+            hybrid=is_hybrid(sig),
+            part_a_ms=result.part_a_median * 1e3,
+            part_b_ms=result.part_b_median * 1e3,
+            n_total=result.n_handshakes,
+            client_bytes=result.client_bytes,
+            server_bytes=result.server_bytes,
+        ))
+    return rows
+
+
+# -- Table 3 (white-box) --------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table3Row:
+    level: int
+    kem: str
+    sig: str
+    handshakes_per_s: float
+    server_cpu_ms: float
+    client_cpu_ms: float
+    server_library_share: dict
+    client_library_share: dict
+    server_packets: int
+    client_packets: int
+
+
+# the paper's Table 3 selection of (KA, SA) pairs
+TABLE3_PAIRS = [
+    (1, "x25519", "rsa:2048"),
+    (1, "kyber512", "dilithium2"),
+    (1, "bikel1", "dilithium2"),
+    (1, "kyber512", "sphincs128"),
+    (1, "hqc128", "falcon512"),
+    (1, "p256_kyber512", "p256_dilithium2"),
+    (3, "kyber768", "dilithium3"),
+    (5, "kyber1024", "dilithium5"),
+]
+
+
+def _shares(by_library: dict) -> dict:
+    total = sum(by_library.values())
+    if total <= 0:
+        return {}
+    return {lib: value / total for lib, value in sorted(by_library.items())}
+
+
+def table3(results: dict[str, ExperimentResult],
+           pairs: list[tuple[int, str, str]] = TABLE3_PAIRS) -> list[Table3Row]:
+    rows = []
+    for level, kem, sig in pairs:
+        result = _result(results, kem=kem, sig=sig, profiling=True)
+        rows.append(Table3Row(
+            level=level,
+            kem=kem,
+            sig=sig,
+            handshakes_per_s=result.handshakes_per_second,
+            server_cpu_ms=result.server_cpu_ms,
+            client_cpu_ms=result.client_cpu_ms,
+            server_library_share=_shares(result.server_cpu_by_library),
+            client_library_share=_shares(result.client_cpu_by_library),
+            server_packets=result.server_packets,
+            client_packets=result.client_packets,
+        ))
+    return rows
+
+
+# -- Table 4 (constrained environments) --------------------------------------------
+
+@dataclass(frozen=True)
+class Table4Row:
+    level: int
+    algorithm: str
+    classical: bool
+    medians_ms: dict  # scenario -> median total latency in ms
+
+
+def table4(results: dict[str, ExperimentResult], names: list[str],
+           vary: str) -> list[Table4Row]:
+    """vary='kem' for Table 4a, 'sig' for Table 4b."""
+    rows = []
+    for name in names:
+        medians = {}
+        for scenario in SCENARIO_ORDER:
+            kwargs = dict(scenario=scenario)
+            if vary == "kem":
+                kwargs.update(kem=name, sig=BASE_SIG)
+                level = get_kem(name).nist_level
+                classical = name in CLASSICAL_KEMS
+            else:
+                kwargs.update(kem=BASE_KEM, sig=name)
+                level = get_sig(name).nist_level
+                classical = name in CLASSICAL_SIGS
+            medians[scenario] = _result(results, **kwargs).total_median * 1e3
+        rows.append(Table4Row(level=level, algorithm=name, classical=classical,
+                              medians_ms=medians))
+    return rows
+
+
+# -- Figure 4 (log-latency ranking) ---------------------------------------------------
+
+def ranking(latencies_ms: dict[str, float], buckets: int = 10) -> list[tuple[str, int]]:
+    """The paper's Figure 4 scaling: log, linear-map to [0, buckets], round."""
+    logs = {name: math.log(ms) for name, ms in latencies_ms.items()}
+    low = min(logs.values())
+    high = max(logs.values())
+    span = (high - low) or 1.0
+    ranked = [
+        (name, round(buckets * (value - low) / span)) for name, value in logs.items()
+    ]
+    ranked.sort(key=lambda item: (item[1], logs[item[0]]))
+    return ranked
+
+
+def figure4(results: dict[str, ExperimentResult], kem_names: list[str],
+            sig_names: list[str]) -> tuple[list[tuple[str, int]], list[tuple[str, int]]]:
+    kem_latency = {
+        kem: _result(results, kem=kem, sig=BASE_SIG).total_median * 1e3
+        for kem in kem_names
+    }
+    sig_latency = {
+        sig: _result(results, kem=BASE_KEM, sig=sig).total_median * 1e3
+        for sig in sig_names
+    }
+    return ranking(kem_latency), ranking(sig_latency)
+
+
+# -- §5.5 attack metrics -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttackMetrics:
+    worst_cpu_ratio: tuple[str, str, float]        # (kem, sig, server/client)
+    worst_amplification: tuple[str, float]         # (sig, server/client bytes)
+
+
+def attack_metrics(whitebox: list[Table3Row],
+                   table2b_rows: list[Table2Row]) -> AttackMetrics:
+    worst_cpu = max(
+        ((row.kem, row.sig, row.server_cpu_ms / row.client_cpu_ms)
+         for row in whitebox if row.client_cpu_ms > 0),
+        key=lambda item: item[2],
+    )
+    worst_amp = max(
+        ((row.algorithm, row.server_bytes / row.client_bytes)
+         for row in table2b_rows),
+        key=lambda item: item[1],
+    )
+    return AttackMetrics(worst_cpu_ratio=worst_cpu, worst_amplification=worst_amp)

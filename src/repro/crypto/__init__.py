@@ -1,0 +1,19 @@
+"""Classical cryptographic substrate.
+
+Everything the TLS stack and the PQC layer need from "pre-quantum" crypto,
+implemented from scratch (AES, GCM, EC, RSA, Haraka) or thinly wrapped from
+:mod:`hashlib` (SHA-2/SHA-3/SHAKE — these are hash primitives the paper's
+OpenSSL also takes from its own libcrypto).
+"""
+
+from repro.crypto.drbg import Drbg
+from repro.crypto.hashes import hkdf_expand, hkdf_extract, hmac_digest, shake128, shake256
+
+__all__ = [
+    "Drbg",
+    "hkdf_expand",
+    "hkdf_extract",
+    "hmac_digest",
+    "shake128",
+    "shake256",
+]

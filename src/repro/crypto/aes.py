@@ -1,0 +1,179 @@
+"""AES-128/192/256 from scratch (FIPS 197), plus CTR mode.
+
+The S-box is derived programmatically from the GF(2^8) inverse + affine
+transform rather than pasted as constants, and encryption uses the classic
+32-bit T-table formulation, the fastest portable pure-Python shape.
+
+Only the forward cipher is implemented: every mode this repository needs
+(CTR for Kyber-90s/Dilithium-AES XOFs, GCM for TLS records, Haraka's AES
+rounds) runs the block cipher forward.
+"""
+
+from __future__ import annotations
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    # Multiplicative inverses via exponentiation by generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    sbox = [0] * 256
+    for byte in range(256):
+        inverse = 0 if byte == 0 else exp[(255 - log[byte]) % 255]
+        result = 0
+        for bit in range(8):
+            result |= (
+                ((inverse >> bit)
+                 ^ (inverse >> ((bit + 4) % 8))
+                 ^ (inverse >> ((bit + 5) % 8))
+                 ^ (inverse >> ((bit + 6) % 8))
+                 ^ (inverse >> ((bit + 7) % 8))
+                 ^ (0x63 >> bit)) & 1
+            ) << bit
+        sbox[byte] = result
+    inv_sbox = [0] * 256
+    for byte, substituted in enumerate(sbox):
+        inv_sbox[substituted] = byte
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+# T-tables: TE0[b] = MixColumn of column (S[b], S[b], S[b], S[b]) pattern.
+_TE0 = []
+for _b in range(256):
+    _s = SBOX[_b]
+    _s2 = _xtime(_s)
+    _s3 = _s2 ^ _s
+    _TE0.append((_s2 << 24) | (_s << 16) | (_s << 8) | _s3)
+_TE1 = [((t >> 8) | ((t & 0xFF) << 24)) & 0xFFFFFFFF for t in _TE0]
+_TE2 = [((t >> 16) | ((t & 0xFFFF) << 16)) & 0xFFFFFFFF for t in _TE0]
+_TE3 = [((t >> 24) | ((t & 0xFFFFFF) << 8)) & 0xFFFFFFFF for t in _TE0]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+
+class AES:
+    """The raw AES block cipher for 128/192/256-bit keys."""
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError("AES key must be 16, 24 or 32 bytes")
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> list[int]:
+        nk = len(key) // 4
+        words = [int.from_bytes(key[4 * i: 4 * i + 4], "big") for i in range(nk)]
+        total = 4 * (self.rounds + 1)
+        for i in range(nk, total):
+            temp = words[i - 1]
+            if i % nk == 0:
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF  # RotWord
+                temp = (
+                    (SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (SBOX[(temp >> 8) & 0xFF] << 8)
+                    | SBOX[temp & 0xFF]
+                )
+                temp ^= _RCON[i // nk - 1] << 24
+            elif nk > 6 and i % nk == 4:
+                temp = (
+                    (SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (SBOX[(temp >> 8) & 0xFF] << 8)
+                    | SBOX[temp & 0xFF]
+                )
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        rk = self._round_keys
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
+        k = 4
+        for _ in range(self.rounds - 1):
+            t0 = (te0[(s0 >> 24) & 0xFF] ^ te1[(s1 >> 16) & 0xFF]
+                  ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ rk[k])
+            t1 = (te0[(s1 >> 24) & 0xFF] ^ te1[(s2 >> 16) & 0xFF]
+                  ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ rk[k + 1])
+            t2 = (te0[(s2 >> 24) & 0xFF] ^ te1[(s3 >> 16) & 0xFF]
+                  ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ rk[k + 2])
+            t3 = (te0[(s3 >> 24) & 0xFF] ^ te1[(s0 >> 16) & 0xFF]
+                  ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ rk[k + 3])
+            s0, s1, s2, s3 = t0, t1, t2, t3
+            k += 4
+        sbox = SBOX
+        out0 = ((sbox[(s0 >> 24) & 0xFF] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+                | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ rk[k]
+        out1 = ((sbox[(s1 >> 24) & 0xFF] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+                | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ rk[k + 1]
+        out2 = ((sbox[(s2 >> 24) & 0xFF] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+                | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ rk[k + 2]
+        out3 = ((sbox[(s3 >> 24) & 0xFF] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+                | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ rk[k + 3]
+        return (out0.to_bytes(4, "big") + out1.to_bytes(4, "big")
+                + out2.to_bytes(4, "big") + out3.to_bytes(4, "big"))
+
+
+def aes_round(state: bytes, round_key: bytes) -> bytes:
+    """One unkeyed AES round (SubBytes, ShiftRows, MixColumns) + key XOR.
+
+    This is the `AESENC` instruction semantics Haraka v2 is defined over.
+    """
+    if len(state) != 16 or len(round_key) != 16:
+        raise ValueError("state and round key must be 16 bytes")
+    cols = []
+    for c in range(4):
+        # Column c after ShiftRows pulls byte r from column (c + r) % 4.
+        t = (_TE0[state[4 * c]]
+             ^ _TE1[state[4 * ((c + 1) % 4) + 1]]
+             ^ _TE2[state[4 * ((c + 2) % 4) + 2]]
+             ^ _TE3[state[4 * ((c + 3) % 4) + 3]])
+        cols.append(t ^ int.from_bytes(round_key[4 * c: 4 * c + 4], "big"))
+    return b"".join(col.to_bytes(4, "big") for col in cols)
+
+
+def aes_ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """AES-CTR keystream with a 12-byte nonce and 32-bit big-endian counter."""
+    if len(nonce) != 12:
+        raise ValueError("CTR nonce must be 12 bytes")
+    cipher = AES(key)
+    blocks = []
+    counter = 0
+    while 16 * len(blocks) < length:
+        blocks.append(cipher.encrypt_block(nonce + counter.to_bytes(4, "big")))
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def aes_ctr_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt *data* under AES-CTR (the operation is an involution)."""
+    stream = aes_ctr_keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))

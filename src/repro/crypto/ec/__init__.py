@@ -1,0 +1,6 @@
+"""Elliptic-curve substrate: NIST P-curves, X25519, ECDSA, ECDH."""
+
+from repro.crypto.ec.curves import P256, P384, P521, Curve, Point
+from repro.crypto.ec.x25519 import x25519, x25519_base
+
+__all__ = ["Curve", "Point", "P256", "P384", "P521", "x25519", "x25519_base"]

@@ -1,0 +1,182 @@
+"""Short-Weierstrass curves P-256 / P-384 / P-521 with Jacobian arithmetic.
+
+These back three roles in the paper's algorithm matrix: the classical ECDH
+key agreements (p256/p384/p521 TLS groups), the classical halves of every
+hybrid (``p256_kyber512`` ...), and ECDSA handshake signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.modmath import invmod, sqrt_mod
+
+
+@dataclass(frozen=True)
+class Point:
+    """Affine point; ``None`` coordinates encode the point at infinity."""
+
+    x: int | None
+    y: int | None
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+
+INFINITY = Point(None, None)
+
+
+class Curve:
+    """y^2 = x^3 + a x + b over GF(p), prime order n, generator G."""
+
+    def __init__(self, name: str, p: int, a: int, b: int, gx: int, gy: int, n: int):
+        self.name = name
+        self.p = p
+        self.a = a
+        self.b = b
+        self.g = Point(gx, gy)
+        self.n = n
+        self.coord_bytes = (p.bit_length() + 7) // 8
+
+    # -- affine group law (reference; used by tests) --------------------
+    def add(self, p1: Point, p2: Point) -> Point:
+        if p1.is_infinity:
+            return p2
+        if p2.is_infinity:
+            return p1
+        p = self.p
+        if p1.x == p2.x:
+            if (p1.y + p2.y) % p == 0:
+                return INFINITY
+            slope = (3 * p1.x * p1.x + self.a) * invmod(2 * p1.y, p) % p
+        else:
+            slope = (p2.y - p1.y) * invmod(p2.x - p1.x, p) % p
+        x3 = (slope * slope - p1.x - p2.x) % p
+        y3 = (slope * (p1.x - x3) - p1.y) % p
+        return Point(x3, y3)
+
+    # -- Jacobian arithmetic (fast path) ---------------------------------
+    def _jac_double(self, x, y, z):
+        p = self.p
+        if not y:
+            return 0, 1, 0
+        ysq = y * y % p
+        s = 4 * x * ysq % p
+        m = (3 * x * x + self.a * pow(z, 4, p)) % p
+        nx = (m * m - 2 * s) % p
+        ny = (m * (s - nx) - 8 * ysq * ysq) % p
+        nz = 2 * y * z % p
+        return nx, ny, nz
+
+    def _jac_add(self, x1, y1, z1, x2, y2, z2):
+        p = self.p
+        if not z1:
+            return x2, y2, z2
+        if not z2:
+            return x1, y1, z1
+        z1sq = z1 * z1 % p
+        z2sq = z2 * z2 % p
+        u1 = x1 * z2sq % p
+        u2 = x2 * z1sq % p
+        s1 = y1 * z2sq * z2 % p
+        s2 = y2 * z1sq * z1 % p
+        if u1 == u2:
+            if s1 != s2:
+                return 0, 1, 0
+            return self._jac_double(x1, y1, z1)
+        h = (u2 - u1) % p
+        r = (s2 - s1) % p
+        hsq = h * h % p
+        hcu = hsq * h % p
+        nx = (r * r - hcu - 2 * u1 * hsq) % p
+        ny = (r * (u1 * hsq - nx) - s1 * hcu) % p
+        nz = h * z1 * z2 % p
+        return nx, ny, nz
+
+    def scalar_mult(self, k: int, point: Point | None = None) -> Point:
+        """Compute ``k * point`` (default: the generator)."""
+        if point is None:
+            point = self.g
+        k %= self.n
+        if k == 0 or point.is_infinity:
+            return INFINITY
+        x, y, z = 0, 1, 0
+        px, py, pz = point.x, point.y, 1
+        for bit in bin(k)[2:]:
+            x, y, z = self._jac_double(x, y, z)
+            if bit == "1":
+                x, y, z = self._jac_add(x, y, z, px, py, pz)
+        if not z:
+            return INFINITY
+        p = self.p
+        zinv = invmod(z, p)
+        zinv2 = zinv * zinv % p
+        return Point(x * zinv2 % p, y * zinv2 * zinv % p)
+
+    # -- validation and encoding ----------------------------------------
+    def is_on_curve(self, point: Point) -> bool:
+        if point.is_infinity:
+            return True
+        p = self.p
+        return (point.y * point.y - (point.x ** 3 + self.a * point.x + self.b)) % p == 0
+
+    def encode_point(self, point: Point) -> bytes:
+        """SEC1 uncompressed encoding (0x04 || X || Y), as TLS uses."""
+        if point.is_infinity:
+            raise ValueError("cannot encode the point at infinity")
+        size = self.coord_bytes
+        return b"\x04" + point.x.to_bytes(size, "big") + point.y.to_bytes(size, "big")
+
+    def decode_point(self, data: bytes) -> Point:
+        size = self.coord_bytes
+        if len(data) != 1 + 2 * size or data[0] != 0x04:
+            raise ValueError("invalid SEC1 uncompressed point")
+        point = Point(
+            int.from_bytes(data[1: 1 + size], "big"),
+            int.from_bytes(data[1 + size:], "big"),
+        )
+        if not self.is_on_curve(point) or point.is_infinity:
+            raise ValueError("point is not on the curve")
+        return point
+
+    def lift_x(self, x: int, parity: int = 0) -> Point:
+        """Find a curve point with the given x (used by tests)."""
+        rhs = (x ** 3 + self.a * x + self.b) % self.p
+        y = sqrt_mod(rhs, self.p)
+        if y % 2 != parity:
+            y = self.p - y
+        return Point(x, y)
+
+
+P256 = Curve(
+    "P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+P384 = Curve(
+    "P-384",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFF0000000000000000FFFFFFFF,
+    a=-3,
+    b=0xB3312FA7E23EE7E4988E056BE3F82D19181D9C6EFE8141120314088F5013875AC656398D8A2ED19D2A85C8EDD3EC2AEF,
+    gx=0xAA87CA22BE8B05378EB1C71EF320AD746E1D3B628BA79B9859F741E082542A385502F25DBF55296C3A545E3872760AB7,
+    gy=0x3617DE4A96262C6F5D9E98BF9292DC29F8F41DBD289A147CE9DA3113B5F0B8C00A60B1CE1D7E819D7A431D7C90EA0E5F,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFC7634D81F4372DDF581A0DB248B0A77AECEC196ACCC52973,
+)
+
+P521 = Curve(
+    "P-521",
+    p=(1 << 521) - 1,
+    a=-3,
+    b=0x0051953EB9618E1C9A1F929A21A0B68540EEA2DA725B99B315F3B8B489918EF109E156193951EC7E937B1652C0BD3BB1BF073573DF883D2C34F1EF451FD46B503F00,
+    gx=0x00C6858E06B70404E9CD9E3ECB662395B4429C648139053FB521F828AF606B4D3DBAA14B5E77EFE75928FE1DC127A2FFA8DE3348B3C1856A429BF97E7E31C2E5BD66,
+    gy=0x011839296A789A3BC0045C8A5FB42C7D1BD998F54449579B446817AFBD17273E662C97EE72995EF42640C550B9013FAD0761353C7086A272C24088BE94769FD16650,
+    n=0x1FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFA51868783BF2F966B7FCC0148F709A5D03BB5C9B8899C47AEBB6FB71E91386409,
+)
+
+CURVES = {"p256": P256, "p384": P384, "p521": P521}

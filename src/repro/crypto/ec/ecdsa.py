@@ -1,0 +1,107 @@
+"""ECDSA over the NIST P-curves with deterministic nonces (RFC 6979).
+
+Used for the classical halves of the paper's composite signature hybrids
+(``p256_dilithium2`` etc.) and for pure-ECDSA certificates in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.drbg import Drbg
+from repro.crypto.ec.curves import Curve
+from repro.crypto.hashes import hmac_digest
+from repro.crypto.modmath import invmod
+
+_HASH_FOR_CURVE = {"P-256": "sha256", "P-384": "sha384", "P-521": "sha512"}
+
+
+def _bits2int(data: bytes, n: int) -> int:
+    value = int.from_bytes(data, "big")
+    excess = 8 * len(data) - n.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _hash(curve: Curve, message: bytes) -> bytes:
+    name = _HASH_FOR_CURVE[curve.name]
+    return getattr(hashlib, name)(message).digest()
+
+
+def _rfc6979_nonce(curve: Curve, private_key: int, digest: bytes) -> int:
+    """Deterministic per-message nonce (RFC 6979 §3.2)."""
+    hash_name = _HASH_FOR_CURVE[curve.name]
+    hlen = len(digest)
+    n = curve.n
+    qlen_bytes = (n.bit_length() + 7) // 8
+    h1 = (_bits2int(digest, n) % n).to_bytes(qlen_bytes, "big")
+    x = private_key.to_bytes(qlen_bytes, "big")
+    v = b"\x01" * hlen
+    k = b"\x00" * hlen
+    k = hmac_digest(k, v + b"\x00" + x + h1, hash_name)
+    v = hmac_digest(k, v, hash_name)
+    k = hmac_digest(k, v + b"\x01" + x + h1, hash_name)
+    v = hmac_digest(k, v, hash_name)
+    while True:
+        t = b""
+        while len(t) < qlen_bytes:
+            v = hmac_digest(k, v, hash_name)
+            t += v
+        candidate = _bits2int(t, n)
+        if 1 <= candidate < n:
+            return candidate
+        k = hmac_digest(k, v + b"\x00", hash_name)
+        v = hmac_digest(k, v, hash_name)
+
+
+def generate_keypair(curve: Curve, drbg: Drbg) -> tuple[int, bytes]:
+    """Return (private scalar, SEC1-encoded public key)."""
+    private = drbg.randint(1, curve.n - 1)
+    public = curve.scalar_mult(private)
+    return private, curve.encode_point(public)
+
+
+def sign(curve: Curve, private_key: int, message: bytes) -> bytes:
+    """ECDSA signature as fixed-width r || s."""
+    digest = _hash(curve, message)
+    z = _bits2int(digest, curve.n) % curve.n
+    n = curve.n
+    size = (n.bit_length() + 7) // 8
+    k = _rfc6979_nonce(curve, private_key, digest)
+    while True:
+        point = curve.scalar_mult(k)
+        r = point.x % n
+        if r == 0:
+            k = (k + 1) % n or 1
+            continue
+        s = invmod(k, n) * (z + r * private_key) % n
+        if s == 0:
+            k = (k + 1) % n or 1
+            continue
+        return r.to_bytes(size, "big") + s.to_bytes(size, "big")
+
+
+def verify(curve: Curve, public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """Verify a fixed-width r || s signature; returns False on any failure."""
+    n = curve.n
+    size = (n.bit_length() + 7) // 8
+    if len(signature) != 2 * size:
+        return False
+    r = int.from_bytes(signature[:size], "big")
+    s = int.from_bytes(signature[size:], "big")
+    if not (1 <= r < n and 1 <= s < n):
+        return False
+    try:
+        q = curve.decode_point(public_key)
+    except ValueError:
+        return False
+    digest = _hash(curve, message)
+    z = _bits2int(digest, n) % n
+    w = invmod(s, n)
+    u1 = z * w % n
+    u2 = r * w % n
+    point = curve.add(curve.scalar_mult(u1), curve.scalar_mult(u2, q))
+    if point.is_infinity:
+        return False
+    return point.x % n == r

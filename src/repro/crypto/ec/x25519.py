@@ -1,0 +1,72 @@
+"""X25519 Diffie–Hellman (RFC 7748) via the Montgomery ladder.
+
+X25519 is the paper's classical state-of-the-art key agreement and the
+baseline every SA measurement is combined with (Table 2b).
+"""
+
+from __future__ import annotations
+
+P = 2 ** 255 - 19
+A24 = 121665
+KEY_LEN = 32
+
+
+def _decode_scalar(k: bytes) -> int:
+    if len(k) != KEY_LEN:
+        raise ValueError("X25519 scalar must be 32 bytes")
+    clamped = bytearray(k)
+    clamped[0] &= 248
+    clamped[31] &= 127
+    clamped[31] |= 64
+    return int.from_bytes(clamped, "little")
+
+
+def _decode_u(u: bytes) -> int:
+    if len(u) != KEY_LEN:
+        raise ValueError("X25519 u-coordinate must be 32 bytes")
+    masked = bytearray(u)
+    masked[31] &= 127
+    return int.from_bytes(masked, "little") % P
+
+
+def _ladder(k: int, u: int) -> int:
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for t in range(254, -1, -1):
+        k_t = (k >> t) & 1
+        if swap ^ k_t:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = k_t
+        a = (x2 + z2) % P
+        aa = a * a % P
+        b = (x2 - z2) % P
+        bb = b * b % P
+        e = (aa - bb) % P
+        c = (x3 + z3) % P
+        d = (x3 - z3) % P
+        da = d * a % P
+        cb = c * b % P
+        x3 = (da + cb) % P
+        x3 = x3 * x3 % P
+        z3 = (da - cb) % P
+        z3 = x1 * z3 * z3 % P
+        x2 = aa * bb % P
+        z2 = e * (aa + A24 * e) % P
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+    return x2 * pow(z2, P - 2, P) % P
+
+
+def x25519(scalar: bytes, u: bytes) -> bytes:
+    """The X25519 function: scalar * point(u), little-endian encodings."""
+    result = _ladder(_decode_scalar(scalar), _decode_u(u))
+    return result.to_bytes(KEY_LEN, "little")
+
+
+def x25519_base(scalar: bytes) -> bytes:
+    """Scalar multiplication with the base point u=9 (public key derivation)."""
+    return x25519(scalar, (9).to_bytes(KEY_LEN, "little"))

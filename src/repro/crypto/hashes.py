@@ -1,0 +1,91 @@
+"""Hash primitives: SHA-2/SHA-3/SHAKE wrappers, HMAC, and HKDF (RFC 5869).
+
+TLS 1.3's key schedule is built entirely from HKDF; Kyber/Dilithium/SPHINCS+
+use SHAKE/SHA-3. The Keccak and SHA-2 permutations themselves come from
+:mod:`hashlib` (they are symmetric primitives outside the paper's scope —
+its Grover discussion explicitly excludes them), everything layered on top
+is implemented here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def sha384(data: bytes) -> bytes:
+    return hashlib.sha384(data).digest()
+
+
+def sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def sha3_256(data: bytes) -> bytes:
+    return hashlib.sha3_256(data).digest()
+
+
+def sha3_512(data: bytes) -> bytes:
+    return hashlib.sha3_512(data).digest()
+
+
+def shake128(data: bytes, outlen: int) -> bytes:
+    return hashlib.shake_128(data).digest(outlen)
+
+
+def shake256(data: bytes, outlen: int) -> bytes:
+    return hashlib.shake_256(data).digest(outlen)
+
+
+_HASHES = {"sha256": hashlib.sha256, "sha384": hashlib.sha384, "sha512": hashlib.sha512}
+
+
+def _block_size(name: str) -> int:
+    return {"sha256": 64, "sha384": 128, "sha512": 128}[name]
+
+
+def hmac_digest(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
+    """HMAC built from the bare hash (RFC 2104), not :mod:`hmac`."""
+    hash_fn = _HASHES[hash_name]
+    block = _block_size(hash_name)
+    if len(key) > block:
+        key = hash_fn(key).digest()
+    key = key.ljust(block, b"\x00")
+    inner = hash_fn(bytes(b ^ 0x36 for b in key) + message).digest()
+    return hash_fn(bytes(b ^ 0x5C for b in key) + inner).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes, hash_name: str = "sha256") -> bytes:
+    """RFC 5869 HKDF-Extract."""
+    if not salt:
+        salt = b"\x00" * _HASHES[hash_name]().digest_size
+    return hmac_digest(salt, ikm, hash_name)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int, hash_name: str = "sha256") -> bytes:
+    """RFC 5869 HKDF-Expand."""
+    digest_size = _HASHES[hash_name]().digest_size
+    if length > 255 * digest_size:
+        raise ValueError("HKDF-Expand output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_digest(prk, previous + info + bytes([counter]), hash_name)
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def mgf1(seed: bytes, length: int, hash_name: str = "sha256") -> bytes:
+    """PKCS#1 MGF1 mask generation (used by RSA-PSS)."""
+    hash_fn = _HASHES[hash_name]
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += hash_fn(seed + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return out[:length]

@@ -1,0 +1,101 @@
+"""Modular arithmetic helpers and probabilistic prime generation."""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import Drbg
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def invmod(a: int, m: int) -> int:
+    """Modular inverse via the extended Euclidean algorithm."""
+    if m <= 0:
+        raise ValueError("modulus must be positive")
+    r0, r1 = a % m, m
+    s0, s1 = 1, 0
+    while r1:
+        q = r0 // r1
+        r0, r1 = r1, r0 - q * r1
+        s0, s1 = s1, s0 - q * s1
+    if r0 != 1:
+        raise ValueError("value is not invertible")
+    return s0 % m
+
+
+def is_probable_prime(n: int, drbg: Drbg | None = None, rounds: int = 20) -> bool:
+    """Miller–Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = drbg if drbg is not None else Drbg(b"miller-rabin" + n.to_bytes(64, "big", signed=False)[-64:])
+    for _ in range(rounds):
+        a = rng.randint(2, n - 2)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, drbg: Drbg) -> int:
+    """Generate a random prime with exactly *bits* bits (top two bits set).
+
+    Setting the top two bits guarantees that the product of two such primes
+    has exactly ``2*bits`` bits, the usual RSA convention.
+    """
+    if bits < 16:
+        raise ValueError("refusing to generate tiny primes")
+    while True:
+        candidate = int.from_bytes(drbg.random_bytes((bits + 7) // 8), "big")
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        candidate &= (1 << bits) - 1
+        if is_probable_prime(candidate, drbg):
+            return candidate
+
+
+def legendre(a: int, p: int) -> int:
+    return pow(a, (p - 1) // 2, p)
+
+
+def sqrt_mod(a: int, p: int) -> int:
+    """Tonelli–Shanks square root modulo an odd prime."""
+    a %= p
+    if a == 0:
+        return 0
+    if legendre(a, p) != 1:
+        raise ValueError("not a quadratic residue")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    q, s = p - 1, 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while legendre(z, p) != p - 1:
+        z += 1
+    m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
+    while t != 1:
+        i, temp = 0, t
+        while temp != 1:
+            temp = temp * temp % p
+            i += 1
+        b = pow(c, 1 << (m - i - 1), p)
+        m, c = i, b * b % p
+        t, r = t * c % p, r * b % p
+    return r

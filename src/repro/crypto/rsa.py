@@ -1,0 +1,172 @@
+"""RSA: key generation, PKCS#1 v1.5 signatures, and RSA-PSS.
+
+The paper measures rsa:1024 / rsa:2048 / rsa:3072 / rsa:4096 server
+certificates; TLS 1.3 CertificateVerify mandates RSASSA-PSS for RSA keys,
+so PSS is the scheme our TLS stack uses, with v1.5 kept for certificates
+(as the WebPKI does) and for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import Drbg
+from repro.crypto.hashes import mgf1, sha256
+from repro.crypto.modmath import generate_prime, invmod
+
+_SHA256_DER_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+_F4 = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def encode(self) -> bytes:
+        """Compact wire encoding: 2-byte modulus length, modulus, exponent."""
+        n_bytes = self.n.to_bytes(self.size_bytes, "big")
+        e_bytes = self.e.to_bytes(4, "big")
+        return len(n_bytes).to_bytes(2, "big") + n_bytes + e_bytes
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RsaPublicKey":
+        if len(data) < 6:
+            raise ValueError("truncated RSA public key")
+        n_len = int.from_bytes(data[:2], "big")
+        if len(data) != 2 + n_len + 4:
+            raise ValueError("malformed RSA public key")
+        n = int.from_bytes(data[2: 2 + n_len], "big")
+        e = int.from_bytes(data[2 + n_len:], "big")
+        return cls(n, e)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return RsaPublicKey(self.n, self.e)
+
+    def _decrypt(self, c: int) -> int:
+        """Private-key operation with the CRT speedup."""
+        mp = pow(c % self.p, self.d % (self.p - 1), self.p)
+        mq = pow(c % self.q, self.d % (self.q - 1), self.q)
+        qinv = invmod(self.q, self.p)
+        h = (mp - mq) * qinv % self.p
+        return mq + self.q * h
+
+
+def generate_keypair(bits: int, drbg: Drbg) -> RsaPrivateKey:
+    """Generate an RSA key with modulus size *bits* and e = 65537."""
+    if bits % 2:
+        raise ValueError("modulus size must be even")
+    while True:
+        p = generate_prime(bits // 2, drbg)
+        q = generate_prime(bits // 2, drbg)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        try:
+            d = invmod(_F4, phi)
+        except ValueError:
+            continue
+        return RsaPrivateKey(n=n, e=_F4, d=d, p=p, q=q)
+
+
+# -- PKCS#1 v1.5 ---------------------------------------------------------
+
+def _emsa_pkcs1_v15(message: bytes, em_len: int) -> bytes:
+    t = _SHA256_DER_PREFIX + sha256(message)
+    if em_len < len(t) + 11:
+        raise ValueError("modulus too small for PKCS#1 v1.5 with SHA-256")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def sign_pkcs1(key: RsaPrivateKey, message: bytes) -> bytes:
+    em = _emsa_pkcs1_v15(message, key.public.size_bytes)
+    s = key._decrypt(int.from_bytes(em, "big"))
+    return s.to_bytes(key.public.size_bytes, "big")
+
+
+def verify_pkcs1(key: RsaPublicKey, message: bytes, signature: bytes) -> bool:
+    if len(signature) != key.size_bytes:
+        return False
+    s = int.from_bytes(signature, "big")
+    if s >= key.n:
+        return False
+    em = pow(s, key.e, key.n).to_bytes(key.size_bytes, "big")
+    try:
+        return em == _emsa_pkcs1_v15(message, key.size_bytes)
+    except ValueError:
+        return False
+
+
+# -- RSASSA-PSS (RFC 8017), SHA-256, salt length = hash length -----------
+
+_SALT_LEN = 32
+
+
+def _pss_encode(message: bytes, em_bits: int, salt: bytes) -> bytes:
+    em_len = (em_bits + 7) // 8
+    m_hash = sha256(message)
+    if em_len < len(m_hash) + len(salt) + 2:
+        raise ValueError("modulus too small for PSS")
+    m_prime = b"\x00" * 8 + m_hash + salt
+    h = sha256(m_prime)
+    ps = b"\x00" * (em_len - len(salt) - len(m_hash) - 2)
+    db = ps + b"\x01" + salt
+    mask = mgf1(h, em_len - len(m_hash) - 1)
+    masked_db = bytes(a ^ b for a, b in zip(db, mask))
+    # clear the leftmost bits so EM < 2^em_bits
+    clear = 8 * em_len - em_bits
+    masked_db = bytes([masked_db[0] & (0xFF >> clear)]) + masked_db[1:]
+    return masked_db + h + b"\xbc"
+
+
+def sign_pss(key: RsaPrivateKey, message: bytes, drbg: Drbg | None = None) -> bytes:
+    salt = drbg.random_bytes(_SALT_LEN) if drbg is not None else sha256(b"pss-salt" + message)
+    em = _pss_encode(message, key.n.bit_length() - 1, salt)
+    s = key._decrypt(int.from_bytes(em, "big"))
+    return s.to_bytes(key.public.size_bytes, "big")
+
+
+def verify_pss(key: RsaPublicKey, message: bytes, signature: bytes) -> bool:
+    if len(signature) != key.size_bytes:
+        return False
+    s = int.from_bytes(signature, "big")
+    if s >= key.n:
+        return False
+    em_bits = key.n.bit_length() - 1
+    em_len = (em_bits + 7) // 8
+    em = pow(s, key.e, key.n).to_bytes(key.size_bytes, "big")[-em_len:]
+    if em[-1] != 0xBC:
+        return False
+    m_hash = sha256(message)
+    hlen = len(m_hash)
+    masked_db, h = em[: em_len - hlen - 1], em[em_len - hlen - 1: -1]
+    clear = 8 * em_len - em_bits
+    if masked_db[0] >> (8 - clear) if clear else 0:
+        return False
+    mask = mgf1(h, len(masked_db))
+    db = bytes(a ^ b for a, b in zip(masked_db, mask))
+    db = bytes([db[0] & (0xFF >> clear)]) + db[1:]
+    sep = db.find(b"\x01")
+    if sep == -1 or any(db[:sep]):
+        return False
+    salt = db[sep + 1:]
+    if len(salt) != _SALT_LEN:
+        return False
+    m_prime = b"\x00" * 8 + m_hash + salt
+    return sha256(m_prime) == h

@@ -1,0 +1,14 @@
+"""Deterministic discrete-event testbed.
+
+Substitutes the paper's 3-node hardware setup (client, server, passive
+optical-tap timestamper on 10 Gbit/s fiber): simulated hosts with a
+single-core CPU driven by a calibrated cost model, a simplified TCP with
+Linux-like slow start, netem-style link emulation, and a passive tap that
+timestamps every frame.
+"""
+
+from repro.netsim.eventloop import EventLoop
+from repro.netsim.netem import NetemConfig
+from repro.netsim.testbed import HandshakeTrace, Testbed
+
+__all__ = ["EventLoop", "NetemConfig", "Testbed", "HandshakeTrace"]

@@ -1,0 +1,43 @@
+"""Minimal deterministic discrete-event scheduler (time unit: seconds)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class EventLoop:
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule *callback* after *delay* seconds; returns a token."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback))
+        return self._sequence
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains (or simulated time passes *until*)."""
+        events = 0
+        while self._queue:
+            at, _, callback = self._queue[0]
+            if until is not None and at > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = max(self.now, at)
+            callback()
+            events += 1
+            if events > max_events:
+                raise RuntimeError("event loop runaway (likely a protocol deadlock)")
+        if until is not None:
+            # the clock reflects the requested horizon even when idle, so
+            # callers interleaving run(until=...) with direct calls (tests,
+            # interactive drivers) get consistent timestamps
+            self.now = max(self.now, until)
+
+    def idle(self) -> bool:
+        return not self._queue

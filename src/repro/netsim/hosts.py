@@ -1,0 +1,109 @@
+"""Simulated single-core hosts running the sans-io TLS state machines.
+
+A host's CPU serializes all work: crypto operations advance a busy-until
+mark by the cost model's price, and outgoing TLS flights reach TCP only
+once the CPU gets there. This is what makes the paper's §5.2 effect
+emerge: with the optimized flush policy the *client* burns its decaps /
+verification time while the *server* is still signing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.costmodel import CostModel
+from repro.netsim.eventloop import EventLoop
+from repro.tls.actions import Compute, Send
+
+
+@dataclass
+class CpuInterval:
+    start: float
+    end: float
+    library: str
+
+
+@dataclass
+class CpuLog:
+    intervals: list[CpuInterval] = field(default_factory=list)
+
+    def charge(self, start: float, duration: float, library: str) -> float:
+        end = start + duration
+        if duration > 0:
+            self.intervals.append(CpuInterval(start, end, library))
+        return end
+
+    def total_by_library(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for interval in self.intervals:
+            totals[interval.library] = totals.get(interval.library, 0.0) + (
+                interval.end - interval.start
+            )
+        return totals
+
+    @property
+    def total(self) -> float:
+        return sum(i.end - i.start for i in self.intervals)
+
+
+class Host:
+    """Glue between a TLS state machine, TCP, and the cost model."""
+
+    def __init__(self, name: str, role: str, loop: EventLoop, cost_model: CostModel):
+        self.name = name
+        self.role = role  # "client" | "server"
+        self._loop = loop
+        self._cost = cost_model
+        self.cpu_log = CpuLog()
+        self._cpu_free = 0.0
+        self.tcp = None   # attached later
+        self._tls_receive = None
+        self.failure: Exception | None = None
+
+    def attach(self, tcp, tls_receive) -> None:
+        self.tcp = tcp
+        self._tls_receive = tls_receive
+
+    # -- CPU accounting ------------------------------------------------------
+    def _run_ops(self, start: float, ops) -> float:
+        at = start
+        for op in ops:
+            cost = self._cost.op_cost(op, self.role)
+            at = self.cpu_log.charge(at, cost.seconds, cost.library)
+        return at
+
+    def charge_packet(self) -> None:
+        """Per-packet kernel + driver work (tally; negligible latency)."""
+        at = max(self._loop.now, self._cpu_free)
+        for cost in self._cost.packet_cost():
+            at = self.cpu_log.charge(at, cost.seconds, cost.library)
+        self._cpu_free = at
+
+    def charge_tooling(self) -> None:
+        cost = self._cost.tooling_cost()
+        at = max(self._loop.now, self._cpu_free)
+        self._cpu_free = self.cpu_log.charge(at, cost.seconds, cost.library)
+
+    # -- TLS action processing ---------------------------------------------------
+    def process_actions(self, actions) -> None:
+        """Execute a TLS action list starting when the CPU is free."""
+        at = max(self._loop.now, self._cpu_free)
+        for action in actions:
+            if isinstance(action, Compute):
+                at = self._run_ops(at, action.ops)
+            elif isinstance(action, Send):
+                data, label = action.data, action.label
+                delay = max(0.0, at - self._loop.now)
+                self._loop.schedule(delay, lambda d=data, l=label: self.tcp.send(d, l))
+        self._cpu_free = at
+
+    def on_tcp_deliver(self, data: bytes) -> None:
+        """TCP hands up in-order bytes; run the TLS machine on them."""
+        if self.failure is not None:
+            return
+        try:
+            actions = self._tls_receive(data)
+        except Exception as exc:  # handshake failure: record, stop driving
+            self.failure = exc
+            return
+        self.process_actions(actions)

@@ -1,0 +1,77 @@
+"""netem-style link emulation: loss, delay, and rate limiting.
+
+Mirrors the paper's §5.4 scenarios, which place ``tc netem`` between client
+and server. A link serializes frames at its rate (sequential: a frame waits
+for the previous one to finish transmitting), applies one-way propagation
+delay (RTT/2 per direction), and drops frames i.i.d. with the loss
+probability — all driven by a forkable DRBG so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.crypto.drbg import Drbg
+from repro.netsim.eventloop import EventLoop
+from repro.netsim.packets import Segment
+
+
+@dataclass(frozen=True)
+class NetemConfig:
+    """One emulated scenario (loss applies per frame, per direction)."""
+
+    name: str
+    loss: float = 0.0          # probability in [0, 1]
+    rtt: float = 0.0           # seconds, split evenly across directions
+    rate_bps: float = 10e9     # link rate in bits/second
+
+    @property
+    def one_way_delay(self) -> float:
+        return self.rtt / 2.0
+
+
+# The paper's Table 4 scenarios (Appendix A footnotes give LTE-M and 5G).
+SCENARIOS = {
+    "none": NetemConfig("none", loss=0.0, rtt=0.0, rate_bps=10e9),
+    "high-loss": NetemConfig("high-loss", loss=0.10, rtt=0.0, rate_bps=10e9),
+    "low-bandwidth": NetemConfig("low-bandwidth", loss=0.0, rtt=0.0, rate_bps=1e6),
+    "high-delay": NetemConfig("high-delay", loss=0.0, rtt=1.0, rate_bps=10e9),
+    "lte-m": NetemConfig("lte-m", loss=0.10, rtt=0.200, rate_bps=1e6),
+    "5g": NetemConfig("5g", loss=0.04, rtt=0.044, rate_bps=880e6),
+}
+
+
+class Link:
+    """One direction of the emulated path, with an optional passive tap."""
+
+    def __init__(self, loop: EventLoop, config: NetemConfig, drbg: Drbg,
+                 deliver: Callable[[Segment], None],
+                 tap: Callable[[float, Segment], None] | None = None):
+        self._loop = loop
+        self._config = config
+        self._drbg = drbg
+        self._deliver = deliver
+        self._tap = tap
+        self._busy_until = 0.0
+
+    def transmit(self, segment: Segment) -> None:
+        """Send one frame: serialize, tap, maybe drop, propagate."""
+        serialization = 8.0 * segment.wire_bytes / self._config.rate_bps
+        start = max(self._loop.now, self._busy_until)
+        done = start + serialization
+        self._busy_until = done
+        if self._tap is not None:
+            # The optical tap sits right after the sender's NIC: it sees the
+            # frame when fully on the wire, even if netem later drops it...
+            # but the paper's taps sit on the real fiber (loss is emulated
+            # *inside* the endpoints via tc), so tap sees what was sent.
+            tap_time = done
+            tap = self._tap
+            self._loop.schedule(max(0.0, done - self._loop.now),
+                                lambda: tap(tap_time, segment))
+        if self._drbg.random() < self._config.loss:
+            return  # dropped by netem
+        arrival = done + self._config.one_way_delay
+        self._loop.schedule(max(0.0, arrival - self._loop.now),
+                            lambda: self._deliver(segment))

@@ -1,0 +1,184 @@
+"""Recorded handshake scripts: run real crypto once, replay its shape.
+
+A 60-second measurement period covers up to ~30 000 sequential handshakes
+(Table 2); re-running pure-Python SPHINCS+ for each would be absurd when
+the simulated clock is driven by the cost model anyway. Instead we run
+*one* real handshake per (KA, SA, policy) in lockstep, record each TLS
+endpoint's behaviour as byte-offset milestones — "after N cumulative
+in-order bytes, perform these Compute ops and Send these flight lengths" —
+and replay that script through TCP/netem with fresh loss randomness.
+
+Replay is exact because a sans-io TLS endpoint is a deterministic function
+of the in-order byte stream: message sizes, flush boundaries, and crypto
+op sequences do not depend on network behaviour. A regression test checks
+real-vs-scripted traces match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import Drbg
+from repro.tls.actions import Compute, Send
+from repro.tls.certs import make_server_credentials
+from repro.tls.client import TlsClient
+from repro.tls.records import HEADER_LEN, decode_records
+from repro.tls.server import BufferPolicy, TlsServer
+
+
+@dataclass(frozen=True)
+class ScriptedSend:
+    length: int
+    label: str
+
+
+@dataclass(frozen=True)
+class Milestone:
+    after_bytes: int                  # fire once this many in-order bytes arrived
+    actions: tuple                    # Compute | ScriptedSend, in order
+
+
+@dataclass(frozen=True)
+class HandshakeScript:
+    kem_name: str
+    sig_name: str
+    policy: str
+    client_milestones: tuple[Milestone, ...]
+    server_milestones: tuple[Milestone, ...]
+    client_total_in: int              # bytes the client must consume to finish
+    server_total_in: int
+
+
+def _record_side(actions) -> tuple:
+    recorded = []
+    for action in actions:
+        if isinstance(action, Compute):
+            recorded.append(action)
+        elif isinstance(action, Send):
+            recorded.append(ScriptedSend(len(action.data), action.label))
+    return tuple(recorded)
+
+
+def _split_record_boundaries(stream: bytes) -> list[bytes]:
+    records, rest = decode_records(stream)
+    if rest:
+        raise RuntimeError("stream does not end on a record boundary")
+    return [r.encode() for r in records]
+
+
+def load_credentials(sig_name: str, seed: str = "paper"):
+    """Per-SA credentials (CA + leaf + trust store), cached on disk.
+
+    Key generation and CA issuance dominate recording time for the slow
+    signature schemes (Falcon keygen, SPHINCS+ signing), and credentials
+    are shared across every experiment using the same SA.
+    """
+    from repro import cache
+
+    key = f"{sig_name}|{seed}"
+    creds = cache.load("creds", key)
+    if creds is None:
+        creds = make_server_credentials(sig_name, Drbg(f"creds:{sig_name}:{seed}"))
+        cache.store("creds", key, creds)
+    return creds
+
+
+def record_script(kem_name: str, sig_name: str,
+                  policy: BufferPolicy = BufferPolicy.OPTIMIZED,
+                  seed: str = "paper") -> HandshakeScript:
+    """Run one real handshake in lockstep and capture both endpoint scripts."""
+    drbg = Drbg(f"script:{kem_name}:{sig_name}:{policy.value}:{seed}")
+    cert, sk, store = load_credentials(sig_name, seed)
+    client = TlsClient(kem_name, sig_name, store, drbg.fork("client"))
+    server = TlsServer(kem_name, sig_name, cert, sk, drbg.fork("server"),
+                       policy=policy)
+
+    client_milestones: list[Milestone] = []
+    server_milestones: list[Milestone] = []
+
+    start_actions = client.start()
+    client_milestones.append(Milestone(0, _record_side(start_actions)))
+    client_out = b"".join(a.data for a in start_actions if isinstance(a, Send))
+
+    # feed the server record-by-record (a sans-io endpoint can only act on
+    # complete records, so record boundaries are the exact trigger points)
+    server_in = 0
+    server_out = b""
+    for record in _split_record_boundaries(client_out):
+        server_in += len(record)
+        actions = server.receive(record)
+        if actions:
+            server_milestones.append(Milestone(server_in, _record_side(actions)))
+            server_out += b"".join(a.data for a in actions if isinstance(a, Send))
+
+    client_in = 0
+    client_out2 = b""
+    for record in _split_record_boundaries(server_out):
+        client_in += len(record)
+        actions = client.receive(record)
+        if actions:
+            client_milestones.append(Milestone(client_in, _record_side(actions)))
+            client_out2 += b"".join(a.data for a in actions if isinstance(a, Send))
+
+    for record in _split_record_boundaries(client_out2):
+        server_in += len(record)
+        actions = server.receive(record)
+        if actions:
+            server_milestones.append(Milestone(server_in, _record_side(actions)))
+
+    if not (client.handshake_complete and server.handshake_complete):
+        raise RuntimeError("lockstep recording did not complete the handshake")
+
+    return HandshakeScript(
+        kem_name=kem_name,
+        sig_name=sig_name,
+        policy=policy.value,
+        client_milestones=tuple(client_milestones),
+        server_milestones=tuple(server_milestones),
+        client_total_in=client_in,
+        server_total_in=server_in,
+    )
+
+
+class ScriptedApp:
+    """Replays one side of a recorded script against the byte stream."""
+
+    def __init__(self, milestones: tuple[Milestone, ...], total_in: int,
+                 is_client: bool):
+        self._milestones = list(milestones)
+        self._total_in = total_in
+        self._is_client = is_client
+        self._received = 0
+        self._next = 0
+
+    def start(self):
+        if not self._is_client:
+            return []
+        return self._fire()
+
+    def receive(self, data: bytes):
+        self._received += len(data)
+        return self._fire()
+
+    def _fire(self):
+        actions = []
+        while (self._next < len(self._milestones)
+               and self._milestones[self._next].after_bytes <= self._received):
+            for action in self._milestones[self._next].actions:
+                if isinstance(action, ScriptedSend):
+                    actions.append(Send(bytes(action.length), action.label))
+                else:
+                    actions.append(action)
+            self._next += 1
+        return actions
+
+    @property
+    def handshake_complete(self) -> bool:
+        return self._next >= len(self._milestones) and self._received >= self._total_in
+
+
+def scripted_apps(script: HandshakeScript) -> tuple[ScriptedApp, ScriptedApp]:
+    """Fresh (client, server) replay apps for one handshake."""
+    client = ScriptedApp(script.client_milestones, script.client_total_in, True)
+    server = ScriptedApp(script.server_milestones, script.server_total_in, False)
+    return client, server

@@ -1,0 +1,197 @@
+"""The 3-node testbed: client host, server host, tapped links between them.
+
+``Testbed.run_handshake`` executes one complete TLS 1.3 handshake over
+simulated TCP and returns a :class:`HandshakeTrace` with everything the
+paper measures: the two wire-visible phases, data volumes, packet counts,
+and per-library CPU time on both hosts.
+
+The same wiring also runs *scripted* endpoints (recorded action scripts,
+see :mod:`repro.netsim.scripted`) so a 60-second measurement period does
+not have to re-run heavyweight crypto for every sequential handshake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.crypto.drbg import Drbg
+from repro.netsim.costmodel import CostModel
+from repro.netsim.eventloop import EventLoop
+from repro.netsim.hosts import Host
+from repro.netsim.netem import Link, NetemConfig, SCENARIOS
+from repro.netsim.tcp import TcpEndpoint
+from repro.netsim.timestamper import Timestamper
+from repro.tls.certs import Certificate, TrustStore
+from repro.tls.client import TlsClient
+from repro.tls.server import BufferPolicy, TlsServer
+
+
+class App(Protocol):
+    """What a host runs: produce actions on connect / on received bytes."""
+
+    def start(self) -> list: ...          # client side, empty list for servers
+    def receive(self, data: bytes) -> list: ...
+    @property
+    def handshake_complete(self) -> bool: ...
+
+
+@dataclass(frozen=True)
+class HandshakeTrace:
+    part_a: float                  # CH -> SH (seconds)
+    part_b: float                  # SH -> client Finished
+    total: float                   # CH -> client Finished
+    wall_end: float                # when the last event settled (incl. ACKs)
+    client_wire_bytes: int
+    server_wire_bytes: int
+    client_packets: int
+    server_packets: int
+    client_cpu: dict               # library -> seconds
+    server_cpu: dict
+    flight_labels: tuple[str, ...]
+
+
+def run_simulated_handshake(client_app: App, server_app: App, *,
+                            scenario: NetemConfig, netem_drbg: Drbg,
+                            cost_model: CostModel,
+                            max_sim_seconds: float = 120.0) -> HandshakeTrace:
+    """Wire two apps through TCP + netem + taps and run to completion."""
+    loop = EventLoop()
+    tap = Timestamper()
+    client_host = Host("client", "client", loop, cost_model)
+    server_host = Host("server", "server", loop, cost_model)
+
+    def client_established():
+        client_host.process_actions(client_app.start())
+
+    client_tcp = TcpEndpoint(loop, "client", "server",
+                             on_deliver=client_host.on_tcp_deliver,
+                             on_established=client_established)
+    server_tcp = TcpEndpoint(loop, "server", "client",
+                             on_deliver=server_host.on_tcp_deliver)
+
+    def deliver_to_server(segment):
+        server_host.charge_packet()
+        server_tcp.on_segment(segment)
+
+    def deliver_to_client(segment):
+        client_host.charge_packet()
+        client_tcp.on_segment(segment)
+
+    c2s = Link(loop, scenario, netem_drbg.fork("c2s"),
+               deliver=deliver_to_server, tap=tap.tap("c2s"))
+    s2c = Link(loop, scenario, netem_drbg.fork("s2c"),
+               deliver=deliver_to_client, tap=tap.tap("s2c"))
+    client_tcp.attach_link(c2s)
+    server_tcp.attach_link(s2c)
+    client_host.attach(client_tcp, client_app.receive)
+    server_host.attach(server_tcp, server_app.receive)
+    client_host.charge_tooling()
+    server_host.charge_tooling()
+
+    server_tcp.listen()
+    client_tcp.connect()
+    loop.run(until=max_sim_seconds)
+
+    if client_host.failure is not None:
+        raise client_host.failure
+    if server_host.failure is not None:
+        raise server_host.failure
+    if not (client_app.handshake_complete and server_app.handshake_complete):
+        raise RuntimeError(
+            f"handshake did not complete within {max_sim_seconds} simulated seconds "
+            f"(scenario {scenario.name})")
+
+    t_ch, t_sh, t_fin = tap.phase_times()
+    # end of the handshake's wire activity (stale cancelled timers may have
+    # advanced loop.now far beyond the last real packet)
+    wall_end = max(record.time for record in tap.records)
+    labels = tuple(
+        "/".join(r.segment.labels) for r in tap.records
+        if r.direction == "s2c" and r.segment.labels
+    )
+    return HandshakeTrace(
+        part_a=t_sh - t_ch,
+        part_b=t_fin - t_sh,
+        total=t_fin - t_ch,
+        wall_end=wall_end,
+        client_wire_bytes=tap.bytes_in_direction("c2s"),
+        server_wire_bytes=tap.bytes_in_direction("s2c"),
+        client_packets=tap.packets_in_direction("c2s"),
+        server_packets=tap.packets_in_direction("s2c"),
+        client_cpu=client_host.cpu_log.total_by_library(),
+        server_cpu=server_host.cpu_log.total_by_library(),
+        flight_labels=labels,
+    )
+
+
+class _ClientApp:
+    def __init__(self, tls: TlsClient):
+        self._tls = tls
+
+    def start(self):
+        return self._tls.start()
+
+    def receive(self, data: bytes):
+        return self._tls.receive(data)
+
+    @property
+    def handshake_complete(self) -> bool:
+        return self._tls.handshake_complete
+
+
+class _ServerApp:
+    def __init__(self, tls: TlsServer):
+        self._tls = tls
+
+    def start(self):
+        return []
+
+    def receive(self, data: bytes):
+        return self._tls.receive(data)
+
+    @property
+    def handshake_complete(self) -> bool:
+        return self._tls.handshake_complete
+
+
+class Testbed:
+    """One (KA, SA, scenario, policy) configuration running *real* TLS."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, kem_name: str, sig_name: str, certificate: Certificate,
+                 server_secret: bytes, trust_store: TrustStore, *,
+                 scenario: NetemConfig | str = "none",
+                 policy: BufferPolicy = BufferPolicy.OPTIMIZED,
+                 profiling: bool = False,
+                 drbg: Drbg | None = None):
+        self.kem_name = kem_name
+        self.sig_name = sig_name
+        self._certificate = certificate
+        self._server_secret = server_secret
+        self._trust_store = trust_store
+        self.scenario = SCENARIOS[scenario] if isinstance(scenario, str) else scenario
+        self.policy = policy
+        self._cost_model = CostModel(profiling=profiling)
+        self._drbg = drbg if drbg is not None else Drbg(
+            f"testbed:{kem_name}:{sig_name}:{self.scenario.name}:{policy.value}"
+        )
+        self._handshake_index = 0
+
+    def run_handshake(self, max_sim_seconds: float = 120.0) -> HandshakeTrace:
+        index = self._handshake_index
+        self._handshake_index += 1
+        tls_drbg = self._drbg.fork(f"tls:{index}")
+        tls_client = TlsClient(self.kem_name, self.sig_name, self._trust_store,
+                               tls_drbg.fork("client"))
+        tls_server = TlsServer(self.kem_name, self.sig_name, self._certificate,
+                               self._server_secret, tls_drbg.fork("server"),
+                               policy=self.policy)
+        return run_simulated_handshake(
+            _ClientApp(tls_client), _ServerApp(tls_server),
+            scenario=self.scenario,
+            netem_drbg=self._drbg.fork(f"netem:{index}"),
+            cost_model=self._cost_model,
+            max_sim_seconds=max_sim_seconds,
+        )

@@ -1,0 +1,13 @@
+"""Post-quantum cryptography substrate.
+
+Every KEM and signature algorithm the paper measures, implemented from
+scratch: Kyber (+90s), Dilithium (+AES), Falcon, SPHINCS+, HQC, BIKE, the
+classical algorithms wrapped behind the same interfaces, and the hybrid
+combiners. ``repro.pqc.registry`` exposes them by the paper's names
+(``kyber512``, ``p256_dilithium2``, ``rsa:2048``, ...).
+"""
+
+from repro.pqc.kem import Kem
+from repro.pqc.sig import SignatureScheme
+
+__all__ = ["Kem", "SignatureScheme"]

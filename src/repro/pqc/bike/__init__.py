@@ -1,0 +1,5 @@
+"""BIKE (round-3) QC-MDPC KEM — levels 1 and 3."""
+
+from repro.pqc.bike.kem import BIKEL1, BIKEL3, BikeKem
+
+__all__ = ["BikeKem", "BIKEL1", "BIKEL3"]

@@ -1,0 +1,86 @@
+"""Black-Gray-Flip (BGF) decoder for QC-MDPC syndromes.
+
+The BIKE round-3 decoder: iterative bit flipping with the specification's
+affine thresholds, a black/gray refinement pass on the first iteration,
+and unsatisfied-parity-check counting done with cyclic shifts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pqc.bike import ring
+
+
+class BgfDecoder:
+    """Decodes a syndrome to the (e0, e1) error pattern, or fails."""
+
+    def __init__(self, r: int, d: int, t: int, threshold_coeffs: tuple[float, float, int],
+                 iterations: int = 7):
+        self.r = r
+        self.d = d  # column weight (weight of each h_i)
+        self.t = t
+        self._a, self._b, self._min = threshold_coeffs
+        self.iterations = iterations
+
+    def _threshold(self, syndrome_weight: int) -> int:
+        import math
+        return max(int(math.ceil(self._a * syndrome_weight + self._b)), self._min)
+
+    def _upc(self, syndrome: np.ndarray, support: np.ndarray) -> np.ndarray:
+        """Unsatisfied parity-check counts for one circulant block."""
+        counts = np.zeros(self.r, dtype=np.int32)
+        for k in support:
+            counts += np.roll(syndrome, -int(k)).astype(np.int32)
+        return counts
+
+    def decode(self, syndrome: np.ndarray, h_supports: list[np.ndarray]) -> np.ndarray | None:
+        """Return the length-2r error bit vector, or None on failure."""
+        r = self.r
+        e = np.zeros(2 * r, dtype=np.uint8)
+        s = syndrome.copy()
+        for iteration in range(self.iterations):
+            weight = int(s.sum())
+            if weight == 0:
+                break
+            threshold = self._threshold(weight)
+            black = np.zeros(2 * r, dtype=bool)
+            gray = np.zeros(2 * r, dtype=bool)
+            for block, support in enumerate(h_supports):
+                upc = self._upc(s, support)
+                flip = upc >= threshold
+                gray_mask = (~flip) & (upc >= threshold - 3)
+                idx = np.nonzero(flip)[0]
+                if idx.size:
+                    e[block * r + idx] ^= 1
+                    for j in idx:
+                        s ^= np.roll(self._hbits(support), int(j))
+                black[block * r: (block + 1) * r] = flip
+                gray[block * r: (block + 1) * r] = gray_mask
+            if iteration == 0:
+                # black step: re-evaluate freshly flipped positions
+                for mask in (black, gray):
+                    th2 = (self.d + 1) // 2 + 1
+                    for block, support in enumerate(h_supports):
+                        upc = self._upc(s, support)
+                        flip = (upc >= th2) & mask[block * r: (block + 1) * r]
+                        idx = np.nonzero(flip)[0]
+                        if idx.size:
+                            e[block * r + idx] ^= 1
+                            for j in idx:
+                                s ^= np.roll(self._hbits(support), int(j))
+        if int(s.sum()) != 0:
+            return None
+        return e
+
+    def _hbits(self, support: np.ndarray) -> np.ndarray:
+        key = support.tobytes()
+        cache = getattr(self, "_hbits_cache", None)
+        if cache is None:
+            cache = {}
+            self._hbits_cache = cache
+        bits = cache.get(key)
+        if bits is None:
+            bits = ring.support_to_bits(support, self.r)
+            cache[key] = bits
+        return bits

@@ -1,0 +1,84 @@
+"""Arithmetic in GF(2)[x]/(x^r - 1) for BIKE's quasi-cyclic codes.
+
+Dense multiplication runs through a real-FFT convolution (exact for these
+sizes: coefficient counts stay far below 2^53), squaring is the index
+permutation i -> 2i mod r, and inversion uses the Itoh–Tsujii addition
+chain over Fermat's little theorem — squarings are free permutations, so
+only ~log2(r) dense multiplications are needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fft_size(n: int) -> int:
+    size = 1
+    while size < n:
+        size *= 2
+    return size
+
+
+def mul(a: np.ndarray, b: np.ndarray, r: int) -> np.ndarray:
+    """Dense GF(2) polynomial product modulo x^r - 1."""
+    size = _fft_size(2 * r)
+    fa = np.fft.rfft(a.astype(np.float64), size)
+    fb = np.fft.rfft(b.astype(np.float64), size)
+    conv = np.rint(np.fft.irfft(fa * fb, size)).astype(np.int64)
+    counts = conv[:r].copy()
+    counts[: len(conv) - r] += conv[r: 2 * r]
+    return (counts & 1).astype(np.uint8)
+
+
+def sparse_mul(support: list[int] | np.ndarray, dense: np.ndarray) -> np.ndarray:
+    """(sum x^i for i in support) * dense, via cyclic shifts."""
+    acc = np.zeros_like(dense)
+    for shift in support:
+        acc ^= np.roll(dense, int(shift))
+    return acc
+
+
+def square_k(a: np.ndarray, k: int, r: int) -> np.ndarray:
+    """a^(2^k): coefficient at i moves to i * 2^k mod r."""
+    factor = pow(2, k, r)
+    indices = (np.arange(r, dtype=np.int64) * factor) % r
+    out = np.zeros(r, dtype=np.uint8)
+    out[indices] = a
+    return out
+
+
+def inverse(a: np.ndarray, r: int) -> np.ndarray:
+    """a^{-1} via Itoh–Tsujii (requires odd-weight a, and BIKE's r: prime
+    with 2 primitive mod r, so x^r - 1 = (x - 1) * irreducible).
+
+    The ring splits as F2 x F_{2^(r-1)}; inversion is exponentiation by
+    2^(r-1) - 2 = 2 * (2^(r-2) - 1), so we build f_k = a^(2^k - 1) along
+    the binary expansion of r - 2 and square once at the end.
+    """
+    exponent = r - 2
+    bits = bin(exponent)[2:]
+    f = a.copy()          # f = a^(2^1 - 1), covered exponent length = 1
+    covered = 1
+    for bit in bits[1:]:
+        f = mul(square_k(f, covered, r), f, r)  # doubles covered
+        covered *= 2
+        if bit == "1":
+            f = mul(square_k(f, 1, r), a, r)
+            covered += 1
+    result = square_k(f, 1, r)
+    return result
+
+
+def to_bytes(bits: np.ndarray) -> bytes:
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def from_bytes(data: bytes, r: int) -> np.ndarray:
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+    return bits[:r].astype(np.uint8)
+
+
+def support_to_bits(support: list[int] | np.ndarray, r: int) -> np.ndarray:
+    bits = np.zeros(r, dtype=np.uint8)
+    bits[list(support)] = 1
+    return bits

@@ -1,0 +1,21 @@
+"""Dilithium (round-3) signatures — levels 2/3/5 plus the AES variants."""
+
+from repro.pqc.dilithium.sig import (
+    DILITHIUM2,
+    DILITHIUM2_AES,
+    DILITHIUM3,
+    DILITHIUM3_AES,
+    DILITHIUM5,
+    DILITHIUM5_AES,
+    DilithiumSignature,
+)
+
+__all__ = [
+    "DilithiumSignature",
+    "DILITHIUM2",
+    "DILITHIUM3",
+    "DILITHIUM5",
+    "DILITHIUM2_AES",
+    "DILITHIUM3_AES",
+    "DILITHIUM5_AES",
+]

@@ -1,0 +1,163 @@
+"""Polynomial arithmetic for Dilithium: R_q = Z_8380417[X]/(X^256 + 1).
+
+The Dilithium NTT is complete (8 layers, 256-point); rounding helpers
+(Power2Round, Decompose, hints) follow the round-3 specification.
+"""
+
+from __future__ import annotations
+
+Q = 8380417
+N = 256
+D = 13  # dropped bits in Power2Round
+_N_INV = pow(N, Q - 2, Q)
+
+
+def _bitrev8(value: int) -> int:
+    result = 0
+    for _ in range(8):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+ZETAS = [pow(1753, _bitrev8(i), Q) for i in range(256)]
+
+
+def ntt(coeffs: list[int]) -> list[int]:
+    f = list(coeffs)
+    k = 0
+    length = 128
+    while length >= 1:
+        for start in range(0, N, 2 * length):
+            k += 1
+            zeta = ZETAS[k]
+            for j in range(start, start + length):
+                t = zeta * f[j + length] % Q
+                f[j + length] = (f[j] - t) % Q
+                f[j] = (f[j] + t) % Q
+        length //= 2
+    return f
+
+
+def intt(coeffs: list[int]) -> list[int]:
+    f = list(coeffs)
+    k = 256
+    length = 1
+    while length < N:
+        for start in range(0, N, 2 * length):
+            k -= 1
+            zeta = ZETAS[k]
+            for j in range(start, start + length):
+                t = f[j]
+                f[j] = (t + f[j + length]) % Q
+                f[j + length] = zeta * (f[j + length] - t) % Q
+        length *= 2
+    return [x * _N_INV % Q for x in f]
+
+
+def pointwise(a: list[int], b: list[int]) -> list[int]:
+    return [x * y % Q for x, y in zip(a, b)]
+
+
+def add(a: list[int], b: list[int]) -> list[int]:
+    return [(x + y) % Q for x, y in zip(a, b)]
+
+
+def sub(a: list[int], b: list[int]) -> list[int]:
+    return [(x - y) % Q for x, y in zip(a, b)]
+
+
+def scale(a: list[int], c: int) -> list[int]:
+    return [x * c % Q for x in a]
+
+
+def centered(value: int, modulus: int = Q) -> int:
+    """Representative in (-modulus/2, modulus/2]."""
+    value %= modulus
+    if value > modulus // 2:
+        value -= modulus
+    return value
+
+
+def inf_norm(coeffs: list[int]) -> int:
+    return max(abs(centered(c)) for c in coeffs)
+
+
+# -- rounding -------------------------------------------------------------
+
+def power2round(r: int) -> tuple[int, int]:
+    """(r1, r0) with r = r1*2^D + r0, r0 in (-2^(D-1), 2^(D-1)]."""
+    r %= Q
+    r0 = r % (1 << D)
+    if r0 > (1 << (D - 1)):
+        r0 -= 1 << D
+    return (r - r0) >> D, r0
+
+
+def decompose(r: int, alpha: int) -> tuple[int, int]:
+    """(r1, r0) with r = r1*alpha + r0 and the q-1 wraparound fix."""
+    r %= Q
+    r0 = r % alpha
+    if r0 > alpha // 2:
+        r0 -= alpha
+    if r - r0 == Q - 1:
+        return 0, r0 - 1
+    return (r - r0) // alpha, r0
+
+
+def highbits(r: int, alpha: int) -> int:
+    return decompose(r, alpha)[0]
+
+
+def lowbits(r: int, alpha: int) -> int:
+    return decompose(r, alpha)[1]
+
+
+def make_hint(z: int, r: int, alpha: int) -> int:
+    """1 iff adding z changes the high bits of r."""
+    return int(highbits(r, alpha) != highbits((r + z) % Q, alpha))
+
+
+def use_hint(hint: int, r: int, alpha: int) -> int:
+    m = (Q - 1) // alpha
+    r1, r0 = decompose(r, alpha)
+    if hint:
+        if r0 > 0:
+            return (r1 + 1) % m
+        return (r1 - 1) % m
+    return r1
+
+
+# -- bit packing (shared with Kyber's convention) ---------------------------
+
+def pack_bits(values: list[int], bits: int) -> bytes:
+    acc = 0
+    acc_bits = 0
+    out = bytearray()
+    mask = (1 << bits) - 1
+    for v in values:
+        acc |= (v & mask) << acc_bits
+        acc_bits += bits
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def unpack_bits(data: bytes, bits: int, count: int = N) -> list[int]:
+    acc = 0
+    acc_bits = 0
+    out = []
+    it = iter(data)
+    mask = (1 << bits) - 1
+    for _ in range(count):
+        while acc_bits < bits:
+            acc |= next(it) << acc_bits
+            acc_bits += 8
+        out.append(acc & mask)
+        acc >>= bits
+        acc_bits -= bits
+    return out

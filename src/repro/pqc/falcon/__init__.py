@@ -1,0 +1,5 @@
+"""Falcon signatures over NTRU lattices — Falcon-512 and Falcon-1024."""
+
+from repro.pqc.falcon.sig import FALCON512, FALCON1024, FalconSignature
+
+__all__ = ["FalconSignature", "FALCON512", "FALCON1024"]

@@ -1,0 +1,103 @@
+"""NTRUSolve: given small f, g, find F, G with f*G - g*F = q in Z[x]/(x^n+1).
+
+The classic tower-of-fields recursion (field norms down to integers, lift,
+then Babai-reduce F, G against f, g). The reduction follows falcon.py's
+scheme: scale the big coefficients down to 53-bit floats, compute the
+rounding quotient k in the (negacyclic) FFT domain with numpy, and apply
+the exact integer update — repeating until k vanishes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pqc.falcon import polyint as pz
+
+Q = 12289
+
+
+class NtruSolveError(Exception):
+    """Raised when (f, g) admits no solution — caller resamples."""
+
+
+def _xgcd(a: int, b: int) -> tuple[int, int, int]:
+    r0, r1 = a, b
+    s0, s1, t0, t1 = 1, 0, 0, 1
+    while r1:
+        quotient = r0 // r1
+        r0, r1 = r1, r0 - quotient * r1
+        s0, s1 = s1, s0 - quotient * s1
+        t0, t1 = t1, t0 - quotient * t1
+    return r0, s0, t0
+
+
+def _neg_fft(a: list[float] | np.ndarray) -> np.ndarray:
+    """Negacyclic FFT: evaluate at the odd 2n-th roots of unity."""
+    n = len(a)
+    twist = np.exp(1j * np.pi * np.arange(n) / n)
+    return np.fft.fft(np.asarray(a, dtype=np.float64) * twist)
+
+
+def _neg_ifft(values: np.ndarray) -> np.ndarray:
+    n = len(values)
+    twist = np.exp(-1j * np.pi * np.arange(n) / n)
+    return np.real(np.fft.ifft(values) * twist)
+
+
+def _reduce(f: list[int], g: list[int], F: list[int], G: list[int]) -> tuple[list[int], list[int]]:
+    """Babai-reduce (F, G) against (f, g) (falcon.py's float-window trick)."""
+    size = max(53, pz.max_bitlength(f), pz.max_bitlength(g))
+    f_adj = [c >> (size - 53) for c in f]
+    g_adj = [c >> (size - 53) for c in g]
+    fa = _neg_fft(f_adj)
+    ga = _neg_fft(g_adj)
+    denominator = fa * np.conj(fa) + ga * np.conj(ga)
+    if np.any(np.abs(denominator) < 1e-12):
+        raise NtruSolveError("degenerate denominator in reduction")
+    for _ in range(200):
+        big = max(53, pz.max_bitlength(F), pz.max_bitlength(G))
+        if big < size:
+            break
+        shift = big - 53
+        Fa = _neg_fft([c >> shift for c in F])
+        Ga = _neg_fft([c >> shift for c in G])
+        numerator = Fa * np.conj(fa) + Ga * np.conj(ga)
+        k = np.rint(_neg_ifft(numerator / denominator)).astype(object)
+        k_ints = [int(v) for v in k]
+        if not any(k_ints):
+            break
+        scale = big - size
+        kf = pz.neg_mul(k_ints, f)
+        kg = pz.neg_mul(k_ints, g)
+        F = [Fc - (kfc << scale) for Fc, kfc in zip(F, kf)]
+        G = [Gc - (kgc << scale) for Gc, kgc in zip(G, kg)]
+    return F, G
+
+
+def ntru_solve(f: list[int], g: list[int]) -> tuple[list[int], list[int]]:
+    """Solve f*G - g*F = q; raises NtruSolveError when unsolvable."""
+    n = len(f)
+    if n == 1:
+        d, u, v = _xgcd(f[0], g[0])
+        if d not in (1, -1):
+            raise NtruSolveError(f"gcd(f0, g0) = {d} != 1")
+        # u*f + v*g = d  ->  f*(q*u/d) - g*(-q*v/d) = q
+        return [-q_div(v, d)], [q_div(u, d)]
+    f_prime = pz.field_norm(f)
+    g_prime = pz.field_norm(g)
+    F_prime, G_prime = ntru_solve(f_prime, g_prime)
+    # F = F'(x^2) * g(-x), G = G'(x^2) * f(-x)
+    F = pz.neg_mul(pz.lift_twist(F_prime), pz.galois_conjugate(g))
+    G = pz.neg_mul(pz.lift_twist(G_prime), pz.galois_conjugate(f))
+    return _reduce(f, g, F, G)
+
+
+def q_div(value: int, d: int) -> int:
+    """q * value / d for d in {1, -1}."""
+    return Q * value if d == 1 else -Q * value
+
+
+def verify_ntru(f: list[int], g: list[int], F: list[int], G: list[int]) -> bool:
+    """Check the NTRU equation exactly."""
+    lhs = pz.sub(pz.neg_mul(f, G), pz.neg_mul(g, F))
+    return lhs[0] == Q and all(c == 0 for c in lhs[1:])

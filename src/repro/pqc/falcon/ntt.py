@@ -1,0 +1,83 @@
+"""NTT over Z_12289[x]/(x^n + 1) for Falcon (n = 512 or 1024)."""
+
+from __future__ import annotations
+
+Q = 12289
+
+
+def _find_generator() -> int:
+    # q - 1 = 2^12 * 3; an element is a generator iff neither power is 1
+    for candidate in range(2, Q):
+        if pow(candidate, (Q - 1) // 2, Q) != 1 and pow(candidate, (Q - 1) // 3, Q) != 1:
+            return candidate
+    raise RuntimeError("no generator found")
+
+
+_GEN = _find_generator()
+
+
+def _bitrev(value: int, bits: int) -> int:
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+class FalconNtt:
+    """Negacyclic NTT tables for one ring degree."""
+
+    def __init__(self, n: int):
+        if n & (n - 1) or n > 2048:
+            raise ValueError("n must be a power of two <= 2048")
+        self.n = n
+        bits = n.bit_length() - 1
+        psi = pow(_GEN, (Q - 1) // (2 * n), Q)  # primitive 2n-th root
+        self._zetas = [pow(psi, _bitrev(i, bits), Q) for i in range(n)]
+        self._n_inv = pow(n, Q - 2, Q)
+
+    def ntt(self, coeffs: list[int]) -> list[int]:
+        f = [c % Q for c in coeffs]
+        length = self.n // 2
+        k = 1
+        while length >= 1:
+            for start in range(0, self.n, 2 * length):
+                zeta = self._zetas[k]
+                k += 1
+                for j in range(start, start + length):
+                    t = zeta * f[j + length] % Q
+                    f[j + length] = (f[j] - t) % Q
+                    f[j] = (f[j] + t) % Q
+            length //= 2
+        return f
+
+    def intt(self, coeffs: list[int]) -> list[int]:
+        f = list(coeffs)
+        k = self.n
+        length = 1
+        while length < self.n:
+            for start in range(0, self.n, 2 * length):
+                k -= 1
+                zeta = self._zetas[k]
+                for j in range(start, start + length):
+                    t = f[j]
+                    f[j] = (t + f[j + length]) % Q
+                    f[j + length] = zeta * (f[j + length] - t) % Q
+            length *= 2
+        return [c * self._n_inv % Q for c in f]
+
+    def mul(self, a: list[int], b: list[int]) -> list[int]:
+        fa = self.ntt(a)
+        fb = self.ntt(b)
+        return self.intt([x * y % Q for x, y in zip(fa, fb)])
+
+    def is_invertible(self, a: list[int]) -> bool:
+        return all(self.ntt(a))
+
+    def div(self, a: list[int], b: list[int]) -> list[int]:
+        """a / b mod q (b must be invertible)."""
+        fa = self.ntt(a)
+        fb = self.ntt(b)
+        if not all(fb):
+            raise ZeroDivisionError("polynomial not invertible mod q")
+        return self.intt([x * pow(y, Q - 2, Q) % Q for x, y in zip(fa, fb)])

@@ -1,0 +1,72 @@
+"""Exact integer polynomial arithmetic in Z[x]/(x^n + 1) (n a power of 2).
+
+Used by NTRUSolve, where coefficients grow to thousands of bits — Python
+integers handle the precision, schoolbook multiplication the degrees
+(they halve as the coefficients double, keeping each level cheap).
+"""
+
+from __future__ import annotations
+
+
+def neg_mul(a: list[int], b: list[int]) -> list[int]:
+    """Negacyclic product: a * b mod (x^n + 1)."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("operands must share a degree")
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if not ai:
+            continue
+        for j, bj in enumerate(b):
+            if not bj:
+                continue
+            k = i + j
+            if k < n:
+                out[k] += ai * bj
+            else:
+                out[k - n] -= ai * bj
+    return out
+
+
+def add(a: list[int], b: list[int]) -> list[int]:
+    return [x + y for x, y in zip(a, b)]
+
+
+def sub(a: list[int], b: list[int]) -> list[int]:
+    return [x - y for x, y in zip(a, b)]
+
+
+def adjoint(a: list[int]) -> list[int]:
+    """a*(x) = a(1/x) mod x^n + 1: reverse with sign flips."""
+    return [a[0]] + [-c for c in reversed(a[1:])]
+
+
+def even_odd(a: list[int]) -> tuple[list[int], list[int]]:
+    """Split a(x) = e(x^2) + x * o(x^2)."""
+    return a[0::2], a[1::2]
+
+
+def field_norm(a: list[int]) -> list[int]:
+    """N(a)(y) with a(x)a(-x) = N(a)(x^2); halves the degree."""
+    even, odd = even_odd(a)
+    e2 = neg_mul(even, even)
+    o2 = neg_mul(odd, odd)
+    # a(x)a(-x) = e(x^2)^2 - x^2 o(x^2)^2  ->  N(y) = e^2 - y * o^2
+    shifted = [-o2[-1]] + o2[:-1]  # multiply by y mod y^m + 1
+    return sub(e2, shifted)
+
+
+def lift_twist(a_half: list[int]) -> list[int]:
+    """a'(x^2) as a degree-n polynomial (zero odd coefficients)."""
+    out = [0] * (2 * len(a_half))
+    out[0::2] = a_half
+    return out
+
+
+def galois_conjugate(a: list[int]) -> list[int]:
+    """a(-x): negate odd coefficients."""
+    return [c if i % 2 == 0 else -c for i, c in enumerate(a)]
+
+
+def max_bitlength(a: list[int]) -> int:
+    return max((abs(c).bit_length() for c in a), default=0)

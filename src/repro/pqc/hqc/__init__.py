@@ -1,0 +1,5 @@
+"""HQC (round-3) code-based KEM — 128 / 192 / 256."""
+
+from repro.pqc.hqc.kem import HQC128, HQC192, HQC256, HqcKem
+
+__all__ = ["HqcKem", "HQC128", "HQC192", "HQC256"]

@@ -1,0 +1,202 @@
+"""HQC KEM (round-3): quasi-cyclic codes + concatenated RS–RM decoding.
+
+The ambient ring is GF(2)[x]/(x^n - 1) with n prime; vectors are numpy bit
+arrays and sparse·dense products are cyclic-shift XOR accumulations.
+Wire sizes are spec-exact (hqc-128 pk 2249 B / ct 4481 B, hqc-192
+4522/9026, hqc-256 7245/14469) — the largest KEM payloads in the paper's
+Table 2a.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.hqc.reedmuller import rm_decode, rm_encode
+from repro.pqc.hqc.reedsolomon import ReedSolomon
+from repro.pqc.kem import Kem
+
+_SEED_LEN = 40
+_SS_LEN = 64
+
+
+@dataclass(frozen=True)
+class _Params:
+    n: int            # ambient ring length (prime)
+    n1: int           # RS code length (bytes)
+    k: int            # RS dimension = message bytes
+    multiplicity: int  # RM duplication factor (n2 = 128 * multiplicity)
+    w: int            # key weight
+    wr: int           # encryption randomness weight
+    we: int           # error weight
+
+    @property
+    def n2(self) -> int:
+        return 128 * self.multiplicity
+
+    @property
+    def codeword_bits(self) -> int:
+        return self.n1 * self.n2
+
+
+_PARAM_SETS = {
+    128: _Params(n=17669, n1=46, k=16, multiplicity=3, w=66, wr=75, we=75),
+    192: _Params(n=35851, n1=56, k=24, multiplicity=5, w=100, wr=114, we=114),
+    256: _Params(n=57637, n1=90, k=32, multiplicity=5, w=131, wr=149, we=149),
+}
+
+
+def _bits_to_bytes(bits: np.ndarray) -> bytes:
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def _bytes_to_bits(data: bytes, nbits: int) -> np.ndarray:
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+    return bits[:nbits].astype(np.uint8)
+
+
+class _SeedExpander:
+    """SHAKE-256-seeded stream used for all deterministic expansions."""
+
+    def __init__(self, seed: bytes, domain: bytes):
+        self._drbg = Drbg(hashlib.shake_256(domain + seed).digest(32))
+
+    def dense_vector(self, n: int) -> np.ndarray:
+        data = self._drbg.random_bytes((n + 7) // 8)
+        return _bytes_to_bits(data, n)
+
+    def sparse_support(self, n: int, weight: int) -> list[int]:
+        return self._drbg.sample_distinct(n, weight)
+
+
+def _sparse_mul(support: list[int], dense: np.ndarray) -> np.ndarray:
+    """(sum_i x^support[i]) * dense in GF(2)[x]/(x^n - 1)."""
+    acc = np.zeros_like(dense)
+    for shift in support:
+        acc ^= np.roll(dense, shift)
+    return acc
+
+
+def _sparse_to_bits(support: list[int], n: int) -> np.ndarray:
+    bits = np.zeros(n, dtype=np.uint8)
+    bits[support] = 1
+    return bits
+
+
+class HqcKem(Kem):
+    """One HQC parameter set behind the generic KEM interface."""
+
+    def __init__(self, strength: int, *, nist_level: int):
+        p = _PARAM_SETS[strength]
+        self._p = p
+        self._rs = ReedSolomon(p.n1, p.k)
+        self.name = f"hqc{strength}"
+        self.nist_level = nist_level
+        self._n_bytes = (p.n + 7) // 8
+        self._cw_bytes = (p.codeword_bits + 7) // 8
+        self.public_key_bytes = _SEED_LEN + self._n_bytes
+        self.ciphertext_bytes = self._n_bytes + self._cw_bytes + _SS_LEN
+        self.shared_secret_bytes = _SS_LEN
+
+    # -- code (RS ∘ RM) ------------------------------------------------------
+    def _encode(self, message: bytes) -> np.ndarray:
+        return rm_encode(self._rs.encode(message), self._p.multiplicity)
+
+    def _decode(self, bits: np.ndarray) -> bytes:
+        symbols = rm_decode(bits, self._p.n1, self._p.multiplicity)
+        return self._rs.decode(symbols)
+
+    # -- PKE --------------------------------------------------------------------
+    def _pke_keygen(self, pk_seed: bytes, sk_seed: bytes):
+        p = self._p
+        h = _SeedExpander(pk_seed, b"hqc-pk").dense_vector(p.n)
+        sk_exp = _SeedExpander(sk_seed, b"hqc-sk")
+        x = sk_exp.sparse_support(p.n, p.w)
+        y = sk_exp.sparse_support(p.n, p.w)
+        s = _sparse_to_bits(x, p.n) ^ _sparse_mul(y, h)
+        return h, s, y
+
+    def _pke_encrypt(self, h: np.ndarray, s: np.ndarray, message: bytes,
+                     theta: bytes) -> tuple[np.ndarray, np.ndarray]:
+        p = self._p
+        exp = _SeedExpander(theta, b"hqc-enc")
+        r1 = exp.sparse_support(p.n, p.wr)
+        r2 = exp.sparse_support(p.n, p.wr)
+        e = exp.sparse_support(p.n, p.we)
+        u = _sparse_to_bits(r1, p.n) ^ _sparse_mul(r2, h)
+        noise = _sparse_mul(r2, s) ^ _sparse_to_bits(e, p.n)
+        v = self._encode(message) ^ noise[: p.codeword_bits]
+        return u, v
+
+    def _pke_decrypt(self, y: list[int], u: np.ndarray, v: np.ndarray) -> bytes:
+        noisy = v ^ _sparse_mul(y, u)[: self._p.codeword_bits]
+        return self._decode(noisy)
+
+    # -- KEM (FO transform) --------------------------------------------------------
+    def keygen(self, drbg: Drbg) -> tuple[bytes, bytes]:
+        pk_seed = drbg.random_bytes(_SEED_LEN)
+        sk_seed = drbg.random_bytes(_SEED_LEN)
+        _, s, _ = self._pke_keygen(pk_seed, sk_seed)
+        pk = pk_seed + _bits_to_bytes(s)[: self._n_bytes]
+        sk = sk_seed + pk
+        return pk, sk
+
+    def _parse_pk(self, pk: bytes):
+        p = self._p
+        pk_seed, s_bytes = pk[:_SEED_LEN], pk[_SEED_LEN:]
+        h = _SeedExpander(pk_seed, b"hqc-pk").dense_vector(p.n)
+        s = _bytes_to_bits(s_bytes, p.n)
+        return h, s
+
+    def encaps(self, public_key: bytes, drbg: Drbg) -> tuple[bytes, bytes]:
+        if len(public_key) != self.public_key_bytes:
+            raise ValueError(f"{self.name}: bad public key length")
+        p = self._p
+        h, s = self._parse_pk(public_key)
+        m = drbg.random_bytes(p.k)
+        theta = hashlib.shake_256(b"hqc-G" + m).digest(_SEED_LEN)
+        u, v = self._pke_encrypt(h, s, m, theta)
+        u_bytes = _bits_to_bytes(u)[: self._n_bytes]
+        v_bytes = _bits_to_bytes(v)[: self._cw_bytes]
+        d = hashlib.sha512(b"hqc-H" + m).digest()
+        ciphertext = u_bytes + v_bytes + d
+        shared = hashlib.sha512(b"hqc-K" + m + ciphertext).digest()
+        return ciphertext, shared
+
+    def decaps(self, secret_key: bytes, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != self.ciphertext_bytes:
+            raise ValueError(f"{self.name}: bad ciphertext length")
+        p = self._p
+        sk_seed = secret_key[:_SEED_LEN]
+        pk = secret_key[_SEED_LEN:]
+        h, s = self._parse_pk(pk)
+        sk_exp = _SeedExpander(sk_seed, b"hqc-sk")
+        sk_exp.sparse_support(p.n, p.w)  # x: not needed for decryption
+        y = sk_exp.sparse_support(p.n, p.w)
+        u_bytes = ciphertext[: self._n_bytes]
+        v_bytes = ciphertext[self._n_bytes: self._n_bytes + self._cw_bytes]
+        u = _bytes_to_bits(u_bytes, p.n)
+        v = _bytes_to_bits(v_bytes, p.codeword_bits)
+        try:
+            m_prime = self._pke_decrypt(y, u, v)
+        except ValueError:
+            m_prime = b"\x00" * p.k  # decoding failure -> implicit rejection
+        theta = hashlib.shake_256(b"hqc-G" + m_prime).digest(_SEED_LEN)
+        u2, v2 = self._pke_encrypt(h, s, m_prime, theta)
+        recomputed = (
+            _bits_to_bytes(u2)[: self._n_bytes]
+            + _bits_to_bytes(v2)[: self._cw_bytes]
+            + hashlib.sha512(b"hqc-H" + m_prime).digest()
+        )
+        if recomputed != ciphertext:
+            # implicit rejection: bind the key to the (bad) ciphertext
+            return hashlib.sha512(b"hqc-reject" + sk_seed + ciphertext).digest()
+        return hashlib.sha512(b"hqc-K" + m_prime + ciphertext).digest()
+
+
+HQC128 = HqcKem(128, nist_level=1)
+HQC192 = HqcKem(192, nist_level=3)
+HQC256 = HqcKem(256, nist_level=5)

@@ -1,0 +1,77 @@
+"""Duplicated first-order Reed–Muller RM(1,7): HQC's inner code.
+
+Each GF(256) symbol of the outer RS codeword becomes a 128-bit RM(1,7)
+codeword repeated ``multiplicity`` times (3 for hqc-128, 5 for 192/256).
+Decoding is maximum-likelihood via the fast Walsh–Hadamard transform
+("Green machine"): the duplicated copies are summed into a soft vector,
+transformed, and the largest component picks the information byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RM_BITS = 128
+
+
+def _encode_table() -> np.ndarray:
+    """All 256 RM(1,7) codewords as a (256, 128) bit matrix.
+
+    Message byte m: bit 7 (MSB) is the all-ones row a0; bits 0..6 select
+    the linear-form rows, codeword[i] = a0 ^ <a, bits(i)>.
+    """
+    table = np.zeros((256, _RM_BITS), dtype=np.uint8)
+    positions = np.arange(_RM_BITS, dtype=np.uint16)
+    for m in range(256):
+        acc = np.zeros(_RM_BITS, dtype=np.uint8)
+        for j in range(7):
+            if (m >> j) & 1:
+                acc ^= ((positions >> j) & 1).astype(np.uint8)
+        if m & 0x80:
+            acc ^= 1
+        table[m] = acc
+    return table
+
+
+_TABLE = _encode_table()
+
+
+def rm_encode(symbols: bytes, multiplicity: int) -> np.ndarray:
+    """Encode bytes to a bit array of len(symbols) * 128 * multiplicity."""
+    codewords = _TABLE[np.frombuffer(bytes(symbols), dtype=np.uint8)]
+    duplicated = np.repeat(codewords[:, None, :], multiplicity, axis=1)
+    return duplicated.reshape(-1).astype(np.uint8)
+
+
+def _hadamard(vector: np.ndarray) -> np.ndarray:
+    """In-place fast Walsh–Hadamard transform of a length-128 int vector."""
+    v = vector.astype(np.int32)
+    h = 1
+    while h < _RM_BITS:
+        v = v.reshape(-1, 2 * h)
+        left = v[:, :h].copy()
+        right = v[:, h:].copy()
+        v[:, :h] = left + right
+        v[:, h:] = left - right
+        v = v.reshape(-1)
+        h *= 2
+    return v
+
+
+def rm_decode(bits: np.ndarray, n1: int, multiplicity: int) -> bytes:
+    """ML-decode n1 duplicated RM(1,7) codewords back to n1 bytes."""
+    expected = n1 * _RM_BITS * multiplicity
+    if bits.shape[0] != expected:
+        raise ValueError(f"expected {expected} bits, got {bits.shape[0]}")
+    blocks = bits.reshape(n1, multiplicity, _RM_BITS)
+    # soft values: +1 for bit 0, -1 for bit 1, summed over copies
+    soft = (multiplicity - 2 * blocks.sum(axis=1)).astype(np.int32)
+    out = bytearray()
+    for row in soft:
+        transformed = _hadamard(row)
+        index = int(np.argmax(np.abs(transformed)))
+        byte = index
+        if transformed[index] < 0:
+            byte |= 0x80
+        out.append(byte)
+    return bytes(out)

@@ -1,0 +1,103 @@
+"""Hybrid key agreements and composite signatures.
+
+Key agreements follow draft-ietf-tls-hybrid-design: key shares,
+"ciphertexts" (server shares), and shared secrets are plain
+concatenations, so both component schemes must be broken to recover the
+TLS secret. Signatures follow draft-ounsworth-pq-composite-sigs: both
+component signatures must verify.
+
+The paper's naming convention is preserved: ``p256_kyber512`` is P-256
+ECDH combined with Kyber-512, etc. Hybrids claim the NIST level of their
+PQ component.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.kem import Kem
+from repro.pqc.sig import SignatureScheme
+
+
+class HybridKem(Kem):
+    """Concatenation combiner over two KEMs (classical first)."""
+
+    def __init__(self, name: str, classical: Kem, pq: Kem):
+        self.name = name
+        self.classical = classical
+        self.pq = pq
+        self.nist_level = pq.nist_level
+        self.public_key_bytes = classical.public_key_bytes + pq.public_key_bytes
+        self.ciphertext_bytes = classical.ciphertext_bytes + pq.ciphertext_bytes
+        self.shared_secret_bytes = (
+            classical.shared_secret_bytes + pq.shared_secret_bytes
+        )
+        self.client_attribution = pq.client_attribution
+        self.server_attribution = pq.server_attribution
+
+    def keygen(self, drbg: Drbg) -> tuple[bytes, bytes]:
+        pk1, sk1 = self.classical.keygen(drbg)
+        pk2, sk2 = self.pq.keygen(drbg)
+        sk = len(sk1).to_bytes(4, "big") + sk1 + sk2
+        return pk1 + pk2, sk
+
+    def _split_sk(self, secret_key: bytes) -> tuple[bytes, bytes]:
+        sk1_len = int.from_bytes(secret_key[:4], "big")
+        return secret_key[4: 4 + sk1_len], secret_key[4 + sk1_len:]
+
+    def encaps(self, public_key: bytes, drbg: Drbg) -> tuple[bytes, bytes]:
+        if len(public_key) != self.public_key_bytes:
+            raise ValueError(f"{self.name}: bad public key length")
+        split = self.classical.public_key_bytes
+        ct1, ss1 = self.classical.encaps(public_key[:split], drbg)
+        ct2, ss2 = self.pq.encaps(public_key[split:], drbg)
+        return ct1 + ct2, ss1 + ss2
+
+    def decaps(self, secret_key: bytes, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != self.ciphertext_bytes:
+            raise ValueError(f"{self.name}: bad ciphertext length")
+        sk1, sk2 = self._split_sk(secret_key)
+        split = self.classical.ciphertext_bytes
+        ss1 = self.classical.decaps(sk1, ciphertext[:split])
+        ss2 = self.pq.decaps(sk2, ciphertext[split:])
+        return ss1 + ss2
+
+
+class CompositeSignature(SignatureScheme):
+    """Concatenation combiner over two signature schemes (classical first)."""
+
+    def __init__(self, name: str, classical: SignatureScheme, pq: SignatureScheme):
+        self.name = name
+        self.classical = classical
+        self.pq = pq
+        self.nist_level = pq.nist_level
+        self.public_key_bytes = classical.public_key_bytes + pq.public_key_bytes
+        self.signature_bytes = classical.signature_bytes + pq.signature_bytes
+        self.client_attribution = pq.client_attribution
+        self.server_attribution = pq.server_attribution
+
+    def keygen(self, drbg: Drbg) -> tuple[bytes, bytes]:
+        pk1, sk1 = self.classical.keygen(drbg)
+        pk2, sk2 = self.pq.keygen(drbg)
+        sk = len(sk1).to_bytes(4, "big") + sk1 + sk2
+        return pk1 + pk2, sk
+
+    def _split_sk(self, secret_key: bytes) -> tuple[bytes, bytes]:
+        sk1_len = int.from_bytes(secret_key[:4], "big")
+        return secret_key[4: 4 + sk1_len], secret_key[4 + sk1_len:]
+
+    def sign(self, secret_key: bytes, message: bytes, drbg: Drbg) -> bytes:
+        sk1, sk2 = self._split_sk(secret_key)
+        sig1 = self.classical.sign(sk1, message, drbg)
+        sig2 = self.pq.sign(sk2, message, drbg)
+        return sig1 + sig2
+
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        if len(public_key) != self.public_key_bytes:
+            return False
+        if len(signature) != self.signature_bytes:
+            return False
+        pk_split = self.classical.public_key_bytes
+        sig_split = self.classical.signature_bytes
+        return self.classical.verify(
+            public_key[:pk_split], message, signature[:sig_split]
+        ) and self.pq.verify(public_key[pk_split:], message, signature[sig_split:])

@@ -1,0 +1,65 @@
+"""The KEM interface every key agreement implements.
+
+TLS 1.3 key shares map naturally onto a KEM: the client's key share is a
+KEM public key, the server's key share is a KEM ciphertext (encapsulation),
+and classical (EC)DH fits the same shape with "ciphertext" = the server's
+ephemeral public key. This is exactly the framing of the hybrid KEX draft
+the paper's OpenSSL fork implements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.crypto.drbg import Drbg
+
+
+class Kem(ABC):
+    """Key encapsulation mechanism with fixed wire sizes.
+
+    Attributes
+    ----------
+    name: the paper's algorithm name (e.g. ``kyber512``).
+    nist_level: claimed NIST security level (1, 3 or 5).
+    public_key_bytes / ciphertext_bytes / shared_secret_bytes: wire sizes.
+    client_attribution / server_attribution: which library the paper's
+        white-box profiling charges this algorithm's work to (``libcrypto``
+        for OpenSSL-native and liboqs code, ``libssl`` for BIKE's
+        client-side integration — the quirk Table 3 highlights).
+    """
+
+    name: str
+    nist_level: int
+    public_key_bytes: int
+    ciphertext_bytes: int
+    shared_secret_bytes: int
+    client_attribution: str = "libcrypto"
+    server_attribution: str = "libcrypto"
+
+    @abstractmethod
+    def keygen(self, drbg: Drbg) -> tuple[bytes, bytes]:
+        """Return (public_key, secret_key)."""
+
+    @abstractmethod
+    def encaps(self, public_key: bytes, drbg: Drbg) -> tuple[bytes, bytes]:
+        """Return (ciphertext, shared_secret)."""
+
+    @abstractmethod
+    def decaps(self, secret_key: bytes, ciphertext: bytes) -> bytes:
+        """Return the shared secret."""
+
+    # -- convenience ------------------------------------------------------
+    def check_sizes(self, public_key: bytes, ciphertext: bytes, shared: bytes) -> None:
+        """Assert an exchange produced the advertised wire sizes."""
+        if len(public_key) != self.public_key_bytes:
+            raise AssertionError(
+                f"{self.name}: pk is {len(public_key)} B, expected {self.public_key_bytes}")
+        if len(ciphertext) != self.ciphertext_bytes:
+            raise AssertionError(
+                f"{self.name}: ct is {len(ciphertext)} B, expected {self.ciphertext_bytes}")
+        if len(shared) != self.shared_secret_bytes:
+            raise AssertionError(
+                f"{self.name}: ss is {len(shared)} B, expected {self.shared_secret_bytes}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kem {self.name} L{self.nist_level}>"

@@ -1,0 +1,21 @@
+"""Kyber (ML-KEM, round-3 parameterisation) — 512 / 768 / 1024 + 90s variants."""
+
+from repro.pqc.kyber.kem import (
+    KYBER1024,
+    KYBER512,
+    KYBER768,
+    KYBER90S1024,
+    KYBER90S512,
+    KYBER90S768,
+    KyberKem,
+)
+
+__all__ = [
+    "KyberKem",
+    "KYBER512",
+    "KYBER768",
+    "KYBER1024",
+    "KYBER90S512",
+    "KYBER90S768",
+    "KYBER90S1024",
+]

@@ -1,0 +1,151 @@
+"""Registry of every algorithm the paper measures, by the paper's names.
+
+23 key agreements (Table 2a) and the signature algorithms of Table 2b /
+Table 4b, including the ``rsa3072_dilithium2`` hybrid that only appears in
+the constrained-environment table.
+"""
+
+from __future__ import annotations
+
+from repro.pqc import classical
+from repro.pqc.bike import BIKEL1, BIKEL3
+from repro.pqc.dilithium import (
+    DILITHIUM2,
+    DILITHIUM2_AES,
+    DILITHIUM3,
+    DILITHIUM3_AES,
+    DILITHIUM5,
+    DILITHIUM5_AES,
+)
+from repro.pqc.falcon import FALCON512, FALCON1024
+from repro.pqc.hqc import HQC128, HQC192, HQC256
+from repro.pqc.hybrid import CompositeSignature, HybridKem
+from repro.pqc.kem import Kem
+from repro.pqc.kyber import (
+    KYBER512,
+    KYBER768,
+    KYBER1024,
+    KYBER90S512,
+    KYBER90S768,
+    KYBER90S1024,
+)
+from repro.pqc.sig import SignatureScheme
+from repro.pqc.sphincs import SPHINCS128, SPHINCS192, SPHINCS256, SPHINCS_SHAKE_128F
+
+# -- key agreements (the paper's 23) ---------------------------------------
+
+KEMS: dict[str, Kem] = {}
+
+for _kem in (
+    classical.X25519, classical.P256_KEM, classical.P384_KEM, classical.P521_KEM,
+    BIKEL1, BIKEL3,
+    HQC128, HQC192, HQC256,
+    KYBER512, KYBER768, KYBER1024,
+    KYBER90S512, KYBER90S768, KYBER90S1024,
+):
+    KEMS[_kem.name] = _kem
+
+for _name, _classical, _pq in (
+    ("p256_bikel1", classical.P256_KEM, BIKEL1),
+    ("p256_hqc128", classical.P256_KEM, HQC128),
+    ("p256_kyber512", classical.P256_KEM, KYBER512),
+    ("p384_bikel3", classical.P384_KEM, BIKEL3),
+    ("p384_hqc192", classical.P384_KEM, HQC192),
+    ("p384_kyber768", classical.P384_KEM, KYBER768),
+    ("p521_hqc256", classical.P521_KEM, HQC256),
+    ("p521_kyber1024", classical.P521_KEM, KYBER1024),
+):
+    KEMS[_name] = HybridKem(_name, _classical, _pq)
+
+# -- signature algorithms ----------------------------------------------------
+
+SIGS: dict[str, SignatureScheme] = {}
+
+for _sig in (
+    classical.RSA1024, classical.RSA2048, classical.RSA3072, classical.RSA4096,
+    FALCON512, FALCON1024,
+    DILITHIUM2, DILITHIUM3, DILITHIUM5,
+    DILITHIUM2_AES, DILITHIUM3_AES, DILITHIUM5_AES,
+    SPHINCS128, SPHINCS192, SPHINCS256,
+    SPHINCS_SHAKE_128F,
+):
+    SIGS[_sig.name] = _sig
+
+for _name, _classical_sig, _pq_sig in (
+    ("p256_falcon512", classical.P256_ECDSA, FALCON512),
+    ("p256_sphincs128", classical.P256_ECDSA, SPHINCS128),
+    ("p256_dilithium2", classical.P256_ECDSA, DILITHIUM2),
+    ("rsa3072_dilithium2", classical.RSA3072, DILITHIUM2),
+    ("p384_dilithium3", classical.P384_ECDSA, DILITHIUM3),
+    ("p384_sphincs192", classical.P384_ECDSA, SPHINCS192),
+    ("p521_dilithium5", classical.P521_ECDSA, DILITHIUM5),
+    ("p521_falcon1024", classical.P521_ECDSA, FALCON1024),
+    ("p521_sphincs256", classical.P521_ECDSA, SPHINCS256),
+):
+    SIGS[_name] = CompositeSignature(_name, _classical_sig, _pq_sig)
+
+# The experiment sets of the paper's Appendix B (non-hybrid, per level;
+# level "1" groups NIST levels 1 and 2 as the paper does, with rsa:3072 as
+# the only RSA variant).
+LEVEL_GROUPS: dict[int, dict[str, list[str]]] = {
+    1: {
+        "kems": ["x25519", "p256", "bikel1", "hqc128", "kyber512", "kyber90s512"],
+        "sigs": ["rsa:3072", "falcon512", "dilithium2", "dilithium2_aes", "sphincs128"],
+    },
+    3: {
+        "kems": ["p384", "bikel3", "hqc192", "kyber768", "kyber90s768"],
+        "sigs": ["dilithium3", "dilithium3_aes", "sphincs192"],
+    },
+    5: {
+        "kems": ["p521", "hqc256", "kyber1024", "kyber90s1024"],
+        "sigs": ["dilithium5", "dilithium5_aes", "falcon1024", "sphincs256"],
+    },
+}
+
+# Pre-quantum algorithms (bold in the paper's tables).
+CLASSICAL_KEMS = {"x25519", "p256", "p384", "p521"}
+CLASSICAL_SIGS = {"rsa:1024", "rsa:2048", "rsa:3072", "rsa:4096"}
+
+
+def get_kem(name: str) -> Kem:
+    try:
+        return KEMS[name]
+    except KeyError:
+        raise KeyError(f"unknown key agreement {name!r}; known: {sorted(KEMS)}") from None
+
+
+def get_sig(name: str) -> SignatureScheme:
+    try:
+        return SIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown signature algorithm {name!r}; known: {sorted(SIGS)}") from None
+
+
+def is_hybrid(name: str) -> bool:
+    algorithm = KEMS.get(name) or SIGS.get(name)
+    if algorithm is None:
+        raise KeyError(f"unknown algorithm {name!r}")
+    return isinstance(algorithm, (HybridKem, CompositeSignature))
+
+
+ALL_KEM_NAMES = [
+    # Table 2a order (level 1, 3, 5)
+    "x25519", "bikel1", "hqc128", "kyber512", "kyber90s512", "p256",
+    "p256_bikel1", "p256_hqc128", "p256_kyber512",
+    "bikel3", "hqc192", "kyber768", "kyber90s768", "p384",
+    "p384_bikel3", "p384_hqc192", "p384_kyber768",
+    "hqc256", "kyber1024", "kyber90s1024", "p521",
+    "p521_hqc256", "p521_kyber1024",
+]
+
+ALL_SIG_NAMES = [
+    # Table 2b order
+    "rsa:1024", "rsa:2048",
+    "falcon512", "rsa:3072", "rsa:4096", "sphincs128",
+    "p256_falcon512", "p256_sphincs128",
+    "dilithium2", "dilithium2_aes", "p256_dilithium2",
+    "dilithium3", "dilithium3_aes", "sphincs192",
+    "p384_dilithium3", "p384_sphincs192",
+    "dilithium5", "dilithium5_aes", "falcon1024", "sphincs256",
+    "p521_dilithium5", "p521_falcon1024", "p521_sphincs256",
+]

@@ -1,0 +1,39 @@
+"""The signature interface every handshake-signature algorithm implements."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.crypto.drbg import Drbg
+
+
+class SignatureScheme(ABC):
+    """Digital signature scheme with fixed (maximum) wire sizes.
+
+    ``signature_bytes`` is the wire size our TLS stack reserves; schemes
+    with slightly variable signatures (Falcon, ECDSA-in-composite) pad to
+    this size so certificates and CertificateVerify have deterministic
+    lengths, mirroring how the paper's tables report one size per run.
+    """
+
+    name: str
+    nist_level: int
+    public_key_bytes: int
+    signature_bytes: int
+    client_attribution: str = "libcrypto"
+    server_attribution: str = "libcrypto"
+
+    @abstractmethod
+    def keygen(self, drbg: Drbg) -> tuple[bytes, bytes]:
+        """Return (public_key, secret_key)."""
+
+    @abstractmethod
+    def sign(self, secret_key: bytes, message: bytes, drbg: Drbg) -> bytes:
+        """Return a signature of exactly ``signature_bytes`` bytes."""
+
+    @abstractmethod
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        """Return True iff the signature is valid (never raises)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Sig {self.name} L{self.nist_level}>"

@@ -1,0 +1,17 @@
+"""SPHINCS+ (round-3 'f'/simple parameter sets, Haraka and SHAKE backends)."""
+
+from repro.pqc.sphincs.core import (
+    SPHINCS128,
+    SPHINCS192,
+    SPHINCS256,
+    SPHINCS_SHAKE_128F,
+    SphincsSignature,
+)
+
+__all__ = [
+    "SphincsSignature",
+    "SPHINCS128",
+    "SPHINCS192",
+    "SPHINCS256",
+    "SPHINCS_SHAKE_128F",
+]

@@ -1,0 +1,53 @@
+"""SPHINCS+ hash addresses (ADRS): 32-byte domain-separation structures."""
+
+from __future__ import annotations
+
+WOTS_HASH = 0
+WOTS_PK = 1
+TREE = 2
+FORS_TREE = 3
+FORS_ROOTS = 4
+WOTS_PRF = 5
+FORS_PRF = 6
+
+
+class Adrs:
+    """Mutable ADRS: layer (4 B) | tree (12 B) | type (4 B) | 3 words."""
+
+    __slots__ = ("layer", "tree", "type", "w1", "w2", "w3")
+
+    def __init__(self):
+        self.layer = 0
+        self.tree = 0
+        self.type = WOTS_HASH
+        self.w1 = 0
+        self.w2 = 0
+        self.w3 = 0
+
+    def copy(self) -> "Adrs":
+        other = Adrs()
+        other.layer, other.tree, other.type = self.layer, self.tree, self.type
+        other.w1, other.w2, other.w3 = self.w1, self.w2, self.w3
+        return other
+
+    def set_type(self, new_type: int) -> None:
+        """Change the type and clear the type-specific words (as the spec)."""
+        self.type = new_type
+        self.w1 = self.w2 = self.w3 = 0
+
+    # word aliases per type ------------------------------------------------
+    # WOTS_HASH / WOTS_PRF: w1=keypair  w2=chain   w3=hash
+    # WOTS_PK:              w1=keypair
+    # TREE:                 w1=0        w2=height  w3=index
+    # FORS_TREE / PRF:      w1=keypair  w2=height  w3=index
+    # FORS_ROOTS:           w1=keypair
+
+    def to_bytes(self) -> bytes:
+        return (
+            self.layer.to_bytes(4, "big")
+            + self.tree.to_bytes(12, "big")
+            + self.type.to_bytes(4, "big")
+            + self.w1.to_bytes(4, "big")
+            + self.w2.to_bytes(4, "big")
+            + self.w3.to_bytes(4, "big")
+        )

@@ -1,0 +1,246 @@
+"""SPHINCS+ top level: hypertree of XMSS trees over FORS.
+
+Parameter sets are the round-3 'f' (fast-signing) 'simple' instances the
+paper selected as the fastest SPHINCS+ configurations — the only ones it
+reports (``sphincs128/192/256`` = sphincs-haraka-{128,192,256}f-simple).
+Wire sizes are spec-exact: signatures of 17 088 / 35 664 / 49 856 bytes,
+which is what makes SPHINCS+ the paper's worst case for data volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.sig import SignatureScheme
+from repro.pqc.sphincs import fors, wots
+from repro.pqc.sphincs.address import TREE, WOTS_HASH, Adrs
+from repro.pqc.sphincs.backend import make_backend
+
+
+@dataclass(frozen=True)
+class SphincsParams:
+    n: int   # hash output bytes
+    h: int   # total hypertree height
+    d: int   # number of layers
+    a: int   # FORS tree height (log t)
+    k: int   # number of FORS trees
+
+    @property
+    def tree_height(self) -> int:
+        return self.h // self.d
+
+    @property
+    def wots_len(self) -> int:
+        return wots.wots_lengths(self.n)[2]
+
+    @property
+    def signature_bytes(self) -> int:
+        return self.n * (
+            1
+            + self.k * (self.a + 1)
+            + self.d * self.wots_len
+            + self.h
+        )
+
+    @property
+    def digest_bytes(self) -> int:
+        ka_bytes = (self.k * self.a + 7) // 8
+        tree_bits = self.h - self.tree_height
+        return ka_bytes + (tree_bits + 7) // 8 + (self.tree_height + 7) // 8
+
+
+PARAMS_128F = SphincsParams(n=16, h=66, d=22, a=6, k=33)
+PARAMS_192F = SphincsParams(n=24, h=66, d=22, a=8, k=33)
+PARAMS_256F = SphincsParams(n=32, h=68, d=17, a=9, k=35)
+
+
+class SphincsSignature(SignatureScheme):
+    """One SPHINCS+ instance behind the generic signature interface."""
+
+    def __init__(self, name: str, params: SphincsParams, *, nist_level: int,
+                 backend: str = "haraka"):
+        self.name = name
+        self.nist_level = nist_level
+        self.params = params
+        self._backend_kind = backend
+        self.public_key_bytes = 2 * params.n
+        self.signature_bytes = params.signature_bytes
+
+    def _backend(self, pk_seed: bytes):
+        backend = make_backend(self._backend_kind, self.params.n)
+        backend.set_pk_seed(pk_seed)
+        return backend
+
+    # -- XMSS layer ----------------------------------------------------------
+    def _xmss_node(self, backend, sk_seed: bytes, index: int, height: int,
+                   layer: int, tree: int) -> bytes:
+        if height == 0:
+            adrs = Adrs()
+            adrs.layer, adrs.tree = layer, tree
+            adrs.type = WOTS_HASH
+            adrs.w1 = index
+            return wots.wots_pk_gen(backend, sk_seed, adrs)
+        left = self._xmss_node(backend, sk_seed, 2 * index, height - 1, layer, tree)
+        right = self._xmss_node(backend, sk_seed, 2 * index + 1, height - 1, layer, tree)
+        adrs = Adrs()
+        adrs.layer, adrs.tree = layer, tree
+        adrs.set_type(TREE)
+        adrs.w2, adrs.w3 = height, index
+        return backend.thash(adrs, left + right)
+
+    def _xmss_sign(self, backend, message: bytes, sk_seed: bytes, idx_leaf: int,
+                   layer: int, tree: int) -> bytes:
+        adrs = Adrs()
+        adrs.layer, adrs.tree = layer, tree
+        adrs.type = WOTS_HASH
+        adrs.w1 = idx_leaf
+        sig = wots.wots_sign(backend, message, sk_seed, adrs)
+        auth = []
+        for height in range(self.params.tree_height):
+            sibling = (idx_leaf >> height) ^ 1
+            auth.append(
+                self._xmss_node(backend, sk_seed, sibling, height, layer, tree)
+            )
+        return sig + b"".join(auth)
+
+    def _xmss_pk_from_sig(self, backend, signature: bytes, message: bytes,
+                          idx_leaf: int, layer: int, tree: int) -> bytes:
+        n = self.params.n
+        wots_bytes = self.params.wots_len * n
+        wots_sig, auth = signature[:wots_bytes], signature[wots_bytes:]
+        adrs = Adrs()
+        adrs.layer, adrs.tree = layer, tree
+        adrs.type = WOTS_HASH
+        adrs.w1 = idx_leaf
+        node = wots.wots_pk_from_sig(backend, wots_sig, message, adrs)
+        tree_adrs = Adrs()
+        tree_adrs.layer, tree_adrs.tree = layer, tree
+        tree_adrs.set_type(TREE)
+        index = idx_leaf
+        for height in range(self.params.tree_height):
+            sibling = auth[height * n: (height + 1) * n]
+            tree_adrs.w2 = height + 1
+            tree_adrs.w3 = index >> 1
+            if index & 1:
+                node = backend.thash(tree_adrs, sibling + node)
+            else:
+                node = backend.thash(tree_adrs, node + sibling)
+            index >>= 1
+        return node
+
+    # -- hypertree -------------------------------------------------------------
+    def _ht_sign(self, backend, message: bytes, sk_seed: bytes,
+                 idx_tree: int, idx_leaf: int) -> bytes:
+        parts = []
+        root = message
+        tree, leaf = idx_tree, idx_leaf
+        mask = (1 << self.params.tree_height) - 1
+        for layer in range(self.params.d):
+            sig = self._xmss_sign(backend, root, sk_seed, leaf, layer, tree)
+            parts.append(sig)
+            if layer < self.params.d - 1:
+                root = self._xmss_pk_from_sig(backend, sig, root, leaf, layer, tree)
+                leaf = tree & mask
+                tree >>= self.params.tree_height
+        return b"".join(parts)
+
+    def _ht_verify(self, backend, message: bytes, signature: bytes,
+                   idx_tree: int, idx_leaf: int, pk_root: bytes) -> bool:
+        n = self.params.n
+        xmss_bytes = (self.params.wots_len + self.params.tree_height) * n
+        node = message
+        tree, leaf = idx_tree, idx_leaf
+        mask = (1 << self.params.tree_height) - 1
+        for layer in range(self.params.d):
+            sig = signature[layer * xmss_bytes: (layer + 1) * xmss_bytes]
+            node = self._xmss_pk_from_sig(backend, sig, node, leaf, layer, tree)
+            leaf = tree & mask
+            tree >>= self.params.tree_height
+        return node == pk_root
+
+    # -- digest splitting --------------------------------------------------------
+    def _split_digest(self, digest: bytes) -> tuple[bytes, int, int]:
+        p = self.params
+        ka_bytes = (p.k * p.a + 7) // 8
+        tree_bits = p.h - p.tree_height
+        tree_bytes = (tree_bits + 7) // 8
+        leaf_bytes = (p.tree_height + 7) // 8
+        md = digest[:ka_bytes]
+        idx_tree = int.from_bytes(
+            digest[ka_bytes: ka_bytes + tree_bytes], "big"
+        ) % (1 << tree_bits)
+        idx_leaf = int.from_bytes(
+            digest[ka_bytes + tree_bytes: ka_bytes + tree_bytes + leaf_bytes], "big"
+        ) % (1 << p.tree_height)
+        return md, idx_tree, idx_leaf
+
+    # -- public API ----------------------------------------------------------------
+    def keygen(self, drbg: Drbg) -> tuple[bytes, bytes]:
+        n = self.params.n
+        sk_seed = drbg.random_bytes(n)
+        sk_prf = drbg.random_bytes(n)
+        pk_seed = drbg.random_bytes(n)
+        backend = self._backend(pk_seed)
+        top_tree_height = self.params.tree_height
+        pk_root = self._xmss_node(
+            backend, sk_seed, 0, top_tree_height, self.params.d - 1, 0
+        )
+        public_key = pk_seed + pk_root
+        secret_key = sk_seed + sk_prf + public_key
+        return public_key, secret_key
+
+    def sign(self, secret_key: bytes, message: bytes, drbg: Drbg) -> bytes:
+        n = self.params.n
+        sk_seed, sk_prf = secret_key[:n], secret_key[n: 2 * n]
+        pk_seed = secret_key[2 * n: 3 * n]
+        pk_root = secret_key[3 * n: 4 * n]
+        backend = self._backend(pk_seed)
+        opt_rand = drbg.random_bytes(n)
+        r = backend.prf_msg(sk_prf, opt_rand, message)
+        digest = backend.h_msg(r, pk_root, message, self.params.digest_bytes)
+        md, idx_tree, idx_leaf = self._split_digest(digest)
+        fors_adrs = Adrs()
+        fors_adrs.tree = idx_tree
+        fors_adrs.w1 = idx_leaf
+        fors_sig = fors.fors_sign(
+            backend, md, sk_seed, fors_adrs, self.params.k, self.params.a
+        )
+        fors_pk = fors.fors_pk_from_sig(
+            backend, fors_sig, md, fors_adrs, self.params.k, self.params.a
+        )
+        ht_sig = self._ht_sign(backend, fors_pk, sk_seed, idx_tree, idx_leaf)
+        signature = r + fors_sig + ht_sig
+        if len(signature) != self.signature_bytes:
+            raise AssertionError(
+                f"{self.name}: produced {len(signature)} B, expected {self.signature_bytes}")
+        return signature
+
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        p = self.params
+        n = p.n
+        if len(public_key) != self.public_key_bytes:
+            return False
+        if len(signature) != self.signature_bytes:
+            return False
+        pk_seed, pk_root = public_key[:n], public_key[n:]
+        backend = self._backend(pk_seed)
+        r = signature[:n]
+        fors_bytes = p.k * (p.a + 1) * n
+        fors_sig = signature[n: n + fors_bytes]
+        ht_sig = signature[n + fors_bytes:]
+        digest = backend.h_msg(r, pk_root, message, p.digest_bytes)
+        md, idx_tree, idx_leaf = self._split_digest(digest)
+        fors_adrs = Adrs()
+        fors_adrs.tree = idx_tree
+        fors_adrs.w1 = idx_leaf
+        fors_pk = fors.fors_pk_from_sig(backend, fors_sig, md, fors_adrs, p.k, p.a)
+        return self._ht_verify(backend, fors_pk, ht_sig, idx_tree, idx_leaf, pk_root)
+
+
+SPHINCS128 = SphincsSignature("sphincs128", PARAMS_128F, nist_level=1)
+SPHINCS192 = SphincsSignature("sphincs192", PARAMS_192F, nist_level=3)
+SPHINCS256 = SphincsSignature("sphincs256", PARAMS_256F, nist_level=5)
+SPHINCS_SHAKE_128F = SphincsSignature(
+    "sphincs-shake-128f", PARAMS_128F, nist_level=1, backend="shake"
+)

@@ -1,0 +1,93 @@
+"""FORS (Forest Of Random Subsets), the few-time scheme signing the digest."""
+
+from __future__ import annotations
+
+from repro.pqc.sphincs.address import FORS_PRF, FORS_ROOTS, FORS_TREE, Adrs
+
+
+def message_indices(md: bytes, k: int, a: int) -> list[int]:
+    """Split the k*a message-digest bits into k a-bit leaf indices."""
+    indices = []
+    offset = 0
+    for _ in range(k):
+        value = 0
+        for _ in range(a):
+            value = (value << 1) | ((md[offset >> 3] >> (7 - (offset & 7))) & 1)
+            offset += 1
+        indices.append(value)
+    return indices
+
+
+def _leaf_seed(backend, sk_seed: bytes, adrs: Adrs, index: int) -> bytes:
+    prf_adrs = adrs.copy()
+    prf_adrs.set_type(FORS_PRF)
+    prf_adrs.w1 = adrs.w1
+    prf_adrs.w3 = index
+    return backend.prf(sk_seed, prf_adrs)
+
+
+def _tree_node(backend, sk_seed: bytes, index: int, height: int, adrs: Adrs) -> bytes:
+    """Recursively compute a FORS Merkle node."""
+    if height == 0:
+        seed = _leaf_seed(backend, sk_seed, adrs, index)
+        adrs.w2 = 0
+        adrs.w3 = index
+        return backend.thash(adrs, seed)
+    left = _tree_node(backend, sk_seed, 2 * index, height - 1, adrs)
+    right = _tree_node(backend, sk_seed, 2 * index + 1, height - 1, adrs)
+    adrs.w2 = height
+    adrs.w3 = index
+    return backend.thash(adrs, left + right)
+
+
+def fors_sign(backend, md: bytes, sk_seed: bytes, adrs: Adrs, k: int, a: int) -> bytes:
+    """FORS signature: k * (secret leaf value + a-node auth path)."""
+    indices = message_indices(md, k, a)
+    parts = []
+    for tree, leaf in enumerate(indices):
+        tree_adrs = adrs.copy()
+        tree_adrs.set_type(FORS_TREE)
+        tree_adrs.w1 = adrs.w1
+        offset = tree << a
+        parts.append(_leaf_seed(backend, sk_seed, tree_adrs, offset + leaf))
+        for height in range(a):
+            sibling = (leaf >> height) ^ 1
+            base = offset >> height
+            node_adrs = tree_adrs.copy()
+            parts.append(
+                _tree_node(backend, sk_seed, base + sibling, height, node_adrs)
+            )
+    return b"".join(parts)
+
+
+def fors_pk_from_sig(backend, signature: bytes, md: bytes, adrs: Adrs,
+                     k: int, a: int) -> bytes:
+    """Recompute the FORS public key from a signature."""
+    n = backend.n
+    indices = message_indices(md, k, a)
+    roots = []
+    offset = 0
+    for tree, leaf in enumerate(indices):
+        tree_adrs = adrs.copy()
+        tree_adrs.set_type(FORS_TREE)
+        tree_adrs.w1 = adrs.w1
+        sk = signature[offset: offset + n]
+        offset += n
+        index = (tree << a) + leaf
+        tree_adrs.w2 = 0
+        tree_adrs.w3 = index
+        node = backend.thash(tree_adrs, sk)
+        for height in range(a):
+            sibling = signature[offset: offset + n]
+            offset += n
+            tree_adrs.w2 = height + 1
+            tree_adrs.w3 = index >> (height + 1)
+            if (index >> height) & 1:
+                node = backend.thash(tree_adrs, sibling + node)
+            else:
+                node = backend.thash(tree_adrs, node + sibling)
+        roots.append(node)
+    roots_adrs = adrs.copy()
+    roots_adrs.set_type(FORS_ROOTS)
+    roots_adrs.w1 = adrs.w1
+    return backend.thash(roots_adrs, b"".join(roots))

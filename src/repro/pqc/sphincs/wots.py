@@ -1,0 +1,105 @@
+"""WOTS+ one-time signatures (w = 16), the hypertree's leaf scheme."""
+
+from __future__ import annotations
+
+from repro.pqc.sphincs.address import WOTS_HASH, WOTS_PK, WOTS_PRF, Adrs
+
+W = 16
+LOG_W = 4
+
+
+def wots_lengths(n: int) -> tuple[int, int, int]:
+    """(len1, len2, len) for message length n bytes and w = 16."""
+    len1 = 2 * n
+    len2 = 3  # ceil(log2(len1 * (w-1)) / log2(w)) + 1 == 3 for n in 16..32
+    return len1, len2, len1 + len2
+
+
+def _base_w(message: bytes, out_len: int) -> list[int]:
+    digits = []
+    for byte in message:
+        digits.append(byte >> 4)
+        digits.append(byte & 0x0F)
+        if len(digits) >= out_len:
+            break
+    return digits[:out_len]
+
+
+def _checksum_digits(digits: list[int], len2: int) -> list[int]:
+    csum = sum(W - 1 - d for d in digits)
+    csum <<= (8 - (len2 * LOG_W) % 8) % 8
+    csum_bytes = csum.to_bytes((len2 * LOG_W + 7) // 8, "big")
+    return _base_w(csum_bytes, len2)
+
+
+def message_digits(message: bytes, n: int) -> list[int]:
+    """Base-w digits plus checksum digits for an n-byte message."""
+    len1, len2, _ = wots_lengths(n)
+    digits = _base_w(message, len1)
+    return digits + _checksum_digits(digits, len2)
+
+
+def chain(backend, value: bytes, start: int, steps: int, adrs: Adrs) -> bytes:
+    """Apply the chaining function *steps* times starting at index *start*."""
+    for i in range(start, start + steps):
+        adrs.w3 = i
+        value = backend.thash(adrs, value)
+    return value
+
+
+def _chain_seeds(backend, sk_seed: bytes, adrs: Adrs, count: int) -> list[bytes]:
+    seeds = []
+    prf_adrs = adrs.copy()
+    prf_adrs.set_type(WOTS_PRF)
+    prf_adrs.w1 = adrs.w1
+    for i in range(count):
+        prf_adrs.w2 = i
+        prf_adrs.w3 = 0
+        seeds.append(backend.prf(sk_seed, prf_adrs))
+    return seeds
+
+
+def wots_pk_gen(backend, sk_seed: bytes, adrs: Adrs) -> bytes:
+    """Compute the compressed WOTS+ public key for the keypair in *adrs*."""
+    _, _, length = wots_lengths(backend.n)
+    seeds = _chain_seeds(backend, sk_seed, adrs, length)
+    hash_adrs = adrs.copy()
+    hash_adrs.type = WOTS_HASH
+    chains = []
+    for i, seed in enumerate(seeds):
+        hash_adrs.w2 = i
+        chains.append(chain(backend, seed, 0, W - 1, hash_adrs))
+    pk_adrs = adrs.copy()
+    pk_adrs.set_type(WOTS_PK)
+    pk_adrs.w1 = adrs.w1
+    return backend.thash(pk_adrs, b"".join(chains))
+
+
+def wots_sign(backend, message: bytes, sk_seed: bytes, adrs: Adrs) -> bytes:
+    """Sign an n-byte message; returns len * n bytes."""
+    digits = message_digits(message, backend.n)
+    seeds = _chain_seeds(backend, sk_seed, adrs, len(digits))
+    hash_adrs = adrs.copy()
+    hash_adrs.type = WOTS_HASH
+    parts = []
+    for i, (digit, seed) in enumerate(zip(digits, seeds)):
+        hash_adrs.w2 = i
+        parts.append(chain(backend, seed, 0, digit, hash_adrs))
+    return b"".join(parts)
+
+
+def wots_pk_from_sig(backend, signature: bytes, message: bytes, adrs: Adrs) -> bytes:
+    """Recompute the compressed public key from a signature."""
+    n = backend.n
+    digits = message_digits(message, n)
+    hash_adrs = adrs.copy()
+    hash_adrs.type = WOTS_HASH
+    chains = []
+    for i, digit in enumerate(digits):
+        hash_adrs.w2 = i
+        part = signature[n * i: n * (i + 1)]
+        chains.append(chain(backend, part, digit, W - 1 - digit, hash_adrs))
+    pk_adrs = adrs.copy()
+    pk_adrs.set_type(WOTS_PK)
+    pk_adrs.w1 = adrs.w1
+    return backend.thash(pk_adrs, b"".join(chains))

@@ -1,0 +1,13 @@
+"""A from-scratch sans-io TLS 1.3 stack with pluggable (PQ) KEMs and SAs.
+
+Mirrors the paper's OQS-OpenSSL: 1-RTT handshakes, KEM-style key shares
+(classical, post-quantum, and hybrid), PQ certificate chains, and — key to
+the paper's §5.2 — both OpenSSL message-buffering behaviours (the default
+4096-byte buffer and the patched immediate-push variant) as a switchable
+server flush policy.
+"""
+
+from repro.tls.client import TlsClient
+from repro.tls.server import BufferPolicy, TlsServer
+
+__all__ = ["TlsClient", "TlsServer", "BufferPolicy"]

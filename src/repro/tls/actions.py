@@ -1,0 +1,43 @@
+"""Actions emitted by the sans-io state machines.
+
+The simulator consumes these in order: ``Compute`` advances the host's
+simulated CPU by the cost model's price for the listed operations, ``Send``
+hands bytes to the transport as one TCP push. Pure-library users can
+ignore ``Compute`` and concatenate ``Send`` payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CryptoOp:
+    """One unit of work the white-box profiler can attribute.
+
+    op: e.g. ``kem_encaps``, ``sig_sign``, ``record_crypt``, ``tls_frame``.
+    algorithm: algorithm name for keyed ops, "" for generic work.
+    size: byte count for size-proportional ops (records, framing).
+    """
+
+    op: str
+    algorithm: str = ""
+    size: int = 0
+
+
+@dataclass(frozen=True)
+class Compute:
+    ops: tuple[CryptoOp, ...]
+
+
+@dataclass(frozen=True)
+class Send:
+    data: bytes
+    label: str  # e.g. "ClientHello", "SH", "EE+Cert", "CV+Fin", "CCS+Fin"
+
+
+Action = Compute | Send
+
+
+def compute(*ops: CryptoOp) -> Compute:
+    return Compute(tuple(ops))

@@ -1,0 +1,173 @@
+"""x509-lite certificates with real signatures and a minimal PKI.
+
+A compact TLV encoding stands in for DER (the paper's sizes are dominated
+by keys and signatures, not ASN.1 overhead; we add a fixed metadata block
+comparable to a typical certificate's name/validity/extension footprint).
+The trust model matches the paper's testbed: the server presents one leaf
+certificate signed by a CA whose certificate the client holds out-of-band,
+so only the leaf travels on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.registry import get_sig
+from repro.pqc.sig import SignatureScheme
+from repro.tls.errors import DecodeError, HandshakeFailure
+
+# Typical X.509 envelope overhead (names, validity, SANs, key usage, OIDs)
+_METADATA_PAD = 120
+
+
+def _vec(data: bytes, length_bytes: int = 2) -> bytes:
+    return len(data).to_bytes(length_bytes, "big") + data
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def bytes(self, count: int) -> bytes:
+        if len(self._data) - self._pos < count:
+            raise DecodeError("certificate truncated")
+        out = self._data[self._pos: self._pos + count]
+        self._pos += count
+        return out
+
+    def vector(self, length_bytes: int = 2) -> bytes:
+        return self.bytes(int.from_bytes(self.bytes(length_bytes), "big"))
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+
+@dataclass(frozen=True)
+class Certificate:
+    subject: str
+    issuer: str
+    algorithm: str        # signature algorithm of the *subject's* key
+    public_key: bytes
+    issuer_algorithm: str  # algorithm of the CA signature below
+    signature: bytes
+
+    def tbs(self) -> bytes:
+        """The to-be-signed portion."""
+        return (
+            _vec(self.subject.encode())
+            + _vec(self.issuer.encode())
+            + _vec(self.algorithm.encode(), 1)
+            + _vec(self.public_key, 3)
+            + _vec(self.issuer_algorithm.encode(), 1)
+            + bytes(_METADATA_PAD)
+        )
+
+    def encode(self) -> bytes:
+        return self.tbs() + _vec(self.signature, 3)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Certificate":
+        reader = _Reader(data)
+        subject = reader.vector().decode()
+        issuer = reader.vector().decode()
+        algorithm = reader.vector(1).decode()
+        public_key = reader.vector(3)
+        issuer_algorithm = reader.vector(1).decode()
+        reader.bytes(_METADATA_PAD)
+        signature = reader.vector(3)
+        if reader.remaining():
+            raise DecodeError("trailing bytes after certificate")
+        return cls(
+            subject=subject,
+            issuer=issuer,
+            algorithm=algorithm,
+            public_key=public_key,
+            issuer_algorithm=issuer_algorithm,
+            signature=signature,
+        )
+
+
+@dataclass
+class CertificateAuthority:
+    """A root CA issuing leaf certificates with a chosen algorithm."""
+
+    name: str
+    algorithm: str
+    public_key: bytes
+    secret_key: bytes
+
+    @classmethod
+    def create(cls, algorithm: str, drbg: Drbg, name: str = "repro-root-ca") -> "CertificateAuthority":
+        scheme = get_sig(algorithm)
+        public_key, secret_key = scheme.keygen(drbg)
+        return cls(name=name, algorithm=algorithm, public_key=public_key,
+                   secret_key=secret_key)
+
+    def issue(self, subject: str, subject_algorithm: str, subject_public_key: bytes,
+              drbg: Drbg) -> Certificate:
+        scheme = get_sig(self.algorithm)
+        cert = Certificate(
+            subject=subject,
+            issuer=self.name,
+            algorithm=subject_algorithm,
+            public_key=subject_public_key,
+            issuer_algorithm=self.algorithm,
+            signature=b"",
+        )
+        signature = scheme.sign(self.secret_key, cert.tbs(), drbg)
+        return Certificate(
+            subject=cert.subject,
+            issuer=cert.issuer,
+            algorithm=cert.algorithm,
+            public_key=cert.public_key,
+            issuer_algorithm=cert.issuer_algorithm,
+            signature=signature,
+        )
+
+
+@dataclass(frozen=True)
+class TrustStore:
+    """Client-side roots: issuer name -> (algorithm, public key)."""
+
+    roots: dict
+
+    def verify_chain(self, chain: list[Certificate], expected_subject: str | None = None) -> Certificate:
+        """Verify a (leaf-only or leaf..intermediate) chain; return the leaf."""
+        if not chain:
+            raise HandshakeFailure("empty certificate chain")
+        leaf = chain[0]
+        if expected_subject is not None and leaf.subject != expected_subject:
+            raise HandshakeFailure(
+                f"certificate subject {leaf.subject!r} != expected {expected_subject!r}")
+        current = leaf
+        for issuer_cert in chain[1:]:
+            scheme = get_sig(current.issuer_algorithm)
+            if not scheme.verify(issuer_cert.public_key, current.tbs(), current.signature):
+                raise HandshakeFailure(f"bad signature on {current.subject!r}")
+            current = issuer_cert
+        root = self.roots.get(current.issuer)
+        if root is None:
+            raise HandshakeFailure(f"unknown issuer {current.issuer!r}")
+        root_algorithm, root_key = root
+        if root_algorithm != current.issuer_algorithm:
+            raise HandshakeFailure("issuer algorithm mismatch")
+        scheme = get_sig(current.issuer_algorithm)
+        if not scheme.verify(root_key, current.tbs(), current.signature):
+            raise HandshakeFailure(f"bad root signature on {current.subject!r}")
+        return leaf
+
+
+def make_server_credentials(algorithm: str, drbg: Drbg, subject: str = "server.repro.test"):
+    """CA + leaf for one signature algorithm.
+
+    Returns (certificate, server secret key, trust store) — the shape every
+    experiment needs.
+    """
+    scheme: SignatureScheme = get_sig(algorithm)
+    ca = CertificateAuthority.create(algorithm, drbg)
+    server_pk, server_sk = scheme.keygen(drbg)
+    cert = ca.issue(subject, algorithm, server_pk, drbg)
+    store = TrustStore(roots={ca.name: (ca.algorithm, ca.public_key)})
+    return cert, server_sk, store

@@ -1,0 +1,220 @@
+"""Sans-io TLS 1.3 client (1-RTT, pre-computed key share).
+
+As in the paper's setup the client pre-computes a key share for exactly
+the group the server will select, so the 2-RTT HelloRetryRequest fallback
+never happens, and it sends the dummy ChangeCipherSpec in the same flight
+(and, on the wire, the same packet) as its Finished.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.registry import get_kem, get_sig
+from repro.tls import messages as msg
+from repro.tls.actions import Action, Compute, CryptoOp, Send
+from repro.tls.certs import Certificate, TrustStore
+from repro.tls.errors import HandshakeFailure, UnexpectedMessage
+from repro.tls.groups import SIGSCHEME_NAMES, group_id, sigscheme_id
+from repro.tls.keyschedule import KeySchedule, traffic_keys
+from repro.tls.records import (
+    CONTENT_CHANGE_CIPHER_SPEC,
+    CONTENT_HANDSHAKE,
+    Record,
+    RecordProtection,
+    decode_records,
+    encrypt_handshake_stream,
+)
+from repro.tls.transcript import TranscriptHash
+
+
+class TlsClient:
+    """One client-side handshake (fresh instance per connection)."""
+
+    def __init__(self, kem_name: str, sig_name: str, trust_store: TrustStore,
+                 drbg: Drbg, server_name: str = "server.repro.test"):
+        self.kem_name = kem_name
+        self.sig_name = sig_name
+        self._kem = get_kem(kem_name)
+        self._trust_store = trust_store
+        self._drbg = drbg
+        self._server_name = server_name
+        self._transcript = TranscriptHash()
+        self._schedule = KeySchedule()
+        self._recv_buffer = b""
+        self._hs_plaintext = b""
+        self._kem_secret: bytes | None = None
+        self._recv_protection: RecordProtection | None = None
+        self._send_protection: RecordProtection | None = None
+        self._server_cert: Certificate | None = None
+        self._state = "start"
+        self.handshake_complete = False
+        self.bytes_out = 0
+
+    def start(self) -> list[Action]:
+        """Generate the key share and produce the ClientHello flight."""
+        if self._state != "start":
+            raise HandshakeFailure("client already started")
+        actions: list[Action] = [Compute((CryptoOp("kem_keygen", self.kem_name),))]
+        public_key, self._kem_secret = self._kem.keygen(self._drbg)
+        hello = msg.ClientHello(
+            random=self._drbg.random_bytes(32),
+            session_id=self._drbg.random_bytes(32),
+            group_name_to_share={self.kem_name: public_key},
+            group_ids=[group_id(self.kem_name)],
+            key_shares=[(group_id(self.kem_name), public_key)],
+            sig_scheme_ids=[sigscheme_id(self.sig_name)],
+            server_name=self._server_name,
+        ).encode()
+        self._transcript.update(hello)
+        from repro.tls.records import fragment_handshake
+
+        wire = b"".join(r.encode() for r in fragment_handshake(hello))
+        actions.append(Compute((CryptoOp("tls_frame", size=len(hello)),)))
+        actions.append(Send(wire, "ClientHello"))
+        self.bytes_out += len(wire)
+        self._state = "wait_sh"
+        return actions
+
+    # -- receive path ------------------------------------------------------------
+    def receive(self, data: bytes) -> list[Action]:
+        """Feed TCP bytes from the server; returns ordered actions."""
+        self._recv_buffer += data
+        records, self._recv_buffer = decode_records(self._recv_buffer)
+        actions: list[Action] = []
+        for record in records:
+            actions.extend(self._handle_record(record))
+        return actions
+
+    def _handle_record(self, record: Record) -> list[Action]:
+        if record.content_type == CONTENT_CHANGE_CIPHER_SPEC:
+            return []
+        if self._state == "wait_sh":
+            if record.content_type != CONTENT_HANDSHAKE:
+                raise UnexpectedMessage("expected ServerHello")
+            return self._consume_handshake_plaintext(record.payload)
+        if self._state in ("wait_ee", "wait_cert", "wait_cv", "wait_fin"):
+            content_type, plaintext = self._recv_protection.decrypt(record)
+            if content_type != CONTENT_HANDSHAKE:
+                raise UnexpectedMessage("expected encrypted handshake record")
+            decrypt_cost = Compute((CryptoOp("record_crypt", size=len(plaintext)),))
+            return [decrypt_cost] + self._consume_handshake_plaintext(plaintext)
+        raise UnexpectedMessage(f"record in state {self._state}")
+
+    def _consume_handshake_plaintext(self, plaintext: bytes) -> list[Action]:
+        self._hs_plaintext += plaintext
+        msgs, self._hs_plaintext = msg.iter_handshake_messages(self._hs_plaintext)
+        actions: list[Action] = []
+        for msg_type, body, raw in msgs:
+            actions.extend(self._handle_message(msg_type, body, raw))
+        return actions
+
+    def _handle_message(self, msg_type: int, body: bytes, raw: bytes) -> list[Action]:
+        if self._state == "wait_sh":
+            if msg_type != msg.HT_SERVER_HELLO:
+                raise UnexpectedMessage("expected ServerHello")
+            return self._process_server_hello(body, raw)
+        if self._state == "wait_ee":
+            if msg_type != msg.HT_ENCRYPTED_EXTENSIONS:
+                raise UnexpectedMessage("expected EncryptedExtensions")
+            self._transcript.update(raw)
+            self._state = "wait_cert"
+            return [Compute((CryptoOp("tls_frame", size=len(raw)),))]
+        if self._state == "wait_cert":
+            if msg_type != msg.HT_CERTIFICATE:
+                raise UnexpectedMessage("expected Certificate")
+            return self._process_certificate(body, raw)
+        if self._state == "wait_cv":
+            if msg_type != msg.HT_CERTIFICATE_VERIFY:
+                raise UnexpectedMessage("expected CertificateVerify")
+            return self._process_certificate_verify(body, raw)
+        if self._state == "wait_fin":
+            if msg_type != msg.HT_FINISHED:
+                raise UnexpectedMessage("expected Finished")
+            return self._process_finished(body, raw)
+        raise UnexpectedMessage(f"message in state {self._state}")
+
+    def _process_server_hello(self, body: bytes, raw: bytes) -> list[Action]:
+        hello = msg.ServerHello.decode(body)
+        if hello.group_id != group_id(self.kem_name):
+            raise HandshakeFailure("server selected a group we did not offer")
+        self._transcript.update(raw)
+        actions = [Compute((
+            CryptoOp("tls_frame", size=len(raw)),
+            CryptoOp("kem_decaps", self.kem_name),
+        ))]
+        shared_secret = self._kem.decaps(self._kem_secret, hello.key_share)
+        self._schedule.set_shared_secret(shared_secret, self._transcript.digest())
+        actions.append(Compute((CryptoOp("key_schedule"),)))
+        self._recv_protection = RecordProtection(
+            traffic_keys(self._schedule.server_hs_secret)
+        )
+        self._send_protection = RecordProtection(
+            traffic_keys(self._schedule.client_hs_secret)
+        )
+        self._state = "wait_ee"
+        return actions
+
+    def _process_certificate(self, body: bytes, raw: bytes) -> list[Action]:
+        cert_blobs = msg.decode_certificate(body)
+        chain = [Certificate.decode(blob) for blob in cert_blobs]
+        leaf = self._trust_store.verify_chain(chain, expected_subject=self._server_name)
+        if leaf.algorithm != self.sig_name:
+            raise HandshakeFailure(
+                f"certificate uses {leaf.algorithm}, expected {self.sig_name}")
+        self._server_cert = leaf
+        self._transcript.update(raw)
+        self._state = "wait_cv"
+        return [Compute((
+            CryptoOp("tls_frame", size=len(raw)),
+            CryptoOp("cert_verify", self.sig_name),
+        ))]
+
+    def _process_certificate_verify(self, body: bytes, raw: bytes) -> list[Action]:
+        scheme_id, signature = msg.decode_certificate_verify(body)
+        scheme_name = SIGSCHEME_NAMES.get(scheme_id)
+        if scheme_name != self.sig_name:
+            raise HandshakeFailure(f"unexpected CertificateVerify scheme {scheme_name}")
+        payload = msg.CERTIFICATE_VERIFY_SERVER_CONTEXT + self._transcript.digest()
+        scheme = get_sig(self.sig_name)
+        if not scheme.verify(self._server_cert.public_key, payload, signature):
+            raise HandshakeFailure("CertificateVerify signature invalid")
+        self._transcript.update(raw)
+        self._state = "wait_fin"
+        return [Compute((CryptoOp("sig_verify", self.sig_name),))]
+
+    def _process_finished(self, body: bytes, raw: bytes) -> list[Action]:
+        expected = self._schedule.finished_verify_data(
+            self._schedule.server_hs_secret, self._transcript.digest()
+        )
+        if body != expected:
+            raise HandshakeFailure("server Finished verification failed")
+        self._transcript.update(raw)
+        # application secrets derive from the transcript up to server Finished
+        self._schedule.derive_master(self._transcript.digest())
+        actions: list[Action] = [Compute((CryptoOp("finished_mac"),))]
+        # client flight: dummy CCS + Finished, one TCP push (one packet)
+        verify_data = self._schedule.finished_verify_data(
+            self._schedule.client_hs_secret, self._transcript.digest()
+        )
+        finished = msg.encode_finished(verify_data)
+        self._transcript.update(finished)
+        fin_records = b"".join(
+            r.encode() for r in encrypt_handshake_stream(self._send_protection, finished)
+        )
+        ccs = Record(CONTENT_CHANGE_CIPHER_SPEC, b"\x01").encode()
+        wire = ccs + fin_records
+        actions.append(Compute((
+            CryptoOp("finished_mac"),
+            CryptoOp("record_crypt", size=len(finished)),
+        )))
+        actions.append(Send(wire, "CCS+Fin"))
+        self.bytes_out += len(wire)
+        self.handshake_complete = True
+        self._state = "connected"
+        return actions
+
+    @property
+    def application_secrets(self) -> tuple[bytes, bytes]:
+        if not self.handshake_complete:
+            raise HandshakeFailure("handshake not complete")
+        return self._schedule.client_app_secret, self._schedule.server_app_secret

@@ -1,0 +1,17 @@
+"""TLS error types."""
+
+
+class TlsError(Exception):
+    """Base class for handshake and record failures."""
+
+
+class DecodeError(TlsError):
+    """A peer message could not be parsed."""
+
+
+class HandshakeFailure(TlsError):
+    """Negotiation or verification failed."""
+
+
+class UnexpectedMessage(TlsError):
+    """A message arrived in the wrong state."""

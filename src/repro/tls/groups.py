@@ -1,0 +1,83 @@
+"""TLS codepoints for the paper's key agreements and signature schemes.
+
+Classical groups use their IANA numbers; PQ and hybrid groups use
+OQS-style private-range codepoints (the exact values only need to be
+consistent between our client and server, as in the paper's fork).
+"""
+
+from __future__ import annotations
+
+from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES, KEMS, SIGS
+
+_IANA_GROUPS = {
+    "p256": 0x0017,
+    "p384": 0x0018,
+    "p521": 0x0019,
+    "x25519": 0x001D,
+}
+
+_IANA_SIGSCHEMES = {
+    "rsa:1024": 0x0804,  # rsa_pss_rsae_sha256 (key size is a cert property)
+    "rsa:2048": 0x0805,
+    "rsa:3072": 0x0806,
+    "rsa:4096": 0x0807,
+}
+
+GROUP_IDS: dict[str, int] = {}
+GROUP_NAMES: dict[int, str] = {}
+SIGSCHEME_IDS: dict[str, int] = {}
+SIGSCHEME_NAMES: dict[int, str] = {}
+
+
+def _register_groups() -> None:
+    next_private = 0x2F00  # OQS private-use block
+    for name in sorted(KEMS):
+        if name in _IANA_GROUPS:
+            code = _IANA_GROUPS[name]
+        else:
+            code = next_private
+            next_private += 1
+        GROUP_IDS[name] = code
+        GROUP_NAMES[code] = name
+
+
+def _register_sigschemes() -> None:
+    next_private = 0xFE00
+    for name in sorted(SIGS):
+        if name in _IANA_SIGSCHEMES:
+            code = _IANA_SIGSCHEMES[name]
+        else:
+            code = next_private
+            next_private += 1
+        SIGSCHEME_IDS[name] = code
+        SIGSCHEME_NAMES[code] = name
+
+
+_register_groups()
+_register_sigschemes()
+
+
+def group_id(name: str) -> int:
+    try:
+        return GROUP_IDS[name]
+    except KeyError:
+        raise KeyError(f"no TLS group for {name!r}") from None
+
+
+def sigscheme_id(name: str) -> int:
+    try:
+        return SIGSCHEME_IDS[name]
+    except KeyError:
+        raise KeyError(f"no TLS signature scheme for {name!r}") from None
+
+
+__all__ = [
+    "GROUP_IDS",
+    "GROUP_NAMES",
+    "SIGSCHEME_IDS",
+    "SIGSCHEME_NAMES",
+    "group_id",
+    "sigscheme_id",
+    "ALL_KEM_NAMES",
+    "ALL_SIG_NAMES",
+]

@@ -1,0 +1,88 @@
+"""The TLS 1.3 key schedule (RFC 8446 §7.1), SHA-256 / AES-128-GCM suite."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.hashes import hkdf_expand, hkdf_extract, hmac_digest
+
+HASH_LEN = 32
+KEY_LEN = 16
+IV_LEN = 12
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:
+    full_label = b"tls13 " + label.encode()
+    info = (
+        length.to_bytes(2, "big")
+        + len(full_label).to_bytes(1, "big")
+        + full_label
+        + len(context).to_bytes(1, "big")
+        + context
+    )
+    return hkdf_expand(secret, info, length)
+
+
+def derive_secret(secret: bytes, label: str, transcript_hash: bytes) -> bytes:
+    return hkdf_expand_label(secret, label, transcript_hash, HASH_LEN)
+
+
+@dataclass
+class TrafficKeys:
+    key: bytes
+    iv: bytes
+
+
+def traffic_keys(secret: bytes) -> TrafficKeys:
+    return TrafficKeys(
+        key=hkdf_expand_label(secret, "key", b"", KEY_LEN),
+        iv=hkdf_expand_label(secret, "iv", b"", IV_LEN),
+    )
+
+
+class KeySchedule:
+    """Incremental TLS 1.3 key schedule driven by the transcript hash."""
+
+    def __init__(self):
+        zeros = b"\x00" * HASH_LEN
+        self._early_secret = hkdf_extract(zeros, zeros)
+        self.handshake_secret: bytes | None = None
+        self.master_secret: bytes | None = None
+        self.client_hs_secret: bytes | None = None
+        self.server_hs_secret: bytes | None = None
+        self.client_app_secret: bytes | None = None
+        self.server_app_secret: bytes | None = None
+
+    @staticmethod
+    def _empty_hash() -> bytes:
+        return hashlib.sha256(b"").digest()
+
+    def set_shared_secret(self, shared_secret: bytes, transcript_hash: bytes) -> None:
+        """Feed the (EC)DHE/KEM shared secret once CH..SH is known."""
+        derived = derive_secret(self._early_secret, "derived", self._empty_hash())
+        self.handshake_secret = hkdf_extract(derived, shared_secret)
+        self.client_hs_secret = derive_secret(
+            self.handshake_secret, "c hs traffic", transcript_hash
+        )
+        self.server_hs_secret = derive_secret(
+            self.handshake_secret, "s hs traffic", transcript_hash
+        )
+
+    def derive_master(self, transcript_hash: bytes) -> None:
+        """Derive application secrets once the server Finished is hashed."""
+        if self.handshake_secret is None:
+            raise RuntimeError("handshake secret not established")
+        derived = derive_secret(self.handshake_secret, "derived", self._empty_hash())
+        self.master_secret = hkdf_extract(derived, b"\x00" * HASH_LEN)
+        self.client_app_secret = derive_secret(
+            self.master_secret, "c ap traffic", transcript_hash
+        )
+        self.server_app_secret = derive_secret(
+            self.master_secret, "s ap traffic", transcript_hash
+        )
+
+    @staticmethod
+    def finished_verify_data(traffic_secret: bytes, transcript_hash: bytes) -> bytes:
+        finished_key = hkdf_expand_label(traffic_secret, "finished", b"", HASH_LEN)
+        return hmac_digest(finished_key, transcript_hash)

@@ -1,0 +1,261 @@
+"""Sans-io TLS 1.3 server with the paper's two message-buffering policies.
+
+``BufferPolicy.DEFAULT`` models stock OQS-OpenSSL: handshake records
+accumulate in a 4096-byte internal buffer that is flushed to TCP only when
+a new record would overflow it (write-through for oversized records) or
+when the server's flight is complete.
+
+``BufferPolicy.OPTIMIZED`` models the paper's patch: the ServerHello and
+the Certificate are pushed to the client the moment they are computed, so
+an expensive client-side decapsulation and certificate-chain verification
+overlap with the server still computing its handshake signature (§4, §5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.registry import get_kem, get_sig
+from repro.tls import messages as msg
+from repro.tls.actions import Action, Compute, CryptoOp, Send
+from repro.tls.certs import Certificate
+from repro.tls.errors import HandshakeFailure, UnexpectedMessage
+from repro.tls.groups import GROUP_NAMES, group_id, sigscheme_id
+from repro.tls.keyschedule import KeySchedule, traffic_keys
+from repro.tls.records import (
+    CONTENT_CHANGE_CIPHER_SPEC,
+    CONTENT_HANDSHAKE,
+    Record,
+    RecordProtection,
+    decode_records,
+    encrypt_handshake_stream,
+    fragment_handshake,
+)
+from repro.tls.transcript import TranscriptHash
+
+_BUFFER_LIMIT = 4096
+
+
+class BufferPolicy(enum.Enum):
+    DEFAULT = "default"      # stock OpenSSL 4096 B buffer
+    OPTIMIZED = "optimized"  # paper's immediate-push patch
+
+
+class _FlightBuffer:
+    """Models the OpenSSL internal record buffer."""
+
+    def __init__(self, policy: BufferPolicy):
+        self._policy = policy
+        self._pending: list[bytes] = []
+        self._pending_len = 0
+        self._labels: list[str] = []
+
+    def add(self, record_bytes: bytes, label: str, *, push_now: bool) -> list[Send]:
+        sends: list[Send] = []
+        if self._policy is BufferPolicy.DEFAULT:
+            if self._pending_len and self._pending_len + len(record_bytes) > _BUFFER_LIMIT:
+                sends.append(self._flush())
+            self._pending.append(record_bytes)
+            self._pending_len += len(record_bytes)
+            self._labels.append(label)
+            if self._pending_len > _BUFFER_LIMIT:
+                sends.append(self._flush())
+        else:
+            self._pending.append(record_bytes)
+            self._pending_len += len(record_bytes)
+            self._labels.append(label)
+            if push_now:
+                sends.append(self._flush())
+        return sends
+
+    def _flush(self) -> Send:
+        send = Send(b"".join(self._pending), "+".join(self._labels))
+        self._pending = []
+        self._pending_len = 0
+        self._labels = []
+        return send
+
+    def finish(self) -> list[Send]:
+        if self._pending:
+            return [self._flush()]
+        return []
+
+
+class TlsServer:
+    """One server-side handshake (fresh instance per connection)."""
+
+    def __init__(self, kem_name: str, sig_name: str, certificate: Certificate,
+                 secret_key: bytes, drbg: Drbg,
+                 policy: BufferPolicy = BufferPolicy.OPTIMIZED):
+        self.kem_name = kem_name
+        self.sig_name = sig_name
+        self._kem = get_kem(kem_name)
+        self._sig = get_sig(sig_name)
+        self._certificate = certificate
+        self._secret_key = secret_key
+        self._drbg = drbg
+        self._policy = policy
+        self._transcript = TranscriptHash()
+        self._schedule = KeySchedule()
+        self._recv_buffer = b""
+        self._hs_stream = b""
+        self._client_fin_protection: RecordProtection | None = None
+        self._state = "start"
+        self.handshake_complete = False
+        self.bytes_out = 0
+
+    # -- main entry point ---------------------------------------------------
+    def receive(self, data: bytes) -> list[Action]:
+        """Feed TCP bytes from the client; returns ordered actions."""
+        self._recv_buffer += data
+        records, self._recv_buffer = decode_records(self._recv_buffer)
+        actions: list[Action] = []
+        for record in records:
+            actions.extend(self._handle_record(record))
+        return actions
+
+    def _handle_record(self, record: Record) -> list[Action]:
+        if record.content_type == CONTENT_CHANGE_CIPHER_SPEC:
+            return []
+        if self._state == "start":
+            if record.content_type != CONTENT_HANDSHAKE:
+                raise UnexpectedMessage("expected ClientHello")
+            self._hs_stream += record.payload
+            msgs, self._hs_stream = msg.iter_handshake_messages(self._hs_stream)
+            actions: list[Action] = []
+            for msg_type, body, raw in msgs:
+                if msg_type != msg.HT_CLIENT_HELLO:
+                    raise UnexpectedMessage(f"unexpected handshake type {msg_type}")
+                actions.extend(self._process_client_hello(body, raw))
+            return actions
+        if self._state == "wait_finished":
+            return self._process_client_finished(record)
+        raise UnexpectedMessage(f"record in state {self._state}")
+
+    # -- ClientHello -> full server flight ------------------------------------
+    def _process_client_hello(self, body: bytes, raw: bytes) -> list[Action]:
+        hello = msg.ClientHello.decode(body)
+        my_group = group_id(self.kem_name)
+        share = next((s for gid, s in hello.key_shares if gid == my_group), None)
+        if share is None:
+            offered = [GROUP_NAMES.get(gid, hex(gid)) for gid, _ in hello.key_shares]
+            raise HandshakeFailure(
+                f"client offered {offered}, server requires {self.kem_name} "
+                "(2-RTT HelloRetryRequest is out of the paper's scope)")
+        if sigscheme_id(self.sig_name) not in hello.sig_scheme_ids:
+            raise HandshakeFailure(f"client does not accept {self.sig_name}")
+        self._transcript.update(raw)
+        actions: list[Action] = [
+            Compute((
+                CryptoOp("tls_frame", size=len(raw)),
+                CryptoOp("kem_encaps", self.kem_name),
+            )),
+        ]
+        ciphertext, shared_secret = self._kem.encaps(share, self._drbg)
+        buffer = _FlightBuffer(self._policy)
+
+        server_hello = msg.ServerHello(
+            random=self._drbg.random_bytes(32),
+            session_id=hello.session_id,
+            group_id=my_group,
+            key_share=ciphertext,
+        ).encode()
+        self._transcript.update(server_hello)
+        sh_records = b"".join(r.encode() for r in fragment_handshake(server_hello))
+        ccs = Record(CONTENT_CHANGE_CIPHER_SPEC, b"\x01").encode()
+        actions.extend(buffer.add(sh_records + ccs, "SH", push_now=True))
+
+        self._schedule.set_shared_secret(shared_secret, self._transcript.digest())
+        actions.append(Compute((
+            CryptoOp("key_schedule"),
+            CryptoOp("tls_frame", size=len(server_hello)),
+        )))
+        send_protection = RecordProtection(traffic_keys(self._schedule.server_hs_secret))
+        self._client_fin_protection = RecordProtection(
+            traffic_keys(self._schedule.client_hs_secret)
+        )
+
+        encrypted_ext = msg.encode_encrypted_extensions()
+        cert_msg = msg.encode_certificate([self._certificate.encode()])
+        self._transcript.update(encrypted_ext)
+        self._transcript.update(cert_msg)
+        flight = encrypted_ext + cert_msg
+        records = b"".join(
+            r.encode() for r in encrypt_handshake_stream(send_protection, flight)
+        )
+        actions.append(Compute((
+            CryptoOp("record_crypt", size=len(flight)),
+            CryptoOp("tls_frame", size=len(flight)),
+        )))
+        actions.extend(buffer.add(records, "EE+Cert", push_now=True))
+
+        cv_payload = msg.CERTIFICATE_VERIFY_SERVER_CONTEXT + self._transcript.digest()
+        actions.append(Compute((CryptoOp("sig_sign", self.sig_name),)))
+        signature = self._sig.sign(self._secret_key, cv_payload, self._drbg)
+        cert_verify = msg.encode_certificate_verify(
+            sigscheme_id(self.sig_name), signature
+        )
+        self._transcript.update(cert_verify)
+        cv_records = b"".join(
+            r.encode() for r in encrypt_handshake_stream(send_protection, cert_verify)
+        )
+        actions.append(Compute((
+            CryptoOp("record_crypt", size=len(cert_verify)),
+            CryptoOp("tls_frame", size=len(cert_verify)),
+        )))
+        actions.extend(buffer.add(cv_records, "CV", push_now=False))
+
+        verify_data = self._schedule.finished_verify_data(
+            self._schedule.server_hs_secret, self._transcript.digest()
+        )
+        finished = msg.encode_finished(verify_data)
+        self._transcript.update(finished)
+        fin_records = b"".join(
+            r.encode() for r in encrypt_handshake_stream(send_protection, finished)
+        )
+        actions.append(Compute((
+            CryptoOp("finished_mac"),
+            CryptoOp("record_crypt", size=len(finished)),
+        )))
+        actions.extend(buffer.add(fin_records, "Fin", push_now=False))
+        actions.extend(buffer.finish())
+
+        self._schedule.derive_master(self._transcript.digest())
+        self._state = "wait_finished"
+        for action in actions:
+            if isinstance(action, Send):
+                self.bytes_out += len(action.data)
+        return actions
+
+    # -- client Finished --------------------------------------------------------
+    def _process_client_finished(self, record: Record) -> list[Action]:
+        content_type, plaintext = self._client_fin_protection.decrypt(record)
+        if content_type != CONTENT_HANDSHAKE:
+            raise UnexpectedMessage("expected encrypted handshake record")
+        msgs, leftover = msg.iter_handshake_messages(plaintext)
+        if leftover:
+            raise UnexpectedMessage("fragmented client Finished not supported")
+        actions: list[Action] = []
+        for msg_type, body, raw in msgs:
+            if msg_type != msg.HT_FINISHED:
+                raise UnexpectedMessage(f"unexpected handshake type {msg_type}")
+            expected = self._schedule.finished_verify_data(
+                self._schedule.client_hs_secret, self._transcript.digest()
+            )
+            if body != expected:
+                raise HandshakeFailure("client Finished verification failed")
+            self._transcript.update(raw)
+            self.handshake_complete = True
+            self._state = "connected"
+            actions.append(Compute((
+                CryptoOp("finished_mac"),
+                CryptoOp("record_crypt", size=len(raw)),
+            )))
+        return actions
+
+    @property
+    def application_secrets(self) -> tuple[bytes, bytes]:
+        if not self.handshake_complete:
+            raise HandshakeFailure("handshake not complete")
+        return self._schedule.client_app_secret, self._schedule.server_app_secret

@@ -1,0 +1,92 @@
+"""Post-handshake secure channel: application data over the session keys.
+
+The paper only measures the handshake, but its testbed (openssl
+s_client/s_server) exchanges application data over the established
+channel; this module provides that surface so the library is usable as an
+actual TLS session, not just a handshake benchmark.
+
+Both peers derive the same application traffic secrets from the handshake
+(RFC 8446 §7.2); a :class:`SecureChannel` frames application bytes into
+protected records in one direction and opens them in the other.
+"""
+
+from __future__ import annotations
+
+from repro.tls.errors import DecodeError, TlsError
+from repro.tls.keyschedule import traffic_keys
+from repro.tls.records import (
+    CONTENT_ALERT,
+    CONTENT_APPLICATION_DATA,
+    RecordProtection,
+    decode_records,
+)
+
+_MAX_CHUNK = 2 ** 14 - 256
+
+
+class SecureChannel:
+    """One endpoint's view of the established application-data channel."""
+
+    def __init__(self, send_secret: bytes, receive_secret: bytes):
+        self._send = RecordProtection(traffic_keys(send_secret))
+        self._receive = RecordProtection(traffic_keys(receive_secret))
+        self._buffer = b""
+        self.closed = False
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def for_client(cls, tls_client) -> "SecureChannel":
+        client_secret, server_secret = tls_client.application_secrets
+        return cls(send_secret=client_secret, receive_secret=server_secret)
+
+    @classmethod
+    def for_server(cls, tls_server) -> "SecureChannel":
+        client_secret, server_secret = tls_server.application_secrets
+        return cls(send_secret=server_secret, receive_secret=client_secret)
+
+    # -- sending -----------------------------------------------------------
+    def send(self, data: bytes) -> bytes:
+        """Protect application bytes; returns wire bytes for the transport."""
+        if self.closed:
+            raise TlsError("channel is closed")
+        out = bytearray()
+        for i in range(0, len(data), _MAX_CHUNK):
+            record = self._send.encrypt(
+                CONTENT_APPLICATION_DATA, data[i: i + _MAX_CHUNK])
+            out.extend(record.encode())
+        return bytes(out)
+
+    def send_close(self) -> bytes:
+        """A close_notify alert (1 byte level, 1 byte description 0)."""
+        record = self._send.encrypt(CONTENT_ALERT, b"\x01\x00")
+        self.closed = True
+        return record.encode()
+
+    # -- receiving -----------------------------------------------------------
+    def receive(self, wire: bytes) -> bytes:
+        """Open incoming records; returns the plaintext application bytes.
+
+        Raises DecodeError on tampering, TlsError after close_notify.
+        """
+        self._buffer += wire
+        records, self._buffer = decode_records(self._buffer)
+        plaintext = bytearray()
+        for record in records:
+            content_type, data = self._receive.decrypt(record)
+            if content_type == CONTENT_ALERT:
+                if data[:2] == b"\x01\x00":
+                    self.closed = True
+                    continue
+                raise TlsError(f"peer alert: {data.hex()}")
+            if content_type != CONTENT_APPLICATION_DATA:
+                raise DecodeError(
+                    f"unexpected content type {content_type} on the app channel")
+            if self.closed:
+                raise TlsError("data received after close_notify")
+            plaintext.extend(data)
+        return bytes(plaintext)
+
+
+def establish_channels(tls_client, tls_server) -> tuple[SecureChannel, SecureChannel]:
+    """Channels for both ends of a completed handshake (testing helper)."""
+    return SecureChannel.for_client(tls_client), SecureChannel.for_server(tls_server)

@@ -1,0 +1,18 @@
+"""Running transcript hash over handshake messages (SHA-256 suite)."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class TranscriptHash:
+    def __init__(self):
+        self._hash = hashlib.sha256()
+        self.bytes_hashed = 0
+
+    def update(self, handshake_bytes: bytes) -> None:
+        self._hash.update(handshake_bytes)
+        self.bytes_hashed += len(handshake_bytes)
+
+    def digest(self) -> bytes:
+        return self._hash.copy().digest()

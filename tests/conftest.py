@@ -1,0 +1,28 @@
+"""Shared fixtures and hypothesis settings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.crypto.drbg import Drbg
+
+# Crypto-heavy properties: fewer examples, no deadline (pure-Python crypto).
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def drbg() -> Drbg:
+    return Drbg("pytest-fixture-seed")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full-size PQC / full-campaign tests (minutes when the cache is cold)"
+    )

@@ -1,0 +1,91 @@
+"""Independence model (§5.2): E(k,s) arithmetic on synthetic results."""
+
+import pytest
+
+from repro.core.analysis import Deviation, IndependenceModel, deviations_for_levels
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+
+
+def _fake_result(kem, sig, total_ms, policy="optimized"):
+    config = ExperimentConfig(kem=kem, sig=sig, policy=policy)
+    total = total_ms / 1e3
+    return config.key, ExperimentResult(
+        config=config,
+        part_a_samples=[total / 4],
+        part_b_samples=[3 * total / 4],
+        total_samples=[total],
+        n_handshakes=1000,
+        client_bytes=700, server_bytes=1500,
+        client_packets=6, server_packets=5,
+    )
+
+
+def _results(latency_fn, kems, sigs, policy="optimized"):
+    results = {}
+    for kem in kems + ["x25519"]:
+        for sig in sigs + ["rsa:2048"]:
+            key, result = _fake_result(kem, sig, latency_fn(kem, sig), policy)
+            results[key] = result
+    return results
+
+
+KEMS = ["kyber512", "bikel1"]
+SIGS = ["dilithium2", "falcon512"]
+
+KEM_COST = {"x25519": 1.0, "kyber512": 1.5, "bikel1": 3.0}
+SIG_COST = {"rsa:2048": 2.0, "dilithium2": 1.2, "falcon512": 1.4}
+
+
+def test_perfectly_additive_world_has_zero_deviation():
+    results = _results(lambda k, s: KEM_COST[k] + SIG_COST[s], KEMS, SIGS)
+    model = IndependenceModel(results, "optimized")
+    for kem in KEMS:
+        for sig in SIGS:
+            dev = model.deviation(kem, sig, level=1)
+            assert dev.deviation == pytest.approx(0.0, abs=1e-12)
+
+
+def test_interaction_shows_as_deviation():
+    def latency(kem, sig):
+        base = KEM_COST[kem] + SIG_COST[sig]
+        if kem == "bikel1" and sig == "falcon512":
+            return base - 0.5  # this combination is faster than predicted
+        return base
+
+    results = _results(latency, KEMS, SIGS)
+    model = IndependenceModel(results, "optimized")
+    dev = model.deviation("bikel1", "falcon512", level=1)
+    assert dev.deviation == pytest.approx(0.5e-3)  # E - M > 0: faster
+    assert model.deviation("kyber512", "dilithium2", 1).deviation == pytest.approx(0)
+
+
+def test_expected_formula():
+    results = _results(lambda k, s: KEM_COST[k] + SIG_COST[s], KEMS, SIGS)
+    model = IndependenceModel(results, "optimized")
+    # E(k, s) = M(k, rsa2048) + M(x25519, s) - M(x25519, rsa2048)
+    expected = model.expected("kyber512", "falcon512")
+    assert expected == pytest.approx((1.5 + 2.0 + 1.0 + 1.4 - 1.0 - 2.0) / 1e3)
+
+
+def test_missing_baseline_raises():
+    key, result = _fake_result("kyber512", "dilithium2", 3.0)
+    model = IndependenceModel({key: result}, "optimized")
+    with pytest.raises(KeyError, match="missing measurement"):
+        model.deviation("kyber512", "dilithium2", 1)
+
+
+def test_deviations_for_levels_shape():
+    results = _results(lambda k, s: KEM_COST[k] + SIG_COST[s], KEMS, SIGS)
+    groups = {1: {"kems": KEMS, "sigs": SIGS}}
+    deviations = deviations_for_levels(results, "optimized", groups)
+    assert len(deviations) == 4
+    assert all(isinstance(d, Deviation) for d in deviations)
+    assert {(d.kem, d.sig) for d in deviations} == {
+        (k, s) for k in KEMS for s in SIGS}
+
+
+def test_policy_scoping():
+    push = _results(lambda k, s: KEM_COST[k] + SIG_COST[s], KEMS, SIGS, "optimized")
+    model = IndependenceModel(push, "default")
+    with pytest.raises(KeyError):
+        model.expected("kyber512", "dilithium2")

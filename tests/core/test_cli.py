@@ -1,0 +1,31 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.core import campaign
+from repro.core.cli import main
+from repro.core.experiment import ExperimentConfig
+
+
+def test_run_named_set(tmp_path, monkeypatch, capsys):
+    monkeypatch.setitem(
+        campaign.EXPERIMENT_SETS, "tiny-cli",
+        lambda: [ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0)])
+    assert main(["-o", str(tmp_path), "tiny-cli"]) == 0
+    captured = capsys.readouterr()
+    assert "ran 1 experiments" in captured.err
+
+
+def test_unknown_set_errors(tmp_path):
+    with pytest.raises(KeyError):
+        main(["-o", str(tmp_path), "level42"])
+
+
+def test_unknown_artifact_errors(tmp_path):
+    with pytest.raises(KeyError, match="unknown artifact"):
+        main(["-o", str(tmp_path), "--evaluate", "table9"])
+
+
+def test_requires_names():
+    with pytest.raises(SystemExit):
+        main([])

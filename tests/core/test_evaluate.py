@@ -1,0 +1,105 @@
+"""Table/figure builders on synthetic experiment results."""
+
+import math
+
+import pytest
+
+from repro.core.evaluate import (
+    AttackMetrics,
+    Table2Row,
+    Table3Row,
+    attack_metrics,
+    ranking,
+    table2a,
+    table2b,
+)
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+
+
+def _fake(kem, sig, total_ms, client_bytes=700, server_bytes=1500, **extra):
+    config = ExperimentConfig(kem=kem, sig=sig, **extra)
+    total = total_ms / 1e3
+    return config.key, ExperimentResult(
+        config=config,
+        part_a_samples=[total * 0.2],
+        part_b_samples=[total * 0.8],
+        total_samples=[total],
+        n_handshakes=int(60 / (total + 0.001)),
+        client_bytes=client_bytes,
+        server_bytes=server_bytes,
+        client_packets=6,
+        server_packets=5,
+    )
+
+
+def test_table2a_rows():
+    results = dict([
+        _fake("x25519", "rsa:2048", 1.7),
+        _fake("kyber512", "rsa:2048", 1.9, client_bytes=1450, server_bytes=2200),
+    ])
+    rows = table2a(results, ["x25519", "kyber512"])
+    assert rows[0].classical and not rows[0].hybrid
+    assert not rows[1].classical
+    assert rows[0].part_a_ms == pytest.approx(1.7 * 0.2)
+    assert rows[1].client_bytes == 1450
+    assert rows[0].level == 1
+
+
+def test_table2b_marks_hybrids():
+    results = dict([
+        _fake("x25519", "rsa:2048", 1.7),
+        _fake("x25519", "p256_dilithium2", 2.0),
+    ])
+    rows = table2b(results, ["rsa:2048", "p256_dilithium2"])
+    assert rows[0].classical
+    assert rows[1].hybrid
+
+
+def test_missing_result_raises():
+    with pytest.raises(KeyError, match="missing experiment"):
+        table2a({}, ["x25519"])
+
+
+def test_ranking_log_scale():
+    latencies = {"a": 1.0, "b": 10.0, "c": 100.0}
+    ranked = ranking(latencies, buckets=10)
+    assert ranked == [("a", 0), ("b", 5), ("c", 10)]
+
+
+def test_ranking_single_value_degenerate():
+    assert ranking({"only": 5.0}) == [("only", 0)]
+
+
+def test_ranking_orders_by_latency():
+    latencies = {"fast": 0.9, "mid": 3.0, "slow": 50.0, "mid2": 3.1}
+    ranked = ranking(latencies)
+    names = [name for name, _ in ranked]
+    assert names[0] == "fast" and names[-1] == "slow"
+    ranks = dict(ranked)
+    assert ranks["mid"] <= ranks["mid2"]
+
+
+def test_attack_metrics():
+    whitebox = [
+        Table3Row(level=1, kem="kyber512", sig="sphincs128",
+                  handshakes_per_s=100, server_cpu_ms=54.0, client_cpu_ms=9.0,
+                  server_library_share={}, client_library_share={},
+                  server_packets=30, client_packets=8),
+        Table3Row(level=1, kem="x25519", sig="rsa:2048",
+                  handshakes_per_s=400, server_cpu_ms=3.0, client_cpu_ms=2.0,
+                  server_library_share={}, client_library_share={},
+                  server_packets=5, client_packets=6),
+    ]
+    t2b = [
+        Table2Row(level=1, algorithm="sphincs128", classical=False, hybrid=False,
+                  part_a_ms=0.3, part_b_ms=15.0, n_total=3700,
+                  client_bytes=1001, server_bytes=36153),
+        Table2Row(level=1, algorithm="rsa:2048", classical=True, hybrid=False,
+                  part_a_ms=0.25, part_b_ms=1.5, n_total=22000,
+                  client_bytes=689, server_bytes=1455),
+    ]
+    metrics = attack_metrics(whitebox, t2b)
+    assert metrics.worst_cpu_ratio[2] == pytest.approx(6.0)
+    assert metrics.worst_cpu_ratio[1] == "sphincs128"
+    assert metrics.worst_amplification[0] == "sphincs128"
+    assert metrics.worst_amplification[1] == pytest.approx(36153 / 1001)

@@ -1,0 +1,95 @@
+"""Experiment runner: sampling, extrapolation, caching."""
+
+import pytest
+
+from repro.core.experiment import (
+    INTER_HANDSHAKE_GAP,
+    ExperimentConfig,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_experiment(ExperimentConfig(kem="x25519", sig="rsa:1024"))
+
+
+def test_config_key_uniqueness():
+    a = ExperimentConfig(kem="x25519", sig="rsa:2048")
+    b = ExperimentConfig(kem="x25519", sig="rsa:2048", scenario="lte-m")
+    c = ExperimentConfig(kem="x25519", sig="rsa:2048", policy="default")
+    d = ExperimentConfig(kem="x25519", sig="rsa:2048", profiling=True)
+    keys = {a.key, b.key, c.key, d.key}
+    assert len(keys) == 4
+
+
+def test_deterministic_scenario_few_samples_extrapolated(baseline):
+    assert len(baseline.total_samples) <= 3
+    # all samples identical (deterministic network)
+    assert len(set(baseline.total_samples)) == 1
+    # count extrapolated to the 60 s period
+    expected = int(60.0 / (baseline.total_samples[0] + INTER_HANDSHAKE_GAP) * 0.5)
+    assert baseline.n_handshakes > expected  # wall includes trailing ACK only
+
+
+def test_medians_and_rates(baseline):
+    assert baseline.part_a_median + baseline.part_b_median == pytest.approx(
+        baseline.total_median)
+    assert baseline.handshakes_per_second == baseline.n_handshakes / 60.0
+    assert baseline.n_handshakes > 1000
+
+
+def test_byte_and_packet_counts(baseline):
+    assert 400 < baseline.client_bytes < 1500
+    assert baseline.server_bytes > baseline.client_bytes
+    assert baseline.client_packets >= 4
+
+
+def test_cpu_accounting(baseline):
+    assert baseline.server_cpu_ms > 0
+    assert baseline.client_cpu_ms > 0
+    assert "libcrypto" in baseline.server_cpu_by_library
+    assert "python" in baseline.server_cpu_by_library
+
+
+def test_stochastic_scenario_collects_many_samples():
+    result = run_experiment(ExperimentConfig(
+        kem="x25519", sig="rsa:1024", scenario="high-loss", max_samples=50))
+    assert len(result.total_samples) == 50
+    # extrapolated over 60 s; the mean period is dominated by rare 1 s+
+    # SYN-retransmission handshakes (10 % loss), so well above the cap
+    assert result.n_handshakes > len(result.total_samples)
+    # the median, however, stays near the loss-free latency
+    assert result.total_median < 0.05
+
+
+def test_cache_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    config = ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0)
+    first = run_experiment(config)
+    second = run_experiment(config)
+    assert first.total_samples == second.total_samples
+    assert (tmp_path / "experiment").exists()
+
+
+def test_use_cache_false_recomputes(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    config = ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0)
+    result = run_experiment(config, use_cache=False)
+    assert not (tmp_path / "experiment").exists()
+    assert result.n_handshakes > 0
+
+
+def test_profiling_increases_cpu_costs(baseline):
+    profiled = run_experiment(ExperimentConfig(
+        kem="x25519", sig="rsa:1024", profiling=True))
+    assert profiled.server_cpu_ms > baseline.server_cpu_ms * 1.2
+
+
+def test_scenario_latency_ordering():
+    none = run_experiment(ExperimentConfig(kem="x25519", sig="rsa:1024"))
+    delay = run_experiment(ExperimentConfig(
+        kem="x25519", sig="rsa:1024", scenario="high-delay"))
+    bandwidth = run_experiment(ExperimentConfig(
+        kem="x25519", sig="rsa:1024", scenario="low-bandwidth"))
+    assert none.total_median < bandwidth.total_median < delay.total_median

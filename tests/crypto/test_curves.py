@@ -1,0 +1,101 @@
+"""NIST P-curves: group laws, orders, encodings, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.ec.curves import CURVES, INFINITY, P256, P384, P521, Point
+
+ALL = [P256, P384, P521]
+
+
+@pytest.mark.parametrize("curve", ALL, ids=lambda c: c.name)
+def test_generator_on_curve(curve):
+    assert curve.is_on_curve(curve.g)
+
+
+@pytest.mark.parametrize("curve", ALL, ids=lambda c: c.name)
+def test_order_annihilates_generator(curve):
+    # n*G == infinity checked without the k %= n shortcut:
+    # (n-1)*G + G must be infinity
+    almost = curve.scalar_mult(curve.n - 1)
+    assert curve.add(almost, curve.g).is_infinity
+
+
+@pytest.mark.parametrize("curve", ALL, ids=lambda c: c.name)
+def test_scalar_mult_matches_repeated_addition(curve):
+    acc = INFINITY
+    for k in range(1, 8):
+        acc = curve.add(acc, curve.g)
+        assert curve.scalar_mult(k) == acc
+
+
+@given(st.integers(min_value=1, max_value=2**100), st.integers(min_value=1, max_value=2**100))
+def test_scalar_mult_additive_homomorphism(k1, k2):
+    curve = P256
+    lhs = curve.add(curve.scalar_mult(k1), curve.scalar_mult(k2))
+    rhs = curve.scalar_mult(k1 + k2)
+    assert lhs == rhs
+
+
+@given(st.integers(min_value=2, max_value=2**64))
+def test_scalar_mult_composition(k):
+    curve = P256
+    q = curve.scalar_mult(k)
+    assert curve.scalar_mult(3, q) == curve.scalar_mult(3 * k)
+
+
+@pytest.mark.parametrize("curve", ALL, ids=lambda c: c.name)
+def test_point_codec_roundtrip(curve):
+    q = curve.scalar_mult(987654321)
+    assert curve.decode_point(curve.encode_point(q)) == q
+
+
+@pytest.mark.parametrize("curve", ALL, ids=lambda c: c.name)
+def test_encoding_length(curve):
+    q = curve.scalar_mult(2)
+    assert len(curve.encode_point(q)) == 1 + 2 * curve.coord_bytes
+
+
+def test_decode_rejects_bad_prefix_and_length():
+    q = P256.encode_point(P256.scalar_mult(5))
+    with pytest.raises(ValueError):
+        P256.decode_point(b"\x02" + q[1:])
+    with pytest.raises(ValueError):
+        P256.decode_point(q[:-1])
+
+
+def test_decode_rejects_off_curve_point():
+    bad = b"\x04" + (5).to_bytes(32, "big") + (7).to_bytes(32, "big")
+    with pytest.raises(ValueError):
+        P256.decode_point(bad)
+
+
+def test_infinity_handling():
+    assert P256.add(INFINITY, P256.g) == P256.g
+    assert P256.add(P256.g, INFINITY) == P256.g
+    assert P256.scalar_mult(0).is_infinity
+    with pytest.raises(ValueError):
+        P256.encode_point(INFINITY)
+
+
+def test_inverse_points_sum_to_infinity():
+    q = P256.scalar_mult(11)
+    neg = Point(q.x, P256.p - q.y)
+    assert P256.add(q, neg).is_infinity
+
+
+def test_lift_x_round_trips():
+    q = P384.scalar_mult(123)
+    lifted = P384.lift_x(q.x, q.y % 2)
+    assert lifted == q
+
+
+def test_curves_registry():
+    assert set(CURVES) == {"p256", "p384", "p521"}
+    assert CURVES["p521"].coord_bytes == 66
+
+
+@pytest.mark.parametrize("curve", ALL, ids=lambda c: c.name)
+def test_known_order_is_prime_sized(curve):
+    assert curve.n.bit_length() in (256, 384, 521)
+    assert curve.n != curve.p

@@ -1,0 +1,113 @@
+"""Deterministic RNG: reproducibility, stream independence, distribution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.drbg import Drbg
+
+
+def test_same_seed_same_stream():
+    assert Drbg("seed").random_bytes(100) == Drbg("seed").random_bytes(100)
+
+
+def test_different_seeds_differ():
+    assert Drbg("seed-a").random_bytes(32) != Drbg("seed-b").random_bytes(32)
+
+
+def test_seed_types_accepted():
+    assert Drbg(b"x").random_bytes(8)
+    assert Drbg("x").random_bytes(8)
+    assert Drbg(12345).random_bytes(8)
+
+
+def test_byte_seed_matches_str_seed():
+    assert Drbg("abc").random_bytes(16) == Drbg(b"abc").random_bytes(16)
+
+
+def test_incremental_reads_match_bulk_read():
+    bulk = Drbg("seed").random_bytes(64)
+    inc = Drbg("seed")
+    assert inc.random_bytes(10) + inc.random_bytes(30) + inc.random_bytes(24) == bulk
+
+
+def test_fork_is_independent_of_parent_position():
+    parent1 = Drbg("seed")
+    parent2 = Drbg("seed")
+    parent2.random_bytes(100)  # advance
+    assert parent1.fork("child").random_bytes(32) == parent2.fork("child").random_bytes(32)
+
+
+def test_fork_labels_distinct():
+    parent = Drbg("seed")
+    assert parent.fork("a").random_bytes(32) != parent.fork("b").random_bytes(32)
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ValueError):
+        Drbg("s").random_bytes(-1)
+
+
+@given(st.integers(min_value=1, max_value=10**12))
+def test_randint_below_in_range(bound):
+    value = Drbg(b"bnd").randint_below(bound)
+    assert 0 <= value < bound
+
+
+def test_randint_below_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Drbg("s").randint_below(0)
+
+
+def test_randint_inclusive_endpoints_reachable():
+    drbg = Drbg("endpoints")
+    seen = {drbg.randint(0, 1) for _ in range(64)}
+    assert seen == {0, 1}
+
+
+def test_randint_empty_range_rejected():
+    with pytest.raises(ValueError):
+        Drbg("s").randint(3, 2)
+
+
+def test_random_unit_interval():
+    drbg = Drbg("floats")
+    values = [drbg.random() for _ in range(200)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    assert 0.3 < sum(values) / len(values) < 0.7  # roughly uniform
+
+
+def test_shuffle_is_permutation():
+    drbg = Drbg("shuffle")
+    items = list(range(50))
+    shuffled = list(items)
+    drbg.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    assert shuffled != items  # astronomically unlikely to be identity
+
+
+def test_choice_from_singleton_and_empty():
+    assert Drbg("s").choice([42]) == 42
+    with pytest.raises(ValueError):
+        Drbg("s").choice([])
+
+
+@given(st.integers(min_value=1, max_value=500), st.data())
+def test_sample_distinct_properties(bound, data):
+    count = data.draw(st.integers(min_value=0, max_value=bound))
+    sample = Drbg(b"sd").sample_distinct(bound, count)
+    assert len(sample) == count
+    assert len(set(sample)) == count
+    assert all(0 <= v < bound for v in sample)
+
+
+def test_sample_distinct_overdraw_rejected():
+    with pytest.raises(ValueError):
+        Drbg("s").sample_distinct(5, 6)
+
+
+def test_uniformity_of_randint_below():
+    drbg = Drbg("uniform")
+    counts = [0] * 7
+    for _ in range(7000):
+        counts[drbg.randint_below(7)] += 1
+    assert min(counts) > 800 and max(counts) < 1200

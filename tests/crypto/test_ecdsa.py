@@ -1,0 +1,65 @@
+"""ECDSA: correctness, determinism (RFC 6979), and rejection paths."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.crypto.ec import ecdsa
+from repro.crypto.ec.curves import P256, P384, P521
+
+ALL = [P256, P384, P521]
+
+
+@pytest.mark.parametrize("curve", ALL, ids=lambda c: c.name)
+def test_sign_verify_roundtrip(curve):
+    drbg = Drbg("ecdsa-" + curve.name)
+    private, public = ecdsa.generate_keypair(curve, drbg)
+    sig = ecdsa.sign(curve, private, b"authenticated message")
+    assert len(sig) == 2 * curve.coord_bytes
+    assert ecdsa.verify(curve, public, b"authenticated message", sig)
+
+
+@pytest.mark.parametrize("curve", ALL, ids=lambda c: c.name)
+def test_wrong_message_rejected(curve):
+    drbg = Drbg("ecdsa-neg-" + curve.name)
+    private, public = ecdsa.generate_keypair(curve, drbg)
+    sig = ecdsa.sign(curve, private, b"original")
+    assert not ecdsa.verify(curve, public, b"altered!", sig)
+
+
+def test_deterministic_nonces():
+    drbg = Drbg("det")
+    private, _ = ecdsa.generate_keypair(P256, drbg)
+    assert ecdsa.sign(P256, private, b"m") == ecdsa.sign(P256, private, b"m")
+    assert ecdsa.sign(P256, private, b"m1") != ecdsa.sign(P256, private, b"m2")
+
+
+def test_tampered_signature_rejected():
+    drbg = Drbg("tamper")
+    private, public = ecdsa.generate_keypair(P256, drbg)
+    sig = bytearray(ecdsa.sign(P256, private, b"m"))
+    sig[10] ^= 0xFF
+    assert not ecdsa.verify(P256, public, b"m", bytes(sig))
+
+
+def test_wrong_key_rejected():
+    drbg = Drbg("wrongkey")
+    private, _ = ecdsa.generate_keypair(P256, drbg)
+    _, other_public = ecdsa.generate_keypair(P256, drbg)
+    sig = ecdsa.sign(P256, private, b"m")
+    assert not ecdsa.verify(P256, other_public, b"m", sig)
+
+
+def test_malformed_inputs_return_false():
+    drbg = Drbg("malformed")
+    private, public = ecdsa.generate_keypair(P256, drbg)
+    sig = ecdsa.sign(P256, private, b"m")
+    assert not ecdsa.verify(P256, public, b"m", sig[:-1])          # bad length
+    assert not ecdsa.verify(P256, public, b"m", b"\x00" * 64)      # r = s = 0
+    assert not ecdsa.verify(P256, b"\x04" + b"\x01" * 64, b"m", sig)  # bad point
+
+
+def test_cross_curve_signature_rejected():
+    drbg = Drbg("crosscurve")
+    private, public = ecdsa.generate_keypair(P256, drbg)
+    sig = ecdsa.sign(P256, private, b"m")
+    assert not ecdsa.verify(P384, public, b"m", sig)

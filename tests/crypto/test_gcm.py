@@ -1,0 +1,105 @@
+"""AES-GCM: NIST test vectors and AEAD properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.gcm import AesGcm, gf_mul
+
+
+def test_nist_case_1_empty():
+    gcm = AesGcm(b"\x00" * 16)
+    assert gcm.encrypt(b"\x00" * 12, b"") == bytes.fromhex(
+        "58e2fccefa7e3061367f1d57a4e7455a")
+
+
+def test_nist_case_2_single_block():
+    gcm = AesGcm(b"\x00" * 16)
+    out = gcm.encrypt(b"\x00" * 12, b"\x00" * 16)
+    assert out == bytes.fromhex(
+        "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
+
+
+def test_nist_case_4_with_aad():
+    gcm = AesGcm(bytes.fromhex("feffe9928665731c6d6a8f9467308308"))
+    plaintext = bytes.fromhex(
+        "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39")
+    aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    iv = bytes.fromhex("cafebabefacedbaddecaf888")
+    out = gcm.encrypt(iv, plaintext, aad)
+    assert out[-16:] == bytes.fromhex("5bc94fbc3221a5db94fae95ae7121a47")
+    assert gcm.decrypt(iv, out, aad) == plaintext
+
+
+@given(st.binary(max_size=300), st.binary(max_size=64))
+def test_roundtrip(plaintext, aad):
+    gcm = AesGcm(b"k" * 16)
+    nonce = b"n" * 12
+    assert gcm.decrypt(nonce, gcm.encrypt(nonce, plaintext, aad), aad) == plaintext
+
+
+def test_ciphertext_tamper_detected():
+    gcm = AesGcm(b"k" * 16)
+    out = bytearray(gcm.encrypt(b"n" * 12, b"hello world"))
+    out[0] ^= 1
+    with pytest.raises(ValueError):
+        gcm.decrypt(b"n" * 12, bytes(out))
+
+
+def test_tag_tamper_detected():
+    gcm = AesGcm(b"k" * 16)
+    out = bytearray(gcm.encrypt(b"n" * 12, b"hello world"))
+    out[-1] ^= 1
+    with pytest.raises(ValueError):
+        gcm.decrypt(b"n" * 12, bytes(out))
+
+
+def test_aad_mismatch_detected():
+    gcm = AesGcm(b"k" * 16)
+    out = gcm.encrypt(b"n" * 12, b"data", aad=b"right")
+    with pytest.raises(ValueError):
+        gcm.decrypt(b"n" * 12, out, aad=b"wrong")
+
+
+def test_truncated_input_rejected():
+    gcm = AesGcm(b"k" * 16)
+    with pytest.raises(ValueError):
+        gcm.decrypt(b"n" * 12, b"too-short")
+
+
+def test_bad_nonce_length_rejected():
+    gcm = AesGcm(b"k" * 16)
+    with pytest.raises(ValueError):
+        gcm.encrypt(b"n" * 11, b"x")
+    with pytest.raises(ValueError):
+        gcm.decrypt(b"n" * 13, b"x" * 16)
+
+
+def test_distinct_nonces_distinct_ciphertexts():
+    gcm = AesGcm(b"k" * 16)
+    c1 = gcm.encrypt(b"\x00" * 12, b"message")
+    c2 = gcm.encrypt(b"\x01" + b"\x00" * 11, b"message")
+    assert c1 != c2
+
+
+def test_aes256_gcm_works():
+    gcm = AesGcm(b"k" * 32)
+    nonce = b"n" * 12
+    assert gcm.decrypt(nonce, gcm.encrypt(nonce, b"payload")) == b"payload"
+
+
+# -- GF(2^128) multiply ------------------------------------------------------
+
+def test_gf_mul_identity_and_commutativity():
+    # 1 in GCM's reflected representation is the MSB-first value 2^127
+    one = 1 << 127
+    x = 0x0123456789ABCDEF0123456789ABCDEF
+    y = 0x00FEDCBA98765432100123456789ABCD
+    assert gf_mul(x, one) == x
+    assert gf_mul(one, y) == y
+    assert gf_mul(x, y) == gf_mul(y, x)
+
+
+def test_gf_mul_distributive():
+    a, b, c = 0xAAAA << 100, 0x1234567, (1 << 127) | 0x42
+    assert gf_mul(a ^ b, c) == gf_mul(a, c) ^ gf_mul(b, c)

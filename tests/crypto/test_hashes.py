@@ -1,0 +1,83 @@
+"""Hashes, HMAC (vs the stdlib), HKDF (RFC 5869 vectors), MGF1."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashes import (
+    hkdf_expand,
+    hkdf_extract,
+    hmac_digest,
+    mgf1,
+    sha256,
+    sha384,
+    shake128,
+    shake256,
+)
+
+
+def test_wrappers_match_hashlib():
+    data = b"The quick brown fox"
+    assert sha256(data) == hashlib.sha256(data).digest()
+    assert sha384(data) == hashlib.sha384(data).digest()
+    assert shake128(data, 17) == hashlib.shake_128(data).digest(17)
+    assert shake256(data, 99) == hashlib.shake_256(data).digest(99)
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_hmac_matches_stdlib(key, message):
+    ours = hmac_digest(key, message, "sha256")
+    theirs = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+    assert ours == theirs
+
+
+def test_hmac_sha384_matches_stdlib():
+    key, msg = b"k" * 200, b"block-size-exceeding key path"
+    assert hmac_digest(key, msg, "sha384") == stdlib_hmac.new(
+        key, msg, hashlib.sha384).digest()
+
+
+def test_hkdf_rfc5869_case_1():
+    ikm = bytes.fromhex("0b" * 22)
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    prk = hkdf_extract(salt, ikm)
+    assert prk == bytes.fromhex(
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+    okm = hkdf_expand(prk, info, 42)
+    assert okm == bytes.fromhex(
+        "3cb25f25faacd57a90434f64d0362f2a"
+        "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865")
+
+
+def test_hkdf_rfc5869_case_3_empty_salt_info():
+    ikm = bytes.fromhex("0b" * 22)
+    prk = hkdf_extract(b"", ikm)
+    okm = hkdf_expand(prk, b"", 42)
+    assert okm == bytes.fromhex(
+        "8da4e775a563c18f715f802a063c5a31"
+        "b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8")
+
+
+def test_hkdf_expand_length_limit():
+    import pytest
+
+    prk = b"\x01" * 32
+    with pytest.raises(ValueError):
+        hkdf_expand(prk, b"", 255 * 32 + 1)
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_mgf1_length_and_prefix(length):
+    full = mgf1(b"seed", 500)
+    assert mgf1(b"seed", length) == full[:length]
+
+
+def test_mgf1_counter_progression():
+    # output block i is Hash(seed || I2OSP(i, 4))
+    block0 = hashlib.sha256(b"s" + (0).to_bytes(4, "big")).digest()
+    block1 = hashlib.sha256(b"s" + (1).to_bytes(4, "big")).digest()
+    assert mgf1(b"s", 64) == block0 + block1

@@ -1,0 +1,92 @@
+"""Modular arithmetic, Miller–Rabin, prime generation, Tonelli–Shanks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.drbg import Drbg
+from repro.crypto.modmath import generate_prime, invmod, is_probable_prime, legendre, sqrt_mod
+
+
+@given(st.integers(min_value=2, max_value=10**9))
+def test_invmod_inverse_property(m):
+    a = 1234567891
+    try:
+        inv = invmod(a, m)
+    except ValueError:
+        from math import gcd
+        assert gcd(a, m) != 1
+        return
+    assert a * inv % m == 1
+
+
+def test_invmod_edge_cases():
+    assert invmod(1, 7) == 1
+    assert invmod(-1, 7) == 6
+    with pytest.raises(ValueError):
+        invmod(6, 9)  # gcd 3
+    with pytest.raises(ValueError):
+        invmod(3, 0)
+
+
+KNOWN_PRIMES = [2, 3, 5, 101, 104729, 2**31 - 1, 2**61 - 1,
+                0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF]
+KNOWN_COMPOSITES = [0, 1, 4, 561, 41041, 825265, 2**31, 2**61 - 3,
+                    104729 * 104729]
+
+
+def test_miller_rabin_primes():
+    assert all(is_probable_prime(p) for p in KNOWN_PRIMES)
+
+
+def test_miller_rabin_composites_including_carmichael():
+    assert not any(is_probable_prime(c) for c in KNOWN_COMPOSITES)
+
+
+def test_generate_prime_properties():
+    drbg = Drbg("prime-test")
+    for bits in (64, 128, 256):
+        p = generate_prime(bits, drbg)
+        assert p.bit_length() == bits
+        assert p % 2 == 1
+        assert is_probable_prime(p)
+        # top two bits set (RSA modulus size guarantee)
+        assert (p >> (bits - 2)) & 0b11 == 0b11
+
+
+def test_generate_prime_rejects_tiny():
+    with pytest.raises(ValueError):
+        generate_prime(8, Drbg("x"))
+
+
+def test_legendre_symbol():
+    p = 104729
+    assert legendre(4, p) == 1           # obvious square
+    # a non-residue has symbol p-1
+    non_residues = [a for a in range(2, 50) if legendre(a, p) == p - 1]
+    assert non_residues
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+def test_sqrt_mod_on_squares(x):
+    p = 2**31 - 1  # p % 4 == 3 branch
+    root = sqrt_mod(x * x % p, p)
+    assert root * root % p == x * x % p
+
+
+def test_sqrt_mod_tonelli_branch():
+    p = 104729  # p % 4 == 1: exercises the full Tonelli–Shanks loop
+    for x in (2, 3, 12345, 99999):
+        square = x * x % p
+        root = sqrt_mod(square, p)
+        assert root * root % p == square
+
+
+def test_sqrt_mod_non_residue_rejected():
+    p = 104729
+    non_residue = next(a for a in range(2, 50) if legendre(a, p) == p - 1)
+    with pytest.raises(ValueError):
+        sqrt_mod(non_residue, p)
+
+
+def test_sqrt_mod_zero():
+    assert sqrt_mod(0, 7) == 0

@@ -1,0 +1,102 @@
+"""RSA: keygen structure, PKCS#1 v1.5 and PSS signatures."""
+
+import pytest
+
+from repro.crypto import rsa
+from repro.crypto.drbg import Drbg
+from repro.crypto.modmath import is_probable_prime
+
+
+@pytest.fixture(scope="module")
+def key():
+    return rsa.generate_keypair(1024, Drbg("rsa-test-key"))
+
+
+def test_key_structure(key):
+    assert key.n == key.p * key.q
+    assert key.p != key.q
+    assert is_probable_prime(key.p) and is_probable_prime(key.q)
+    assert key.n.bit_length() == 1024
+    assert key.e == 65537
+    assert key.e * key.d % ((key.p - 1) * (key.q - 1)) == 1
+
+
+def test_crt_private_op_matches_plain_pow(key):
+    c = 0xDEADBEEF
+    assert key._decrypt(c) == pow(c, key.d, key.n)
+
+
+def test_public_key_codec(key):
+    encoded = key.public.encode()
+    decoded = rsa.RsaPublicKey.decode(encoded)
+    assert decoded == key.public
+    assert len(encoded) == 2 + 128 + 4
+
+
+def test_public_key_decode_errors():
+    with pytest.raises(ValueError):
+        rsa.RsaPublicKey.decode(b"\x00")
+    with pytest.raises(ValueError):
+        rsa.RsaPublicKey.decode(b"\x00\x10" + b"\x00" * 10)
+
+
+def test_pkcs1_roundtrip_and_tamper(key):
+    sig = rsa.sign_pkcs1(key, b"message")
+    assert len(sig) == 128
+    assert rsa.verify_pkcs1(key.public, b"message", sig)
+    assert not rsa.verify_pkcs1(key.public, b"messagx", sig)
+    bad = bytes([sig[0] ^ 1]) + sig[1:]
+    assert not rsa.verify_pkcs1(key.public, b"message", bad)
+
+
+def test_pkcs1_deterministic(key):
+    assert rsa.sign_pkcs1(key, b"m") == rsa.sign_pkcs1(key, b"m")
+
+
+def test_pss_roundtrip_and_tamper(key):
+    drbg = Drbg("pss-salt")
+    sig = rsa.sign_pss(key, b"message", drbg)
+    assert len(sig) == 128
+    assert rsa.verify_pss(key.public, b"message", sig)
+    assert not rsa.verify_pss(key.public, b"messagx", sig)
+    bad = sig[:-1] + bytes([sig[-1] ^ 1])
+    assert not rsa.verify_pss(key.public, b"message", bad)
+
+
+def test_pss_randomized_signatures_differ_but_both_verify(key):
+    drbg = Drbg("salts")
+    s1 = rsa.sign_pss(key, b"m", drbg)
+    s2 = rsa.sign_pss(key, b"m", drbg)
+    assert s1 != s2
+    assert rsa.verify_pss(key.public, b"m", s1)
+    assert rsa.verify_pss(key.public, b"m", s2)
+
+
+def test_pss_without_drbg_is_deterministic(key):
+    assert rsa.sign_pss(key, b"m") == rsa.sign_pss(key, b"m")
+    assert rsa.verify_pss(key.public, b"m", rsa.sign_pss(key, b"m"))
+
+
+def test_signature_length_checks(key):
+    sig = rsa.sign_pss(key, b"m", Drbg("x"))
+    assert not rsa.verify_pss(key.public, b"m", sig[:-1])
+    assert not rsa.verify_pkcs1(key.public, b"m", b"\x01" * 127)
+
+
+def test_cross_scheme_rejection(key):
+    pkcs1 = rsa.sign_pkcs1(key, b"m")
+    pss = rsa.sign_pss(key, b"m", Drbg("y"))
+    assert not rsa.verify_pss(key.public, b"m", pkcs1)
+    assert not rsa.verify_pkcs1(key.public, b"m", pss)
+
+
+def test_signature_ge_modulus_rejected(key):
+    too_big = (key.n + 1).to_bytes(129, "big")[-128:]
+    # value >= n must be rejected, not wrapped
+    assert not rsa.verify_pkcs1(key.public, b"m", (key.n - 0).to_bytes(128, "big"))
+    assert not rsa.verify_pss(key.public, b"m", too_big)
+
+
+def test_odd_modulus_size_rejected():
+    with pytest.raises(ValueError):
+        rsa.generate_keypair(1023, Drbg("z"))

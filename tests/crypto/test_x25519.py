@@ -1,0 +1,56 @@
+"""X25519: RFC 7748 vectors and Diffie–Hellman properties."""
+
+import pytest
+
+from repro.crypto.ec.x25519 import x25519, x25519_base
+
+
+def test_rfc7748_vector_1():
+    k = bytes.fromhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+    u = bytes.fromhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+    assert x25519(k, u) == bytes.fromhex(
+        "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+
+
+def test_rfc7748_vector_2():
+    k = bytes.fromhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d")
+    u = bytes.fromhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493")
+    assert x25519(k, u) == bytes.fromhex(
+        "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957")
+
+
+def test_rfc7748_iterated_vector_one_round():
+    k = u = (9).to_bytes(32, "little")
+    result = x25519(k, u)
+    assert result == bytes.fromhex(
+        "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
+
+
+def test_diffie_hellman_agreement():
+    alice_sk = bytes(range(32))
+    bob_sk = bytes(range(32, 64))
+    alice_pk = x25519_base(alice_sk)
+    bob_pk = x25519_base(bob_sk)
+    assert x25519(alice_sk, bob_pk) == x25519(bob_sk, alice_pk)
+
+
+def test_clamping_makes_low_bits_irrelevant():
+    base = bytearray(b"\x40" + b"\x11" * 31)
+    variant = bytearray(base)
+    variant[0] |= 0x07  # bits cleared by clamping
+    assert x25519_base(bytes(base)) == x25519_base(bytes(variant))
+
+
+def test_high_bit_of_u_ignored():
+    k = b"\x01" * 32
+    u = bytearray(b"\x09" + b"\x00" * 31)
+    u_with_bit = bytearray(u)
+    u_with_bit[31] |= 0x80
+    assert x25519(k, bytes(u)) == x25519(k, bytes(u_with_bit))
+
+
+def test_length_validation():
+    with pytest.raises(ValueError):
+        x25519(b"\x00" * 31, b"\x09" + b"\x00" * 31)
+    with pytest.raises(ValueError):
+        x25519(b"\x00" * 32, b"\x09" + b"\x00" * 30)

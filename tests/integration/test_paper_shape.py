@@ -1,0 +1,131 @@
+"""The paper's headline findings must hold in the reproduction.
+
+These are the qualitative claims of §5/§6/§7 — who wins, by roughly what
+factor, where crossovers fall. Uses the experiment cache; the heavy
+SPHINCS+ cases are marked slow.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+
+def _run(kem, sig, scenario="none", **kwargs):
+    return run_experiment(ExperimentConfig(kem=kem, sig=sig, scenario=scenario,
+                                           **kwargs))
+
+
+def test_kyber_is_on_par_with_x25519_at_level_one():
+    kyber = _run("kyber512", "rsa:2048")
+    x25519 = _run("x25519", "rsa:2048")
+    assert kyber.total_median < x25519.total_median * 1.25
+
+
+def test_hqc_is_on_par_at_level_one():
+    hqc = _run("hqc128", "rsa:2048")
+    x25519 = _run("x25519", "rsa:2048")
+    assert hqc.total_median < x25519.total_median * 1.6
+
+
+def test_dilithium_and_falcon_beat_rsa2048():
+    """'Dilithium and Falcon are even faster than RSA' (conclusion)."""
+    rsa = _run("x25519", "rsa:2048")
+    for sig in ("dilithium2", "dilithium3", "dilithium5", "falcon512"):
+        assert _run("x25519", sig).part_b_median < rsa.part_b_median, sig
+
+
+def test_pqc_outperforms_classical_on_higher_levels():
+    """'On NIST security levels three to five, PQC outperforms all
+    algorithms in use today.'"""
+    assert _run("kyber768", "rsa:2048").part_a_median < _run(
+        "p384", "rsa:2048").part_a_median / 3
+    assert _run("kyber1024", "rsa:2048").part_a_median < _run(
+        "p521", "rsa:2048").part_a_median / 5
+
+
+def test_hybrids_no_significant_overhead_level_one():
+    for hybrid, pure in (("p256_kyber512", "kyber512"),
+                         ("p256_hqc128", "hqc128")):
+        h = _run(hybrid, "rsa:2048")
+        p = _run(pure, "rsa:2048")
+        assert h.total_median < p.total_median + 0.0015, hybrid
+
+
+def test_classical_bottlenecks_hybrids_on_level_five():
+    """p521 hybrids are dominated by the p521 half."""
+    hybrid = _run("p521_kyber1024", "rsa:2048")
+    classical = _run("p521", "rsa:2048")
+    pure = _run("kyber1024", "rsa:2048")
+    assert hybrid.total_median > classical.total_median * 0.9
+    assert hybrid.total_median > pure.total_median * 2
+
+
+def test_bike_is_the_slow_kem_at_level_one():
+    bike = _run("bikel1", "rsa:2048")
+    others = [_run(k, "rsa:2048") for k in ("kyber512", "hqc128", "x25519")]
+    assert all(bike.part_b_median > o.part_b_median for o in others)
+
+
+def test_rsa_scaling_with_modulus():
+    latencies = [_run("x25519", f"rsa:{bits}").part_b_median
+                 for bits in (1024, 2048, 3072, 4096)]
+    assert latencies == sorted(latencies)
+    assert latencies[3] > 4 * latencies[0]
+
+
+def test_data_volumes_match_paper_shape():
+    """Kyber adds ~800 B to the CH; HQC's server flight is the largest KEM."""
+    x = _run("x25519", "rsa:2048")
+    kyber = _run("kyber512", "rsa:2048")
+    hqc = _run("hqc256", "rsa:2048")
+    assert 700 <= kyber.client_bytes - x.client_bytes <= 900
+    assert hqc.server_bytes > 15000
+
+
+def test_loss_scenario_mildest_bandwidth_hits_big_payloads():
+    """Finding (i)/(ii) of §5.4."""
+    none = _run("kyber512", "rsa:2048")
+    loss = _run("kyber512", "rsa:2048", scenario="high-loss")
+    bandwidth = _run("kyber512", "rsa:2048", scenario="low-bandwidth")
+    assert loss.total_median < bandwidth.total_median
+    assert bandwidth.total_median > 5 * none.total_median
+
+
+def test_latency_grows_linearly_with_delay():
+    """Finding (iii): 1 s of RTT adds ~1 s for 1-RTT handshakes."""
+    none = _run("kyber512", "rsa:2048")
+    delay = _run("kyber512", "rsa:2048", scenario="high-delay")
+    assert delay.total_median == pytest.approx(none.total_median + 1.0, abs=0.05)
+
+
+def test_realistic_scenarios_dominated_by_rtt():
+    lte = _run("kyber512", "rsa:2048", scenario="lte-m")
+    g5 = _run("kyber512", "rsa:2048", scenario="5g")
+    assert 0.2 < lte.total_median < 0.6
+    assert 0.044 < g5.total_median < 0.08
+
+
+@pytest.mark.slow
+def test_sphincs_is_an_order_of_magnitude_worse():
+    """'handshake latency and data usage were up to 20x higher'."""
+    sphincs = _run("x25519", "sphincs128")
+    rsa = _run("x25519", "rsa:2048")
+    assert sphincs.part_b_median > 7 * rsa.part_b_median
+    assert sphincs.server_bytes > 15 * rsa.server_bytes
+
+
+@pytest.mark.slow
+def test_sphincs_cwnd_overflow_rtts():
+    """sphincs128 -> 2 RTT, sphincs192 -> 3, sphincs256 -> 4 at 1 s RTT."""
+    for sig, rtts in (("sphincs128", 2), ("sphincs192", 3), ("sphincs256", 4)):
+        result = _run("x25519", sig, scenario="high-delay")
+        assert rtts - 0.2 < result.total_median < rtts + 0.3, sig
+
+
+@pytest.mark.slow
+def test_amplification_factor_up_to_tens():
+    """§5.5: server replies up to ~x96 the client request (SPHINCS+)."""
+    sphincs = _run("x25519", "sphincs256")
+    assert sphincs.server_bytes / sphincs.client_bytes > 40
+    rsa = _run("x25519", "rsa:2048")
+    assert rsa.server_bytes / rsa.client_bytes < 4

@@ -1,0 +1,75 @@
+"""Discrete-event scheduler semantics."""
+
+import pytest
+
+from repro.netsim.eventloop import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(0.3, lambda: fired.append("c"))
+    loop.schedule(0.1, lambda: fired.append("a"))
+    loop.schedule(0.2, lambda: fired.append("b"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_schedule_order():
+    loop = EventLoop()
+    fired = []
+    for name in "abc":
+        loop.schedule(0.5, lambda n=name: fired.append(n))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_now_advances_monotonically():
+    loop = EventLoop()
+    times = []
+    loop.schedule(0.1, lambda: times.append(loop.now))
+    loop.schedule(0.4, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [pytest.approx(0.1), pytest.approx(0.4)]
+
+
+def test_nested_scheduling():
+    loop = EventLoop()
+    fired = []
+
+    def outer():
+        fired.append(("outer", loop.now))
+        loop.schedule(0.5, lambda: fired.append(("inner", loop.now)))
+
+    loop.schedule(1.0, outer)
+    loop.run()
+    assert fired[0][0] == "outer"
+    assert fired[1] == ("inner", pytest.approx(1.5))
+
+
+def test_run_until_leaves_future_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(3.0, lambda: fired.append(3))
+    loop.run(until=2.0)
+    assert fired == [1]
+    assert not loop.idle()
+    loop.run()
+    assert fired == [1, 3]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        EventLoop().schedule(-0.1, lambda: None)
+
+
+def test_runaway_guard():
+    loop = EventLoop()
+
+    def recur():
+        loop.schedule(0.0, recur)
+
+    loop.schedule(0.0, recur)
+    with pytest.raises(RuntimeError, match="runaway"):
+        loop.run(max_events=1000)

@@ -1,0 +1,135 @@
+"""BIKE: ring algebra, the BGF decoder, and the KEM."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.bike import BIKEL1, BIKEL3, ring
+from repro.pqc.bike.decoder import BgfDecoder
+from repro.pqc.bike.kem import _expand_error
+
+
+def _slow_mul(a, b, r):
+    out = np.zeros(r, dtype=np.uint8)
+    for i in range(r):
+        if a[i]:
+            out ^= np.roll(b, i)
+    return out
+
+
+def test_ring_mul_matches_reference_small():
+    r = 13
+    drbg = Drbg("ring-small")
+    a = ring.from_bytes(drbg.random_bytes(2), r)
+    b = ring.from_bytes(drbg.random_bytes(2), r)
+    assert np.array_equal(ring.mul(a, b, r), _slow_mul(a, b, r))
+
+
+def test_ring_mul_matches_sparse_mul_full_size():
+    r = 12323
+    drbg = Drbg("ring-big")
+    support = drbg.sample_distinct(r, 71)
+    dense = ring.from_bytes(drbg.random_bytes((r + 7) // 8), r)
+    sparse_bits = ring.support_to_bits(support, r)
+    assert np.array_equal(ring.mul(sparse_bits, dense, r),
+                          ring.sparse_mul(support, dense))
+
+
+def test_square_k_is_repeated_squaring():
+    r = 13
+    a = ring.support_to_bits([0, 2, 3], r)
+    sq1 = ring.mul(a, a, r)
+    assert np.array_equal(ring.square_k(a, 1, r), sq1)
+    assert np.array_equal(ring.square_k(a, 2, r), ring.mul(sq1, sq1, r))
+
+
+@pytest.mark.parametrize("r,weight", [(13, 3), (12323, 71)])
+def test_inverse(r, weight):
+    drbg = Drbg(f"inv{r}")
+    support = drbg.sample_distinct(r, weight)  # odd weight -> invertible
+    a = ring.support_to_bits(support, r)
+    product = ring.mul(a, ring.inverse(a, r), r)
+    assert product[0] == 1 and product[1:].sum() == 0
+
+
+def test_bits_bytes_roundtrip():
+    r = 12323
+    drbg = Drbg("codec")
+    bits = ring.from_bytes(drbg.random_bytes((r + 7) // 8), r)
+    assert np.array_equal(ring.from_bytes(ring.to_bytes(bits), r), bits)
+
+
+def test_expand_error_weight_and_determinism():
+    e = _expand_error(b"\x01" * 32, 12323, 134)
+    assert e.sum() == 134
+    assert e.shape == (2 * 12323,)
+    assert np.array_equal(e, _expand_error(b"\x01" * 32, 12323, 134))
+    assert not np.array_equal(e, _expand_error(b"\x02" * 32, 12323, 134))
+
+
+def test_bgf_decoder_recovers_planted_error():
+    r, d, t = 12323, 71, 134
+    drbg = Drbg("bgf")
+    h0 = np.array(sorted(drbg.sample_distinct(r, d)), dtype=np.int64)
+    h1 = np.array(sorted(drbg.sample_distinct(r, d)), dtype=np.int64)
+    e = _expand_error(b"\x33" * 32, r, t)
+    e0, e1 = e[:r], e[r:]
+    syndrome = ring.sparse_mul(h0, e0) ^ ring.sparse_mul(h1, e1)
+    decoder = BgfDecoder(r, d, t, (0.0069722, 13.530, 36))
+    decoded = decoder.decode(syndrome, [h0, h1])
+    assert decoded is not None
+    assert np.array_equal(decoded, e)
+
+
+def test_bgf_decoder_zero_syndrome():
+    r, d, t = 12323, 71, 134
+    decoder = BgfDecoder(r, d, t, (0.0069722, 13.530, 36))
+    h = np.arange(d, dtype=np.int64)
+    decoded = decoder.decode(np.zeros(r, dtype=np.uint8), [h, h + 100])
+    assert decoded is not None and decoded.sum() == 0
+
+
+EXPECTED_SIZES = {"bikel1": (1541, 1573), "bikel3": (3083, 3115)}
+
+
+@pytest.mark.parametrize("kem", [BIKEL1, BIKEL3], ids=lambda k: k.name)
+def test_kem_roundtrip_and_sizes(kem):
+    drbg = Drbg("bike-" + kem.name)
+    pk, sk = kem.keygen(drbg)
+    ct, ss = kem.encaps(pk, drbg)
+    kem.check_sizes(pk, ct, ss)
+    assert (kem.public_key_bytes, kem.ciphertext_bytes) == EXPECTED_SIZES[kem.name]
+    assert kem.decaps(sk, ct) == ss
+
+
+def test_many_roundtrips_no_decoding_failures():
+    drbg = Drbg("bike-dfr")
+    pk, sk = BIKEL1.keygen(drbg)
+    for _ in range(10):
+        ct, ss = BIKEL1.encaps(pk, drbg)
+        assert BIKEL1.decaps(sk, ct) == ss
+
+
+def test_implicit_rejection_deterministic():
+    drbg = Drbg("bike-reject")
+    pk, sk = BIKEL1.keygen(drbg)
+    ct, ss = BIKEL1.encaps(pk, drbg)
+    bad = bytes([ct[0] ^ 1]) + ct[1:]
+    out = BIKEL1.decaps(sk, bad)
+    assert out != ss
+    assert BIKEL1.decaps(sk, bad) == out
+
+
+def test_length_validation():
+    drbg = Drbg("bike-len")
+    pk, sk = BIKEL1.keygen(drbg)
+    with pytest.raises(ValueError):
+        BIKEL1.encaps(pk + b"\x00", drbg)
+    with pytest.raises(ValueError):
+        BIKEL1.decaps(sk, b"\x00" * 10)
+
+
+def test_client_attribution_is_libssl():
+    """The paper's Table 3 quirk: BIKE's client work shows up in libssl."""
+    assert BIKEL1.client_attribution == "libssl"
+    assert BIKEL1.server_attribution == "libcrypto"

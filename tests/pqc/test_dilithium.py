@@ -1,0 +1,172 @@
+"""Dilithium: rounding algebra, hints, codecs, signatures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.dilithium import (
+    DILITHIUM2,
+    DILITHIUM2_AES,
+    DILITHIUM3,
+    DILITHIUM5,
+)
+from repro.pqc.dilithium import poly
+from repro.pqc.dilithium.poly import D, N, Q
+
+coeffs = st.integers(min_value=0, max_value=Q - 1)
+
+
+@given(st.lists(coeffs, min_size=N, max_size=N))
+def test_ntt_roundtrip(f):
+    assert poly.intt(poly.ntt(f)) == f
+
+
+def test_ntt_multiplication_matches_schoolbook():
+    drbg = Drbg("dil-ntt")
+    f = [drbg.randint_below(Q) for _ in range(N)]
+    g = [drbg.randint_below(Q) for _ in range(N)]
+    ref = [0] * N
+    for i in range(N):
+        for j in range(N):
+            k = i + j
+            if k < N:
+                ref[k] = (ref[k] + f[i] * g[j]) % Q
+            else:
+                ref[k - N] = (ref[k - N] - f[i] * g[j]) % Q
+    got = poly.intt(poly.pointwise(poly.ntt(f), poly.ntt(g)))
+    assert got == ref
+
+
+@given(coeffs)
+def test_power2round_reconstruction(r):
+    r1, r0 = poly.power2round(r)
+    assert (r1 << D) + r0 == r % Q
+    assert -(1 << (D - 1)) < r0 <= (1 << (D - 1))
+
+
+@given(coeffs, st.sampled_from([2 * (Q - 1) // 88, 2 * (Q - 1) // 32]))
+def test_decompose_reconstruction(r, alpha):
+    r1, r0 = poly.decompose(r, alpha)
+    assert (r1 * alpha + r0) % Q == r % Q
+    assert abs(r0) <= alpha // 2 + 1
+    assert 0 <= r1 < (Q - 1) // alpha
+
+
+@given(coeffs, st.integers(min_value=-(Q - 1) // 88, max_value=(Q - 1) // 88),
+       st.sampled_from([2 * (Q - 1) // 88, 2 * (Q - 1) // 32]))
+def test_hint_recovers_highbits(r, z, alpha):
+    """UseHint(MakeHint(z, r+... ), .) == HighBits(r + z): the core lemma."""
+    if abs(z) > alpha // 2:
+        return
+    hint = poly.make_hint(z % Q, r, alpha)
+    assert poly.use_hint(hint, r, alpha) == poly.highbits((r + z) % Q, alpha)
+
+
+@given(st.lists(coeffs, min_size=4, max_size=4), st.sampled_from([3, 4, 13]))
+def test_pack_unpack_roundtrip(values, bits):
+    masked = [v & ((1 << bits) - 1) for v in values]
+    assert poly.unpack_bits(poly.pack_bits(masked, bits), bits, count=4) == masked
+
+
+def test_centered_and_norm():
+    assert poly.centered(Q - 1) == -1
+    assert poly.centered(1) == 1
+    assert poly.inf_norm([1, Q - 5, 0]) == 5
+
+
+@pytest.fixture(scope="module")
+def d2_keypair():
+    return DILITHIUM2.keygen(Drbg("d2-key"))
+
+
+def test_sign_verify_roundtrip(d2_keypair):
+    pk, sk = d2_keypair
+    drbg = Drbg("d2-sign")
+    sig = DILITHIUM2.sign(sk, b"message", drbg)
+    assert len(sig) == DILITHIUM2.signature_bytes
+    assert DILITHIUM2.verify(pk, b"message", sig)
+    assert not DILITHIUM2.verify(pk, b"messagx", sig)
+
+
+def test_tampered_signature_rejected(d2_keypair):
+    pk, sk = d2_keypair
+    sig = DILITHIUM2.sign(sk, b"m", Drbg("t"))
+    for pos in (0, 100, len(sig) - 1):
+        bad = sig[:pos] + bytes([sig[pos] ^ 1]) + sig[pos + 1:]
+        assert not DILITHIUM2.verify(pk, b"m", bad)
+
+
+def test_wrong_key_rejected(d2_keypair):
+    pk, sk = d2_keypair
+    other_pk, _ = DILITHIUM2.keygen(Drbg("other"))
+    sig = DILITHIUM2.sign(sk, b"m", Drbg("w"))
+    assert not DILITHIUM2.verify(other_pk, b"m", sig)
+
+
+def test_randomized_signing(d2_keypair):
+    pk, sk = d2_keypair
+    drbg = Drbg("rand")
+    s1 = DILITHIUM2.sign(sk, b"m", drbg)
+    s2 = DILITHIUM2.sign(sk, b"m", drbg)
+    assert s1 != s2 and DILITHIUM2.verify(pk, b"m", s1) and DILITHIUM2.verify(pk, b"m", s2)
+
+
+def test_length_validation(d2_keypair):
+    pk, sk = d2_keypair
+    sig = DILITHIUM2.sign(sk, b"m", Drbg("l"))
+    assert not DILITHIUM2.verify(pk, b"m", sig[:-1])
+    assert not DILITHIUM2.verify(pk[:-1], b"m", sig)
+
+
+def test_hint_packing_roundtrip_and_canonicality(d2_keypair):
+    scheme = DILITHIUM2
+    hints = [[0] * N for _ in range(scheme._p.k)]
+    hints[0][3] = hints[0][250] = hints[2][7] = 1
+    packed = scheme._pack_hint(hints)
+    assert len(packed) == scheme._p.omega + scheme._p.k
+    assert scheme._unpack_hint(packed) == hints
+    # non-canonical encodings must be rejected
+    corrupt = bytearray(packed)
+    corrupt[scheme._p.omega] = scheme._p.omega + 1  # count beyond omega
+    assert scheme._unpack_hint(bytes(corrupt)) is None
+    corrupt = bytearray(packed)
+    corrupt[5] = 60  # garbage in the zero-padding region (3 hints used)
+    assert scheme._unpack_hint(bytes(corrupt)) is None
+
+
+def test_sample_in_ball_shape():
+    c = DILITHIUM2._sample_in_ball(b"\x07" * 32)
+    nonzero = [x for x in c if x != 0]
+    assert len(nonzero) == DILITHIUM2._p.tau
+    assert all(x in (1, Q - 1) for x in nonzero)
+
+
+EXPECTED = {
+    "dilithium2": (1312, 2420),
+    "dilithium3": (1952, 3293),
+    "dilithium5": (2592, 4595),
+}
+
+
+@pytest.mark.parametrize("scheme", [DILITHIUM2, DILITHIUM3, DILITHIUM5],
+                         ids=lambda s: s.name)
+def test_spec_wire_sizes(scheme):
+    assert (scheme.public_key_bytes, scheme.signature_bytes) == EXPECTED[scheme.name]
+
+
+@pytest.mark.parametrize("scheme", [DILITHIUM3, DILITHIUM5, DILITHIUM2_AES],
+                         ids=lambda s: s.name)
+def test_higher_levels_and_aes_roundtrip(scheme):
+    drbg = Drbg("lvl-" + scheme.name)
+    pk, sk = scheme.keygen(drbg)
+    sig = scheme.sign(sk, b"level test", drbg)
+    assert len(sig) == scheme.signature_bytes
+    assert scheme.verify(pk, b"level test", sig)
+    assert not scheme.verify(pk, b"level tesT", sig)
+
+
+def test_aes_variant_same_sizes_different_keys():
+    std = DILITHIUM2.keygen(Drbg("suite"))
+    aes = DILITHIUM2_AES.keygen(Drbg("suite"))
+    assert len(std[0]) == len(aes[0])
+    assert std[0] != aes[0]

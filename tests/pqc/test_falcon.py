@@ -1,0 +1,174 @@
+"""Falcon: NTT, NTRUSolve, codecs, signatures (512 by default, 1024 slow)."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.falcon import FALCON512, FALCON1024
+from repro.pqc.falcon import polyint as pz
+from repro.pqc.falcon.ntrugen import NtruSolveError, ntru_solve, verify_ntru
+from repro.pqc.falcon.ntt import Q, FalconNtt
+from repro.pqc.falcon.sig import _gaussian_small, _hash_to_point
+
+
+def test_ntt_roundtrip_and_multiplication():
+    ntt = FalconNtt(64)
+    drbg = Drbg("falcon-ntt")
+    a = [drbg.randint_below(Q) for _ in range(64)]
+    b = [drbg.randint_below(Q) for _ in range(64)]
+    assert ntt.intt(ntt.ntt(a)) == a
+    assert ntt.mul(a, b) == [c % Q for c in pz.neg_mul(a, b)]
+
+
+def test_ntt_division():
+    ntt = FalconNtt(64)
+    drbg = Drbg("falcon-div")
+    b = [drbg.randint(1, Q - 1) for _ in range(64)]
+    a = [drbg.randint_below(Q) for _ in range(64)]
+    if ntt.is_invertible(b):
+        q = ntt.div(a, b)
+        assert ntt.mul(q, b) == [c % Q for c in a]
+
+
+def test_polyint_algebra():
+    a = [1, 2, 3, 4]
+    b = [5, 0, -1, 2]
+    # negacyclic: x^4 = -1
+    prod = pz.neg_mul(a, b)
+    assert len(prod) == 4
+    assert pz.sub(pz.add(a, b), b) == a
+    # adjoint is an involution
+    assert pz.adjoint(pz.adjoint(a)) == a
+    # galois conjugate a(-x) twice is identity
+    assert pz.galois_conjugate(pz.galois_conjugate(b)) == b
+
+
+def test_field_norm_degree_halving_identity():
+    """N(f)(x^2) == f(x) * f(-x) for random small f."""
+    drbg = Drbg("norm")
+    f = [drbg.randint(-5, 5) for _ in range(16)]
+    norm = pz.field_norm(f)
+    assert len(norm) == 8
+    lifted = pz.lift_twist(norm)
+    direct = pz.neg_mul(f, pz.galois_conjugate(f))
+    assert lifted == direct
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_ntru_solve_satisfies_equation(n):
+    drbg = Drbg(f"ntru{n}")
+    for _ in range(12):
+        f = [_gaussian_small(drbg, 4.0) for _ in range(n)]
+        g = [_gaussian_small(drbg, 4.0) for _ in range(n)]
+        try:
+            F, G = ntru_solve(f, g)
+        except NtruSolveError:
+            continue
+        assert verify_ntru(f, g, F, G)
+        return
+    pytest.fail("no solvable (f, g) found in 12 attempts")
+
+
+def test_ntru_solve_unsolvable_raises():
+    # f = g = 2: gcd of constant terms is 2 at the recursion bottom
+    with pytest.raises(NtruSolveError):
+        ntru_solve([2], [2])
+
+
+def test_hash_to_point_uniform_range_and_determinism():
+    c = _hash_to_point(b"salt-and-message", 512)
+    assert len(c) == 512
+    assert all(0 <= x < Q for x in c)
+    assert c == _hash_to_point(b"salt-and-message", 512)
+    assert c != _hash_to_point(b"salt-and-messagf", 512)
+
+
+@pytest.fixture(scope="module")
+def falcon512_keys():
+    return FALCON512.keygen(Drbg("falcon512-test-key"))
+
+
+def test_falcon512_sign_verify(falcon512_keys):
+    pk, sk = falcon512_keys
+    drbg = Drbg("sign")
+    assert len(pk) == 897
+    sig = FALCON512.sign(sk, b"message", drbg)
+    assert len(sig) == 666
+    assert FALCON512.verify(pk, b"message", sig)
+    assert not FALCON512.verify(pk, b"messagx", sig)
+
+
+def test_falcon512_tamper_rejection(falcon512_keys):
+    pk, sk = falcon512_keys
+    sig = FALCON512.sign(sk, b"m", Drbg("t"))
+    for pos in (0, 1, 50, 400):
+        bad = sig[:pos] + bytes([sig[pos] ^ 1]) + sig[pos + 1:]
+        assert not FALCON512.verify(pk, b"m", bad)
+
+
+def test_falcon512_randomized_salts(falcon512_keys):
+    pk, sk = falcon512_keys
+    drbg = Drbg("salty")
+    s1 = FALCON512.sign(sk, b"m", drbg)
+    s2 = FALCON512.sign(sk, b"m", drbg)
+    assert s1 != s2
+    assert FALCON512.verify(pk, b"m", s1) and FALCON512.verify(pk, b"m", s2)
+
+
+def test_falcon512_wrong_key(falcon512_keys):
+    pk, sk = falcon512_keys
+    sig = FALCON512.sign(sk, b"m", Drbg("w"))
+    other_pk, _ = FALCON512.keygen(Drbg("other-falcon"))
+    assert not FALCON512.verify(other_pk, b"m", sig)
+
+
+def test_compress_decompress_roundtrip(falcon512_keys):
+    scheme = FALCON512
+    drbg = Drbg("comp")
+    values = [drbg.randint(-150, 150) for _ in range(512)]
+    packed = scheme._compress(values, 625)
+    assert packed is not None and len(packed) == 625
+    assert scheme._decompress(packed, 512) == values
+
+
+def test_compress_budget_overflow_returns_none():
+    scheme = FALCON512
+    huge = [4000] * 512  # ~40 unary bits each: cannot fit
+    assert scheme._compress(huge, 625) is None
+
+
+def test_compress_rejects_out_of_range_magnitude():
+    assert FALCON512._compress([1 << 12] + [0] * 511, 625) is None
+
+
+def test_decompress_rejects_noncanonical_padding(falcon512_keys):
+    packed = bytearray(FALCON512._compress([1] * 512, 625))
+    packed[-1] |= 0x01  # garbage beyond the last coefficient
+    assert FALCON512._decompress(bytes(packed), 512) is None
+
+
+def test_pk_codec_roundtrip(falcon512_keys):
+    pk, _ = falcon512_keys
+    h = FALCON512._decode_pk(pk)
+    assert FALCON512._encode_pk(h) == pk
+    with pytest.raises(ValueError):
+        FALCON512._decode_pk(pk[:-1])
+    with pytest.raises(ValueError):
+        FALCON512._decode_pk(b"\x0A" + pk[1:])  # wrong logn header
+
+
+def test_verify_rejects_malformed_inputs(falcon512_keys):
+    pk, sk = falcon512_keys
+    sig = FALCON512.sign(sk, b"m", Drbg("mal"))
+    assert not FALCON512.verify(pk, b"m", sig[:-1])
+    assert not FALCON512.verify(pk, b"m", bytes([0x3A]) + sig[1:])  # bad header
+
+
+@pytest.mark.slow
+def test_falcon1024_full_cycle():
+    drbg = Drbg("falcon1024-test")
+    pk, sk = FALCON1024.keygen(drbg)
+    assert len(pk) == 1793
+    sig = FALCON1024.sign(sk, b"large parameter set", drbg)
+    assert len(sig) == 1280
+    assert FALCON1024.verify(pk, b"large parameter set", sig)
+    assert not FALCON1024.verify(pk, b"Large parameter set", sig)

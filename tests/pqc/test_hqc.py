@@ -1,0 +1,184 @@
+"""HQC: GF(256), Reed–Solomon, Reed–Muller, and the KEM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.hqc import HQC128, HQC192, HQC256
+from repro.pqc.hqc.gf256 import EXP, LOG, gf_div, gf_inv, gf_mul, gf_pow, poly_eval, poly_mul
+from repro.pqc.hqc.reedmuller import rm_decode, rm_encode
+from repro.pqc.hqc.reedsolomon import ReedSolomon
+
+
+# -- GF(256) --------------------------------------------------------------------
+
+@given(st.integers(1, 255))
+def test_gf_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+def test_gf_mul_associative_distributive(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+    assert gf_mul(a ^ b, c) == gf_mul(a, c) ^ gf_mul(b, c)
+
+
+def test_gf_tables_consistent():
+    assert EXP[0] == 1
+    assert all(LOG[EXP[i]] == i for i in range(255))
+    assert gf_pow(2, 255) == 1
+
+
+def test_gf_div_and_zero_handling():
+    assert gf_div(gf_mul(7, 9), 9) == 7
+    assert gf_mul(0, 123) == 0
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+def test_poly_eval_horner():
+    # p(x) = 3 + 2x over GF(256): p(1) = 1, p(0) = 3
+    assert poly_eval([3, 2], 0) == 3
+    assert poly_eval([3, 2], 1) == 1
+
+
+def test_poly_mul_degree():
+    assert len(poly_mul([1, 1], [1, 1, 1])) == 4
+
+
+# -- Reed–Solomon -----------------------------------------------------------------
+
+@pytest.mark.parametrize("n,k", [(46, 16), (56, 24), (90, 32)])
+def test_rs_clean_roundtrip(n, k):
+    rs = ReedSolomon(n, k)
+    msg = bytes(range(k))
+    cw = rs.encode(msg)
+    assert len(cw) == n
+    assert rs.decode(cw) == msg
+
+
+@settings(max_examples=15)
+@given(st.data())
+def test_rs_corrects_up_to_delta_errors(data):
+    rs = ReedSolomon(46, 16)
+    drbg = Drbg(b"rs-prop" + bytes([data.draw(st.integers(0, 255))]))
+    msg = drbg.random_bytes(16)
+    cw = bytearray(rs.encode(msg))
+    nerr = data.draw(st.integers(min_value=0, max_value=rs.delta))
+    for pos in drbg.sample_distinct(46, nerr):
+        cw[pos] ^= drbg.randint(1, 255)
+    assert rs.decode(bytes(cw)) == msg
+
+
+def test_rs_detects_overload():
+    rs = ReedSolomon(46, 16)
+    drbg = Drbg("rs-overload")
+    cw = bytearray(rs.encode(bytes(16)))
+    for pos in drbg.sample_distinct(46, 2 * rs.delta + 4):
+        cw[pos] ^= drbg.randint(1, 255)
+    # beyond-radius errors either raise or return a wrong message; they
+    # must never silently return the original
+    try:
+        decoded = rs.decode(bytes(cw))
+    except ValueError:
+        return
+    assert decoded != bytes(16)
+
+
+def test_rs_parameter_validation():
+    with pytest.raises(ValueError):
+        ReedSolomon(46, 17)  # odd n-k
+    with pytest.raises(ValueError):
+        ReedSolomon(300, 200)  # n > 255
+    rs = ReedSolomon(46, 16)
+    with pytest.raises(ValueError):
+        rs.encode(bytes(15))
+    with pytest.raises(ValueError):
+        rs.decode(bytes(45))
+
+
+def test_rs_codewords_linear():
+    rs = ReedSolomon(46, 16)
+    m1, m2 = bytes(range(16)), bytes(range(16, 32))
+    xor = bytes(a ^ b for a, b in zip(m1, m2))
+    cw = bytes(a ^ b for a, b in zip(rs.encode(m1), rs.encode(m2)))
+    assert cw == rs.encode(xor)
+
+
+# -- duplicated Reed–Muller -----------------------------------------------------------
+
+def test_rm_clean_roundtrip():
+    msg = bytes(range(46))
+    bits = rm_encode(msg, 3)
+    assert bits.shape == (46 * 384,)
+    assert rm_decode(bits, 46, 3) == msg
+
+
+def test_rm_corrects_heavy_noise():
+    drbg = Drbg("rm-noise")
+    msg = drbg.random_bytes(46)
+    bits = rm_encode(msg, 3)
+    noise = (np.frombuffer(drbg.random_bytes(bits.size), dtype=np.uint8) < 51).astype(np.uint8)
+    decoded = rm_decode(bits ^ noise, 46, 3)
+    errors = sum(a != b for a, b in zip(decoded, msg))
+    assert errors <= 2  # ~20% bit flips: ML decoding recovers almost all
+
+
+def test_rm_multiplicity_five():
+    msg = bytes(range(56))
+    bits = rm_encode(msg, 5)
+    assert bits.shape == (56 * 640,)
+    assert rm_decode(bits, 56, 5) == msg
+
+
+def test_rm_length_validation():
+    with pytest.raises(ValueError):
+        rm_decode(np.zeros(100, dtype=np.uint8), 46, 3)
+
+
+# -- the KEM ---------------------------------------------------------------------------
+
+EXPECTED_SIZES = {"hqc128": (2249, 4481), "hqc192": (4522, 9026), "hqc256": (7245, 14469)}
+
+
+@pytest.mark.parametrize("kem", [HQC128, HQC192, HQC256], ids=lambda k: k.name)
+def test_kem_roundtrip_and_sizes(kem):
+    drbg = Drbg("hqc-" + kem.name)
+    pk, sk = kem.keygen(drbg)
+    ct, ss = kem.encaps(pk, drbg)
+    kem.check_sizes(pk, ct, ss)
+    assert (kem.public_key_bytes, kem.ciphertext_bytes) == EXPECTED_SIZES[kem.name]
+    assert kem.decaps(sk, ct) == ss
+
+
+def test_repeated_roundtrips_no_decoding_failures():
+    drbg = Drbg("hqc-dfr")
+    pk, sk = HQC128.keygen(drbg)
+    for _ in range(8):
+        ct, ss = HQC128.encaps(pk, drbg)
+        assert HQC128.decaps(sk, ct) == ss
+
+
+def test_implicit_rejection():
+    drbg = Drbg("hqc-reject")
+    pk, sk = HQC128.keygen(drbg)
+    ct, ss = HQC128.encaps(pk, drbg)
+    for pos in (0, 2000, len(ct) - 1):
+        bad = ct[:pos] + bytes([ct[pos] ^ 1]) + ct[pos + 1:]
+        out = HQC128.decaps(sk, bad)
+        assert out != ss and len(out) == 64
+        assert HQC128.decaps(sk, bad) == out  # deterministic rejection
+
+
+def test_length_validation():
+    drbg = Drbg("hqc-len")
+    pk, sk = HQC128.keygen(drbg)
+    with pytest.raises(ValueError):
+        HQC128.encaps(pk[:-1], drbg)
+    with pytest.raises(ValueError):
+        HQC128.decaps(sk, b"\x00" * 100)
+
+
+def test_keygen_deterministic():
+    assert HQC128.keygen(Drbg("same")) == HQC128.keygen(Drbg("same"))

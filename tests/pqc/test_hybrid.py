@@ -1,0 +1,120 @@
+"""Hybrid KEMs and composite signatures: combiner semantics."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.classical import P256_ECDSA, P256_KEM, X25519
+from repro.pqc.hybrid import CompositeSignature, HybridKem
+from repro.pqc.kyber import KYBER512
+from repro.pqc.dilithium import DILITHIUM2
+
+
+@pytest.fixture(scope="module")
+def hybrid_kem():
+    return HybridKem("p256_kyber512", P256_KEM, KYBER512)
+
+
+@pytest.fixture(scope="module")
+def composite_sig():
+    return CompositeSignature("p256_dilithium2", P256_ECDSA, DILITHIUM2)
+
+
+def test_hybrid_sizes_are_additive(hybrid_kem):
+    assert hybrid_kem.public_key_bytes == P256_KEM.public_key_bytes + KYBER512.public_key_bytes
+    assert hybrid_kem.ciphertext_bytes == P256_KEM.ciphertext_bytes + KYBER512.ciphertext_bytes
+    assert hybrid_kem.shared_secret_bytes == (
+        P256_KEM.shared_secret_bytes + KYBER512.shared_secret_bytes)
+
+
+def test_hybrid_roundtrip(hybrid_kem):
+    drbg = Drbg("hyb")
+    pk, sk = hybrid_kem.keygen(drbg)
+    ct, ss = hybrid_kem.encaps(pk, drbg)
+    hybrid_kem.check_sizes(pk, ct, ss)
+    assert hybrid_kem.decaps(sk, ct) == ss
+
+
+def test_hybrid_secret_is_concatenation(hybrid_kem):
+    """Both component secrets must contribute (combiner = concatenation)."""
+    drbg = Drbg("concat")
+    pk, sk = hybrid_kem.keygen(drbg)
+    ct, ss = hybrid_kem.encaps(pk, drbg)
+    split = P256_KEM.shared_secret_bytes
+    classical_part, pq_part = ss[:split], ss[split:]
+    assert len(classical_part) == 32 and len(pq_part) == 32
+    assert classical_part != pq_part
+
+
+def test_hybrid_tampering_either_half_changes_secret(hybrid_kem):
+    drbg = Drbg("tamper")
+    pk, sk = hybrid_kem.keygen(drbg)
+    ct, ss = hybrid_kem.encaps(pk, drbg)
+    classical_len = P256_KEM.ciphertext_bytes
+    # tamper the PQ half -> Kyber implicit rejection changes the PQ secret
+    bad_pq = ct[:classical_len] + bytes([ct[classical_len] ^ 1]) + ct[classical_len + 1:]
+    assert hybrid_kem.decaps(sk, bad_pq) != ss
+    # tamper the classical half -> invalid EC point is rejected outright
+    bad_ec = bytes([ct[0] ^ 1]) + ct[1:]
+    with pytest.raises(ValueError):
+        hybrid_kem.decaps(sk, bad_ec)
+
+
+def test_hybrid_level_is_pq_level(hybrid_kem):
+    assert hybrid_kem.nist_level == KYBER512.nist_level
+
+
+def test_hybrid_length_validation(hybrid_kem):
+    drbg = Drbg("lenv")
+    pk, sk = hybrid_kem.keygen(drbg)
+    with pytest.raises(ValueError):
+        hybrid_kem.encaps(pk[:-1], drbg)
+    with pytest.raises(ValueError):
+        hybrid_kem.decaps(sk, b"\x00" * 10)
+
+
+def test_x25519_hybrid_variant():
+    kem = HybridKem("x25519_kyber512", X25519, KYBER512)
+    drbg = Drbg("xk")
+    pk, sk = kem.keygen(drbg)
+    ct, ss = kem.encaps(pk, drbg)
+    assert kem.decaps(sk, ct) == ss
+    assert len(pk) == 32 + 800
+
+
+# -- composite signatures -----------------------------------------------------
+
+def test_composite_roundtrip(composite_sig):
+    drbg = Drbg("comp")
+    pk, sk = composite_sig.keygen(drbg)
+    sig = composite_sig.sign(sk, b"dual signed", drbg)
+    assert len(sig) == composite_sig.signature_bytes
+    assert composite_sig.verify(pk, b"dual signed", sig)
+    assert not composite_sig.verify(pk, b"dual signeD", sig)
+
+
+def test_composite_sizes_are_additive(composite_sig):
+    assert composite_sig.public_key_bytes == (
+        P256_ECDSA.public_key_bytes + DILITHIUM2.public_key_bytes)
+    assert composite_sig.signature_bytes == (
+        P256_ECDSA.signature_bytes + DILITHIUM2.signature_bytes)
+
+
+def test_composite_requires_both_signatures_valid(composite_sig):
+    drbg = Drbg("both")
+    pk, sk = composite_sig.keygen(drbg)
+    sig = composite_sig.sign(sk, b"m", drbg)
+    split = P256_ECDSA.signature_bytes
+    # break only the classical half
+    bad_classical = bytes([sig[0] ^ 1]) + sig[1:]
+    assert not composite_sig.verify(pk, b"m", bad_classical)
+    # break only the PQ half
+    bad_pq = sig[:split] + bytes([sig[split] ^ 1]) + sig[split + 1:]
+    assert not composite_sig.verify(pk, b"m", bad_pq)
+
+
+def test_composite_length_validation(composite_sig):
+    drbg = Drbg("clen")
+    pk, sk = composite_sig.keygen(drbg)
+    sig = composite_sig.sign(sk, b"m", drbg)
+    assert not composite_sig.verify(pk, b"m", sig[:-1])
+    assert not composite_sig.verify(pk[:-1], b"m", sig)

@@ -1,0 +1,151 @@
+"""Kyber: NTT algebra, sampling, codecs, KEM round trips, FO rejection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.kyber import (
+    KYBER512,
+    KYBER768,
+    KYBER1024,
+    KYBER90S512,
+    KYBER90S768,
+    KYBER90S1024,
+)
+from repro.pqc.kyber import poly
+from repro.pqc.kyber.poly import N, Q
+
+ALL = [KYBER512, KYBER768, KYBER1024, KYBER90S512, KYBER90S768, KYBER90S1024]
+
+coeff_poly = st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N)
+
+
+@given(coeff_poly)
+def test_ntt_roundtrip(f):
+    assert poly.intt(poly.ntt(f)) == f
+
+
+def _schoolbook_negacyclic(f, g):
+    out = [0] * N
+    for i in range(N):
+        if not f[i]:
+            continue
+        for j in range(N):
+            k = i + j
+            if k < N:
+                out[k] = (out[k] + f[i] * g[j]) % Q
+            else:
+                out[k - N] = (out[k - N] - f[i] * g[j]) % Q
+    return out
+
+
+def test_basemul_matches_schoolbook():
+    drbg = Drbg("kyber-ntt")
+    f = [drbg.randint_below(Q) for _ in range(N)]
+    g = [drbg.randint_below(Q) for _ in range(N)]
+    via_ntt = poly.intt(poly.basemul(poly.ntt(f), poly.ntt(g)))
+    assert via_ntt == _schoolbook_negacyclic(f, g)
+
+
+@given(coeff_poly, coeff_poly)
+def test_poly_add_sub_inverse(f, g):
+    assert poly.poly_sub(poly.poly_add(f, g), g) == f
+
+
+def test_cbd_range_and_length():
+    drbg = Drbg("cbd")
+    for eta in (2, 3):
+        coeffs = poly.cbd(drbg.random_bytes(64 * eta), eta)
+        assert len(coeffs) == N
+        centered = [c if c <= Q // 2 else c - Q for c in coeffs]
+        assert all(-eta <= c <= eta for c in centered)
+
+
+def test_cbd_input_length_enforced():
+    with pytest.raises(ValueError):
+        poly.cbd(b"\x00" * 100, 2)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N),
+       st.sampled_from([1, 4, 5, 10, 11, 12]))
+def test_pack_unpack_roundtrip(values, d):
+    masked = [v & ((1 << d) - 1) for v in values]
+    assert poly.unpack_bits(poly.pack_bits(masked, d), d) == masked
+
+
+@given(st.sampled_from([1, 4, 5, 10, 11]))
+def test_compress_decompress_error_bound(d):
+    drbg = Drbg(f"compress{d}")
+    f = [drbg.randint_below(Q) for _ in range(N)]
+    recovered = poly.decompress(poly.compress(f, d), d)
+    bound = (Q // (1 << (d + 1))) + 1
+    for a, b in zip(f, recovered):
+        delta = min((a - b) % Q, (b - a) % Q)
+        assert delta <= bound
+
+
+@pytest.mark.parametrize("kem", ALL, ids=lambda k: k.name)
+def test_kem_roundtrip_and_sizes(kem):
+    drbg = Drbg("kem-" + kem.name)
+    pk, sk = kem.keygen(drbg)
+    ct, ss_enc = kem.encaps(pk, drbg)
+    ss_dec = kem.decaps(sk, ct)
+    kem.check_sizes(pk, ct, ss_enc)
+    assert ss_enc == ss_dec
+
+
+EXPECTED_SIZES = {
+    "kyber512": (800, 768), "kyber768": (1184, 1088), "kyber1024": (1568, 1568),
+    "kyber90s512": (800, 768), "kyber90s768": (1184, 1088), "kyber90s1024": (1568, 1568),
+}
+
+
+@pytest.mark.parametrize("kem", ALL, ids=lambda k: k.name)
+def test_spec_wire_sizes(kem):
+    pk_len, ct_len = EXPECTED_SIZES[kem.name]
+    assert (kem.public_key_bytes, kem.ciphertext_bytes) == (pk_len, ct_len)
+    assert kem.shared_secret_bytes == 32
+
+
+def test_implicit_rejection_on_tampered_ciphertext():
+    drbg = Drbg("fo")
+    pk, sk = KYBER512.keygen(drbg)
+    ct, ss = KYBER512.encaps(pk, drbg)
+    for position in (0, 100, len(ct) - 1):
+        bad = ct[:position] + bytes([ct[position] ^ 1]) + ct[position + 1:]
+        rejected = KYBER512.decaps(sk, bad)
+        assert rejected != ss
+        assert len(rejected) == 32
+        # rejection is deterministic per ciphertext
+        assert KYBER512.decaps(sk, bad) == rejected
+
+
+def test_distinct_encapsulations_yield_distinct_secrets():
+    drbg = Drbg("fresh")
+    pk, _ = KYBER512.keygen(drbg)
+    _, ss1 = KYBER512.encaps(pk, drbg)
+    _, ss2 = KYBER512.encaps(pk, drbg)
+    assert ss1 != ss2
+
+
+def test_wrong_length_inputs_rejected():
+    drbg = Drbg("len")
+    pk, sk = KYBER512.keygen(drbg)
+    with pytest.raises(ValueError):
+        KYBER512.encaps(pk + b"\x00", drbg)
+    with pytest.raises(ValueError):
+        KYBER512.decaps(sk, b"\x00" * 767)
+
+
+def test_90s_variant_interop_is_forbidden():
+    """Standard and 90s suites must NOT produce compatible artifacts."""
+    drbg = Drbg("suites")
+    pk_std, _ = KYBER512.keygen(drbg.fork("a"))
+    pk_90s, _ = KYBER90S512.keygen(drbg.fork("a"))
+    # same sizes, but the derived keys differ given the same seed stream
+    assert len(pk_std) == len(pk_90s)
+    assert pk_std != pk_90s
+
+
+def test_keygen_deterministic_from_drbg():
+    assert KYBER768.keygen(Drbg("same")) == KYBER768.keygen(Drbg("same"))

@@ -1,0 +1,109 @@
+"""Registry: the paper's full algorithm matrix with spec wire sizes."""
+
+import pytest
+
+from repro.pqc.registry import (
+    ALL_KEM_NAMES,
+    ALL_SIG_NAMES,
+    CLASSICAL_KEMS,
+    CLASSICAL_SIGS,
+    KEMS,
+    LEVEL_GROUPS,
+    SIGS,
+    get_kem,
+    get_sig,
+    is_hybrid,
+)
+
+
+def test_paper_counts():
+    assert len(ALL_KEM_NAMES) == 23          # the paper's "23 KAs"
+    assert len(ALL_SIG_NAMES) == 23          # Table 2b's rows
+    assert set(ALL_KEM_NAMES) <= set(KEMS)
+    assert set(ALL_SIG_NAMES) <= set(SIGS)
+
+
+def test_unknown_names_raise_with_guidance():
+    with pytest.raises(KeyError, match="unknown key agreement"):
+        get_kem("kyber9000")
+    with pytest.raises(KeyError, match="unknown signature algorithm"):
+        get_sig("sphincs9000")
+
+
+def test_is_hybrid_classification():
+    assert is_hybrid("p256_kyber512")
+    assert is_hybrid("p521_dilithium5")
+    assert not is_hybrid("kyber512")
+    assert not is_hybrid("rsa:2048")
+    assert not is_hybrid("sphincs-shake-128f")
+
+
+def test_classical_sets():
+    assert CLASSICAL_KEMS == {"x25519", "p256", "p384", "p521"}
+    assert "rsa:2048" in CLASSICAL_SIGS
+
+
+def test_level_groups_cover_only_registered_algorithms():
+    for group in LEVEL_GROUPS.values():
+        for kem in group["kems"]:
+            assert kem in KEMS and not is_hybrid(kem)
+        for sig in group["sigs"]:
+            assert sig in SIGS and not is_hybrid(sig)
+
+
+# Golden wire sizes: public key and ciphertext/signature bytes, straight
+# from the round-3 specifications. These sizes drive the paper's data
+# volumes, so they are pinned here explicitly.
+KEM_SIZES = {
+    "x25519": (32, 32), "p256": (65, 65), "p384": (97, 97), "p521": (133, 133),
+    "kyber512": (800, 768), "kyber768": (1184, 1088), "kyber1024": (1568, 1568),
+    "kyber90s512": (800, 768), "kyber90s768": (1184, 1088), "kyber90s1024": (1568, 1568),
+    "bikel1": (1541, 1573), "bikel3": (3083, 3115),
+    "hqc128": (2249, 4481), "hqc192": (4522, 9026), "hqc256": (7245, 14469),
+    "p256_kyber512": (865, 833), "p384_kyber768": (1281, 1185),
+    "p521_kyber1024": (1701, 1701), "p256_bikel1": (1606, 1638),
+    "p384_bikel3": (3180, 3212), "p256_hqc128": (2314, 4546),
+    "p384_hqc192": (4619, 9123), "p521_hqc256": (7378, 14602),
+}
+
+SIG_SIZES = {
+    "falcon512": (897, 666), "falcon1024": (1793, 1280),
+    "dilithium2": (1312, 2420), "dilithium3": (1952, 3293), "dilithium5": (2592, 4595),
+    "dilithium2_aes": (1312, 2420), "dilithium3_aes": (1952, 3293),
+    "dilithium5_aes": (2592, 4595),
+    "sphincs128": (32, 17088), "sphincs192": (48, 35664), "sphincs256": (64, 49856),
+    "rsa:1024": (134, 128), "rsa:2048": (262, 256), "rsa:3072": (390, 384),
+    "rsa:4096": (518, 512),
+    "p256_falcon512": (962, 730), "p256_sphincs128": (97, 17152),
+    "p256_dilithium2": (1377, 2484), "rsa3072_dilithium2": (1702, 2804),
+    "p384_dilithium3": (2049, 3389), "p384_sphincs192": (145, 35760),
+    "p521_dilithium5": (2725, 4727), "p521_falcon1024": (1926, 1412),
+    "p521_sphincs256": (197, 49988),
+}
+
+
+@pytest.mark.parametrize("name", sorted(KEM_SIZES))
+def test_kem_wire_sizes(name):
+    kem = get_kem(name)
+    assert (kem.public_key_bytes, kem.ciphertext_bytes) == KEM_SIZES[name]
+
+
+@pytest.mark.parametrize("name", sorted(SIG_SIZES))
+def test_sig_wire_sizes(name):
+    sig = get_sig(name)
+    assert (sig.public_key_bytes, sig.signature_bytes) == SIG_SIZES[name]
+
+
+def test_nist_levels_match_paper_grouping():
+    assert get_kem("kyber512").nist_level == 1
+    assert get_kem("kyber768").nist_level == 3
+    assert get_kem("kyber1024").nist_level == 5
+    assert get_kem("p256_bikel1").nist_level == 1
+    assert get_sig("dilithium2").nist_level == 2
+    assert get_sig("p521_falcon1024").nist_level == 5
+    assert get_sig("rsa:2048").sub_level_one
+
+
+def test_table2a_row_order_levels_nondecreasing():
+    levels = [get_kem(name).nist_level for name in ALL_KEM_NAMES]
+    assert levels == sorted(levels)

@@ -1,0 +1,210 @@
+"""SPHINCS+: WOTS/FORS component identities, toy instances, full 128f (slow)."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.pqc.sphincs import SPHINCS128, SPHINCS192, SPHINCS256
+from repro.pqc.sphincs import fors, wots
+from repro.pqc.sphincs.address import TREE, WOTS_HASH, Adrs
+from repro.pqc.sphincs.backend import HarakaBackend, ShakeBackend, make_backend
+from repro.pqc.sphincs.core import SphincsParams, SphincsSignature
+
+TOY = SphincsParams(n=16, h=8, d=2, a=3, k=8)
+
+
+def _backend(kind="shake", n=16, seed=b"\x42" * 16):
+    backend = make_backend(kind, n)
+    backend.set_pk_seed(seed)
+    return backend
+
+
+# -- addresses ----------------------------------------------------------------
+
+def test_adrs_layout():
+    adrs = Adrs()
+    adrs.layer, adrs.tree, adrs.type = 3, 12345, TREE
+    adrs.w1, adrs.w2, adrs.w3 = 1, 2, 3
+    raw = adrs.to_bytes()
+    assert len(raw) == 32
+    assert raw[3] == 3                       # layer
+    assert int.from_bytes(raw[4:16], "big") == 12345
+    assert raw[19] == TREE
+
+
+def test_adrs_set_type_clears_words():
+    adrs = Adrs()
+    adrs.w1 = adrs.w2 = adrs.w3 = 9
+    adrs.set_type(TREE)
+    assert (adrs.w1, adrs.w2, adrs.w3) == (0, 0, 0)
+
+
+def test_adrs_copy_is_independent():
+    adrs = Adrs()
+    adrs.w1 = 7
+    clone = adrs.copy()
+    clone.w1 = 8
+    assert adrs.w1 == 7
+
+
+# -- WOTS+ ----------------------------------------------------------------------
+
+def test_wots_lengths():
+    assert wots.wots_lengths(16) == (32, 3, 35)
+    assert wots.wots_lengths(24) == (48, 3, 51)
+    assert wots.wots_lengths(32) == (64, 3, 67)
+
+
+def test_message_digits_checksum():
+    digits = wots.message_digits(b"\x00" * 16, 16)
+    assert len(digits) == 35
+    assert digits[:32] == [0] * 32
+    # checksum of all-zero digits is len1*(w-1) = 480 = 0x1E0
+    assert digits[32:] == [1, 14, 0]
+
+
+def test_chain_composition():
+    backend = _backend()
+    adrs = Adrs()
+    one_shot = wots.chain(backend, b"\x01" * 16, 0, 10, adrs.copy())
+    two_step = wots.chain(backend, wots.chain(backend, b"\x01" * 16, 0, 4, adrs.copy()),
+                          4, 6, adrs.copy())
+    assert one_shot == two_step
+
+
+@pytest.mark.parametrize("kind", ["shake", "haraka"])
+def test_wots_sign_verify_identity(kind):
+    backend = _backend(kind)
+    sk_seed = b"\x11" * 16
+    adrs = Adrs()
+    adrs.type = WOTS_HASH
+    adrs.w1 = 5
+    public = wots.wots_pk_gen(backend, sk_seed, adrs.copy())
+    for message in (b"\x00" * 16, b"\xff" * 16, bytes(range(16))):
+        sig = wots.wots_sign(backend, message, sk_seed, adrs.copy())
+        assert wots.wots_pk_from_sig(backend, sig, message, adrs.copy()) == public
+
+
+def test_wots_wrong_message_gives_wrong_pk():
+    backend = _backend()
+    sk_seed = b"\x11" * 16
+    adrs = Adrs()
+    public = wots.wots_pk_gen(backend, sk_seed, adrs.copy())
+    sig = wots.wots_sign(backend, b"\x01" * 16, sk_seed, adrs.copy())
+    assert wots.wots_pk_from_sig(backend, sig, b"\x02" * 16, adrs.copy()) != public
+
+
+# -- FORS -------------------------------------------------------------------------
+
+def test_fors_message_indices():
+    indices = fors.message_indices(b"\xff\x00\xff", 4, 6)
+    assert indices == [0b111111, 0b110000, 0b000011, 0b111111]
+
+
+def test_fors_sign_verify_identity():
+    backend = _backend()
+    sk_seed = b"\x22" * 16
+    adrs = Adrs()
+    adrs.tree = 77
+    adrs.w1 = 3
+    md = bytes(range(8))
+    sig = fors.fors_sign(backend, md, sk_seed, adrs.copy(), k=8, a=3)
+    assert len(sig) == 8 * (3 + 1) * 16
+    pk = fors.fors_pk_from_sig(backend, sig, md, adrs.copy(), k=8, a=3)
+    sig2 = fors.fors_sign(backend, md, sk_seed, adrs.copy(), k=8, a=3)
+    assert fors.fors_pk_from_sig(backend, sig2, md, adrs.copy(), k=8, a=3) == pk
+
+
+def test_fors_tampered_signature_changes_pk():
+    backend = _backend()
+    sk_seed = b"\x22" * 16
+    adrs = Adrs()
+    md = bytes(range(8))
+    sig = bytearray(fors.fors_sign(backend, md, sk_seed, adrs.copy(), k=8, a=3))
+    good = fors.fors_pk_from_sig(backend, bytes(sig), md, adrs.copy(), k=8, a=3)
+    sig[0] ^= 1
+    assert fors.fors_pk_from_sig(backend, bytes(sig), md, adrs.copy(), k=8, a=3) != good
+
+
+# -- full scheme (toy parameters) ----------------------------------------------------
+
+@pytest.mark.parametrize("kind", ["shake", "haraka"])
+def test_toy_instance_roundtrip(kind):
+    scheme = SphincsSignature("toy", TOY, nist_level=1, backend=kind)
+    drbg = Drbg("toy-" + kind)
+    pk, sk = scheme.keygen(drbg)
+    assert len(pk) == 32
+    sig = scheme.sign(sk, b"message", drbg)
+    assert len(sig) == scheme.signature_bytes
+    assert scheme.verify(pk, b"message", sig)
+    assert not scheme.verify(pk, b"messagx", sig)
+
+
+def test_toy_tamper_positions():
+    scheme = SphincsSignature("toy", TOY, nist_level=1, backend="shake")
+    drbg = Drbg("toy-tamper")
+    pk, sk = scheme.keygen(drbg)
+    sig = scheme.sign(sk, b"m", drbg)
+    for pos in (0, 20, len(sig) // 2, len(sig) - 1):
+        bad = sig[:pos] + bytes([sig[pos] ^ 1]) + sig[pos + 1:]
+        assert not scheme.verify(pk, b"m", bad)
+
+
+def test_toy_wrong_key():
+    scheme = SphincsSignature("toy", TOY, nist_level=1, backend="shake")
+    pk, sk = scheme.keygen(Drbg("a"))
+    pk2, _ = scheme.keygen(Drbg("b"))
+    sig = scheme.sign(sk, b"m", Drbg("c"))
+    assert not scheme.verify(pk2, b"m", sig)
+
+
+def test_signature_size_formula():
+    assert SPHINCS128.signature_bytes == 17088
+    assert SPHINCS192.signature_bytes == 35664
+    assert SPHINCS256.signature_bytes == 49856
+    assert SPHINCS128.public_key_bytes == 32
+    assert SPHINCS256.public_key_bytes == 64
+
+
+def test_digest_splitting_ranges():
+    scheme = SphincsSignature("toy", TOY, nist_level=1, backend="shake")
+    digest = bytes(range(scheme.params.digest_bytes))
+    md, idx_tree, idx_leaf = scheme._split_digest(digest)
+    assert len(md) == (TOY.k * TOY.a + 7) // 8
+    assert 0 <= idx_tree < (1 << (TOY.h - TOY.tree_height))
+    assert 0 <= idx_leaf < (1 << TOY.tree_height)
+
+
+def test_backend_keying_changes_everything():
+    b1 = _backend("haraka", seed=b"\x01" * 16)
+    b2 = _backend("haraka", seed=b"\x02" * 16)
+    adrs = Adrs()
+    assert b1.thash(adrs, b"\x00" * 16) != b2.thash(adrs, b"\x00" * 16)
+
+
+def test_haraka_backend_rejects_large_n():
+    with pytest.raises(ValueError):
+        HarakaBackend(48)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        make_backend("sha2", 16)
+
+
+def test_shake_backend_seed_separation():
+    b = ShakeBackend(16)
+    b.set_pk_seed(b"\x00" * 16)
+    adrs = Adrs()
+    h1 = b.thash(adrs, b"data")
+    b.set_pk_seed(b"\x01" * 16)
+    assert b.thash(adrs, b"data") != h1
+
+
+@pytest.mark.slow
+def test_full_sphincs128_haraka_roundtrip():
+    drbg = Drbg("sphincs-full")
+    pk, sk = SPHINCS128.keygen(drbg)
+    sig = SPHINCS128.sign(sk, b"full-size message", drbg)
+    assert len(sig) == 17088
+    assert SPHINCS128.verify(pk, b"full-size message", sig)
+    assert not SPHINCS128.verify(pk, b"full-size messagE", sig)

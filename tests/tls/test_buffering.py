@@ -1,0 +1,84 @@
+"""OpenSSL message-buffering policies: the paper's §4 'optimized' patch."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.tls.actions import Send
+from repro.tls.certs import make_server_credentials
+from repro.tls.client import TlsClient
+from repro.tls.server import BufferPolicy, TlsServer, _BUFFER_LIMIT
+
+
+def server_flights(kem, sig, policy):
+    drbg = Drbg(f"bufpol:{kem}:{sig}")
+    cert, sk, store = make_server_credentials(sig, drbg.fork("ca"))
+    client = TlsClient(kem, sig, store, drbg.fork("c"))
+    server = TlsServer(kem, sig, cert, sk, drbg.fork("s"), policy=policy)
+    wire = b"".join(a.data for a in client.start() if isinstance(a, Send))
+    sends = [a for a in server.receive(wire) if isinstance(a, Send)]
+    return [(s.label, len(s.data)) for s in sends]
+
+
+def test_optimized_pushes_sh_then_cert_then_rest():
+    flights = server_flights("x25519", "rsa:1024", BufferPolicy.OPTIMIZED)
+    labels = [label for label, _ in flights]
+    assert labels == ["SH", "EE+Cert", "CV+Fin"]
+
+
+def test_default_small_handshake_single_flight():
+    """rsa:1024's whole flight fits the 4096 B buffer: one TCP push."""
+    flights = server_flights("x25519", "rsa:1024", BufferPolicy.DEFAULT)
+    assert len(flights) == 1
+    assert flights[0][0] == "SH+EE+Cert+CV+Fin"
+    assert flights[0][1] < _BUFFER_LIMIT
+
+
+def test_default_large_certificate_causes_early_push():
+    """Dilithium-5's certificate overflows the buffer, flushing the SH
+    early — exactly the inconsistency the paper describes in §4."""
+    flights = server_flights("x25519", "dilithium5", BufferPolicy.DEFAULT)
+    labels = [label for label, _ in flights]
+    assert labels[0] == "SH"              # pushed out by the overflowing cert
+    assert any("Cert" in label for label in labels)
+    assert len(flights) >= 3
+
+
+def test_default_medium_flight_two_pushes():
+    """falcon512 (~3 KB flight) exceeds 4096 B with CV: buffered SH+EE+Cert
+    go out when CV+Fin arrive, or everything in one; never SH alone first
+    unless the overflow genuinely happens."""
+    flights = server_flights("x25519", "falcon512", BufferPolicy.DEFAULT)
+    total = sum(size for _, size in flights)
+    assert total > 0
+    # reassembling either policy's flights yields identical byte streams
+    optimized = server_flights("x25519", "falcon512", BufferPolicy.OPTIMIZED)
+    assert total == sum(size for _, size in optimized)
+
+
+@pytest.mark.parametrize("kem,sig", [("kyber512", "dilithium2"), ("x25519", "rsa:1024")])
+def test_policies_produce_identical_bytes(kem, sig):
+    """Buffering changes *when* bytes leave, never *what* bytes leave."""
+    drbg = Drbg(f"same-bytes:{kem}:{sig}")
+    cert, sk, store = make_server_credentials(sig, drbg.fork("ca"))
+
+    def run(policy):
+        client = TlsClient(kem, sig, store, Drbg("fixed-client"))
+        server = TlsServer(kem, sig, cert, sk, Drbg("fixed-server"), policy=policy)
+        wire = b"".join(a.data for a in client.start() if isinstance(a, Send))
+        sends = [a for a in server.receive(wire) if isinstance(a, Send)]
+        return b"".join(s.data for s in sends)
+
+    assert run(BufferPolicy.DEFAULT) == run(BufferPolicy.OPTIMIZED)
+
+
+def test_handshake_completes_under_default_policy():
+    drbg = Drbg("default-complete")
+    cert, sk, store = make_server_credentials("dilithium2", drbg.fork("ca"))
+    client = TlsClient("kyber512", "dilithium2", store, drbg.fork("c"))
+    server = TlsServer("kyber512", "dilithium2", cert, sk, drbg.fork("s"),
+                       policy=BufferPolicy.DEFAULT)
+    wire = b"".join(a.data for a in client.start() if isinstance(a, Send))
+    server_out = b"".join(a.data for a in server.receive(wire) if isinstance(a, Send))
+    fin = b"".join(a.data for a in client.receive(server_out) if isinstance(a, Send))
+    server.receive(fin)
+    assert client.handshake_complete and server.handshake_complete

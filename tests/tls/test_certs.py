@@ -1,0 +1,115 @@
+"""x509-lite certificates and the minimal PKI."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.tls.certs import (
+    Certificate,
+    CertificateAuthority,
+    TrustStore,
+    make_server_credentials,
+)
+from repro.tls.errors import DecodeError, HandshakeFailure
+
+
+@pytest.fixture(scope="module")
+def pki():
+    drbg = Drbg("pki-test")
+    cert, sk, store = make_server_credentials("dilithium2", drbg)
+    return cert, sk, store
+
+
+def test_certificate_codec_roundtrip(pki):
+    cert, _, _ = pki
+    assert Certificate.decode(cert.encode()) == cert
+
+
+def test_decode_rejects_truncation_and_trailing(pki):
+    cert, _, _ = pki
+    wire = cert.encode()
+    with pytest.raises(DecodeError):
+        Certificate.decode(wire[:-1])
+    with pytest.raises(DecodeError):
+        Certificate.decode(wire + b"\x00")
+
+
+def test_chain_verification(pki):
+    cert, _, store = pki
+    leaf = store.verify_chain([cert], expected_subject="server.repro.test")
+    assert leaf.algorithm == "dilithium2"
+
+
+def test_wrong_subject_rejected(pki):
+    cert, _, store = pki
+    with pytest.raises(HandshakeFailure, match="subject"):
+        store.verify_chain([cert], expected_subject="evil.example")
+
+
+def test_tampered_certificate_rejected(pki):
+    cert, _, store = pki
+    tampered = Certificate(
+        subject=cert.subject, issuer=cert.issuer, algorithm=cert.algorithm,
+        public_key=bytes([cert.public_key[0] ^ 1]) + cert.public_key[1:],
+        issuer_algorithm=cert.issuer_algorithm, signature=cert.signature,
+    )
+    with pytest.raises(HandshakeFailure, match="signature"):
+        store.verify_chain([tampered])
+
+
+def test_unknown_issuer_rejected(pki):
+    cert, _, _ = pki
+    empty_store = TrustStore(roots={})
+    with pytest.raises(HandshakeFailure, match="unknown issuer"):
+        empty_store.verify_chain([cert])
+
+
+def test_empty_chain_rejected(pki):
+    _, _, store = pki
+    with pytest.raises(HandshakeFailure, match="empty"):
+        store.verify_chain([])
+
+
+def test_two_element_chain_with_intermediate():
+    drbg = Drbg("chain-test")
+    root = CertificateAuthority.create("falcon512", drbg, name="root")
+    intermediate_ca = CertificateAuthority.create("falcon512", drbg, name="intermediate")
+    intermediate_cert = root.issue("intermediate", "falcon512",
+                                   intermediate_ca.public_key, drbg)
+    leaf = intermediate_ca.issue("leaf.example", "falcon512",
+                                 b"\x01" * 897, drbg)
+    # the intermediate signs the leaf, the root signs the intermediate;
+    # wire chain = [leaf, intermediate], root key in the trust store
+    leaf_fixed = Certificate(
+        subject=leaf.subject, issuer="intermediate", algorithm=leaf.algorithm,
+        public_key=leaf.public_key, issuer_algorithm=leaf.issuer_algorithm,
+        signature=leaf.signature,
+    )
+    store = TrustStore(roots={"root": ("falcon512", root.public_key)})
+    verified = store.verify_chain([leaf_fixed, intermediate_cert],
+                                  expected_subject="leaf.example")
+    assert verified.subject == "leaf.example"
+
+
+def test_issuer_algorithm_mismatch_rejected():
+    drbg = Drbg("alg-mismatch")
+    cert, _, store = make_server_credentials("falcon512", drbg)
+    wrong_store = TrustStore(
+        roots={name: ("dilithium2", key) for name, (_, key) in store.roots.items()}
+    )
+    with pytest.raises(HandshakeFailure, match="algorithm"):
+        wrong_store.verify_chain([cert])
+
+
+def test_certificate_size_tracks_algorithm():
+    drbg = Drbg("sizes")
+    small, _, _ = make_server_credentials("falcon512", drbg.fork("f"))
+    big, _, _ = make_server_credentials("dilithium5", drbg.fork("d"))
+    # cert = pk + issuer signature + fixed overhead
+    assert len(small.encode()) < len(big.encode())
+    assert len(big.encode()) > 2592 + 4595  # at least pk + CA signature
+
+
+def test_composite_credentials():
+    drbg = Drbg("composite-creds")
+    cert, sk, store = make_server_credentials("p256_dilithium2", drbg)
+    assert store.verify_chain([cert]).algorithm == "p256_dilithium2"

@@ -1,0 +1,85 @@
+"""TLS 1.3 key schedule: HKDF-Expand-Label and secret derivation."""
+
+import pytest
+
+from repro.tls.keyschedule import (
+    KeySchedule,
+    derive_secret,
+    hkdf_expand_label,
+    traffic_keys,
+)
+
+
+def test_expand_label_rfc8446_client_hs_traffic_shape():
+    # structure check: info = length(2) || len(label)(1) || "tls13 "+label || len(ctx)(1) || ctx
+    secret = b"\x01" * 32
+    out16 = hkdf_expand_label(secret, "key", b"", 16)
+    out12 = hkdf_expand_label(secret, "iv", b"", 12)
+    assert len(out16) == 16 and len(out12) == 12
+    assert out16 != out12
+
+
+def test_expand_label_distinct_labels_and_contexts():
+    secret = b"\x02" * 32
+    assert hkdf_expand_label(secret, "a", b"", 32) != hkdf_expand_label(secret, "b", b"", 32)
+    assert hkdf_expand_label(secret, "a", b"x", 32) != hkdf_expand_label(secret, "a", b"y", 32)
+
+
+def test_derive_secret_length():
+    assert len(derive_secret(b"\x00" * 32, "derived", b"\x11" * 32)) == 32
+
+
+def test_traffic_keys_shape():
+    keys = traffic_keys(b"\x03" * 32)
+    assert len(keys.key) == 16
+    assert len(keys.iv) == 12
+
+
+def test_schedule_symmetry_between_peers():
+    """Two independent KeySchedule objects fed the same inputs agree."""
+    a, b = KeySchedule(), KeySchedule()
+    shared, th1, th2 = b"\xAA" * 32, b"\x01" * 32, b"\x02" * 32
+    a.set_shared_secret(shared, th1)
+    b.set_shared_secret(shared, th1)
+    assert a.client_hs_secret == b.client_hs_secret
+    assert a.server_hs_secret == b.server_hs_secret
+    assert a.client_hs_secret != a.server_hs_secret
+    a.derive_master(th2)
+    b.derive_master(th2)
+    assert a.client_app_secret == b.client_app_secret
+    assert a.server_app_secret == b.server_app_secret
+
+
+def test_different_shared_secret_diverges():
+    a, b = KeySchedule(), KeySchedule()
+    th = b"\x01" * 32
+    a.set_shared_secret(b"\xAA" * 32, th)
+    b.set_shared_secret(b"\xAB" * 32, th)
+    assert a.client_hs_secret != b.client_hs_secret
+
+
+def test_transcript_binds_secrets():
+    a, b = KeySchedule(), KeySchedule()
+    a.set_shared_secret(b"\xAA" * 32, b"\x01" * 32)
+    b.set_shared_secret(b"\xAA" * 32, b"\x02" * 32)
+    assert a.server_hs_secret != b.server_hs_secret
+
+
+def test_variable_length_shared_secrets_accepted():
+    """Hybrid KEMs produce 64- or 96-byte shared secrets."""
+    schedule = KeySchedule()
+    schedule.set_shared_secret(b"\x55" * 96, b"\x00" * 32)
+    assert schedule.handshake_secret is not None
+
+
+def test_derive_master_requires_handshake_secret():
+    with pytest.raises(RuntimeError):
+        KeySchedule().derive_master(b"\x00" * 32)
+
+
+def test_finished_verify_data_deterministic():
+    vd1 = KeySchedule.finished_verify_data(b"\x01" * 32, b"\x02" * 32)
+    vd2 = KeySchedule.finished_verify_data(b"\x01" * 32, b"\x02" * 32)
+    vd3 = KeySchedule.finished_verify_data(b"\x01" * 32, b"\x03" * 32)
+    assert vd1 == vd2 != vd3
+    assert len(vd1) == 32

@@ -1,0 +1,122 @@
+"""Handshake message codecs."""
+
+import pytest
+
+from repro.tls import messages as msg
+from repro.tls.errors import DecodeError
+from repro.tls.groups import group_id, sigscheme_id
+
+
+def _hello(**overrides):
+    fields = dict(
+        random=b"\x01" * 32,
+        session_id=b"\x02" * 32,
+        group_name_to_share={},
+        group_ids=[group_id("x25519"), group_id("kyber512")],
+        key_shares=[(group_id("x25519"), b"\x03" * 32)],
+        sig_scheme_ids=[sigscheme_id("rsa:2048")],
+        server_name="server.repro.test",
+    )
+    fields.update(overrides)
+    return msg.ClientHello(**fields)
+
+
+def test_client_hello_roundtrip():
+    hello = _hello()
+    wire = hello.encode()
+    assert wire[0] == msg.HT_CLIENT_HELLO
+    decoded = msg.ClientHello.decode(wire[4:])
+    assert decoded.random == hello.random
+    assert decoded.session_id == hello.session_id
+    assert decoded.group_ids == hello.group_ids
+    assert decoded.key_shares == hello.key_shares
+    assert decoded.sig_scheme_ids == hello.sig_scheme_ids
+    assert decoded.server_name == hello.server_name
+
+
+def test_client_hello_without_sni():
+    decoded = msg.ClientHello.decode(_hello(server_name=None).encode()[4:])
+    assert decoded.server_name is None
+
+
+def test_client_hello_multiple_key_shares():
+    shares = [(group_id("x25519"), b"\x03" * 32), (group_id("kyber512"), b"\x04" * 800)]
+    decoded = msg.ClientHello.decode(_hello(key_shares=shares).encode()[4:])
+    assert decoded.key_shares == shares
+
+
+def test_client_hello_truncated_rejected():
+    wire = _hello().encode()
+    with pytest.raises(DecodeError):
+        msg.ClientHello.decode(wire[4:40])
+
+
+def test_server_hello_roundtrip():
+    hello = msg.ServerHello(
+        random=b"\x05" * 32,
+        session_id=b"\x06" * 32,
+        group_id=group_id("kyber512"),
+        key_share=b"\x07" * 768,
+    )
+    wire = hello.encode()
+    assert wire[0] == msg.HT_SERVER_HELLO
+    decoded = msg.ServerHello.decode(wire[4:])
+    assert decoded.random == hello.random
+    assert decoded.group_id == hello.group_id
+    assert decoded.key_share == hello.key_share
+
+
+def test_handshake_stream_iteration():
+    wire = _hello().encode() + msg.encode_finished(b"\x0A" * 32)
+    messages, rest = msg.iter_handshake_messages(wire)
+    assert rest == b""
+    assert [m[0] for m in messages] == [msg.HT_CLIENT_HELLO, msg.HT_FINISHED]
+
+
+def test_handshake_stream_partial_message_buffered():
+    wire = _hello().encode()
+    messages, rest = msg.iter_handshake_messages(wire[:-5])
+    assert messages == [] and rest == wire[:-5]
+
+
+def test_certificate_message_roundtrip():
+    blobs = [b"cert-one" * 10, b"cert-two" * 500]
+    wire = msg.encode_certificate(blobs)
+    messages, _ = msg.iter_handshake_messages(wire)
+    assert messages[0][0] == msg.HT_CERTIFICATE
+    assert msg.decode_certificate(messages[0][1]) == blobs
+
+
+def test_certificate_verify_roundtrip():
+    wire = msg.encode_certificate_verify(0x0804, b"\x0B" * 256)
+    messages, _ = msg.iter_handshake_messages(wire)
+    scheme, sig = msg.decode_certificate_verify(messages[0][1])
+    assert scheme == 0x0804 and sig == b"\x0B" * 256
+
+
+def test_cv_context_string_shape():
+    ctx = msg.CERTIFICATE_VERIFY_SERVER_CONTEXT
+    assert ctx.startswith(b"\x20" * 64)
+    assert b"TLS 1.3, server CertificateVerify" in ctx
+    assert ctx.endswith(b"\x00")
+
+
+def test_client_hello_requires_supported_suite():
+    wire = bytearray(_hello().encode()[4:])
+    # cipher suite 0x1301 sits right after 2 + 32 + 1 + 32 + 2 bytes
+    offset = 2 + 32 + 1 + 32 + 2
+    wire[offset:offset + 2] = (0x1302).to_bytes(2, "big")
+    with pytest.raises(DecodeError):
+        msg.ClientHello.decode(bytes(wire))
+
+
+def test_group_and_scheme_codepoints():
+    assert group_id("x25519") == 0x001D
+    assert group_id("p256") == 0x0017
+    assert group_id("kyber512") >= 0x2F00          # OQS private range
+    assert sigscheme_id("rsa:2048") == 0x0805
+    assert sigscheme_id("dilithium2") >= 0xFE00
+    with pytest.raises(KeyError):
+        group_id("not-a-group")
+    with pytest.raises(KeyError):
+        sigscheme_id("not-a-scheme")

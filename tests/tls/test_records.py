@@ -1,0 +1,135 @@
+"""Record layer: framing, fragmentation, AEAD protection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tls.errors import DecodeError
+from repro.tls.keyschedule import TrafficKeys
+from repro.tls.records import (
+    CONTENT_APPLICATION_DATA,
+    CONTENT_HANDSHAKE,
+    MAX_FRAGMENT,
+    Record,
+    RecordProtection,
+    decode_records,
+    encrypt_handshake_stream,
+    fragment_handshake,
+)
+
+
+def _keys(seed: bytes = b"\x01") -> TrafficKeys:
+    return TrafficKeys(key=seed * 16, iv=seed * 12)
+
+
+def test_record_encode_shape():
+    wire = Record(CONTENT_HANDSHAKE, b"abc").encode()
+    assert wire[0] == 22
+    assert wire[1:3] == b"\x03\x03"
+    assert int.from_bytes(wire[3:5], "big") == 3
+    assert wire[5:] == b"abc"
+
+
+@given(st.lists(st.binary(min_size=0, max_size=100), min_size=0, max_size=5))
+def test_decode_records_roundtrip(payloads):
+    stream = b"".join(Record(CONTENT_HANDSHAKE, p).encode() for p in payloads)
+    records, rest = decode_records(stream)
+    assert rest == b""
+    assert [r.payload for r in records] == payloads
+
+
+def test_decode_partial_record_buffered():
+    wire = Record(CONTENT_HANDSHAKE, b"x" * 50).encode()
+    records, rest = decode_records(wire[:30])
+    assert records == [] and rest == wire[:30]
+    records, rest = decode_records(rest + wire[30:])
+    assert len(records) == 1 and rest == b""
+
+
+def test_decode_rejects_oversized_record():
+    header = bytes([22, 3, 3]) + (MAX_FRAGMENT + 300).to_bytes(2, "big")
+    with pytest.raises(DecodeError):
+        decode_records(header + b"\x00" * 10)
+
+
+def test_fragmentation_boundaries():
+    big = b"z" * (2 * MAX_FRAGMENT + 100)
+    records = fragment_handshake(big)
+    assert [len(r.payload) for r in records] == [MAX_FRAGMENT, MAX_FRAGMENT, 100]
+    assert b"".join(r.payload for r in records) == big
+
+
+def test_protection_roundtrip():
+    send = RecordProtection(_keys())
+    recv = RecordProtection(_keys())
+    record = send.encrypt(CONTENT_HANDSHAKE, b"secret handshake bytes")
+    assert record.content_type == CONTENT_APPLICATION_DATA
+    content_type, plaintext = recv.decrypt(record)
+    assert content_type == CONTENT_HANDSHAKE
+    assert plaintext == b"secret handshake bytes"
+
+
+def test_sequence_numbers_advance():
+    send = RecordProtection(_keys())
+    recv = RecordProtection(_keys())
+    r1 = send.encrypt(CONTENT_HANDSHAKE, b"one")
+    r2 = send.encrypt(CONTENT_HANDSHAKE, b"two")
+    assert r1.payload != r2.payload
+    assert recv.decrypt(r1)[1] == b"one"
+    assert recv.decrypt(r2)[1] == b"two"
+
+
+def test_out_of_order_decryption_fails():
+    send = RecordProtection(_keys())
+    recv = RecordProtection(_keys())
+    send.encrypt(CONTENT_HANDSHAKE, b"one")
+    r2 = send.encrypt(CONTENT_HANDSHAKE, b"two")
+    with pytest.raises(DecodeError):
+        recv.decrypt(r2)  # receiver still expects sequence 0
+
+
+def test_tampered_record_rejected():
+    send = RecordProtection(_keys())
+    recv = RecordProtection(_keys())
+    record = send.encrypt(CONTENT_HANDSHAKE, b"payload")
+    bad = Record(record.content_type, bytes([record.payload[0] ^ 1]) + record.payload[1:])
+    with pytest.raises(DecodeError):
+        recv.decrypt(bad)
+
+
+def test_decrypt_requires_outer_type_23():
+    recv = RecordProtection(_keys())
+    with pytest.raises(DecodeError):
+        recv.decrypt(Record(CONTENT_HANDSHAKE, b"\x00" * 32))
+
+
+def test_padding_stripped():
+    """Inner plaintext zero padding must be removed per RFC 8446 §5.4."""
+    send = RecordProtection(_keys())
+    recv = RecordProtection(_keys())
+    # hand-craft a padded inner plaintext: data || type || zeros
+    inner = b"data" + bytes([CONTENT_HANDSHAKE]) + b"\x00" * 7
+    total = len(inner) + 16
+    aad = bytes([23, 3, 3]) + total.to_bytes(2, "big")
+    ciphertext = send._aead.encrypt(send._nonce(), inner, aad)
+    content_type, plaintext = recv.decrypt(Record(CONTENT_APPLICATION_DATA, ciphertext))
+    assert (content_type, plaintext) == (CONTENT_HANDSHAKE, b"data")
+
+
+def test_all_padding_record_rejected():
+    send = RecordProtection(_keys())
+    recv = RecordProtection(_keys())
+    inner = b"\x00" * 8
+    aad = bytes([23, 3, 3]) + (len(inner) + 16).to_bytes(2, "big")
+    ciphertext = send._aead.encrypt(send._nonce(), inner, aad)
+    with pytest.raises(DecodeError):
+        recv.decrypt(Record(CONTENT_APPLICATION_DATA, ciphertext))
+
+
+@given(st.integers(min_value=0, max_value=70000))
+def test_encrypt_handshake_stream_reassembles(size):
+    send = RecordProtection(_keys())
+    recv = RecordProtection(_keys())
+    payload = bytes(i & 0xFF for i in range(size))
+    records = encrypt_handshake_stream(send, payload)
+    reassembled = b"".join(recv.decrypt(r)[1] for r in records)
+    assert reassembled == payload

@@ -1,0 +1,89 @@
+"""Application-data channel over completed PQ handshakes."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.tls.actions import Send
+from repro.tls.certs import make_server_credentials
+from repro.tls.client import TlsClient
+from repro.tls.errors import DecodeError, TlsError
+from repro.tls.server import TlsServer
+from repro.tls.session import SecureChannel, establish_channels
+
+
+@pytest.fixture(scope="module")
+def completed_handshake():
+    drbg = Drbg("session-test")
+    cert, sk, store = make_server_credentials("dilithium2", drbg.fork("ca"))
+    client = TlsClient("kyber512", "dilithium2", store, drbg.fork("c"))
+    server = TlsServer("kyber512", "dilithium2", cert, sk, drbg.fork("s"))
+    out = b"".join(a.data for a in client.start() if isinstance(a, Send))
+    server_out = b"".join(a.data for a in server.receive(out) if isinstance(a, Send))
+    fin = b"".join(a.data for a in client.receive(server_out) if isinstance(a, Send))
+    server.receive(fin)
+    assert client.handshake_complete and server.handshake_complete
+    return client, server
+
+
+def test_bidirectional_application_data(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    wire = client_chan.send(b"GET / HTTP/1.1\r\n\r\n")
+    assert server_chan.receive(wire) == b"GET / HTTP/1.1\r\n\r\n"
+    reply = server_chan.send(b"HTTP/1.1 200 OK\r\n\r\nhello pq world")
+    assert client_chan.receive(reply) == b"HTTP/1.1 200 OK\r\n\r\nhello pq world"
+
+
+def test_large_payload_fragments(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    payload = bytes(i & 0xFF for i in range(100_000))
+    wire = client_chan.send(payload)
+    assert server_chan.receive(wire) == payload
+
+
+def test_partial_delivery_buffers(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    wire = client_chan.send(b"split across arrivals")
+    assert server_chan.receive(wire[:10]) == b""
+    assert server_chan.receive(wire[10:]) == b"split across arrivals"
+
+
+def test_wire_is_actually_encrypted(completed_handshake):
+    client_chan, _ = establish_channels(*completed_handshake)
+    wire = client_chan.send(b"super secret payload")
+    assert b"super secret" not in wire
+
+
+def test_tampering_detected(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    wire = bytearray(client_chan.send(b"important"))
+    wire[8] ^= 0x01
+    with pytest.raises(DecodeError):
+        server_chan.receive(bytes(wire))
+
+
+def test_direction_separation(completed_handshake):
+    """A client record replayed to the client itself must not decrypt."""
+    client_chan, _ = establish_channels(*completed_handshake)
+    wire = client_chan.send(b"loopback?")
+    with pytest.raises(DecodeError):
+        client_chan.receive(wire)
+
+
+def test_close_notify_flow(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    server_chan.receive(client_chan.send(b"bye soon"))
+    close_wire = client_chan.send_close()
+    assert server_chan.receive(close_wire) == b""
+    assert server_chan.closed and client_chan.closed
+    with pytest.raises(TlsError):
+        client_chan.send(b"after close")
+    with pytest.raises(TlsError):
+        server_chan.receive(
+            SecureChannel.for_client(completed_handshake[0]).send(b"x"))
+
+
+def test_channels_require_completed_handshake():
+    client = TlsClient("x25519", "rsa:1024",
+                       make_server_credentials("rsa:1024", Drbg("q"))[2], Drbg("c"))
+    with pytest.raises(Exception):
+        SecureChannel.for_client(client)
