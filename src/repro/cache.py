@@ -4,6 +4,10 @@ Recording a script runs real crypto (a SPHINCS+-256f signature alone is
 tens of seconds of pure-Python hashing), so scripts are cached under
 ``.cache/`` keyed by configuration + a schema version. Delete the
 directory (or set ``REPRO_CACHE_DIR``) to force re-recording.
+
+Hit/miss/store counts land in the module-level :data:`metrics` registry
+(``cache.<kind>.hit`` / ``.miss`` / ``.store`` / ``.evicted``), which the
+CLI folds into its ``--metrics`` output.
 """
 
 from __future__ import annotations
@@ -13,7 +17,12 @@ import os
 import pickle
 from pathlib import Path
 
-SCHEMA_VERSION = 3
+from repro.obs.metrics import Metrics
+
+# v4: ExperimentResult grew a metrics snapshot, CryptoOp a detail label
+SCHEMA_VERSION = 4
+
+metrics = Metrics()
 
 
 def cache_dir() -> Path:
@@ -36,13 +45,18 @@ def _key_path(kind: str, key: str) -> Path:
 def load(kind: str, key: str):
     path = _key_path(kind, key)
     if not path.exists():
+        metrics.inc(f"cache.{kind}.miss")
         return None
     try:
         with path.open("rb") as handle:
-            return pickle.load(handle)
+            value = pickle.load(handle)
     except Exception:
         path.unlink(missing_ok=True)
+        metrics.inc(f"cache.{kind}.evicted")
+        metrics.inc(f"cache.{kind}.miss")
         return None
+    metrics.inc(f"cache.{kind}.hit")
+    return value
 
 
 def store(kind: str, key: str, value) -> None:
@@ -51,3 +65,4 @@ def store(kind: str, key: str, value) -> None:
     with tmp.open("wb") as handle:
         pickle.dump(value, handle)
     tmp.replace(path)
+    metrics.inc(f"cache.{kind}.store")

@@ -10,6 +10,7 @@ from typing import Iterable
 
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.netsim.netem import SCENARIOS
+from repro.obs.metrics import NULL_METRICS
 from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES, LEVEL_GROUPS
 
 BASE_KEM = "x25519"      # fixed KA for all-sig (paper §5)
@@ -106,8 +107,13 @@ EXPERIMENT_SETS = {
 }
 
 
-def run_set(name: str, progress=None) -> dict[str, ExperimentResult]:
-    """Run one named experiment set; returns results keyed by config key."""
+def run_set(name: str, progress=None,
+            metrics=NULL_METRICS) -> dict[str, ExperimentResult]:
+    """Run one named experiment set; returns results keyed by config key.
+
+    Pass a :class:`repro.obs.metrics.Metrics` as ``metrics`` to accumulate
+    every experiment's counters into one campaign-level registry.
+    """
     try:
         configs = EXPERIMENT_SETS[name]()
     except KeyError:
@@ -118,12 +124,13 @@ def run_set(name: str, progress=None) -> dict[str, ExperimentResult]:
     for i, config in enumerate(configs):
         if progress is not None:
             progress(name, i, len(configs), config)
-        results[config.key] = run_experiment(config)
+        results[config.key] = run_experiment(config, metrics=metrics)
     return results
 
 
-def run_sets(names: Iterable[str], progress=None) -> dict[str, ExperimentResult]:
+def run_sets(names: Iterable[str], progress=None,
+             metrics=NULL_METRICS) -> dict[str, ExperimentResult]:
     results: dict[str, ExperimentResult] = {}
     for name in names:
-        results.update(run_set(name, progress))
+        results.update(run_set(name, progress, metrics=metrics))
     return results

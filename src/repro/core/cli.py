@@ -4,6 +4,8 @@ Usage::
 
     pqtls-experiment -o OUT all-kem all-sig          # run experiment sets
     pqtls-experiment --evaluate table2 table4 ...    # render paper artefacts
+    pqtls-experiment --kem kyber512 --sig dilithium2 \\
+        --trace trace.json --flame                    # trace one handshake
 """
 
 from __future__ import annotations
@@ -12,8 +14,14 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import cache
 from repro.core import campaign, evaluate, report
 from repro.core.analysis import deviations_for_levels
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.netsim.netem import SCENARIOS
+from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics_json
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES, LEVEL_GROUPS
 
 
@@ -82,6 +90,30 @@ def evaluate_artifact(name: str, outdir: Path) -> None:
         raise KeyError(f"unknown artifact {name!r}; known: {ARTIFACTS}")
 
 
+def run_single(args, metrics) -> None:
+    """Run (and optionally trace) one experiment named by --kem/--sig."""
+    config = ExperimentConfig(kem=args.kem, sig=args.sig, scenario=args.scenario,
+                              policy=args.policy, profiling=args.profiling)
+    tracing = bool(args.trace or args.trace_jsonl or args.flame)
+    tracer = Tracer() if tracing else NULL_TRACER
+    result = run_experiment(config, tracer=tracer, metrics=metrics)
+    print(f"{config.kem} x {config.sig} ({config.scenario}, {config.policy}): "
+          f"partA {result.part_a_median * 1e3:.2f} ms, "
+          f"partB {result.part_b_median * 1e3:.2f} ms, "
+          f"{result.n_handshakes} handshakes/{config.duration:.0f}s",
+          file=sys.stderr)
+    if args.trace:
+        path = write_chrome_trace(tracer, args.trace)
+        print(f"wrote {path} (load at https://ui.perfetto.dev)", file=sys.stderr)
+    if args.trace_jsonl:
+        path = write_jsonl(tracer, args.trace_jsonl)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.flame:
+        print(report.render_trace_report(tracer))
+        print()
+        print(report.render_table3_from_spans(tracer, result))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the paper's experiment sets and regenerate its tables/figures.")
@@ -89,17 +121,66 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--evaluate", action="store_true",
                         help="treat names as artifacts (table2, figure3, ...) "
                              "instead of experiment sets")
-    parser.add_argument("names", nargs="+",
+    single = parser.add_argument_group(
+        "single experiment", "trace or profile one (KA, SA) pair instead of a set")
+    single.add_argument("--kem", help="key-agreement algorithm, e.g. kyber512")
+    single.add_argument("--sig", help="signature algorithm, e.g. dilithium2")
+    single.add_argument("--scenario", default="none", choices=sorted(SCENARIOS),
+                        help="network emulation scenario (default: none)")
+    single.add_argument("--policy", default="optimized",
+                        choices=["optimized", "default"],
+                        help="OpenSSL buffering policy (default: optimized)")
+    single.add_argument("--profiling", action="store_true",
+                        help="apply the paper's white-box perf overhead")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--trace", metavar="FILE",
+                     help="write a Chrome trace_event JSON of the first "
+                          "handshake (open in Perfetto); single experiment only")
+    obs.add_argument("--trace-jsonl", metavar="FILE",
+                     help="write the trace as JSON-lines; single experiment only")
+    obs.add_argument("--metrics", metavar="FILE",
+                     help="write a JSON snapshot of all counters/histograms")
+    obs.add_argument("--flame", action="store_true",
+                     help="print a perf-style report (call tree, library "
+                          "shares, slow summary); single experiment only")
+    parser.add_argument("names", nargs="*",
                         help=f"experiment sets {sorted(campaign.EXPERIMENT_SETS)} "
                              f"or, with --evaluate, artifacts {ARTIFACTS}")
     args = parser.parse_args(argv)
+
+    single_mode = args.kem is not None or args.sig is not None
+    if single_mode and (args.kem is None or args.sig is None):
+        parser.error("--kem and --sig must be given together")
+    if single_mode and args.evaluate:
+        parser.error("--evaluate renders named artifacts; it cannot be "
+                     "combined with --kem/--sig")
+    if not single_mode and not args.names:
+        parser.error("nothing to do: name experiment sets (or artifacts with "
+                     "--evaluate), or pick one experiment with --kem/--sig")
+    if (args.trace or args.trace_jsonl or args.flame) and not single_mode:
+        parser.error("--trace/--trace-jsonl/--flame trace a single handshake; "
+                     "select it with --kem/--sig")
+
     outdir = Path(args.output)
+    metrics = Metrics() if args.metrics else NULL_METRICS
     if args.evaluate:
         for name in args.names:
             evaluate_artifact(name, outdir)
     else:
-        results = campaign.run_sets(args.names, _progress)
-        print(f"ran {len(results)} experiments", file=sys.stderr)
+        count = 0
+        if single_mode:
+            run_single(args, metrics)
+            count += 1
+        if args.names:
+            results = campaign.run_sets(args.names, _progress, metrics=metrics)
+            count += len(results)
+        print(f"ran {count} experiments", file=sys.stderr)
+    if args.metrics:
+        merged = Metrics()
+        merged.merge(cache.metrics)   # hit/miss counts from this process
+        merged.merge(metrics)
+        path = write_metrics_json(merged, args.metrics)
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 

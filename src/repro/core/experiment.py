@@ -18,6 +18,8 @@ from repro.netsim.costmodel import CostModel
 from repro.netsim.netem import SCENARIOS
 from repro.netsim.scripted import HandshakeScript, record_script, scripted_apps
 from repro.netsim.testbed import run_simulated_handshake
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.obs.tracer import NULL_TRACER
 from repro.tls.server import BufferPolicy
 
 # Calibration: with this gap the no-emulation counts match Table 2
@@ -58,6 +60,7 @@ class ExperimentResult:
     server_cpu_ms: float = 0.0
     client_cpu_by_library: dict = field(default_factory=dict)
     server_cpu_by_library: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)  # Metrics.snapshot() of the run
 
     @property
     def part_a_median(self) -> float:
@@ -87,11 +90,33 @@ def load_script(kem: str, sig: str, policy: BufferPolicy,
     return script
 
 
-def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> ExperimentResult:
-    """Execute (or load) one experiment."""
-    if use_cache:
+def run_experiment(config: ExperimentConfig, use_cache: bool = True,
+                   tracer=NULL_TRACER, metrics=NULL_METRICS) -> ExperimentResult:
+    """Execute (or load) one experiment.
+
+    ``tracer`` records spans for the *first* handshake of the run (they all
+    replay the same script, so one trace represents the run); a traced run
+    bypasses the result cache both ways, keeping cached artifacts identical
+    to untraced runs. ``metrics`` receives the run's counters/histograms;
+    the same numbers are always snapshot onto ``ExperimentResult.metrics``.
+    """
+    if config.duration <= 0:
+        raise ValueError(
+            f"duration must be positive, got {config.duration!r} "
+            "(the measurement period needs room for at least one handshake)")
+    if config.max_samples < 1:
+        raise ValueError(f"max_samples must be >= 1, got {config.max_samples!r}")
+    tracing = tracer.enabled
+    if use_cache and not tracing:
         cached = cache.load("experiment", config.key)
         if cached is not None:
+            if metrics.enabled and cached.metrics:
+                restored = Metrics()
+                for name, value in cached.metrics.get("counters", {}).items():
+                    restored.inc(name, value)
+                for name, value in cached.metrics.get("gauges", {}).items():
+                    restored.set(name, value)
+                metrics.merge(restored)
             return cached
     policy = BufferPolicy(config.policy)
     script = load_script(config.kem, config.sig, policy, config.seed)
@@ -104,16 +129,19 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> Experime
 
     part_a, part_b, totals, periods = [], [], [], []
     first_trace = None
-    cpu_client: dict[str, float] = {}
-    cpu_server: dict[str, float] = {}
+    run_metrics = Metrics()
     elapsed = 0.0
     count = 0
     while elapsed < config.duration and len(totals) < sample_cap:
         client_app, server_app = scripted_apps(script)
+        # every handshake replays the same script, so tracing the first one
+        # captures the run's structure without recording thousands of copies
+        hs_tracer = tracer if count == 0 else NULL_TRACER
         trace = run_simulated_handshake(
             client_app, server_app, scenario=scenario,
             netem_drbg=drbg.fork(f"netem:{count}"), cost_model=cost_model,
             max_sim_seconds=600.0,
+            tracer=hs_tracer, metrics=run_metrics,
         )
         if first_trace is None:
             first_trace = trace
@@ -123,9 +151,9 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> Experime
         period = trace.wall_end + INTER_HANDSHAKE_GAP
         periods.append(period)
         for lib, seconds in trace.client_cpu.items():
-            cpu_client[lib] = cpu_client.get(lib, 0.0) + seconds
+            run_metrics.inc(f"cpu.client.{lib}", seconds)
         for lib, seconds in trace.server_cpu.items():
-            cpu_server[lib] = cpu_server.get(lib, 0.0) + seconds
+            run_metrics.inc(f"cpu.server.{lib}", seconds)
         elapsed += period
         count += 1
 
@@ -136,6 +164,8 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> Experime
         n_handshakes = int(config.duration / mean_period)
 
     samples_run = len(totals)
+    cpu_client = run_metrics.counters_with_prefix("cpu.client.")
+    cpu_server = run_metrics.counters_with_prefix("cpu.server.")
     client_cpu_total = sum(cpu_client.values()) / samples_run
     server_cpu_total = sum(cpu_server.values()) / samples_run
     result = ExperimentResult(
@@ -152,7 +182,10 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True) -> Experime
         server_cpu_ms=server_cpu_total * 1e3,
         client_cpu_by_library={k: v / samples_run for k, v in cpu_client.items()},
         server_cpu_by_library={k: v / samples_run for k, v in cpu_server.items()},
+        metrics=run_metrics.snapshot(),
     )
-    if use_cache:
+    if metrics.enabled:
+        metrics.merge(run_metrics)
+    if use_cache and not tracing:
         cache.store("experiment", config.key, result)
     return result

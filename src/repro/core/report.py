@@ -1,4 +1,10 @@
-"""Render the paper's tables and figures as aligned text and CSV rows."""
+"""Render the paper's tables and figures as aligned text and CSV rows.
+
+Beyond the paper artefacts, :func:`render_trace_report` and
+:func:`render_table3_from_spans` turn a handshake trace into the textual
+equivalent of ``perf report``: per-library shares, a flamegraph-style
+call tree per CPU, and a "why was this slow" summary.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +14,7 @@ import io
 from repro.core.analysis import Deviation
 from repro.core.campaign import SCENARIO_ORDER
 from repro.core.evaluate import AttackMetrics, Table2Row, Table3Row, Table4Row
+from repro.obs import flame as obs_flame
 
 
 def _mark(row) -> str:
@@ -98,6 +105,59 @@ def render_attack_metrics(metrics: AttackMetrics) -> str:
         f"  worst server/client CPU ratio : {ratio:.1f}x  ({kem} + {sig})\n"
         f"  worst amplification factor    : {amp:.1f}x  (SA {sig2}; QUIC caps at 3x)"
     )
+
+
+# -- perf-style views over one handshake trace -------------------------------
+
+def _cpu_tracks(tracer) -> list[str]:
+    return [track for track in tracer.tracks() if track.endswith("-cpu")]
+
+
+def render_trace_report(tracer) -> str:
+    """perf-report over one traced handshake: shares, call trees, stalls."""
+    out = []
+    for track in _cpu_tracks(tracer):
+        totals = obs_flame.library_breakdown(tracer, track)
+        grand = sum(totals.values())
+        ranked = sorted(totals.items(), key=lambda item: -item[1])
+        shares = "  ".join(f"{lib} {100 * value / grand:.1f}%"
+                           for lib, value in ranked) if grand > 0 else "(idle)"
+        host = track[: -len("-cpu")]
+        out.append(f"{host} CPU {grand * 1e3:.3f} ms — {shares}")
+    out.append("")
+    for track in _cpu_tracks(tracer):
+        out.append(obs_flame.flame_text(tracer, track))
+        out.append("")
+    out.append(obs_flame.render_slow_summary(obs_flame.summarize_slow(tracer)))
+    return "\n".join(out)
+
+
+def render_table3_from_spans(tracer, result) -> str:
+    """Table 3's library percentages regenerated from trace spans.
+
+    The cost-model sums (``client_cpu_by_library``) are printed alongside:
+    the two columns must agree, which is the whole point — the trace is a
+    faithful decomposition of the simulated CPU time, not a re-estimate.
+    """
+    config = result.config
+    out = [f"Table 3 breakdown from spans — {config.kem} x {config.sig} "
+           f"({config.scenario}, {config.policy})"]
+    for host, legacy in (("server", result.server_cpu_by_library),
+                         ("client", result.client_cpu_by_library)):
+        span_totals = obs_flame.library_breakdown(tracer, f"{host}-cpu")
+        span_grand = sum(span_totals.values())
+        legacy_grand = sum(legacy.values())
+        out.append(f"  {host}: {span_grand * 1e3:.3f} ms traced, "
+                   f"{legacy_grand * 1e3:.3f} ms per handshake (cost model)")
+        out.append(f"    {'library':<10} {'spans':>8} {'model':>8}")
+        for lib in sorted(set(span_totals) | set(legacy),
+                          key=lambda lib: -span_totals.get(lib, 0.0)):
+            from_spans = (100 * span_totals.get(lib, 0.0) / span_grand
+                          if span_grand > 0 else 0.0)
+            from_model = (100 * legacy.get(lib, 0.0) / legacy_grand
+                          if legacy_grand > 0 else 0.0)
+            out.append(f"    {lib:<10} {from_spans:>7.1f}% {from_model:>7.1f}%")
+    return "\n".join(out)
 
 
 # -- CSV export (the artifact's latencies.csv / deviations.csv shapes) -------

@@ -106,6 +106,17 @@ class Cost:
         return self.ms * MS
 
 
+def op_label(op) -> str:
+    """Span name for one :class:`repro.tls.actions.CryptoOp`.
+
+    ``kem_decaps:kyber512 (SH)`` — operation, algorithm when keyed, and
+    the TLS-message context the endpoint recorded.
+    """
+    name = f"{op.op}:{op.algorithm}" if op.algorithm else op.op
+    detail = getattr(op, "detail", "")
+    return f"{name} ({detail})" if detail else name
+
+
 def _kem_cost(name: str, index: int) -> float:
     if name in KEM_COSTS:
         return KEM_COSTS[name][index]

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.netsim.costmodel import CostModel
+from repro.netsim.costmodel import CostModel, op_label
 from repro.netsim.eventloop import EventLoop
+from repro.obs.tracer import NULL_TRACER
 from repro.tls.actions import Compute, Send
 
 
@@ -49,11 +50,14 @@ class CpuLog:
 class Host:
     """Glue between a TLS state machine, TCP, and the cost model."""
 
-    def __init__(self, name: str, role: str, loop: EventLoop, cost_model: CostModel):
+    def __init__(self, name: str, role: str, loop: EventLoop, cost_model: CostModel,
+                 tracer=NULL_TRACER):
         self.name = name
         self.role = role  # "client" | "server"
         self._loop = loop
         self._cost = cost_model
+        self._tracer = tracer
+        self._track = f"{name}-cpu"
         self.cpu_log = CpuLog()
         self._cpu_free = 0.0
         self.tcp = None   # attached later
@@ -67,27 +71,48 @@ class Host:
     # -- CPU accounting ------------------------------------------------------
     def _run_ops(self, start: float, ops) -> float:
         at = start
+        tracing = self._tracer.enabled
         for op in ops:
             cost = self._cost.op_cost(op, self.role)
-            at = self.cpu_log.charge(at, cost.seconds, cost.library)
+            end = self.cpu_log.charge(at, cost.seconds, cost.library)
+            if tracing and end > at:
+                self._tracer.span(self._track, op_label(op), at, end,
+                                  cat=cost.library, size=op.size)
+            at = end
         return at
 
     def charge_packet(self) -> None:
         """Per-packet kernel + driver work (tally; negligible latency)."""
         at = max(self._loop.now, self._cpu_free)
         for cost in self._cost.packet_cost():
-            at = self.cpu_log.charge(at, cost.seconds, cost.library)
+            end = self.cpu_log.charge(at, cost.seconds, cost.library)
+            if self._tracer.enabled and end > at:
+                self._tracer.span(self._track, f"packet:{cost.library}",
+                                  at, end, cat=cost.library)
+            at = end
         self._cpu_free = at
 
     def charge_tooling(self) -> None:
         cost = self._cost.tooling_cost()
         at = max(self._loop.now, self._cpu_free)
-        self._cpu_free = self.cpu_log.charge(at, cost.seconds, cost.library)
+        end = self.cpu_log.charge(at, cost.seconds, cost.library)
+        if self._tracer.enabled and end > at:
+            self._tracer.span(self._track, "tooling", at, end, cat=cost.library)
+        self._cpu_free = end
 
     # -- TLS action processing ---------------------------------------------------
     def process_actions(self, actions) -> None:
         """Execute a TLS action list starting when the CPU is free."""
         at = max(self._loop.now, self._cpu_free)
+        tracing = self._tracer.enabled and bool(actions)
+        if tracing:
+            # container span wrapping the whole batch; its children are the
+            # per-op spans _run_ops records (flame.CONTAINER_CAT excludes it
+            # from library sums)
+            sends = [a.label for a in actions if isinstance(a, Send)]
+            self._tracer.begin(self._track, "tls-actions"
+                               + (f" →{'/'.join(sends)}" if sends else ""),
+                               at, cat="batch")
         for action in actions:
             if isinstance(action, Compute):
                 at = self._run_ops(at, action.ops)
@@ -95,6 +120,8 @@ class Host:
                 data, label = action.data, action.label
                 delay = max(0.0, at - self._loop.now)
                 self._loop.schedule(delay, lambda d=data, l=label: self.tcp.send(d, l))
+        if tracing:
+            self._tracer.end(self._track, at)
         self._cpu_free = at
 
     def on_tcp_deliver(self, data: bytes) -> None:

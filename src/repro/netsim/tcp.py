@@ -28,6 +28,8 @@ from typing import Callable
 
 from repro.netsim.eventloop import EventLoop
 from repro.netsim.packets import Segment
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 
 MSS = 1448
 INIT_CWND = 10
@@ -45,12 +47,16 @@ class TcpEndpoint:
     def __init__(self, loop: EventLoop, name: str, peer: str, *,
                  on_deliver: Callable[[bytes], None],
                  on_established: Callable[[], None] | None = None,
-                 mss: int | None = None, initcwnd: int | None = None):
+                 mss: int | None = None, initcwnd: int | None = None,
+                 tracer=NULL_TRACER, metrics=NULL_METRICS):
         self._loop = loop
         self.name = name
         self.peer = peer
         self._on_deliver = on_deliver
         self._on_established = on_established
+        self._tracer = tracer
+        self._metrics = metrics
+        self._track = f"tcp-{name}"
         # module attributes read at call time so tests/ablations can patch
         self._mss = mss if mss is not None else MSS
         initcwnd = initcwnd if initcwnd is not None else INIT_CWND
@@ -109,6 +115,8 @@ class TcpEndpoint:
         """Queue application bytes ending in a PSH boundary."""
         if not data:
             return
+        if self._metrics.enabled:
+            self._metrics.observe(f"tcp.{self.name}.flight_bytes", len(data))
         start = self._snd_base + len(self._snd_buffer)
         self._snd_buffer.extend(data)
         end = start + len(data)
@@ -122,6 +130,9 @@ class TcpEndpoint:
     def _transmit(self, segment: Segment) -> None:
         self.bytes_sent += segment.wire_bytes
         self.packets_sent += 1
+        if self._metrics.enabled:
+            self._metrics.inc(f"tcp.{self.name}.segments_sent")
+            self._metrics.inc(f"tcp.{self.name}.wire_bytes", segment.wire_bytes)
         self._link.transmit(segment)
 
     def _labels_for(self, start: int, end: int) -> tuple[str, ...]:
@@ -181,6 +192,10 @@ class TcpEndpoint:
             self._retries += 1
             if self._retries > MAX_RETRIES:
                 raise RuntimeError("SYN retransmission limit reached")
+            if self._tracer.enabled:
+                self._tracer.instant(self._track, "syn-retransmit",
+                                     self._loop.now, retries=self._retries)
+            self._metrics.inc(f"tcp.{self.name}.syn_retransmits")
             self._transmit(Segment(self.name, self.peer, seq=0, payload=b"",
                                    ack=0, syn=True))
             self._arm_pto(INITIAL_RTO)
@@ -190,6 +205,9 @@ class TcpEndpoint:
         self._retries += 1
         if self._retries > MAX_RETRIES:
             raise RuntimeError("retransmission limit reached")
+        if self._tracer.enabled:
+            self._tracer.instant(self._track, "pto-fired", self._loop.now,
+                                 retries=self._retries)
         self._enter_recovery()
         first = min(self._inflight)
         self._retransmit(first)
@@ -200,11 +218,20 @@ class TcpEndpoint:
         default congestion control) on a loss signal."""
         self._ssthresh = max(len(self._inflight) * 0.7, 2.0)
         self._cwnd = max(self._ssthresh, 2.0)
+        if self._tracer.enabled:
+            self._tracer.instant(self._track, "enter-recovery", self._loop.now,
+                                 cwnd=self._cwnd, ssthresh=self._ssthresh)
+            self._tracer.counter(self._track, "cwnd", self._loop.now, self._cwnd)
+        self._metrics.inc(f"tcp.{self.name}.recovery_episodes")
 
     def _retransmit(self, seq: int) -> None:
         segment = self._inflight[seq]
         self._retransmitted.add(seq)
         self._last_retx_time[seq] = self._loop.now
+        if self._tracer.enabled:
+            self._tracer.instant(self._track, "retransmit", self._loop.now,
+                                 seq=seq, bytes=segment.wire_bytes)
+        self._metrics.inc(f"tcp.{self.name}.retransmits")
         self._transmit(segment)
 
     # -- segment reception ---------------------------------------------------------
@@ -268,6 +295,9 @@ class TcpEndpoint:
                     self._cwnd += 1          # slow start
                 else:
                     self._cwnd += 1.0 / self._cwnd  # congestion avoidance
+            if newly_acked and self._tracer.enabled:
+                # one cwnd sample per ACK that moved the window, not per segment
+                self._tracer.counter(self._track, "cwnd", self._loop.now, self._cwnd)
             self._snd_una = ack
             self._retransmitted = {r for r in self._retransmitted if r >= ack}
             self._dup_acks = 0

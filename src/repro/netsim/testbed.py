@@ -22,6 +22,8 @@ from repro.netsim.hosts import Host
 from repro.netsim.netem import Link, NetemConfig, SCENARIOS
 from repro.netsim.tcp import TcpEndpoint
 from repro.netsim.timestamper import Timestamper
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.tls.certs import Certificate, TrustStore
 from repro.tls.client import TlsClient
 from repro.tls.server import BufferPolicy, TlsServer
@@ -51,24 +53,52 @@ class HandshakeTrace:
     flight_labels: tuple[str, ...]
 
 
+def _tapped(tap_fn, tracer, direction: str):
+    """Wrap a Timestamper tap so every frame also lands in the trace."""
+    track = f"wire-{direction}"
+
+    def _record(time: float, segment) -> None:
+        tap_fn(time, segment)
+        if segment.syn:
+            name = "SYN"
+        elif segment.labels:
+            name = "/".join(segment.labels)
+        elif segment.is_ack_only:
+            name = "ACK"
+        else:
+            name = "seg"
+        tracer.instant(track, name, time, cat="wire",
+                       seq=segment.seq, bytes=segment.wire_bytes)
+    return _record
+
+
 def run_simulated_handshake(client_app: App, server_app: App, *,
                             scenario: NetemConfig, netem_drbg: Drbg,
                             cost_model: CostModel,
-                            max_sim_seconds: float = 120.0) -> HandshakeTrace:
-    """Wire two apps through TCP + netem + taps and run to completion."""
+                            max_sim_seconds: float = 120.0,
+                            tracer=NULL_TRACER,
+                            metrics=NULL_METRICS) -> HandshakeTrace:
+    """Wire two apps through TCP + netem + taps and run to completion.
+
+    *tracer* / *metrics* default to the null implementations: an
+    un-observed run takes exactly the pre-observability code paths and
+    produces bit-identical traces.
+    """
     loop = EventLoop()
     tap = Timestamper()
-    client_host = Host("client", "client", loop, cost_model)
-    server_host = Host("server", "server", loop, cost_model)
+    client_host = Host("client", "client", loop, cost_model, tracer=tracer)
+    server_host = Host("server", "server", loop, cost_model, tracer=tracer)
 
     def client_established():
         client_host.process_actions(client_app.start())
 
     client_tcp = TcpEndpoint(loop, "client", "server",
                              on_deliver=client_host.on_tcp_deliver,
-                             on_established=client_established)
+                             on_established=client_established,
+                             tracer=tracer, metrics=metrics)
     server_tcp = TcpEndpoint(loop, "server", "client",
-                             on_deliver=server_host.on_tcp_deliver)
+                             on_deliver=server_host.on_tcp_deliver,
+                             tracer=tracer, metrics=metrics)
 
     def deliver_to_server(segment):
         server_host.charge_packet()
@@ -78,10 +108,14 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
         client_host.charge_packet()
         client_tcp.on_segment(segment)
 
+    tap_c2s, tap_s2c = tap.tap("c2s"), tap.tap("s2c")
+    if tracer.enabled:
+        tap_c2s = _tapped(tap_c2s, tracer, "c2s")
+        tap_s2c = _tapped(tap_s2c, tracer, "s2c")
     c2s = Link(loop, scenario, netem_drbg.fork("c2s"),
-               deliver=deliver_to_server, tap=tap.tap("c2s"))
+               deliver=deliver_to_server, tap=tap_c2s)
     s2c = Link(loop, scenario, netem_drbg.fork("s2c"),
-               deliver=deliver_to_client, tap=tap.tap("s2c"))
+               deliver=deliver_to_client, tap=tap_s2c)
     client_tcp.attach_link(c2s)
     server_tcp.attach_link(s2c)
     client_host.attach(client_tcp, client_app.receive)
@@ -110,6 +144,25 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
         "/".join(r.segment.labels) for r in tap.records
         if r.direction == "s2c" and r.segment.labels
     )
+    if tracer.enabled:
+        # the phase lane Figure 1 defines, nested under one root span that
+        # covers the entire simulated run (SYN to last trailing ACK)
+        tracer.begin("phases", "handshake", 0.0, cat="batch",
+                     scenario=scenario.name)
+        tracer.span("phases", "tcp-connect", 0.0, t_ch, cat="phase")
+        tracer.span("phases", "partA (CH..SH)", t_ch, t_sh, cat="phase")
+        tracer.span("phases", "partB (SH..CliFin)", t_sh, t_fin, cat="phase")
+        tracer.span("phases", "tail (trailing ACKs)", t_fin, wall_end, cat="phase")
+        tracer.end("phases", wall_end)
+    if metrics.enabled:
+        metrics.observe("handshake.part_a", t_sh - t_ch)
+        metrics.observe("handshake.part_b", t_fin - t_sh)
+        metrics.observe("handshake.total", t_fin - t_ch)
+        metrics.inc("wire.c2s.bytes", tap.bytes_in_direction("c2s"))
+        metrics.inc("wire.s2c.bytes", tap.bytes_in_direction("s2c"))
+        metrics.inc("wire.c2s.packets", tap.packets_in_direction("c2s"))
+        metrics.inc("wire.s2c.packets", tap.packets_in_direction("s2c"))
+        metrics.inc("handshake.count")
     return HandshakeTrace(
         part_a=t_sh - t_ch,
         part_b=t_fin - t_sh,
@@ -179,7 +232,8 @@ class Testbed:
         )
         self._handshake_index = 0
 
-    def run_handshake(self, max_sim_seconds: float = 120.0) -> HandshakeTrace:
+    def run_handshake(self, max_sim_seconds: float = 120.0, *,
+                      tracer=NULL_TRACER, metrics=NULL_METRICS) -> HandshakeTrace:
         index = self._handshake_index
         self._handshake_index += 1
         tls_drbg = self._drbg.fork(f"tls:{index}")
@@ -194,4 +248,5 @@ class Testbed:
             netem_drbg=self._drbg.fork(f"netem:{index}"),
             cost_model=self._cost_model,
             max_sim_seconds=max_sim_seconds,
+            tracer=tracer, metrics=metrics,
         )

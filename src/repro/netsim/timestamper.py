@@ -50,8 +50,16 @@ class Timestamper:
         ch = self._first("c2s", "ClientHello")
         sh = self._first("s2c", "SH")
         fin = self._first("c2s", "CCS+Fin")
-        if ch is None or sh is None or fin is None:
-            raise RuntimeError("handshake markers missing from the tap records")
+        missing = [f"{marker} ({direction})"
+                   for record, marker, direction in
+                   ((ch, "ClientHello", "c2s"), (sh, "SH", "s2c"),
+                    (fin, "CCS+Fin", "c2s"))
+                   if record is None]
+        if missing:
+            raise RuntimeError(
+                "handshake markers missing from the tap records: "
+                + ", ".join(missing)
+                + f" ({len(self.records)} frames tapped)")
         return ch.time, sh.time, fin.time
 
     def part_a(self) -> float:

@@ -1,0 +1,162 @@
+"""Perf-style views over a trace: call tree, flamegraph text, breakdowns.
+
+``perf report``'s two products are rebuilt from spans: the call tree
+(who spent the time, nested) and the library distribution (Table 3's
+libcrypto/libssl/kernel/... percentages). A third view answers the
+question a constrained-scenario run raises — *why was this handshake
+slow* — with the top spans by self-time, the retransmission count, and
+the longest wire-silence stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import Tracer
+
+# cat value marking container spans (action batches, phase wrappers) whose
+# time belongs to their children, exactly like a non-leaf perf frame
+CONTAINER_CAT = "batch"
+
+
+@dataclass
+class SpanNode:
+    """One node of the reconstructed call tree."""
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def self_time(self) -> float:
+        return self.duration - sum(c.duration for c in self.children)
+
+
+def build_tree(spans) -> list[SpanNode]:
+    """Containment tree of one track's spans (list of roots).
+
+    Spans come from a per-track stack, so proper nesting is guaranteed:
+    sorting by (start, -duration, depth) visits parents before children.
+    """
+    ordered = sorted(spans, key=lambda s: (s.start, -(s.end - s.start), s.depth))
+    roots: list[SpanNode] = []
+    stack: list[SpanNode] = []
+    for span in ordered:
+        node = SpanNode(span.name, span.cat, span.start, span.end)
+        while stack and span.end > stack[-1].end + 1e-15:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+def _render_node(node: SpanNode, total: float, depth: int, out: list[str]) -> None:
+    share = 100.0 * node.duration / total if total > 0 else 0.0
+    cat = f" [{node.cat}]" if node.cat and node.cat != CONTAINER_CAT else ""
+    out.append(f"{share:5.1f}%  {node.duration * 1e3:9.3f} ms  "
+               f"{'  ' * depth}{node.name}{cat}")
+    for child in sorted(node.children, key=lambda n: -n.duration):
+        _render_node(child, total, depth + 1, out)
+
+
+def flame_text(tracer: Tracer, track: str) -> str:
+    """An indented, percent-annotated call tree — flamegraph as text."""
+    roots = build_tree(tracer.spans_on(track))
+    if not roots:
+        return f"track {track!r}: no spans"
+    total = sum(r.duration for r in roots)
+    out = [f"track {track!r} — {total * 1e3:.3f} ms total"]
+    for root in sorted(roots, key=lambda n: n.start):
+        _render_node(root, total, 0, out)
+    return "\n".join(out)
+
+
+def library_breakdown(tracer: Tracer, track: str) -> dict[str, float]:
+    """Seconds per library on one CPU track, from leaf spans only.
+
+    Container spans (``cat == CONTAINER_CAT``) wrap their children's time
+    and are skipped, so this reproduces the cost model's attribution sums
+    exactly — the invariant the Table 3 parity test pins down.
+    """
+    totals: dict[str, float] = {}
+    for span in tracer.spans_on(track):
+        if not span.cat or span.cat == CONTAINER_CAT:
+            continue
+        totals[span.cat] = totals.get(span.cat, 0.0) + span.duration
+    return totals
+
+
+def library_shares(tracer: Tracer, track: str) -> dict[str, float]:
+    totals = library_breakdown(tracer, track)
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {}
+    return {lib: value / grand for lib, value in sorted(totals.items())}
+
+
+# -- "why was this slow" ------------------------------------------------------
+
+@dataclass(frozen=True)
+class SlowSummary:
+    duration: float                       # tracked wall time (seconds)
+    top_spans: list[tuple[str, str, float]]   # (track, name, self seconds)
+    retransmits: int
+    recovery_episodes: int
+    longest_stall: tuple[float, float]    # (start, length) of wire silence
+
+
+def summarize_slow(tracer: Tracer, top: int = 5) -> SlowSummary:
+    nodes: list[tuple[str, SpanNode]] = []
+
+    def collect(track: str, node: SpanNode) -> None:
+        nodes.append((track, node))
+        for child in node.children:
+            collect(track, child)
+
+    for track in tracer.tracks():
+        if track == "phases":
+            continue  # the phase lane restates the total; rank real work
+        for root in build_tree(tracer.spans_on(track)):
+            collect(track, root)
+    leaf_like = [(track, n) for track, n in nodes if n.cat != CONTAINER_CAT]
+    ranked = sorted(leaf_like, key=lambda item: -item[1].self_time)[:top]
+    top_spans = [(track, n.name, n.self_time) for track, n in ranked]
+
+    retransmits = sum(1 for i in tracer.instants if i.name == "retransmit")
+    recoveries = sum(1 for i in tracer.instants if i.name == "enter-recovery")
+
+    wire_times = sorted(i.time for i in tracer.instants
+                        if i.track.startswith("wire-"))
+    longest = (0.0, 0.0)
+    for before, after in zip(wire_times, wire_times[1:]):
+        if after - before > longest[1]:
+            longest = (before, after - before)
+
+    start = min((s.start for s in tracer.spans), default=0.0)
+    end = max((s.end for s in tracer.spans), default=0.0)
+    return SlowSummary(duration=end - start, top_spans=top_spans,
+                       retransmits=retransmits, recovery_episodes=recoveries,
+                       longest_stall=longest)
+
+
+def render_slow_summary(summary: SlowSummary) -> str:
+    out = [f"why was this slow — {summary.duration * 1e3:.2f} ms traced",
+           f"  retransmits: {summary.retransmits}   "
+           f"recovery episodes: {summary.recovery_episodes}"]
+    stall_at, stall_len = summary.longest_stall
+    if stall_len > 0:
+        out.append(f"  longest wire silence: {stall_len * 1e3:.2f} ms "
+                   f"starting at {stall_at * 1e3:.2f} ms")
+    out.append("  top spans by self time:")
+    for track, name, seconds in summary.top_spans:
+        out.append(f"    {seconds * 1e3:9.3f} ms  {track:<12} {name}")
+    return "\n".join(out)

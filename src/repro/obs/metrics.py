@@ -1,0 +1,239 @@
+"""Named counters, gauges, and histograms for the simulator.
+
+The seed code accumulated its statistics in ad-hoc dicts scattered across
+``ExperimentResult`` and the TCP endpoints; this registry gives every
+quantity a stable dotted name (``tcp.client.retransmits``,
+``cpu.server.libcrypto``, ``cache.hit``) so campaign code, the CLI, and
+tests all read the same instrument. Instruments are created lazily on
+first access and snapshot to plain dicts for JSON export.
+
+:data:`NULL_METRICS` mirrors :data:`repro.obs.tracer.NULL_TRACER`:
+``enabled`` is False and the instruments it hands out swallow updates, so
+un-observed runs pay nothing beyond an attribute check.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """Monotonic count (events, bytes, hits)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins scalar (cwnd, bytes in flight)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Full-sample histogram (flight sizes, per-handshake latencies)."""
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples) if self.samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class Metrics:
+    """Registry: one flat namespace of instruments, created on demand."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- convenience write paths (read like statsd calls) -------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- reads -------------------------------------------------------------
+    def value(self, name: str) -> float:
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        raise KeyError(f"no counter or gauge named {name!r}")
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, float]:
+        """``{suffix: value}`` for every counter named ``prefix + suffix``."""
+        return {
+            name[len(prefix):]: instrument.value
+            for name, instrument in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry into this one (campaign aggregation)."""
+        for name, instrument in other._counters.items():
+            self.counter(name).inc(instrument.value)
+        for name, instrument in other._gauges.items():
+            self.gauge(name).set(instrument.value)
+        for name, instrument in other._histograms.items():
+            self.histogram(name).samples.extend(instrument.samples)
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump, stable across runs, ready for ``json.dump``."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._counters):
+            out["counters"][name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            out["gauges"][name] = self._gauges[name].value
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            out["histograms"][name] = {
+                "count": histogram.count,
+                "sum": histogram.sum,
+                "min": histogram.min,
+                "max": histogram.max,
+                "mean": histogram.mean,
+                "median": histogram.median,
+                "p99": histogram.quantile(0.99),
+            }
+        return out
+
+
+class _NullInstrument:
+    """Accepts every update, keeps nothing."""
+
+    name = ""
+    value = 0.0
+    samples: tuple = ()
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    median = 0.0
+    min = 0.0
+    max = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: hands out one shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def names(self) -> list:
+        return []
+
+    def counters_with_prefix(self, prefix: str) -> dict:
+        return {}
+
+    def merge(self, other) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

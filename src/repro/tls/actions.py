@@ -18,11 +18,14 @@ class CryptoOp:
     op: e.g. ``kem_encaps``, ``sig_sign``, ``record_crypt``, ``tls_frame``.
     algorithm: algorithm name for keyed ops, "" for generic work.
     size: byte count for size-proportional ops (records, framing).
+    detail: TLS-message context for tracing ("SH", "Cert", ...); never
+        priced by the cost model, so it cannot perturb simulated time.
     """
 
     op: str
     algorithm: str = ""
     size: int = 0
+    detail: str = ""
 
 
 @dataclass(frozen=True)

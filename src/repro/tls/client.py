@@ -21,10 +21,16 @@ from repro.tls.records import (
     CONTENT_HANDSHAKE,
     Record,
     RecordProtection,
+    content_type_name,
     decode_records,
     encrypt_handshake_stream,
 )
 from repro.tls.transcript import TranscriptHash
+
+# what an encrypted record holds, by receive state (tracing context only)
+_DECRYPT_DETAIL = {
+    "wait_ee": "EE", "wait_cert": "Cert", "wait_cv": "CV", "wait_fin": "Fin",
+}
 
 
 class TlsClient:
@@ -54,7 +60,7 @@ class TlsClient:
         """Generate the key share and produce the ClientHello flight."""
         if self._state != "start":
             raise HandshakeFailure("client already started")
-        actions: list[Action] = [Compute((CryptoOp("kem_keygen", self.kem_name),))]
+        actions: list[Action] = [Compute((CryptoOp("kem_keygen", self.kem_name, detail="CH"),))]
         public_key, self._kem_secret = self._kem.keygen(self._drbg)
         hello = msg.ClientHello(
             random=self._drbg.random_bytes(32),
@@ -69,7 +75,7 @@ class TlsClient:
         from repro.tls.records import fragment_handshake
 
         wire = b"".join(r.encode() for r in fragment_handshake(hello))
-        actions.append(Compute((CryptoOp("tls_frame", size=len(hello)),)))
+        actions.append(Compute((CryptoOp("tls_frame", size=len(hello), detail="CH"),)))
         actions.append(Send(wire, "ClientHello"))
         self.bytes_out += len(wire)
         self._state = "wait_sh"
@@ -90,13 +96,20 @@ class TlsClient:
             return []
         if self._state == "wait_sh":
             if record.content_type != CONTENT_HANDSHAKE:
-                raise UnexpectedMessage("expected ServerHello")
+                raise UnexpectedMessage(
+                    "expected ServerHello, got "
+                    f"{content_type_name(record.content_type)} record")
             return self._consume_handshake_plaintext(record.payload)
         if self._state in ("wait_ee", "wait_cert", "wait_cv", "wait_fin"):
             content_type, plaintext = self._recv_protection.decrypt(record)
             if content_type != CONTENT_HANDSHAKE:
-                raise UnexpectedMessage("expected encrypted handshake record")
-            decrypt_cost = Compute((CryptoOp("record_crypt", size=len(plaintext)),))
+                raise UnexpectedMessage(
+                    "expected encrypted handshake record, got inner "
+                    f"{content_type_name(content_type)}")
+            decrypt_cost = Compute((CryptoOp(
+                "record_crypt", size=len(plaintext),
+                detail=_DECRYPT_DETAIL.get(self._state, "handshake"),
+            ),))
             return [decrypt_cost] + self._consume_handshake_plaintext(plaintext)
         raise UnexpectedMessage(f"record in state {self._state}")
 
@@ -118,7 +131,7 @@ class TlsClient:
                 raise UnexpectedMessage("expected EncryptedExtensions")
             self._transcript.update(raw)
             self._state = "wait_cert"
-            return [Compute((CryptoOp("tls_frame", size=len(raw)),))]
+            return [Compute((CryptoOp("tls_frame", size=len(raw), detail="EE"),))]
         if self._state == "wait_cert":
             if msg_type != msg.HT_CERTIFICATE:
                 raise UnexpectedMessage("expected Certificate")
@@ -139,12 +152,12 @@ class TlsClient:
             raise HandshakeFailure("server selected a group we did not offer")
         self._transcript.update(raw)
         actions = [Compute((
-            CryptoOp("tls_frame", size=len(raw)),
-            CryptoOp("kem_decaps", self.kem_name),
+            CryptoOp("tls_frame", size=len(raw), detail="SH"),
+            CryptoOp("kem_decaps", self.kem_name, detail="SH"),
         ))]
         shared_secret = self._kem.decaps(self._kem_secret, hello.key_share)
         self._schedule.set_shared_secret(shared_secret, self._transcript.digest())
-        actions.append(Compute((CryptoOp("key_schedule"),)))
+        actions.append(Compute((CryptoOp("key_schedule", detail="SH"),)))
         self._recv_protection = RecordProtection(
             traffic_keys(self._schedule.server_hs_secret)
         )
@@ -165,8 +178,8 @@ class TlsClient:
         self._transcript.update(raw)
         self._state = "wait_cv"
         return [Compute((
-            CryptoOp("tls_frame", size=len(raw)),
-            CryptoOp("cert_verify", self.sig_name),
+            CryptoOp("tls_frame", size=len(raw), detail="Cert"),
+            CryptoOp("cert_verify", self.sig_name, detail="Cert"),
         ))]
 
     def _process_certificate_verify(self, body: bytes, raw: bytes) -> list[Action]:
@@ -180,7 +193,7 @@ class TlsClient:
             raise HandshakeFailure("CertificateVerify signature invalid")
         self._transcript.update(raw)
         self._state = "wait_fin"
-        return [Compute((CryptoOp("sig_verify", self.sig_name),))]
+        return [Compute((CryptoOp("sig_verify", self.sig_name, detail="CV"),))]
 
     def _process_finished(self, body: bytes, raw: bytes) -> list[Action]:
         expected = self._schedule.finished_verify_data(
@@ -191,7 +204,7 @@ class TlsClient:
         self._transcript.update(raw)
         # application secrets derive from the transcript up to server Finished
         self._schedule.derive_master(self._transcript.digest())
-        actions: list[Action] = [Compute((CryptoOp("finished_mac"),))]
+        actions: list[Action] = [Compute((CryptoOp("finished_mac", detail="Fin"),))]
         # client flight: dummy CCS + Finished, one TCP push (one packet)
         verify_data = self._schedule.finished_verify_data(
             self._schedule.client_hs_secret, self._transcript.digest()
@@ -204,8 +217,8 @@ class TlsClient:
         ccs = Record(CONTENT_CHANGE_CIPHER_SPEC, b"\x01").encode()
         wire = ccs + fin_records
         actions.append(Compute((
-            CryptoOp("finished_mac"),
-            CryptoOp("record_crypt", size=len(finished)),
+            CryptoOp("finished_mac", detail="CCS+Fin"),
+            CryptoOp("record_crypt", size=len(finished), detail="CCS+Fin"),
         )))
         actions.append(Send(wire, "CCS+Fin"))
         self.bytes_out += len(wire)

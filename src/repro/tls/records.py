@@ -18,6 +18,18 @@ CONTENT_ALERT = 21
 CONTENT_HANDSHAKE = 22
 CONTENT_APPLICATION_DATA = 23
 
+CONTENT_TYPE_NAMES = {
+    CONTENT_CHANGE_CIPHER_SPEC: "ccs",
+    CONTENT_ALERT: "alert",
+    CONTENT_HANDSHAKE: "handshake",
+    CONTENT_APPLICATION_DATA: "appdata",
+}
+
+
+def content_type_name(content_type: int) -> str:
+    """Human name for a record content type (tracing / error messages)."""
+    return CONTENT_TYPE_NAMES.get(content_type, f"type{content_type}")
+
 LEGACY_VERSION = 0x0303
 MAX_FRAGMENT = 2 ** 14
 HEADER_LEN = 5

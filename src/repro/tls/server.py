@@ -29,6 +29,7 @@ from repro.tls.records import (
     Record,
     RecordProtection,
     decode_records,
+    content_type_name,
     encrypt_handshake_stream,
     fragment_handshake,
 )
@@ -120,7 +121,9 @@ class TlsServer:
             return []
         if self._state == "start":
             if record.content_type != CONTENT_HANDSHAKE:
-                raise UnexpectedMessage("expected ClientHello")
+                raise UnexpectedMessage(
+                    "expected ClientHello, got "
+                    f"{content_type_name(record.content_type)} record")
             self._hs_stream += record.payload
             msgs, self._hs_stream = msg.iter_handshake_messages(self._hs_stream)
             actions: list[Action] = []
@@ -148,8 +151,8 @@ class TlsServer:
         self._transcript.update(raw)
         actions: list[Action] = [
             Compute((
-                CryptoOp("tls_frame", size=len(raw)),
-                CryptoOp("kem_encaps", self.kem_name),
+                CryptoOp("tls_frame", size=len(raw), detail="CH"),
+                CryptoOp("kem_encaps", self.kem_name, detail="CH"),
             )),
         ]
         ciphertext, shared_secret = self._kem.encaps(share, self._drbg)
@@ -168,8 +171,8 @@ class TlsServer:
 
         self._schedule.set_shared_secret(shared_secret, self._transcript.digest())
         actions.append(Compute((
-            CryptoOp("key_schedule"),
-            CryptoOp("tls_frame", size=len(server_hello)),
+            CryptoOp("key_schedule", detail="SH"),
+            CryptoOp("tls_frame", size=len(server_hello), detail="SH"),
         )))
         send_protection = RecordProtection(traffic_keys(self._schedule.server_hs_secret))
         self._client_fin_protection = RecordProtection(
@@ -185,13 +188,13 @@ class TlsServer:
             r.encode() for r in encrypt_handshake_stream(send_protection, flight)
         )
         actions.append(Compute((
-            CryptoOp("record_crypt", size=len(flight)),
-            CryptoOp("tls_frame", size=len(flight)),
+            CryptoOp("record_crypt", size=len(flight), detail="EE+Cert"),
+            CryptoOp("tls_frame", size=len(flight), detail="EE+Cert"),
         )))
         actions.extend(buffer.add(records, "EE+Cert", push_now=True))
 
         cv_payload = msg.CERTIFICATE_VERIFY_SERVER_CONTEXT + self._transcript.digest()
-        actions.append(Compute((CryptoOp("sig_sign", self.sig_name),)))
+        actions.append(Compute((CryptoOp("sig_sign", self.sig_name, detail="CV"),)))
         signature = self._sig.sign(self._secret_key, cv_payload, self._drbg)
         cert_verify = msg.encode_certificate_verify(
             sigscheme_id(self.sig_name), signature
@@ -201,8 +204,8 @@ class TlsServer:
             r.encode() for r in encrypt_handshake_stream(send_protection, cert_verify)
         )
         actions.append(Compute((
-            CryptoOp("record_crypt", size=len(cert_verify)),
-            CryptoOp("tls_frame", size=len(cert_verify)),
+            CryptoOp("record_crypt", size=len(cert_verify), detail="CV"),
+            CryptoOp("tls_frame", size=len(cert_verify), detail="CV"),
         )))
         actions.extend(buffer.add(cv_records, "CV", push_now=False))
 
@@ -215,8 +218,8 @@ class TlsServer:
             r.encode() for r in encrypt_handshake_stream(send_protection, finished)
         )
         actions.append(Compute((
-            CryptoOp("finished_mac"),
-            CryptoOp("record_crypt", size=len(finished)),
+            CryptoOp("finished_mac", detail="Fin"),
+            CryptoOp("record_crypt", size=len(finished), detail="Fin"),
         )))
         actions.extend(buffer.add(fin_records, "Fin", push_now=False))
         actions.extend(buffer.finish())
@@ -232,7 +235,9 @@ class TlsServer:
     def _process_client_finished(self, record: Record) -> list[Action]:
         content_type, plaintext = self._client_fin_protection.decrypt(record)
         if content_type != CONTENT_HANDSHAKE:
-            raise UnexpectedMessage("expected encrypted handshake record")
+            raise UnexpectedMessage(
+                "expected encrypted handshake record, got inner "
+                f"{content_type_name(content_type)}")
         msgs, leftover = msg.iter_handshake_messages(plaintext)
         if leftover:
             raise UnexpectedMessage("fragmented client Finished not supported")
@@ -249,8 +254,8 @@ class TlsServer:
             self.handshake_complete = True
             self._state = "connected"
             actions.append(Compute((
-                CryptoOp("finished_mac"),
-                CryptoOp("record_crypt", size=len(raw)),
+                CryptoOp("finished_mac", detail="CliFin"),
+                CryptoOp("record_crypt", size=len(raw), detail="CliFin"),
             )))
         return actions
 

@@ -29,3 +29,34 @@ def test_unknown_artifact_errors(tmp_path):
 def test_requires_names():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_single_experiment_with_trace_and_metrics(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    assert main(["--kem", "x25519", "--sig", "rsa:1024",
+                 "--trace", str(trace), "--metrics", str(metrics),
+                 "--flame"]) == 0
+    captured = capsys.readouterr()
+    assert "x25519 x rsa:1024" in captured.err
+    assert "why was this slow" in captured.out
+    assert "Table 3 breakdown from spans" in captured.out
+    assert trace.exists() and metrics.exists()
+    import json
+    assert json.loads(trace.read_text())["traceEvents"]
+    assert "counters" in json.loads(metrics.read_text())
+
+
+def test_kem_without_sig_errors():
+    with pytest.raises(SystemExit):
+        main(["--kem", "x25519"])
+
+
+def test_trace_requires_single_experiment(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--trace", str(tmp_path / "t.json"), "all-kem"])
+
+
+def test_evaluate_rejects_single_experiment_mode():
+    with pytest.raises(SystemExit):
+        main(["--evaluate", "--kem", "x25519", "--sig", "rsa:1024"])

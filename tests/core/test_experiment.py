@@ -52,6 +52,36 @@ def test_cpu_accounting(baseline):
     assert "python" in baseline.server_cpu_by_library
 
 
+@pytest.mark.parametrize("duration", [0.0, -1.0, -0.001])
+def test_nonpositive_duration_rejected_up_front(duration):
+    with pytest.raises(ValueError, match="duration must be positive"):
+        run_experiment(ExperimentConfig(
+            kem="x25519", sig="rsa:1024", duration=duration))
+
+
+def test_nonpositive_duration_rejected_even_with_cache(tmp_path, monkeypatch):
+    # the guard fires before the cache lookup, so a stale cached result
+    # can never mask the bad configuration
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    with pytest.raises(ValueError):
+        run_experiment(ExperimentConfig(kem="x25519", sig="rsa:1024",
+                                        duration=-5.0))
+    assert not (tmp_path / "experiment").exists()
+
+
+def test_zero_max_samples_rejected():
+    with pytest.raises(ValueError, match="max_samples"):
+        run_experiment(ExperimentConfig(
+            kem="x25519", sig="rsa:1024", max_samples=0))
+
+
+def test_result_carries_metrics_snapshot(baseline):
+    counters = baseline.metrics["counters"]
+    assert counters["handshake.count"] == len(baseline.total_samples)
+    assert counters["tcp.client.segments_sent"] > 0
+    assert baseline.metrics["histograms"]["handshake.part_a"]["count"] >= 1
+
+
 def test_stochastic_scenario_collects_many_samples():
     result = run_experiment(ExperimentConfig(
         kem="x25519", sig="rsa:1024", scenario="high-loss", max_samples=50))

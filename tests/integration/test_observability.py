@@ -1,0 +1,127 @@
+"""End-to-end observability: one traced handshake, checked for fidelity.
+
+Pins the subsystem's three promises: the trace covers (almost) all of the
+simulated handshake, the span-derived library breakdown agrees with the
+cost model's accounting, and switching tracing on changes *nothing* about
+the simulated numbers.
+"""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.report import render_table3_from_spans, render_trace_report
+from repro.obs.export import write_chrome_trace
+from repro.obs.flame import library_breakdown, library_shares
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Tracer
+
+CONFIG = ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    tracer = Tracer()
+    metrics = Metrics()
+    result = run_experiment(CONFIG, tracer=tracer, metrics=metrics)
+    return tracer, metrics, result
+
+
+def test_trace_has_the_expected_lanes(traced):
+    tracer, _, _ = traced
+    tracks = set(tracer.tracks())
+    assert {"phases", "client-cpu", "server-cpu"} <= tracks
+    assert any(t.startswith("wire-") for t in tracks)
+
+
+def test_spans_nest_on_the_simulated_clock(traced):
+    tracer, _, _ = traced
+    for track in tracer.tracks():
+        spans = tracer.spans_on(track)
+        for span in spans:
+            assert span.end >= span.start
+        # every depth>0 span sits inside some shallower span on its track
+        for span in spans:
+            if span.depth == 0:
+                continue
+            assert any(parent.depth < span.depth
+                       and parent.start <= span.start + 1e-12
+                       and span.end <= parent.end + 1e-12
+                       for parent in spans), span
+
+
+def test_phase_spans_cover_the_handshake(traced):
+    tracer, _, result = traced
+    phases = [s for s in tracer.spans_on("phases") if s.cat == "phase"]
+    wall_end = max(s.end for s in tracer.spans_on("phases"))
+    covered = sum(s.duration for s in phases)
+    assert covered >= 0.95 * wall_end
+    # and the partA/partB phases reproduce the measured medians
+    part_a = next(s for s in phases if s.name.startswith("partA"))
+    part_b = next(s for s in phases if s.name.startswith("partB"))
+    assert part_a.duration == pytest.approx(result.part_a_median, rel=1e-9)
+    assert part_b.duration == pytest.approx(result.part_b_median, rel=1e-9)
+
+
+def test_span_library_breakdown_matches_cost_model(traced):
+    tracer, _, result = traced
+    for track, legacy in (("client-cpu", result.client_cpu_by_library),
+                          ("server-cpu", result.server_cpu_by_library)):
+        from_spans = library_breakdown(tracer, track)
+        assert set(from_spans) == set(legacy)
+        shares = library_shares(tracer, track)
+        legacy_total = sum(legacy.values())
+        for lib, seconds in legacy.items():
+            # Table 3 acceptance: percentages agree within one point
+            assert shares[lib] == pytest.approx(seconds / legacy_total, abs=0.01)
+            # and the raw seconds agree exactly (same charges, same clock)
+            assert from_spans[lib] == pytest.approx(seconds, rel=1e-9)
+
+
+def test_tracing_changes_no_simulated_numbers(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    plain = run_experiment(CONFIG, use_cache=False)
+    traced_result = run_experiment(CONFIG, use_cache=False, tracer=Tracer())
+    assert traced_result.total_samples == plain.total_samples
+    assert traced_result.part_a_samples == plain.part_a_samples
+    assert traced_result.client_cpu_by_library == plain.client_cpu_by_library
+    assert traced_result.metrics == plain.metrics
+    assert traced_result.n_handshakes == plain.n_handshakes
+
+
+def test_traced_runs_bypass_the_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    run_experiment(CONFIG, tracer=Tracer())
+    assert not (tmp_path / "experiment").exists()  # nothing stored
+    run_experiment(CONFIG)
+    assert (tmp_path / "experiment").exists()      # untraced run stores
+
+
+def test_run_metrics_snapshot_on_result(traced):
+    _, metrics, result = traced
+    counters = result.metrics["counters"]
+    assert counters["handshake.count"] >= 1
+    assert counters["wire.c2s.packets"] > 0
+    assert counters["wire.s2c.bytes"] > counters["wire.c2s.bytes"]
+    assert result.metrics["histograms"]["handshake.total"]["count"] >= 1
+    # the caller's registry saw the same counters
+    assert metrics.value("handshake.count") == counters["handshake.count"]
+
+
+def test_chrome_export_of_real_trace_is_valid(tmp_path, traced):
+    tracer, _, _ = traced
+    path = write_chrome_trace(tracer, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    events = loaded["traceEvents"]
+    assert len(events) > 50
+    assert {e["ph"] for e in events} >= {"M", "X", "i"}
+
+
+def test_report_renderers_run_on_real_trace(traced):
+    tracer, _, result = traced
+    report = render_trace_report(tracer)
+    assert "client CPU" in report and "server CPU" in report
+    assert "why was this slow" in report
+    table3 = render_table3_from_spans(tracer, result)
+    assert "libcrypto" in table3

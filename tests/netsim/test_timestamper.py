@@ -60,6 +60,26 @@ def test_missing_markers_raise():
         tap.phase_times()
 
 
+def test_missing_marker_error_names_each_marker_and_direction():
+    tap = Timestamper()
+    tap.tap("c2s")(0.0, _seg(("ClientHello",)))
+    tap.tap("s2c")(0.5, _seg(("SH",)))
+    with pytest.raises(RuntimeError) as excinfo:
+        tap.phase_times()
+    message = str(excinfo.value)
+    assert "CCS+Fin (c2s)" in message
+    assert "ClientHello" not in message  # only the absentees are listed
+    assert "2 frames tapped" in message
+
+
+def test_empty_tap_lists_all_three_markers():
+    with pytest.raises(RuntimeError) as excinfo:
+        Timestamper().phase_times()
+    message = str(excinfo.value)
+    for expected in ("ClientHello (c2s)", "SH (s2c)", "CCS+Fin (c2s)"):
+        assert expected in message
+
+
 def test_byte_and_packet_accounting():
     tap = Timestamper()
     tap.tap("c2s")(0.0, _seg(payload=b"x" * 100))

@@ -1,0 +1,76 @@
+"""Flame views: tree building, library breakdowns, slow summaries."""
+
+import pytest
+
+from repro.obs.flame import (
+    build_tree,
+    flame_text,
+    library_breakdown,
+    library_shares,
+    render_slow_summary,
+    summarize_slow,
+)
+from repro.obs.tracer import Tracer
+
+
+def _traced_batch():
+    tracer = Tracer()
+    tracer.begin("server-cpu", "tls-actions", 0.0, cat="batch")
+    tracer.span("server-cpu", "sign", 0.0, 0.003, cat="libcrypto")
+    tracer.span("server-cpu", "frame", 0.003, 0.004, cat="libssl")
+    tracer.end("server-cpu", 0.004)
+    tracer.span("server-cpu", "packet", 0.004, 0.005, cat="kernel")
+    return tracer
+
+
+def test_build_tree_reconstructs_containment():
+    roots = build_tree(_traced_batch().spans_on("server-cpu"))
+    assert [r.name for r in roots] == ["tls-actions", "packet"]
+    batch = roots[0]
+    assert [c.name for c in batch.children] == ["sign", "frame"]
+    assert batch.duration == pytest.approx(0.004)
+    # wrapper time fully covered by children -> no self time
+    assert batch.self_time == pytest.approx(0.0)
+    assert batch.children[0].self_time == pytest.approx(0.003)
+
+
+def test_flame_text_annotates_percentages():
+    text = flame_text(_traced_batch(), "server-cpu")
+    lines = text.splitlines()
+    assert "5.000 ms total" in lines[0]
+    assert any("80.0%" in line and "tls-actions" in line for line in lines)
+    assert any("sign" in line and "[libcrypto]" in line for line in lines)
+    assert flame_text(Tracer(), "nope") == "track 'nope': no spans"
+
+
+def test_library_breakdown_skips_containers():
+    totals = library_breakdown(_traced_batch(), "server-cpu")
+    assert totals == {"libcrypto": pytest.approx(0.003),
+                      "libssl": pytest.approx(0.001),
+                      "kernel": pytest.approx(0.001)}
+    shares = library_shares(_traced_batch(), "server-cpu")
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares["libcrypto"] == pytest.approx(0.6)
+
+
+def test_summarize_slow_ranks_by_self_time():
+    tracer = _traced_batch()
+    tracer.instant("tcp-server", "retransmit", 0.002, seq=0)
+    tracer.instant("tcp-server", "enter-recovery", 0.002)
+    tracer.instant("wire-s2c", "seg", 0.001)
+    tracer.instant("wire-s2c", "seg", 0.0045)
+    summary = summarize_slow(tracer, top=3)
+    assert summary.retransmits == 1
+    assert summary.recovery_episodes == 1
+    assert summary.top_spans[0][1] == "sign"
+    assert summary.longest_stall == (pytest.approx(0.001), pytest.approx(0.0035))
+    text = render_slow_summary(summary)
+    assert "retransmits: 1" in text
+    assert "sign" in text
+
+
+def test_summarize_slow_ignores_phase_lane():
+    tracer = _traced_batch()
+    tracer.span("phases", "handshake", 0.0, 1.0, cat="phase")
+    summary = summarize_slow(tracer, top=1)
+    assert summary.top_spans[0][0] == "server-cpu"

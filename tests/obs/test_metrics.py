@@ -1,0 +1,92 @@
+"""Metrics registry: instruments, prefix reads, merging, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import NULL_METRICS, Metrics
+
+
+def test_counter_accumulates_and_rejects_negative():
+    metrics = Metrics()
+    metrics.inc("tcp.retransmits")
+    metrics.inc("tcp.retransmits", 2)
+    assert metrics.value("tcp.retransmits") == 3
+    with pytest.raises(ValueError):
+        metrics.inc("tcp.retransmits", -1)
+
+
+def test_gauge_last_write_wins():
+    metrics = Metrics()
+    metrics.set("cwnd", 10)
+    metrics.set("cwnd", 4)
+    assert metrics.value("cwnd") == 4
+
+
+def test_histogram_statistics():
+    metrics = Metrics()
+    for value in (1.0, 2.0, 3.0, 10.0):
+        metrics.observe("lat", value)
+    histogram = metrics.histogram("lat")
+    assert histogram.count == 4
+    assert histogram.sum == 16.0
+    assert histogram.mean == 4.0
+    assert histogram.median == 2.5
+    assert histogram.min == 1.0 and histogram.max == 10.0
+    assert histogram.quantile(1.0) == 10.0
+    assert histogram.quantile(0.0) == 1.0
+
+
+def test_instruments_are_lazily_created_and_stable():
+    metrics = Metrics()
+    assert metrics.counter("a") is metrics.counter("a")
+    assert metrics.names() == ["a"]
+
+
+def test_value_raises_on_unknown_name():
+    with pytest.raises(KeyError):
+        Metrics().value("nope")
+
+
+def test_counters_with_prefix_strips_prefix():
+    metrics = Metrics()
+    metrics.inc("cpu.client.libssl", 1.0)
+    metrics.inc("cpu.client.libcrypto", 2.0)
+    metrics.inc("cpu.server.libssl", 9.0)
+    assert metrics.counters_with_prefix("cpu.client.") == {
+        "libssl": 1.0, "libcrypto": 2.0}
+
+
+def test_merge_folds_all_instrument_kinds():
+    a, b = Metrics(), Metrics()
+    a.inc("hits", 1)
+    b.inc("hits", 2)
+    b.set("cwnd", 7)
+    b.observe("lat", 0.5)
+    a.merge(b)
+    assert a.value("hits") == 3
+    assert a.value("cwnd") == 7
+    assert a.histogram("lat").samples == [0.5]
+
+
+def test_snapshot_shape_and_sorting():
+    metrics = Metrics()
+    metrics.inc("z", 1)
+    metrics.inc("a", 1)
+    metrics.observe("lat", 2.0)
+    snapshot = metrics.snapshot()
+    assert list(snapshot["counters"]) == ["a", "z"]
+    assert snapshot["histograms"]["lat"]["count"] == 1
+    assert set(snapshot["histograms"]["lat"]) == {
+        "count", "sum", "min", "max", "mean", "median", "p99"}
+
+
+def test_null_metrics_swallows_everything():
+    assert NULL_METRICS.enabled is False
+    NULL_METRICS.inc("x")
+    NULL_METRICS.set("y", 1)
+    NULL_METRICS.observe("z", 2)
+    NULL_METRICS.counter("x").inc(5)
+    assert NULL_METRICS.counter("x").value == 0.0
+    assert NULL_METRICS.names() == []
+    assert NULL_METRICS.counters_with_prefix("x") == {}
+    assert NULL_METRICS.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {}}
