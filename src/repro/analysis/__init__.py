@@ -1,0 +1,31 @@
+"""`repro.analysis` — the pqtls-lint static-analysis framework.
+
+The reproduction's validity rests on contracts the test suite only
+samples: PQC code must not branch or index on secret data, the simulator
+must draw all time from the event loop and all randomness from
+:class:`~repro.crypto.drbg.Drbg`, the sans-io TLS stack must never reach
+into ``repro.netsim``, and every registered algorithm's declared wire
+sizes must match the NIST round-3 specifications Table 2 depends on.
+This package machine-checks those contracts over the AST of the tree so
+every future PR is gated on them, not on reviewer vigilance.
+
+Entry points: the ``pqtls-lint`` console script (``repro.analysis.cli``),
+``python -m repro.analysis``, or :func:`analyze` for programmatic use.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.registry import Checker, all_checkers, register
+from repro.analysis.runner import Report, analyze
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "Finding",
+    "Report",
+    "Severity",
+    "all_checkers",
+    "analyze",
+    "register",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — same as the ``pqtls-lint`` script."""
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

@@ -1,0 +1,105 @@
+"""Committed baseline of accepted findings.
+
+A baseline entry suppresses findings matching its (code, path, symbol,
+message) identity — line numbers are deliberately absent so unrelated
+edits don't invalidate the file.  Every entry must carry a
+``justification``; `pqtls-lint` refuses a baseline with silent entries,
+which keeps the file reviewable instead of becoming a dumping ground.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.finding import Finding
+
+DEFAULT_BASELINE_NAME = ".pqtls-baseline.json"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    code: str
+    path: str
+    symbol: str
+    message: str
+    justification: str
+
+    def identity(self) -> tuple[str, str, str, str]:
+        return (self.code, self.path, self.symbol, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "symbol": self.symbol,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(f"{path}: unsupported baseline version {data.get('version')!r}")
+        entries = []
+        for raw in data.get("entries", []):
+            entry = BaselineEntry(
+                code=raw["code"],
+                path=raw["path"],
+                symbol=raw.get("symbol", ""),
+                message=raw["message"],
+                justification=raw.get("justification", ""),
+            )
+            if not entry.justification.strip() or entry.justification.startswith("TODO"):
+                raise ValueError(
+                    f"{path}: baseline entry {entry.code} at {entry.path} "
+                    "has no justification; every accepted finding must say why"
+                )
+            entries.append(entry)
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      justification: str = "TODO: justify") -> "Baseline":
+        entries = [
+            BaselineEntry(
+                code=f.code, path=f.path, symbol=f.symbol, message=f.message,
+                justification=justification,
+            )
+            for f in sorted(set(findings), key=Finding.sort_key)
+        ]
+        # identical identities collapse to one entry
+        unique = {e.identity(): e for e in entries}
+        return cls(entries=[unique[k] for k in sorted(unique)])
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition into (new, suppressed) findings + stale entries."""
+        known = {entry.identity(): entry for entry in self.entries}
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        used: set[tuple] = set()
+        for finding in findings:
+            if finding.identity() in known:
+                suppressed.append(finding)
+                used.add(finding.identity())
+            else:
+                new.append(finding)
+        stale = [entry for entry in self.entries if entry.identity() not in used]
+        return new, suppressed, stale
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                        encoding="utf-8")

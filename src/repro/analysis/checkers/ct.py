@@ -1,0 +1,227 @@
+"""CT — constant-time discipline for `repro.crypto` / `repro.pqc`.
+
+Intraprocedural taint tracking: taint seeds from secret-named parameters
+(``sk``, ``seed``, ``coins``, ``*secret*``, ...) and from the secret
+outputs of ``keygen`` / ``decaps`` calls, propagates through assignments
+and expressions, and any secret-dependent ``if``/``while`` condition,
+``range()`` loop bound, or subscript index is flagged.  This is the
+AST-level analogue of the constant-time C discipline liboqs/OpenSSL rely
+on (and OpenSSLNTRU emphasises for key exchange): pure Python can never
+be cycle-exact, but it *can* refuse control flow and memory addressing
+keyed on secrets, which keeps the reproduction's algorithms structurally
+faithful to their specs.
+
+Deliberate declassification (e.g. FO-transform outcomes that the
+protocol reveals anyway) goes through
+:func:`repro.crypto.constanttime.declassify`, which this checker treats
+as a sanitizer — grep for callers to audit every such decision.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Checker, register
+
+# Parameter / variable names treated as secret seeds.
+_SECRET_NAME_RE = re.compile(
+    r"(^|_)(sk|secret|secrets|seed|seeds|coins|scalar|private|priv|signing_key|"
+    r"shared_secret)(_|$)|secret"
+)
+
+# Calls whose results are secret: obj.keygen() -> (pk, sk); obj.decaps()/decap()
+_SECRET_RETURNING = {"decaps", "decap"}
+_KEYGEN_NAMES = {"keygen", "generate_keypair"}
+
+# Calls whose results are public regardless of argument taint.
+_SANITIZERS = {"len", "declassify", "type", "isinstance", "id"}
+
+_SCOPES = ("repro.crypto", "repro.pqc")
+
+
+def _is_secret_name(name: str) -> bool:
+    return bool(_SECRET_NAME_RE.search(name))
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class _FunctionTaint:
+    """One function's forward taint pass (iterated to a fixpoint)."""
+
+    def __init__(self, func: ast.FunctionDef):
+        self.func = func
+        self.tainted: dict[str, str] = {}   # name -> origin description
+        for arg in [*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs]:
+            if _is_secret_name(arg.arg):
+                self.tainted[arg.arg] = f"parameter {arg.arg!r}"
+
+    # -- expression taint ---------------------------------------------------
+    def origin_of(self, expr: ast.AST) -> str | None:
+        """Origin string if *expr* is tainted, else None.
+
+        Sanitizer calls (``len``, ``declassify``, ...) produce public
+        values, so their subtrees are not descended into.
+        """
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Call) and _call_name(node) in _SANITIZERS:
+                continue  # public result: do not descend
+            if isinstance(node, ast.Name) and node.id in self.tainted:
+                return self.tainted[node.id]
+            if isinstance(node, ast.Call) and _call_name(node) in _SECRET_RETURNING:
+                return f"{_call_name(node)}() result"
+            stack.extend(ast.iter_child_nodes(node))
+        return None
+
+    # -- statement transfer -------------------------------------------------
+    def _taint_target(self, target: ast.AST, origin: str) -> bool:
+        changed = False
+        if isinstance(target, ast.Name):
+            if target.id not in self.tainted:
+                self.tainted[target.id] = origin
+                changed = True
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                changed |= self._taint_target(element, origin)
+        elif isinstance(target, ast.Starred):
+            changed |= self._taint_target(target.value, origin)
+        return changed
+
+    def propagate_once(self) -> bool:
+        changed = False
+        for node in ast.walk(self.func):
+            if isinstance(node, ast.Assign):
+                changed |= self._transfer_assign(node.targets, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                changed |= self._transfer_assign([node.target], node.value)
+            elif isinstance(node, ast.AugAssign):
+                origin = self.origin_of(node.value)
+                if origin:
+                    changed |= self._taint_target(node.target, origin)
+            elif isinstance(node, ast.NamedExpr):
+                origin = self.origin_of(node.value)
+                if origin:
+                    changed |= self._taint_target(node.target, origin)
+            elif isinstance(node, ast.For):
+                origin = self.origin_of(node.iter)
+                if origin:
+                    changed |= self._taint_target(node.target, origin)
+        return changed
+
+    def _transfer_assign(self, targets: list[ast.AST], value: ast.AST) -> bool:
+        changed = False
+        # `pk, sk = scheme.keygen(drbg)`: only the secret-key element taints
+        if (isinstance(value, ast.Call) and _call_name(value) in _KEYGEN_NAMES
+                and len(targets) == 1 and isinstance(targets[0], ast.Tuple)
+                and len(targets[0].elts) == 2):
+            secret_elt = targets[0].elts[1]
+            return self._taint_target(secret_elt, f"{_call_name(value)}() secret key")
+        origin = self.origin_of(value)
+        if origin:
+            for target in targets:
+                changed |= self._taint_target(target, origin)
+        return changed
+
+    def solve(self, max_rounds: int = 10) -> None:
+        for _ in range(max_rounds):
+            if not self.propagate_once():
+                return
+
+
+@register
+class ConstantTimeChecker(Checker):
+    name = "ct"
+    description = ("no secret-dependent control flow or memory indexing in "
+                   "repro.crypto / repro.pqc (intraprocedural taint tracking)")
+    codes = {
+        "CT001": "branch condition (`if`/`while`/ternary/`match`) depends on secret data",
+        "CT002": "loop bound depends on secret data",
+        "CT003": "subscript index depends on secret data",
+    }
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(ctx.module == s or ctx.module.startswith(s + ".") for s in _SCOPES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(self, ctx: FileContext, func: ast.FunctionDef) -> Iterator[Finding]:
+        taint = _FunctionTaint(func)
+        taint.solve()
+        if not taint.tainted:
+            return
+
+        def finding(code: str, node: ast.AST, message: str) -> Finding:
+            return Finding(code=code, message=message, path=ctx.relpath,
+                           line=node.lineno, col=node.col_offset,
+                           symbol=ctx.symbol_at(node), checker=self.name)
+
+        nested = {
+            child for child in ast.walk(func)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and child is not func
+        }
+
+        def in_nested(node: ast.AST) -> bool:
+            current = ctx.parents.get(node)
+            while current is not None and current is not func:
+                if current in nested:
+                    return True
+                current = ctx.parents.get(current)
+            return False
+
+        for node in ast.walk(func):
+            if in_nested(node):
+                continue  # nested defs get their own pass with their own seeds
+            if isinstance(node, (ast.If, ast.While)):
+                origin = taint.origin_of(node.test)
+                if origin:
+                    kind = "if" if isinstance(node, ast.If) else "while"
+                    yield finding("CT001", node,
+                                  f"`{kind}` condition depends on {origin}")
+            elif isinstance(node, ast.IfExp):
+                origin = taint.origin_of(node.test)
+                if origin:
+                    yield finding("CT001", node,
+                                  f"conditional expression depends on {origin}")
+            elif isinstance(node, ast.Match):
+                origin = taint.origin_of(node.subject)
+                if origin:
+                    yield finding("CT001", node,
+                                  f"`match` subject depends on {origin}")
+            elif isinstance(node, ast.For):
+                if isinstance(node.iter, ast.Call) and _call_name(node.iter) == "range":
+                    for arg in node.iter.args:
+                        origin = taint.origin_of(arg)
+                        if origin:
+                            yield finding("CT002", node,
+                                          f"`range()` loop bound depends on {origin}")
+                            break
+            elif isinstance(node, ast.Subscript):
+                origin = self._slice_origin(taint, node.slice)
+                if origin:
+                    yield finding("CT003", node,
+                                  f"subscript index depends on {origin}")
+
+    @staticmethod
+    def _slice_origin(taint: _FunctionTaint, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    origin = taint.origin_of(part)
+                    if origin:
+                        return origin
+            return None
+        return taint.origin_of(node)

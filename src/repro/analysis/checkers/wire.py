@@ -1,0 +1,180 @@
+"""WIRE — declared wire sizes must match the NIST round-3 specifications.
+
+Table 2's "Data Sent" column is arithmetic over ``public_key_bytes`` /
+``ciphertext_bytes`` / ``signature_bytes``: a wrong declaration skews
+every byte count the reproduction reports while the handshake still
+"works".  This audit imports :mod:`repro.pqc.registry` and compares every
+registered algorithm against a size table embedded here, transcribed
+independently from the round-3 specs (Kyber/BIKE/HQC/Falcon/Dilithium/
+SPHINCS+ submission documents; RFC 7748 / SEC 1 / RFC 8017 for the
+classical schemes).  Hybrids must be exact concatenations of their
+components, per draft-ietf-tls-hybrid-design.
+
+Findings anchor to the defining class's source line via ``inspect``, so
+a bad size points at the implementation, not at the registry loop.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Checker, register
+
+# name -> (public_key_bytes, ciphertext_bytes, shared_secret_bytes)
+KEM_SPEC_SIZES: dict[str, tuple[int, int, int]] = {
+    "x25519": (32, 32, 32),            # RFC 7748
+    "p256": (65, 65, 32),              # SEC 1 uncompressed point / coord
+    "p384": (97, 97, 48),
+    "p521": (133, 133, 66),
+    "kyber512": (800, 768, 32),        # Kyber round-3 spec, Table 1
+    "kyber768": (1184, 1088, 32),
+    "kyber1024": (1568, 1568, 32),
+    "kyber90s512": (800, 768, 32),
+    "kyber90s768": (1184, 1088, 32),
+    "kyber90s1024": (1568, 1568, 32),
+    "bikel1": (1541, 1573, 32),        # BIKE round-3 spec §5
+    "bikel3": (3083, 3115, 32),
+    "hqc128": (2249, 4481, 64),        # HQC round-3 spec, Table 4
+    "hqc192": (4522, 9026, 64),
+    "hqc256": (7245, 14469, 64),
+}
+
+# name -> (public_key_bytes, signature_bytes)
+SIG_SPEC_SIZES: dict[str, tuple[int, int]] = {
+    "rsa:1024": (134, 128),            # RFC 8017 + this repo's 6-byte pk envelope
+    "rsa:2048": (262, 256),
+    "rsa:3072": (390, 384),
+    "rsa:4096": (518, 512),
+    "falcon512": (897, 666),           # Falcon round-3 spec, Table 3.3
+    "falcon1024": (1793, 1280),
+    "dilithium2": (1312, 2420),        # Dilithium round-3 spec, Table 2
+    "dilithium3": (1952, 3293),
+    "dilithium5": (2592, 4595),
+    "dilithium2_aes": (1312, 2420),
+    "dilithium3_aes": (1952, 3293),
+    "dilithium5_aes": (2592, 4595),
+    "sphincs128": (32, 17088),         # SPHINCS+ round-3 spec, Table 3 (128f)
+    "sphincs192": (48, 35664),         # (192f)
+    "sphincs256": (64, 49856),         # (256f)
+    "sphincs-shake-128f": (32, 17088),
+    "p256ecdsa": (65, 64),             # composite halves
+    "p384ecdsa": (97, 96),
+    "p521ecdsa": (133, 132),
+}
+
+
+@register
+class WireSizeChecker(Checker):
+    name = "wire"
+    description = ("every registered KEM/signature declares wire sizes matching "
+                   "the embedded NIST-spec table; hybrids are exact concatenations")
+    codes = {
+        "WIRE001": "declared wire size differs from the NIST-spec table",
+        "WIRE002": "registered algorithm missing from the embedded spec table",
+        "WIRE003": "hybrid/composite size is not the sum of its components",
+        "WIRE004": "registry not importable for auditing",
+    }
+    scope = "project"
+
+    def __init__(self, kem_table: dict | None = None, sig_table: dict | None = None):
+        # injectable tables let the self-tests prove a mismatch is caught
+        self._kem_table = KEM_SPEC_SIZES if kem_table is None else kem_table
+        self._sig_table = SIG_SPEC_SIZES if sig_table is None else sig_table
+
+    def check_project(self, ctxs: list[FileContext]) -> Iterator[Finding]:
+        if not any(ctx.module.startswith("repro.pqc") for ctx in ctxs):
+            return
+        project_root = self._project_root(ctxs)
+        try:
+            from repro.pqc import registry
+            from repro.pqc.hybrid import CompositeSignature, HybridKem
+        except Exception as exc:  # pqtls: allow[EXC001] — any import failure becomes WIRE004
+            anchor = next(ctx for ctx in ctxs if ctx.module.startswith("repro.pqc"))
+            yield Finding(code="WIRE004", message=f"cannot import repro.pqc.registry: {exc}",
+                          path=anchor.relpath, line=1, checker=self.name)
+            return
+
+        for name, kem in sorted(registry.KEMS.items()):
+            declared = (kem.public_key_bytes, kem.ciphertext_bytes, kem.shared_secret_bytes)
+            if isinstance(kem, HybridKem):
+                expected = tuple(
+                    getattr(kem.classical, attr) + getattr(kem.pq, attr)
+                    for attr in ("public_key_bytes", "ciphertext_bytes", "shared_secret_bytes")
+                )
+                if declared != expected:
+                    yield self._mismatch("WIRE003", kem, name, declared, expected,
+                                         ("pk", "ct", "ss"), project_root,
+                                         note="hybrid must concatenate its components")
+            elif name not in self._kem_table:
+                yield self._anchor_finding(
+                    "WIRE002", kem, project_root,
+                    f"KEM {name!r} has no entry in the embedded NIST size table; "
+                    "add one (with a spec citation) so Table 2 byte counts stay auditable")
+            else:
+                expected = self._kem_table[name]
+                if declared != expected:
+                    yield self._mismatch("WIRE001", kem, name, declared, expected,
+                                         ("pk", "ct", "ss"), project_root)
+
+        for name, sig in sorted(registry.SIGS.items()):
+            declared = (sig.public_key_bytes, sig.signature_bytes)
+            if isinstance(sig, CompositeSignature):
+                expected = tuple(
+                    getattr(sig.classical, attr) + getattr(sig.pq, attr)
+                    for attr in ("public_key_bytes", "signature_bytes")
+                )
+                if declared != expected:
+                    yield self._mismatch("WIRE003", sig, name, declared, expected,
+                                         ("pk", "sig"), project_root,
+                                         note="composite must concatenate its components")
+            elif name not in self._sig_table:
+                yield self._anchor_finding(
+                    "WIRE002", sig, project_root,
+                    f"signature {name!r} has no entry in the embedded NIST size table; "
+                    "add one (with a spec citation) so Table 2 byte counts stay auditable")
+            else:
+                expected = self._sig_table[name]
+                if declared != expected:
+                    yield self._mismatch("WIRE001", sig, name, declared, expected,
+                                         ("pk", "sig"), project_root)
+
+    # -- helpers -------------------------------------------------------------
+    @staticmethod
+    def _project_root(ctxs: list[FileContext]) -> Path:
+        for ctx in ctxs:
+            if ctx.path.as_posix().endswith(ctx.relpath):
+                prefix = ctx.path.as_posix()[: -len(ctx.relpath)].rstrip("/")
+                return Path(prefix or ".")
+        return Path.cwd()
+
+    def _anchor(self, algorithm, project_root: Path) -> tuple[str, int]:
+        cls = type(algorithm)
+        try:
+            path = Path(inspect.getsourcefile(cls) or "")
+            _, line = inspect.getsourcelines(cls)
+            rel = path.resolve().relative_to(project_root.resolve()).as_posix()
+            return rel, line
+        except (TypeError, OSError, ValueError):
+            return "src/repro/pqc/registry.py", 1
+
+    def _anchor_finding(self, code: str, algorithm, project_root: Path,
+                        message: str) -> Finding:
+        path, line = self._anchor(algorithm, project_root)
+        return Finding(code=code, message=message, path=path, line=line,
+                       symbol=type(algorithm).__name__, checker=self.name)
+
+    def _mismatch(self, code: str, algorithm, name: str, declared: tuple,
+                  expected: tuple, labels: tuple, project_root: Path,
+                  note: str = "spec sizes drive Table 2's Data Sent column") -> Finding:
+        diff = ", ".join(
+            f"{label}={got}B (spec {want}B)"
+            for label, got, want in zip(labels, declared, expected)
+            if got != want
+        )
+        return self._anchor_finding(
+            code, algorithm, project_root,
+            f"{name}: declared {diff}; {note}")

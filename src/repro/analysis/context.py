@@ -1,0 +1,100 @@
+"""Per-file analysis context: source, AST, module name, pragmas."""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+
+# `# pqtls: allow[CT001]` or `# pqtls: allow[CT001,DET002]`; a pragma on a
+# line of its own applies to the next statement line.
+_PRAGMA_RE = re.compile(r"#\s*pqtls:\s*allow\[([A-Z]+\d*(?:\s*,\s*[A-Z]+\d*)*)\]")
+
+
+def parse_pragmas(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of allowed codes, via the token stream.
+
+    Tokenizing (rather than regexing raw lines) keeps pragma-looking text
+    inside string literals from suppressing anything.
+    """
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # half-written file: no pragmas
+        return allowed
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if not match:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",")}
+        line = tok.start[0]
+        allowed.setdefault(line, set()).update(codes)
+        # a standalone pragma comment covers the following line
+        stripped = source.splitlines()[line - 1].lstrip()
+        if stripped.startswith("#"):
+            allowed.setdefault(line + 1, set()).update(codes)
+    return allowed
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, derived by walking up through __init__.py dirs."""
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts)
+
+
+@dataclass
+class FileContext:
+    """Everything a file-scoped checker needs about one source file."""
+
+    path: Path
+    relpath: str                      # project-root-relative, posix
+    module: str                       # dotted import name ("repro.tls.client")
+    source: str
+    tree: ast.Module
+    pragmas: dict[int, set[str]] = field(default_factory=dict)
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, project_root: Path) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        try:
+            relpath = path.resolve().relative_to(project_root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        return cls(
+            path=path,
+            relpath=relpath,
+            module=module_name_for(path),
+            source=source,
+            tree=tree,
+            pragmas=parse_pragmas(source),
+            parents=parents,
+        )
+
+    def symbol_at(self, node: ast.AST) -> str:
+        """Dotted enclosing def/class chain for *node* ("" at module level)."""
+        chain: list[str] = []
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                chain.insert(0, current.name)
+            current = self.parents.get(current)
+        return ".".join(chain)
+
+    def is_allowed(self, line: int, code: str) -> bool:
+        return code in self.pragmas.get(line, ())

@@ -1,0 +1,59 @@
+"""The finding model every checker emits."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding gates CI: errors fail the run, notes never do."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at a source location.
+
+    ``symbol`` is the enclosing function/class (dotted), used together
+    with ``code``/``path``/``message`` as the baseline identity so
+    accepted findings survive unrelated line drift.
+    """
+
+    code: str            # e.g. "CT001"
+    message: str
+    path: str            # project-relative, posix separators
+    line: int
+    col: int = 0
+    symbol: str = ""     # enclosing def/class chain, "" at module level
+    severity: Severity = Severity.ERROR
+    checker: str = field(default="", compare=False)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def identity(self) -> tuple[str, str, str, str]:
+        """Line-drift-tolerant key used for baseline matching."""
+        return (self.code, self.path, self.symbol, self.message)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "checker": self.checker,
+        }

@@ -1,0 +1,77 @@
+"""Checker plugin registry.
+
+A checker is a class with ``name``/``codes``/``description`` metadata and
+either a per-file or a whole-project ``check``.  Registration happens at
+import time via :func:`register`; ``repro.analysis.checkers`` imports
+every built-in checker module so :func:`all_checkers` sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.context import FileContext
+from repro.analysis.finding import Finding
+
+
+class Checker:
+    """Base class; subclasses override one of the two ``check_*`` hooks.
+
+    Attributes
+    ----------
+    name: short registry key (``ct``, ``det``, ...).
+    codes: mapping of finding code -> one-line meaning, used by
+        ``pqtls-lint --list-checkers`` and the docs.
+    scope: ``"file"`` (checked per file) or ``"project"`` (sees all files
+        at once — e.g. the WIRE registry audit).
+    """
+
+    name: str = ""
+    description: str = ""
+    codes: dict[str, str] = {}
+    scope: str = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, ctxs: list[FileContext]) -> Iterator[Finding]:
+        return iter(())
+
+
+_REGISTRY: dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers(select: Iterable[str] | None = None) -> list[Checker]:
+    """Instantiate registered checkers, optionally filtered.
+
+    *select* entries may be checker names (``ct``) or finding-code
+    prefixes (``CT001``, ``CT``); anything unknown raises.
+    """
+    import repro.analysis.checkers  # noqa: F401  (registration side effect)
+
+    if select is None:
+        return [cls() for _, cls in sorted(_REGISTRY.items())]
+    wanted = list(select)
+    chosen: dict[str, Type[Checker]] = {}
+    for token in wanted:
+        hits = {
+            name: cls
+            for name, cls in _REGISTRY.items()
+            if name == token.lower()
+            or any(code.startswith(token.upper()) for code in cls.codes)
+        }
+        if not hits:
+            known = sorted(_REGISTRY)
+            raise KeyError(f"unknown checker selector {token!r}; known: {known}")
+        chosen.update(hits)
+    return [cls() for _, cls in sorted(chosen.items())]

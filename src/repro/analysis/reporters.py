@@ -1,0 +1,58 @@
+"""Text and JSON renderings of an analysis report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.finding import Finding
+
+
+def render_text(report, verbose: bool = False) -> str:
+    """Human-readable report, grouped by file, ruff/gcc-style lines."""
+    lines: list[str] = []
+    for finding in sorted(report.findings, key=Finding.sort_key):
+        lines.append(
+            f"{finding.location}: {finding.code} [{finding.severity}] {finding.message}"
+        )
+    if verbose and report.suppressed:
+        lines.append("")
+        lines.append(f"suppressed by baseline ({len(report.suppressed)}):")
+        for finding in sorted(report.suppressed, key=Finding.sort_key):
+            lines.append(f"  {finding.location}: {finding.code} {finding.message}")
+    if report.stale_baseline:
+        lines.append("")
+        lines.append(
+            f"stale baseline entries ({len(report.stale_baseline)}) — "
+            "no longer matched, remove them:"
+        )
+        for entry in report.stale_baseline:
+            lines.append(f"  {entry.code} {entry.path} [{entry.symbol}] {entry.message}")
+    lines.append("")
+    lines.append(summary_line(report))
+    return "\n".join(lines).lstrip("\n")
+
+
+def summary_line(report) -> str:
+    checked = f"{report.files_checked} file{'s' if report.files_checked != 1 else ''}"
+    if not report.findings and not report.suppressed:
+        return f"pqtls-lint: {checked} checked, clean"
+    parts = [f"{len(report.findings)} finding{'s' if len(report.findings) != 1 else ''}"]
+    if report.suppressed:
+        parts.append(f"{len(report.suppressed)} baselined")
+    if report.pragma_suppressed:
+        parts.append(f"{report.pragma_suppressed} pragma-allowed")
+    return f"pqtls-lint: {checked} checked, " + ", ".join(parts)
+
+
+def render_json(report) -> str:
+    payload = {
+        "files_checked": report.files_checked,
+        "findings": [f.to_dict() for f in sorted(report.findings, key=Finding.sort_key)],
+        "suppressed": [
+            f.to_dict() for f in sorted(report.suppressed, key=Finding.sort_key)
+        ],
+        "pragma_suppressed": report.pragma_suppressed,
+        "stale_baseline": [entry.to_dict() for entry in report.stale_baseline],
+        "summary": summary_line(report),
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,124 @@
+"""Walk files, run every checker, apply pragmas and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.context import FileContext
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.registry import Checker, all_checkers
+
+_SKIP_DIRS = {"__pycache__", ".git", ".cache", ".venv", "build", "dist"}
+
+
+@dataclass
+class Report:
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)      # by baseline
+    pragma_suppressed: int = 0
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    # de-dup while preserving order (overlapping path arguments)
+    seen: set[Path] = set()
+    unique = []
+    for file in files:
+        resolved = file.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file)
+    return unique
+
+
+def find_project_root(start: Path) -> Path:
+    """Nearest ancestor holding pyproject.toml / .git (else the start)."""
+    start = start.resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+            return candidate
+    return start
+
+
+def analyze(paths: list[Path], project_root: Path | None = None,
+            select: list[str] | None = None,
+            baseline: Baseline | None = None,
+            checkers: list[Checker] | None = None) -> Report:
+    """Run checkers over *paths* and return the filtered report.
+
+    Findings land in the report in three buckets: live findings, findings
+    suppressed by the *baseline*, and a count of pragma-allowed ones
+    (``# pqtls: allow[CODE]``). Syntax errors surface as SYNTAX findings
+    rather than crashing the run.
+    """
+    if project_root is None:
+        anchor = paths[0] if paths else Path.cwd()
+        project_root = find_project_root(anchor)
+    if checkers is None:
+        checkers = all_checkers(select)
+
+    report = Report()
+    contexts: list[FileContext] = []
+    for file in iter_python_files(paths):
+        try:
+            contexts.append(FileContext.load(file, project_root))
+        except SyntaxError as exc:
+            report.findings.append(Finding(
+                code="SYNTAX", message=f"cannot parse: {exc.msg}",
+                path=file.as_posix(), line=exc.lineno or 1, checker="runner",
+            ))
+    report.files_checked = len(contexts)
+
+    raw: list[Finding] = []
+    for checker in checkers:
+        if checker.scope == "project":
+            raw.extend(checker.check_project(contexts))
+        else:
+            for ctx in contexts:
+                raw.extend(checker.check_file(ctx))
+
+    by_path = {ctx.relpath: ctx for ctx in contexts}
+    visible: list[Finding] = []
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        if ctx is not None and ctx.is_allowed(finding.line, finding.code):
+            report.pragma_suppressed += 1
+            continue
+        visible.append(finding)
+
+    if baseline is not None:
+        new, suppressed, stale = baseline.split(visible)
+        report.findings.extend(new)
+        report.suppressed = suppressed
+        # an entry is only stale if this run could have re-produced it:
+        # its file was analyzed and its checker was selected
+        active_codes = {code for checker in checkers for code in checker.codes}
+        report.stale_baseline = [
+            entry for entry in stale
+            if entry.path in by_path and entry.code in active_codes
+        ]
+    else:
+        report.findings.extend(visible)
+    report.findings.sort(key=Finding.sort_key)
+    return report

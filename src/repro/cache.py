@@ -50,7 +50,9 @@ def load(kind: str, key: str):
     try:
         with path.open("rb") as handle:
             value = pickle.load(handle)
-    except Exception:
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        # truncated/corrupt pickle or a class that no longer unpickles:
+        # evict and re-record; anything else is a bug and must surface
         path.unlink(missing_ok=True)
         metrics.inc(f"cache.{kind}.evicted")
         metrics.inc(f"cache.{kind}.miss")

@@ -9,7 +9,6 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
-from repro.netsim.netem import SCENARIOS
 from repro.obs.metrics import NULL_METRICS
 from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES, LEVEL_GROUPS
 

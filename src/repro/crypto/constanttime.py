@@ -1,0 +1,57 @@
+"""Constant-time helpers and audited declassification.
+
+Pure Python can never be cycle-exact, but the pqtls-lint CT checker
+enforces the same *structural* discipline constant-time C gives liboqs /
+OpenSSL: no control flow and no memory indexing keyed on secrets.  These
+helpers are the sanctioned escape hatches:
+
+- :func:`ct_eq_bytes` / :func:`ct_select_bytes` express data-dependent
+  choices (e.g. FO implicit rejection) as branchless arithmetic over
+  both precomputed alternatives, mirroring the reference
+  implementations' ``verify``/``cmov`` pair;
+- :func:`declassify` marks a value as deliberately public.  The CT
+  checker treats its result as untainted, so every such decision is a
+  single greppable, reviewable call site.
+"""
+
+from __future__ import annotations
+
+
+def ct_eq_bytes(a: bytes, b: bytes) -> int:
+    """1 if *a* == *b* else 0, without early exit on the first difference.
+
+    Lengths are public wire sizes, so a length mismatch may return
+    immediately.
+    """
+    if len(a) != len(b):
+        return 0
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    # diff in [0, 255]; arithmetic shift maps 0 -> 1, nonzero -> 0
+    return ((diff - 1) >> 8) & 1
+
+
+def ct_select_bytes(flag: int, when_true: bytes, when_false: bytes) -> bytes:
+    """``when_true`` if *flag* is 1 else ``when_false``, branchlessly.
+
+    Both alternatives must already be computed (that is the point: the
+    caller does the same work on both paths) and equally long.
+    """
+    if flag not in (0, 1):
+        raise ValueError("flag must be 0 or 1")
+    if len(when_true) != len(when_false):
+        raise ValueError("alternatives must have equal (public) lengths")
+    mask = -flag & 0xFF  # 0x00 or 0xFF
+    inv = mask ^ 0xFF
+    return bytes((t & mask) | (f & inv) for t, f in zip(when_true, when_false))
+
+
+def declassify(value):
+    """Identity; marks *value* as deliberately public for the CT checker.
+
+    Use only for values whose disclosure is part of the design: structural
+    length prefixes, published signature components, protocol-visible
+    accept/reject outcomes.  Cite the reason at the call site.
+    """
+    return value

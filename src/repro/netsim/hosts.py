@@ -15,6 +15,7 @@ from repro.netsim.costmodel import CostModel, op_label
 from repro.netsim.eventloop import EventLoop
 from repro.obs.tracer import NULL_TRACER
 from repro.tls.actions import Compute, Send
+from repro.tls.errors import TlsError
 
 
 @dataclass
@@ -130,7 +131,7 @@ class Host:
             return
         try:
             actions = self._tls_receive(data)
-        except Exception as exc:  # handshake failure: record, stop driving
+        except TlsError as exc:  # handshake failure: record, stop driving
             self.failure = exc
             return
         self.process_actions(actions)

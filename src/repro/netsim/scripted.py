@@ -22,7 +22,7 @@ from repro.crypto.drbg import Drbg
 from repro.tls.actions import Compute, Send
 from repro.tls.certs import make_server_credentials
 from repro.tls.client import TlsClient
-from repro.tls.records import HEADER_LEN, decode_records
+from repro.tls.records import decode_records
 from repro.tls.server import BufferPolicy, TlsServer
 
 

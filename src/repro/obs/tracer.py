@@ -20,7 +20,7 @@ skip even argument construction with ``if tracer.enabled:``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

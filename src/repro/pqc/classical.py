@@ -39,7 +39,9 @@ class X25519Kem(Kem):
 
     def decaps(self, secret_key: bytes, ciphertext: bytes) -> bytes:
         shared = x25519(secret_key, ciphertext)
-        if shared == b"\x00" * 32:
+        # RFC 7748 §6.1 all-zero output check: the abort is protocol-visible
+        # by design (contributory-behaviour guard, not a secret branch)
+        if shared == b"\x00" * 32:  # pqtls: allow[CT001]
             raise ValueError("x25519: low-order ciphertext")
         return shared
 
@@ -64,7 +66,9 @@ class EcdhKem(Kem):
     def _derive(self, scalar: int, peer: bytes) -> bytes:
         point = self._curve.decode_point(peer)
         shared = self._curve.scalar_mult(scalar, point)
-        if shared.is_infinity:
+        # point-at-infinity rejection (SP 800-56A §5.7.1.2); the abort is
+        # protocol-visible by design
+        if shared.is_infinity:  # pqtls: allow[CT001]
             raise ValueError(f"{self.name}: degenerate shared point")
         return shared.x.to_bytes(self._curve.coord_bytes, "big")
 

@@ -149,15 +149,17 @@ class DilithiumSignature(SignatureScheme):
         gamma1 = self._p.gamma1
         return [(gamma1 - t) % Q for t in raw]
 
-    def _sample_in_ball(self, seed: bytes) -> list[int]:
-        stream = _shake256(seed, 32 + self._p.tau * 4)
+    def _sample_in_ball(self, c_tilde: bytes) -> list[int]:
+        # c_tilde is the published challenge hash (part of the signature);
+        # the rejection sampling below is over public data
+        stream = _shake256(c_tilde, 32 + self._p.tau * 4)
         signs = int.from_bytes(stream[:8], "little")
         c = [0] * N
         offset = 8
         for i in range(N - self._p.tau, N):
             while True:
                 if offset >= len(stream):
-                    stream += _shake256(seed + b"x", 64)
+                    stream += _shake256(c_tilde + b"x", 64)
                 j = stream[offset]
                 offset += 1
                 if j <= i:

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.crypto.drbg import Drbg
-from repro.pqc.falcon import polyint as pz
 from repro.pqc.falcon.ntrugen import NtruSolveError, _neg_fft, _neg_ifft, ntru_solve, verify_ntru
 from repro.pqc.falcon.ntt import Q, FalconNtt
 from repro.pqc.sig import SignatureScheme

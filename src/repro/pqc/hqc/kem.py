@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.crypto.constanttime import ct_eq_bytes, ct_select_bytes
 from repro.crypto.drbg import Drbg
 from repro.pqc.hqc.reedmuller import rm_decode, rm_encode
 from repro.pqc.hqc.reedsolomon import ReedSolomon
@@ -191,10 +192,11 @@ class HqcKem(Kem):
             + _bits_to_bytes(v2)[: self._cw_bytes]
             + hashlib.sha512(b"hqc-H" + m_prime).digest()
         )
-        if recomputed != ciphertext:
-            # implicit rejection: bind the key to the (bad) ciphertext
-            return hashlib.sha512(b"hqc-reject" + sk_seed + ciphertext).digest()
-        return hashlib.sha512(b"hqc-K" + m_prime + ciphertext).digest()
+        # FO implicit rejection, branchlessly: both keys derived, then
+        # selected on the recomputation mask (the spec's verify + cmov)
+        accept = hashlib.sha512(b"hqc-K" + m_prime + ciphertext).digest()
+        reject = hashlib.sha512(b"hqc-reject" + sk_seed + ciphertext).digest()
+        return ct_select_bytes(ct_eq_bytes(recomputed, ciphertext), accept, reject)
 
 
 HQC128 = HqcKem(128, nist_level=1)

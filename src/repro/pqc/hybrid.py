@@ -13,6 +13,7 @@ PQ component.
 
 from __future__ import annotations
 
+from repro.crypto.constanttime import declassify
 from repro.crypto.drbg import Drbg
 from repro.pqc.kem import Kem
 from repro.pqc.sig import SignatureScheme
@@ -41,7 +42,9 @@ class HybridKem(Kem):
         return pk1 + pk2, sk
 
     def _split_sk(self, secret_key: bytes) -> tuple[bytes, bytes]:
-        sk1_len = int.from_bytes(secret_key[:4], "big")
+        # the 4-byte prefix is structural (the classical component's key
+        # length, a public per-scheme constant), not secret material
+        sk1_len = declassify(int.from_bytes(secret_key[:4], "big"))
         return secret_key[4: 4 + sk1_len], secret_key[4 + sk1_len:]
 
     def encaps(self, public_key: bytes, drbg: Drbg) -> tuple[bytes, bytes]:
@@ -82,7 +85,9 @@ class CompositeSignature(SignatureScheme):
         return pk1 + pk2, sk
 
     def _split_sk(self, secret_key: bytes) -> tuple[bytes, bytes]:
-        sk1_len = int.from_bytes(secret_key[:4], "big")
+        # the 4-byte prefix is structural (the classical component's key
+        # length, a public per-scheme constant), not secret material
+        sk1_len = declassify(int.from_bytes(secret_key[:4], "big"))
         return secret_key[4: 4 + sk1_len], secret_key[4 + sk1_len:]
 
     def sign(self, secret_key: bytes, message: bytes, drbg: Drbg) -> bytes:

@@ -14,6 +14,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.crypto.aes import aes_ctr_keystream
+from repro.crypto.constanttime import ct_eq_bytes, ct_select_bytes
 from repro.crypto.drbg import Drbg
 from repro.pqc.kem import Kem
 from repro.pqc.kyber import poly
@@ -222,10 +223,12 @@ class KyberKem(Kem):
         g_out = self._sym.g(m_prime + h_pk)
         k_bar, coins = g_out[:32], g_out[32:]
         c_prime = self._pke_encrypt(pk, m_prime, coins)
-        if c_prime == ciphertext:
-            return self._sym.kdf(k_bar + self._sym.h(ciphertext))
-        # implicit rejection
-        return self._sym.kdf(z + self._sym.h(ciphertext))
+        # FO implicit rejection, branchlessly (the spec's verify + cmov):
+        # both keys are derived, then selected on the comparison mask
+        h_ct = self._sym.h(ciphertext)
+        accept = self._sym.kdf(k_bar + h_ct)
+        reject = self._sym.kdf(z + h_ct)
+        return ct_select_bytes(ct_eq_bytes(c_prime, ciphertext), accept, reject)
 
 
 KYBER512 = KyberKem(512, nist_level=1)

@@ -8,7 +8,7 @@ ignore ``Compute`` and concatenate ``Send`` payloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,40 @@
+"""Fixture helpers: lint synthetic repro-shaped trees in tmp dirs."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import analyze
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Write a snippet as a module inside a fake ``repro`` package and lint it.
+
+    ``lint("repro/pqc/fix.py", source, select=["ct"])`` returns the findings;
+    the dotted module name is derived from the written ``__init__.py`` chain,
+    so checkers scope exactly as they do on the real tree.
+    """
+
+    def _lint(relpath: str, source: str, select: list[str] | None = None,
+              baseline=None):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        current = path.parent
+        while current != tmp_path:
+            (current / "__init__.py").touch()
+            current = current.parent
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        report = analyze([path], project_root=tmp_path, select=select,
+                         baseline=baseline)
+        return report
+
+    return _lint
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]

@@ -1,0 +1,98 @@
+"""pqtls-lint CLI: exit codes, formats, baseline workflow."""
+
+import json
+import textwrap
+
+from repro.analysis.cli import main
+
+
+def _write_pkg(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    current = path.parent
+    while current != tmp_path:
+        (current / "__init__.py").touch()
+        current = current.parent
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+BAD = """
+    def load():
+        try:
+            return 1
+        except Exception:
+            return None
+"""
+
+CLEAN = """
+    def load():
+        return 1
+"""
+
+
+def test_exit_one_on_findings_and_zero_on_clean(tmp_path, capsys):
+    bad = _write_pkg(tmp_path, "repro/core/bad.py", BAD)
+    assert main([str(bad), "--select", "exc"]) == 1
+    out = capsys.readouterr().out
+    assert "EXC001" in out
+
+    clean = _write_pkg(tmp_path, "repro/core/clean.py", CLEAN)
+    assert main([str(clean), "--select", "exc"]) == 0
+
+
+def test_json_format(tmp_path, capsys):
+    bad = _write_pkg(tmp_path, "repro/core/bad.py", BAD)
+    assert main([str(bad), "--select", "exc", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["code"] == "EXC001"
+
+
+def test_list_checkers(capsys):
+    assert main(["--list-checkers"]) == 0
+    out = capsys.readouterr().out
+    for expected in ("ct", "det", "layer", "wire", "exc", "CT001", "WIRE001"):
+        assert expected in out
+
+
+def test_update_baseline_then_clean_after_justifying(tmp_path, capsys):
+    _write_pkg(tmp_path, "repro/core/bad.py", BAD)
+    (tmp_path / "pyproject.toml").write_text("")  # marks the project root
+    target = tmp_path / "repro"
+
+    assert main([str(target), "--select", "exc", "--update-baseline"]) == 0
+    baseline_path = tmp_path / ".pqtls-baseline.json"
+    assert baseline_path.exists()
+
+    # unjustified baseline refuses to load
+    assert main([str(target), "--select", "exc"]) == 2
+
+    data = json.loads(baseline_path.read_text())
+    for entry in data["entries"]:
+        entry["justification"] = "accepted for the test"
+    baseline_path.write_text(json.dumps(data))
+    capsys.readouterr()
+
+    assert main([str(target), "--select", "exc"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_unknown_selector_is_usage_error(tmp_path, capsys):
+    clean = _write_pkg(tmp_path, "repro/core/clean.py", CLEAN)
+    assert main([str(clean), "--select", "bogus"]) == 2
+
+
+def test_update_baseline_preserves_existing_justifications(tmp_path):
+    _write_pkg(tmp_path, "repro/core/bad.py", BAD)
+    (tmp_path / "pyproject.toml").write_text("")
+    target = tmp_path / "repro"
+    baseline_path = tmp_path / ".pqtls-baseline.json"
+
+    assert main([str(target), "--select", "exc", "--update-baseline"]) == 0
+    data = json.loads(baseline_path.read_text())
+    data["entries"][0]["justification"] = "hand written"
+    baseline_path.write_text(json.dumps(data))
+
+    assert main([str(target), "--select", "exc", "--update-baseline"]) == 0
+    data = json.loads(baseline_path.read_text())
+    assert data["entries"][0]["justification"] == "hand written"

@@ -1,0 +1,81 @@
+"""EXC checker: broad excepts and mutable defaults."""
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+def test_bare_except_flagged(lint):
+    report = lint("repro/core/fix.py", """
+        def load():
+            try:
+                return open("x").read()
+            except:
+                return None
+    """, select=["exc"])
+    assert codes(report) == ["EXC001"]
+    assert "bare" in report.findings[0].message
+
+
+def test_broad_except_exception_flagged(lint):
+    report = lint("repro/core/fix.py", """
+        def load():
+            try:
+                return 1
+            except Exception:
+                return None
+    """, select=["exc"])
+    assert codes(report) == ["EXC001"]
+
+
+def test_broad_except_with_reraise_is_cleanup(lint):
+    report = lint("repro/core/fix.py", """
+        def load(handle):
+            try:
+                return handle.read()
+            except Exception:
+                handle.close()
+                raise
+    """, select=["exc"])
+    assert codes(report) == []
+
+
+def test_narrow_except_is_clean(lint):
+    report = lint("repro/core/fix.py", """
+        import pickle
+
+        def load(path):
+            try:
+                return pickle.load(open(path, "rb"))
+            except (OSError, pickle.UnpicklingError, EOFError):
+                return None
+    """, select=["exc"])
+    assert codes(report) == []
+
+
+def test_mutable_default_flagged(lint):
+    report = lint("repro/tls/fix.py", """
+        def collect(item, bucket=[]):
+            bucket.append(item)
+            return bucket
+    """, select=["exc"])
+    assert codes(report) == ["EXC002"]
+
+
+def test_mutable_call_default_flagged(lint):
+    report = lint("repro/tls/fix.py", """
+        def collect(item, *, bucket=dict()):
+            bucket[item] = True
+            return bucket
+    """, select=["exc"])
+    assert codes(report) == ["EXC002"]
+
+
+def test_none_default_is_clean(lint):
+    report = lint("repro/tls/fix.py", """
+        def collect(item, bucket=None):
+            bucket = bucket if bucket is not None else []
+            bucket.append(item)
+            return bucket
+    """, select=["exc"])
+    assert codes(report) == []

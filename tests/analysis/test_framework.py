@@ -1,0 +1,154 @@
+"""Framework plumbing: registry, pragmas, baseline, reporters, runner."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.registry import all_checkers
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import Report, analyze
+
+
+def test_all_five_domain_checkers_registered():
+    names = {checker.name for checker in all_checkers()}
+    assert {"ct", "det", "exc", "layer", "wire"} <= names
+
+
+def test_select_by_name_and_code_prefix():
+    assert [c.name for c in all_checkers(["ct"])] == ["ct"]
+    assert [c.name for c in all_checkers(["DET001"])] == ["det"]
+    assert [c.name for c in all_checkers(["LAYER"])] == ["layer"]
+    with pytest.raises(KeyError, match="unknown checker"):
+        all_checkers(["nope"])
+
+
+def test_every_checker_documents_its_codes():
+    for checker in all_checkers():
+        assert checker.description
+        assert checker.codes, checker.name
+        for code in checker.codes:
+            assert code.isupper() and any(ch.isdigit() for ch in code)
+
+
+def test_finding_identity_ignores_line_numbers():
+    a = Finding(code="CT001", message="m", path="p.py", line=10, symbol="f")
+    b = Finding(code="CT001", message="m", path="p.py", line=99, symbol="f")
+    assert a.identity() == b.identity()
+
+
+def test_pragma_same_line_and_standalone_line(lint):
+    report = lint("repro/core/fix.py", """
+        def load():
+            try:
+                return 1
+            # pqtls: allow[EXC001]
+            except Exception:
+                return None
+    """, select=["exc"])
+    assert report.findings == []
+    assert report.pragma_suppressed == 1
+
+
+def test_pragma_inside_string_literal_does_not_suppress(lint):
+    report = lint("repro/core/fix.py", '''
+        NOTE = "# pqtls: allow[EXC001]"
+
+        def load():
+            try:
+                return 1
+            except Exception:
+                return None
+    ''', select=["exc"])
+    assert [f.code for f in report.findings] == ["EXC001"]
+
+
+def test_baseline_round_trip_and_stale_detection(tmp_path):
+    finding = Finding(code="CT001", message="m", path="p.py", line=3, symbol="f")
+    other = Finding(code="CT002", message="n", path="p.py", line=9, symbol="g")
+    baseline = Baseline(entries=[
+        BaselineEntry(code="CT001", path="p.py", symbol="f", message="m",
+                      justification="reviewed"),
+        BaselineEntry(code="CT009", path="gone.py", symbol="", message="x",
+                      justification="reviewed"),
+    ])
+    new, suppressed, stale = baseline.split([finding, other])
+    assert new == [other]
+    assert suppressed == [finding]
+    assert [entry.code for entry in stale] == ["CT009"]
+
+    path = tmp_path / "base.json"
+    baseline.save(path)
+    assert [e.identity() for e in Baseline.load(path).entries] == \
+        [e.identity() for e in baseline.entries]
+
+
+def test_stale_only_reported_for_analyzed_files_and_selected_checkers(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    for part in ("repro", "repro/core"):
+        (tmp_path / part / "__init__.py").touch()
+    (pkg / "here.py").write_text("def load():\n    return 1\n")
+    baseline = Baseline(entries=[
+        # entry for a file outside the analyzed subtree: not stale
+        BaselineEntry(code="EXC001", path="repro/other/gone.py", symbol="f",
+                      message="m", justification="reviewed"),
+        # entry for an analyzed file but an unselected checker: not stale
+        BaselineEntry(code="CT001", path="repro/core/here.py", symbol="load",
+                      message="m", justification="reviewed"),
+        # analyzed file + selected checker + no match: genuinely stale
+        BaselineEntry(code="EXC001", path="repro/core/here.py", symbol="load",
+                      message="m", justification="reviewed"),
+    ])
+    report = analyze([pkg], project_root=tmp_path, select=["exc"],
+                     baseline=baseline)
+    assert [e.path for e in report.stale_baseline] == ["repro/core/here.py"]
+    assert [e.code for e in report.stale_baseline] == ["EXC001"]
+
+
+def test_baseline_requires_justifications(tmp_path):
+    path = tmp_path / "base.json"
+    Baseline(entries=[
+        BaselineEntry(code="CT001", path="p.py", symbol="f", message="m",
+                      justification="   "),
+    ]).save(path)
+    with pytest.raises(ValueError, match="justification"):
+        Baseline.load(path)
+
+
+def test_runner_reports_syntax_errors_as_findings(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    report = analyze([bad], project_root=tmp_path)
+    assert [f.code for f in report.findings] == ["SYNTAX"]
+    assert not report.ok
+
+
+def test_reporters_render_text_and_json():
+    report = Report(findings=[
+        Finding(code="DET001", message="wall clock", path="a.py", line=2,
+                col=4, symbol="f", checker="det"),
+    ], files_checked=3)
+    text = render_text(report)
+    assert "a.py:2:5: DET001 [error] wall clock" in text
+    assert "3 files checked, 1 finding" in text
+
+    payload = json.loads(render_json(report))
+    assert payload["files_checked"] == 3
+    assert payload["findings"][0]["code"] == "DET001"
+    assert payload["findings"][0]["severity"] == "error"
+
+
+def test_clean_report_summary():
+    report = Report(files_checked=1)
+    assert report.ok
+    assert "clean" in render_text(report)
+
+
+def test_severity_gating():
+    report = Report(findings=[
+        Finding(code="X001", message="m", path="p.py", line=1,
+                severity=Severity.NOTE),
+    ])
+    assert report.ok  # notes never gate

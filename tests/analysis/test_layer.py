@@ -1,0 +1,75 @@
+"""LAYER checker: the declared import DAG and the sans-io stdlib ban."""
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+def test_tls_may_not_import_netsim(lint):
+    report = lint("repro/tls/fix.py", """
+        from repro.netsim.eventloop import EventLoop
+    """, select=["layer"])
+    assert codes(report) == ["LAYER001"]
+    assert "repro.tls may not import repro.netsim" in report.findings[0].message
+
+
+def test_pqc_may_not_import_tls(lint):
+    report = lint("repro/pqc/fix.py", """
+        import repro.tls.records
+    """, select=["layer"])
+    assert codes(report) == ["LAYER001"]
+
+
+def test_obs_imports_nothing_from_repro(lint):
+    report = lint("repro/obs/fix.py", """
+        from repro.crypto.drbg import Drbg
+    """, select=["layer"])
+    assert codes(report) == ["LAYER001"]
+
+
+def test_crypto_may_not_use_cache(lint):
+    report = lint("repro/crypto/fix.py", """
+        from repro import cache
+    """, select=["layer"])
+    assert codes(report) == ["LAYER001"]
+
+
+def test_sans_io_units_may_not_import_sockets(lint):
+    report = lint("repro/tls/fix.py", """
+        import socket
+        import asyncio
+    """, select=["layer"])
+    assert codes(report) == ["LAYER002", "LAYER002"]
+
+
+def test_netsim_is_simulated_no_real_io(lint):
+    report = lint("repro/netsim/fix.py", """
+        import asyncio
+    """, select=["layer"])
+    assert codes(report) == ["LAYER002"]
+
+
+def test_downward_imports_are_clean(lint):
+    report = lint("repro/netsim/fix.py", """
+        from repro import cache
+        from repro.crypto.drbg import Drbg
+        from repro.obs.tracer import NULL_TRACER
+        from repro.tls.actions import Send
+    """, select=["layer"])
+    assert codes(report) == []
+
+
+def test_core_sits_on_top(lint):
+    report = lint("repro/core/fix.py", """
+        from repro import cache
+        from repro.netsim.testbed import Testbed
+        from repro.pqc.registry import KEMS
+    """, select=["layer"])
+    assert codes(report) == []
+
+
+def test_relative_imports_resolve_within_unit(lint):
+    report = lint("repro/tls/sub/fix.py", """
+        from .. import records
+    """, select=["layer"])
+    assert codes(report) == []

@@ -1,0 +1,58 @@
+"""WIRE checker: registry sizes vs the embedded NIST table."""
+
+from pathlib import Path
+
+from repro.analysis.checkers.wire import KEM_SPEC_SIZES, SIG_SPEC_SIZES, WireSizeChecker
+from repro.analysis.context import FileContext
+from repro.pqc.registry import KEMS, SIGS
+
+
+def _pqc_contexts(repo_root: Path) -> list[FileContext]:
+    pqc = repo_root / "src" / "repro" / "pqc"
+    return [FileContext.load(path, repo_root) for path in sorted(pqc.rglob("*.py"))]
+
+
+def test_real_registry_matches_spec_table(repo_root):
+    findings = list(WireSizeChecker().check_project(_pqc_contexts(repo_root)))
+    assert findings == []
+
+
+def test_spec_table_covers_every_non_hybrid(repo_root):
+    from repro.pqc.hybrid import CompositeSignature, HybridKem
+
+    for name, kem in KEMS.items():
+        if not isinstance(kem, HybridKem):
+            assert name in KEM_SPEC_SIZES, name
+    for name, sig in SIGS.items():
+        if not isinstance(sig, CompositeSignature):
+            assert name in SIG_SPEC_SIZES, name
+
+
+def test_doctored_table_yields_mismatch_anchored_at_class(repo_root):
+    bad = dict(KEM_SPEC_SIZES)
+    bad["kyber512"] = (801, 768, 32)  # spec says 800
+    findings = list(
+        WireSizeChecker(kem_table=bad).check_project(_pqc_contexts(repo_root))
+    )
+    assert [f.code for f in findings] == ["WIRE001"]
+    finding = findings[0]
+    assert "kyber512" in finding.message
+    assert "pk=800B (spec 801B)" in finding.message
+    assert finding.path == "src/repro/pqc/kyber/kem.py"  # the class, not the registry
+    assert finding.symbol == "KyberKem"
+
+
+def test_missing_table_entry_yields_wire002(repo_root):
+    pruned = {k: v for k, v in SIG_SPEC_SIZES.items() if k != "falcon512"}
+    findings = list(
+        WireSizeChecker(sig_table=pruned).check_project(_pqc_contexts(repo_root))
+    )
+    assert [f.code for f in findings] == ["WIRE002"]
+    assert "falcon512" in findings[0].message
+
+
+def test_skips_trees_without_pqc(tmp_path):
+    other = tmp_path / "plain.py"
+    other.write_text("x = 1\n")
+    ctxs = [FileContext.load(other, tmp_path)]
+    assert list(WireSizeChecker().check_project(ctxs)) == []

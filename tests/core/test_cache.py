@@ -1,7 +1,5 @@
 """Disk cache behaviour."""
 
-import pickle
-
 from repro import cache
 
 

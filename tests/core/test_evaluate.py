@@ -1,11 +1,8 @@
 """Table/figure builders on synthetic experiment results."""
 
-import math
-
 import pytest
 
 from repro.core.evaluate import (
-    AttackMetrics,
     Table2Row,
     Table3Row,
     attack_metrics,

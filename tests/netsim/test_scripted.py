@@ -3,7 +3,6 @@
 import pytest
 
 from repro.netsim.scripted import (
-    HandshakeScript,
     Milestone,
     ScriptedApp,
     ScriptedSend,

@@ -1,10 +1,6 @@
 """Simplified TCP: handshake, segmentation, slow start, loss recovery."""
 
-import pytest
-
-from repro.crypto.drbg import Drbg
 from repro.netsim.eventloop import EventLoop
-from repro.netsim.netem import Link, NetemConfig
 from repro.netsim.tcp import INIT_CWND, MSS, TcpEndpoint
 
 

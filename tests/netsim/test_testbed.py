@@ -4,7 +4,7 @@ import pytest
 
 from repro.crypto.drbg import Drbg
 from repro.netsim.costmodel import CostModel
-from repro.netsim.netem import SCENARIOS, NetemConfig
+from repro.netsim.netem import SCENARIOS
 from repro.netsim.scripted import record_script, scripted_apps
 from repro.netsim.testbed import Testbed, run_simulated_handshake
 from repro.tls.certs import make_server_credentials
