@@ -1,0 +1,136 @@
+"""Serial-vs-parallel campaign wall clock (`repro.core.executor`).
+
+Runs the same experiment set twice from a cold cache — once with
+``jobs=1`` (today's serial path) and once with ``jobs=N`` — plus a warm
+re-run of each, and writes the wall-clock numbers and per-stage
+breakdown to ``benchmarks/out/BENCH_campaign.json`` so the perf
+trajectory accumulates run over run.
+
+The default grid is sized for CI: it fans ``--jobs`` distinct credential
+recordings (per-seed, ~2.5 s of pure-Python RSA keygen each) plus script
+recordings and replays, which is the exact shape of a cold Appendix B
+campaign in miniature. Pass ``--set level1`` (etc.) for the real thing —
+on a 4-core machine the level1 cold run shows the >= 2x speedup the
+recordings' parallelism buys.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--jobs N]
+        [--set NAME] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import campaign
+from repro.core.executor import run_campaign
+from repro.core.experiment import ExperimentConfig
+from repro.obs.metrics import Metrics
+
+OUT_DEFAULT = Path(__file__).parent / "out" / "BENCH_campaign.json"
+
+
+def bench_grid(jobs: int) -> list[ExperimentConfig]:
+    """A miniature cold campaign with ``jobs`` independent recordings.
+
+    Distinct seeds give distinct credential *and* script cache keys, so
+    the expensive units (one rsa:2048 keygen chain each, ~2.5 s) are
+    genuinely parallel work, while the x25519/kyber512 pairing per seed
+    adds script-recording and replay traffic, including one lossy
+    many-sample scenario per seed.
+    """
+    configs = []
+    for worker in range(max(jobs, 2)):
+        seed = f"bench-{worker}"
+        for kem in ("x25519", "kyber512"):
+            configs.append(ExperimentConfig(
+                kem=kem, sig="rsa:2048", seed=seed, duration=5.0))
+        configs.append(ExperimentConfig(
+            kem="x25519", sig="rsa:2048", seed=seed, scenario="high-loss",
+            max_samples=25, duration=5.0))
+    return configs
+
+
+def timed_run(configs, jobs: int, cache_dir: str) -> dict:
+    """One cold + one warm pass at the given parallelism."""
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    stats: dict = {}
+    start = time.perf_counter()
+    results = run_campaign(configs, jobs=jobs, metrics=Metrics(), stats=stats)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_campaign(configs, jobs=jobs, metrics=Metrics())
+    warm = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "cold_s": round(cold, 3),
+        "warm_s": round(warm, 3),
+        # cold - warm ~= recording + worker spawn: the parallelizable stage
+        "record_stage_s": round(cold - warm, 3),
+        "experiments": len(results),
+        "dispatched": stats.get("dispatched"),
+        "distinct_scripts": stats.get("distinct_scripts"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the parallel campaign executor against the "
+                    "serial path on a cold cache.")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: all cores)")
+    parser.add_argument("--set", dest="set_name", default=None,
+                        help="named experiment set (e.g. level1) instead of "
+                             "the synthetic bench grid")
+    parser.add_argument("--out", type=Path, default=OUT_DEFAULT,
+                        help=f"output JSON (default {OUT_DEFAULT})")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or os.cpu_count() or 1
+    if args.set_name:
+        configs = campaign.EXPERIMENT_SETS[args.set_name]()
+    else:
+        configs = bench_grid(jobs)
+    label = args.set_name or "bench-grid"
+    print(f"[bench_campaign] {label}: {len(configs)} experiments, "
+          f"serial then --jobs {jobs} (cold cache each)", file=sys.stderr)
+
+    saved_cache = os.environ.get("REPRO_CACHE_DIR")
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-serial-") as cache_dir:
+            serial = timed_run(configs, 1, cache_dir)
+        with tempfile.TemporaryDirectory(prefix="bench-parallel-") as cache_dir:
+            parallel = timed_run(configs, jobs, cache_dir)
+    finally:
+        if saved_cache is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved_cache
+
+    payload = {
+        "set": label,
+        "cpu_count": os.cpu_count(),
+        "serial": serial,
+        "parallel": parallel,
+        "speedup_cold": round(serial["cold_s"] / parallel["cold_s"], 3),
+        "speedup_record_stage": round(
+            serial["record_stage_s"] / parallel["record_stage_s"], 3)
+        if parallel["record_stage_s"] > 0 else None,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(json.dumps(payload, indent=1))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

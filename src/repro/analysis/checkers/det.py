@@ -8,6 +8,13 @@ reads (`time.time`, `perf_counter`) are allowed only inside `repro.obs`,
 whose exporters may anchor simulated spans to host time; the stdlib
 `random`, `os.urandom`, and `secrets` entropy sources are banned
 everywhere — randomness that bypasses the Drbg silently diverges reruns.
+
+Host parallelism is nondeterminism of a third kind: worker pools reorder
+events and fork-inherited state diverges reruns, so process-level
+primitives (`multiprocessing`, `concurrent.futures`, `os.cpu_count`,
+`os.fork`) are confined to `repro.core.executor`, the one module whose
+job is to fan experiments across cores — the sans-io simulation layers
+stay process-free by contract.
 """
 
 from __future__ import annotations
@@ -20,24 +27,30 @@ from repro.analysis.finding import Finding
 from repro.analysis.registry import Checker, register
 
 _CLOCK_EXEMPT_PREFIX = "repro.obs"
+_PROCESS_EXEMPT_MODULE = "repro.core.executor"
 
 _TIME_FUNCS = {
     "time", "time_ns", "monotonic", "monotonic_ns",
     "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
 }
 _DATETIME_AMBIENT = {"now", "today", "utcnow"}
+_PROCESS_MODULES = {"multiprocessing", "concurrent"}
+_OS_PROCESS_FUNCS = {"cpu_count", "process_cpu_count", "fork", "forkpty"}
 
 
 @register
 class DeterminismChecker(Checker):
     name = "det"
     description = ("all time from the event loop, all randomness from Drbg: "
-                   "no ambient clocks or entropy sources under repro")
+                   "no ambient clocks, entropy sources, or process-level "
+                   "parallelism (outside repro.core.executor) under repro")
     codes = {
         "DET001": "wall-clock read outside repro.obs (time.time/monotonic/perf_counter/...)",
         "DET002": "stdlib `random` module used (randomness must flow through Drbg)",
         "DET003": "OS entropy used (`os.urandom` / `secrets`); keys would differ per run",
         "DET004": "ambient `datetime.now()`/`today()`/`utcnow()` read",
+        "DET005": "process-level parallelism outside repro.core.executor "
+                  "(multiprocessing/concurrent.futures/os.cpu_count)",
     }
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
@@ -45,6 +58,7 @@ class DeterminismChecker(Checker):
             return
         clock_exempt = (ctx.module == _CLOCK_EXEMPT_PREFIX
                         or ctx.module.startswith(_CLOCK_EXEMPT_PREFIX + "."))
+        process_exempt = ctx.module == _PROCESS_EXEMPT_MODULE
 
         def finding(code: str, node: ast.AST, message: str) -> Finding:
             return Finding(code=code, message=message, path=ctx.relpath,
@@ -62,6 +76,10 @@ class DeterminismChecker(Checker):
                         yield finding("DET002", node, "`import random`; use Drbg instead")
                     elif root == "secrets":
                         yield finding("DET003", node, "`import secrets`; use Drbg instead")
+                    elif root in _PROCESS_MODULES and not process_exempt:
+                        yield finding("DET005", node,
+                                      f"`import {alias.name}`; worker pools live in "
+                                      "repro.core.executor only")
             elif isinstance(node, ast.ImportFrom) and node.module is not None:
                 root = node.module.split(".")[0]
                 if root == "random":
@@ -76,6 +94,10 @@ class DeterminismChecker(Checker):
                         yield finding("DET001", node,
                                       f"`from time import {', '.join(names)}`; "
                                       "simulated time comes from the event loop")
+                elif root in _PROCESS_MODULES and not process_exempt:
+                    yield finding("DET005", node,
+                                  f"`from {node.module} import ...`; worker pools "
+                                  "live in repro.core.executor only")
                 elif root == "datetime":
                     # track `from datetime import datetime/date` for call checks
                     for alias in node.names:
@@ -95,6 +117,11 @@ class DeterminismChecker(Checker):
             elif base == "os" and func.attr == "urandom":
                 yield finding("DET003", node,
                               "`os.urandom()`; draw from Drbg so runs reproduce")
+            elif base == "os" and func.attr in _OS_PROCESS_FUNCS \
+                    and not process_exempt:
+                yield finding("DET005", node,
+                              f"`os.{func.attr}()`; host CPU topology and process "
+                              "control belong to repro.core.executor only")
             elif base in ("datetime", "datetime.datetime", "datetime.date") \
                     and func.attr in _DATETIME_AMBIENT and not node.args:
                 yield finding("DET004", node,

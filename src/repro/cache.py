@@ -5,6 +5,12 @@ tens of seconds of pure-Python hashing), so scripts are cached under
 ``.cache/`` keyed by configuration + a schema version. Delete the
 directory (or set ``REPRO_CACHE_DIR``) to force re-recording.
 
+The cache is safe under concurrent writers (the parallel campaign
+executor runs one process per core against the same directory): `store`
+writes to a unique per-process temp file and publishes it with an atomic
+``os.replace``, and `lock` hands out a per-key advisory file lock so
+expensive recordings can be single-flighted across processes.
+
 Hit/miss/store counts land in the module-level :data:`metrics` registry
 (``cache.<kind>.hit`` / ``.miss`` / ``.store`` / ``.evicted``), which the
 CLI folds into its ``--metrics`` output.
@@ -12,10 +18,17 @@ CLI folds into its ``--metrics`` output.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
+import tempfile
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: locks degrade to no-ops (see `lock`)
+    fcntl = None
 
 from repro.obs.metrics import Metrics
 
@@ -63,8 +76,53 @@ def load(kind: str, key: str):
 
 def store(kind: str, key: str, value) -> None:
     path = _key_path(kind, key)
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("wb") as handle:
-        pickle.dump(value, handle)
-    tmp.replace(path)
+    # unique per-process temp name: concurrent stores of the same key must
+    # not share a temp file (a fixed `.tmp` suffix lets writer B truncate
+    # the file writer A is about to publish, or os.replace a name A already
+    # consumed); whoever replaces last wins, and every replace is atomic
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.stem + "-",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(value, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
     metrics.inc(f"cache.{kind}.store")
+
+
+@contextlib.contextmanager
+def lock(kind: str, key: str):
+    """Advisory per-key exclusive lock (single-flight for slow recordings).
+
+    Callers follow the double-checked pattern::
+
+        value = cache.load(kind, key)
+        if value is None:
+            with cache.lock(kind, key):
+                value = cache.load(kind, key)   # a peer may have finished
+                if value is None:
+                    value = expensive_compute()
+                    cache.store(kind, key, value)
+
+    On POSIX this is ``flock`` on a sibling ``.lock`` file (blocking, so
+    waiters sleep in the kernel until the recorder releases). The lock
+    file is left in place — unlinking under contention races a peer that
+    already opened it. Without ``fcntl`` (non-POSIX) the lock is a no-op:
+    peers may duplicate work, but unique temp names keep stores safe.
+    """
+    if fcntl is None:
+        yield
+        return
+    path = _key_path(kind, key).with_suffix(".lock")
+    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)

@@ -8,8 +8,10 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.core.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.executor import run_campaign
+from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES, LEVEL_GROUPS
 
 BASE_KEM = "x25519"      # fixed KA for all-sig (paper §5)
@@ -106,12 +108,16 @@ EXPERIMENT_SETS = {
 }
 
 
-def run_set(name: str, progress=None,
-            metrics=NULL_METRICS) -> dict[str, ExperimentResult]:
+def run_set(name: str, progress=None, metrics=NULL_METRICS,
+            jobs: int | None = 1,
+            tracer=NULL_TRACER) -> dict[str, ExperimentResult]:
     """Run one named experiment set; returns results keyed by config key.
 
     Pass a :class:`repro.obs.metrics.Metrics` as ``metrics`` to accumulate
-    every experiment's counters into one campaign-level registry.
+    every experiment's counters into one campaign-level registry. ``jobs``
+    fans cache misses over that many worker processes via
+    :mod:`repro.core.executor` (``None`` = one per CPU); results and the
+    merged metrics are identical to the serial ``jobs=1`` path.
     """
     try:
         configs = EXPERIMENT_SETS[name]()
@@ -119,17 +125,13 @@ def run_set(name: str, progress=None,
         raise KeyError(
             f"unknown experiment set {name!r}; known: {sorted(EXPERIMENT_SETS)}"
         ) from None
-    results = {}
-    for i, config in enumerate(configs):
-        if progress is not None:
-            progress(name, i, len(configs), config)
-        results[config.key] = run_experiment(config, metrics=metrics)
-    return results
+    return run_campaign(configs, jobs=jobs, metrics=metrics,
+                        progress=progress, tracer=tracer, set_name=name)
 
 
-def run_sets(names: Iterable[str], progress=None,
-             metrics=NULL_METRICS) -> dict[str, ExperimentResult]:
+def run_sets(names: Iterable[str], progress=None, metrics=NULL_METRICS,
+             jobs: int | None = 1) -> dict[str, ExperimentResult]:
     results: dict[str, ExperimentResult] = {}
     for name in names:
-        results.update(run_set(name, progress, metrics=metrics))
+        results.update(run_set(name, progress, metrics=metrics, jobs=jobs))
     return results

@@ -40,9 +40,9 @@ def _write(outdir: Path, name: str, content: str) -> None:
 ARTIFACTS = ["table2", "table3", "table4", "figure3", "figure4", "section55"]
 
 
-def evaluate_artifact(name: str, outdir: Path) -> None:
+def evaluate_artifact(name: str, outdir: Path, jobs: int | None = 1) -> None:
     if name == "table2":
-        results = campaign.run_sets(["all-kem", "all-sig"], _progress)
+        results = campaign.run_sets(["all-kem", "all-sig"], _progress, jobs=jobs)
         rows_a = evaluate.table2a(results, ALL_KEM_NAMES)
         rows_b = evaluate.table2b(results, ALL_SIG_NAMES)
         _write(outdir, "table2a.txt", report.render_table2(rows_a, "Table 2a: KAs with rsa:2048"))
@@ -50,18 +50,18 @@ def evaluate_artifact(name: str, outdir: Path) -> None:
         _write(outdir, "latencies_kem.csv", report.latencies_csv(rows_a))
         _write(outdir, "latencies_sig.csv", report.latencies_csv(rows_b))
     elif name == "table3":
-        results = campaign.run_sets(["table3-perf"], _progress)
+        results = campaign.run_sets(["table3-perf"], _progress, jobs=jobs)
         rows = evaluate.table3(results)
         _write(outdir, "table3.txt", report.render_table3(rows))
     elif name == "table4":
-        results = campaign.run_sets(["all-kem-scenarios", "all-sig-scenarios"], _progress)
+        results = campaign.run_sets(["all-kem-scenarios", "all-sig-scenarios"], _progress, jobs=jobs)
         rows_a = evaluate.table4(results, ALL_KEM_NAMES, vary="kem")
         rows_b = evaluate.table4(results, ALL_SIG_NAMES, vary="sig")
         _write(outdir, "table4a.txt", report.render_table4(rows_a, "Table 4a: KAs per scenario"))
         _write(outdir, "table4b.txt", report.render_table4(rows_b, "Table 4b: SAs per scenario"))
     elif name == "figure3":
-        push = campaign.run_sets(["level1", "level3", "level5"], _progress)
-        nopush = campaign.run_sets(["level1-nopush", "level3-nopush", "level5-nopush"], _progress)
+        push = campaign.run_sets(["level1", "level3", "level5"], _progress, jobs=jobs)
+        nopush = campaign.run_sets(["level1-nopush", "level3-nopush", "level5-nopush"], _progress, jobs=jobs)
         dev_push = deviations_for_levels(push, "optimized", LEVEL_GROUPS)
         dev_nopush = deviations_for_levels(nopush, "default", LEVEL_GROUPS)
         _write(outdir, "figure3a.txt",
@@ -77,11 +77,11 @@ def evaluate_artifact(name: str, outdir: Path) -> None:
                + "\n".join(improvements))
         _write(outdir, "deviations.csv", report.deviations_csv(dev_push))
     elif name == "figure4":
-        results = campaign.run_sets(["all-kem", "all-sig"], _progress)
+        results = campaign.run_sets(["all-kem", "all-sig"], _progress, jobs=jobs)
         kem_ranks, sig_ranks = evaluate.figure4(results, ALL_KEM_NAMES, ALL_SIG_NAMES)
         _write(outdir, "figure4.txt", report.render_ranking(kem_ranks, sig_ranks))
     elif name == "section55":
-        results = campaign.run_sets(["table3-perf", "all-sig"], _progress)
+        results = campaign.run_sets(["table3-perf", "all-sig"], _progress, jobs=jobs)
         whitebox = evaluate.table3(results)
         t2b = evaluate.table2b(results, ALL_SIG_NAMES)
         metrics = evaluate.attack_metrics(whitebox, t2b)
@@ -118,6 +118,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the paper's experiment sets and regenerate its tables/figures.")
     parser.add_argument("-o", "--output", default="out", help="output directory")
+    parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for campaign cache misses "
+                             "(default: one per CPU; 1 = the serial path)")
     parser.add_argument("--evaluate", action="store_true",
                         help="treat names as artifacts (table2, figure3, ...) "
                              "instead of experiment sets")
@@ -165,14 +168,15 @@ def main(argv: list[str] | None = None) -> int:
     metrics = Metrics() if args.metrics else NULL_METRICS
     if args.evaluate:
         for name in args.names:
-            evaluate_artifact(name, outdir)
+            evaluate_artifact(name, outdir, jobs=args.jobs)
     else:
         count = 0
         if single_mode:
             run_single(args, metrics)
             count += 1
         if args.names:
-            results = campaign.run_sets(args.names, _progress, metrics=metrics)
+            results = campaign.run_sets(args.names, _progress, metrics=metrics,
+                                        jobs=args.jobs)
             count += len(results)
         print(f"ran {count} experiments", file=sys.stderr)
     if args.metrics:

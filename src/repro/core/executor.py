@@ -1,0 +1,300 @@
+"""Parallel campaign executor: fan an experiment set across CPU cores.
+
+Appendix B's campaigns are hundreds of independent (KA, SA, scenario,
+policy) experiments; this module is the only place in the stack allowed
+to touch host parallelism (enforced by ``pqtls-lint`` DET005 — the
+sans-io simulation below stays process-free). :func:`run_campaign`:
+
+1. **partitions** the set into cache hits, resolved inline in the parent
+   with no worker dispatch, and cache misses;
+2. **schedules** the misses longest-expected-first (LPT) using the
+   static cost table below, so one straggling SPHINCS+ or Falcon-1024
+   recording starts immediately instead of tailing the pool;
+3. relies on **single-flight recording** (`cache.lock` inside
+   :func:`~repro.core.experiment.load_script` /
+   :func:`~repro.netsim.scripted.load_credentials`): one worker records
+   each distinct ``(kem, sig, policy, seed)`` script while peers block on
+   a per-key file lock and then read the cache;
+4. **merges** per-worker metrics snapshots (and the traced first
+   handshake, if a tracer is given) back into the parent's registry *in
+   the set's original config order*, so the aggregated ``--metrics`` /
+   ``--trace`` output is identical to a serial run.
+
+Determinism: every experiment derives all randomness from a per-config
+``Drbg`` (``experiment:<key>``) and all time from the simulated event
+loop, so a worker computes bit-identical results to an in-process run —
+the pool changes wall-clock time, never values. ``jobs=1`` bypasses the
+pool entirely and preserves the exact serial code path.
+
+Workers are spawned (not forked) so each starts from a clean interpreter
+with zeroed module-level metrics; they communicate only through the
+shared on-disk cache and their pickled return values.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro import cache
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    merge_result_metrics,
+    run_experiment,
+    script_key,
+)
+from repro.netsim.netem import SCENARIOS
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+# ---------------------------------------------------------------------------
+# Static cost table
+#
+# Expected host cost of an experiment, in units calibrated to seconds on the
+# reference container. Only the *relative* order matters (LPT scheduling);
+# the absolute scale just keeps the numbers debuggable. Costs derive from
+# the algorithms' declared wire sizes — the same numbers Table 2 reports —
+# with per-family exponents reflecting how runtime grows with key material:
+# RSA prime search is ~cubic in the modulus, Falcon's NTRU solving ~quartic
+# in the key size, hash-based signing linear in the signature (each wire
+# byte is bought with a fixed number of hash calls).
+# ---------------------------------------------------------------------------
+
+_WIRE_BYTES_PER_SEGMENT = 1200.0   # rough payload per simulated TCP segment
+_REPLAY_SECONDS_PER_SEGMENT = 2e-4  # event-loop cost per segment per handshake
+_PROFILING_FACTOR = 1.2            # white-box runs add cost-model events
+
+
+def _sig_components(sig):
+    return [sig.classical, sig.pq] if hasattr(sig, "pq") else [sig]
+
+
+def _kem_components(kem):
+    return [kem.classical, kem.pq] if hasattr(kem, "pq") else [kem]
+
+
+def record_cost(kem_name: str, sig_name: str) -> float:
+    """Expected one-time cost of recording this script on a cold cache.
+
+    Dominated by real pure-Python crypto: credential generation + one
+    lockstep handshake. Charged once per distinct script key — the
+    single-flight lock guarantees no second worker pays it.
+    """
+    from repro.pqc.registry import get_kem, get_sig
+
+    cost = 0.1  # lockstep handshake, record/store bookkeeping
+    for sig in _sig_components(get_sig(sig_name)):
+        name = sig.name
+        if name.startswith("rsa"):
+            cost += 2.5 * (sig.signature_bytes / 256.0) ** 3
+        elif name.startswith("falcon"):
+            cost += 2.3 * (sig.public_key_bytes / 897.0) ** 4
+        elif name.startswith("sphincs"):
+            cost += 8.5 * (sig.signature_bytes / 17088.0)
+        else:  # lattice / ECDSA: milliseconds, wire size as tiebreaker
+            cost += (sig.signature_bytes + sig.public_key_bytes) / 1e6
+    for kem in _kem_components(get_kem(kem_name)):
+        material = kem.public_key_bytes + kem.ciphertext_bytes
+        # code-based decapsulation (iterative decoders) is the slow family
+        weight = 4e-4 if kem.name.startswith(("bike", "hqc")) else 4e-6
+        cost += weight * material
+    return cost
+
+
+def replay_cost(config: ExperimentConfig) -> float:
+    """Expected cost of replaying the script through TCP/netem.
+
+    Scales with handshakes simulated (3 for deterministic scenarios,
+    ``max_samples`` for lossy ones — the same rule ``run_experiment``
+    applies) times the per-handshake event count, which wire volume sets.
+    """
+    from repro.pqc.registry import get_kem, get_sig
+
+    kem = get_kem(config.kem)
+    sig = get_sig(config.sig)
+    # certificate chain carries ~2 public keys + 2 signatures, plus the
+    # CertificateVerify signature and the KEM exchange
+    wire = (kem.public_key_bytes + kem.ciphertext_bytes
+            + 2 * sig.public_key_bytes + 3 * sig.signature_bytes)
+    segments = 8.0 + wire / _WIRE_BYTES_PER_SEGMENT
+    samples = 3 if SCENARIOS[config.scenario].loss == 0.0 else config.max_samples
+    cost = samples * segments * _REPLAY_SECONDS_PER_SEGMENT
+    if config.profiling:
+        cost *= _PROFILING_FACTOR
+    return cost
+
+
+def estimated_cost(config: ExperimentConfig, cold: bool = True) -> float:
+    """Expected total cost of one experiment (recording charged if cold)."""
+    cost = replay_cost(config)
+    if cold:
+        cost += record_cost(config.kem, config.sig)
+    return cost
+
+
+def schedule(configs: list[ExperimentConfig]) -> list[ExperimentConfig]:
+    """Order cache-missing configs for dispatch: longest expected first.
+
+    One *leader* per distinct script key is picked and dispatched ahead of
+    every follower, ordered by recording + replay cost — the recordings
+    are the long poles and must all start as early as possible. Followers
+    (same script, different scenario/duration) carry only replay cost and
+    fill the pool's tail; their single-flight wait costs nothing extra.
+    """
+    groups: dict[str, list[ExperimentConfig]] = {}
+    for config in configs:
+        key = script_key(config.kem, config.sig, config.policy, config.seed)
+        groups.setdefault(key, []).append(config)
+    leaders, followers = [], []
+    for members in groups.values():
+        ordered = sorted(members, key=replay_cost, reverse=True)
+        leaders.append(ordered[0])
+        followers.extend(ordered[1:])
+    leaders.sort(key=lambda c: estimated_cost(c, cold=True), reverse=True)
+    followers.sort(key=replay_cost, reverse=True)
+    return leaders + followers
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _counter_delta(before: dict, after: dict) -> dict[str, float]:
+    return {name: value - before.get(name, 0.0)
+            for name, value in after.items() if value > before.get(name, 0.0)}
+
+
+def _worker_run(config: ExperimentConfig, trace: bool = False):
+    """Run one experiment in a worker process.
+
+    Returns ``(key, result, cache_counters, trace_records)``: the result
+    carries its own metrics snapshot; ``cache_counters`` is this task's
+    hit/miss/store delta (workers are long-lived, so a before/after diff
+    isolates the task); ``trace_records`` is the traced first handshake
+    when requested (tracing bypasses the result cache, exactly as in a
+    serial run).
+    """
+    before = cache.metrics.snapshot()["counters"]
+    tracer = Tracer() if trace else NULL_TRACER
+    result = run_experiment(config, tracer=tracer)
+    after = cache.metrics.snapshot()["counters"]
+    records = (tracer.spans, tracer.instants, tracer.counters) if trace else None
+    return config.key, result, _counter_delta(before, after), records
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+def resolve_jobs(jobs: int | None) -> int:
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    return jobs
+
+
+def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
+                 metrics=NULL_METRICS, progress=None, tracer=NULL_TRACER,
+                 set_name: str = "campaign",
+                 stats: dict | None = None) -> dict[str, ExperimentResult]:
+    """Run a list of experiments, fanning cache misses over ``jobs`` workers.
+
+    ``jobs=None`` means one worker per CPU; ``jobs=1`` is the exact serial
+    path (no pool, no spawn). Results are keyed by config key and merged
+    in the original config order, so metrics/trace aggregation is
+    key-for-key identical to a serial run. If a worker raises, pending
+    work is cancelled and the original exception propagates.
+
+    ``stats``, if given, is filled with the partition/schedule summary
+    (``jobs``, ``hits``, ``dispatched``, ``distinct_scripts``, ...).
+    """
+    jobs = resolve_jobs(jobs)
+    total = len(configs)
+    if stats is None:
+        stats = {}
+    stats.update(jobs=jobs, experiments=total)
+
+    if jobs == 1 or total <= 1:
+        stats.update(hits=None, dispatched=None, distinct_scripts=None)
+        results: dict[str, ExperimentResult] = {}
+        for i, config in enumerate(configs):
+            if progress is not None:
+                progress(set_name, i, total, config)
+            hs_tracer = tracer if i == 0 else NULL_TRACER
+            results[config.key] = run_experiment(config, tracer=hs_tracer,
+                                                 metrics=metrics)
+        return results
+
+    # -- partition: resolve hits inline, collect distinct misses ------------
+    # The first config is special when tracing: run_experiment bypasses the
+    # cache for traced runs (cached artifacts must stay identical to
+    # untraced ones), so it is always dispatched.
+    traced_key = configs[0].key if tracer.enabled else None
+    resolved: dict[str, ExperimentResult] = {}
+    misses: list[ExperimentConfig] = []
+    seen: set[str] = set()
+    done = 0
+    for config in configs:
+        if config.key in seen:
+            continue  # duplicate within the set: one run serves all
+        seen.add(config.key)
+        if config.key != traced_key:
+            cached = cache.load("experiment", config.key)
+            if cached is not None:
+                resolved[config.key] = cached
+                if progress is not None:
+                    progress(set_name, done, total, config)
+                done += 1
+                continue
+        misses.append(config)
+    ordered = schedule(misses)
+    stats.update(hits=len(resolved), dispatched=len(misses),
+                 distinct_scripts=len({script_key(c.kem, c.sig, c.policy, c.seed)
+                                       for c in misses}))
+
+    # -- dispatch ------------------------------------------------------------
+    trace_records = None
+    if ordered:
+        context = multiprocessing.get_context("spawn")
+        workers = min(jobs, len(ordered))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = {
+                pool.submit(_worker_run, config, config.key == traced_key): config
+                for config in ordered
+            }
+            try:
+                for future in as_completed(futures):
+                    key, result, cache_counters, records = future.result()
+                    resolved[key] = result
+                    if records is not None:
+                        trace_records = records
+                    for name, value in cache_counters.items():
+                        # the parent already counted these misses while
+                        # partitioning; everything else (script/creds
+                        # traffic, stores) happened only in the worker
+                        if name != "cache.experiment.miss":
+                            cache.metrics.inc(name, value)
+                    if progress is not None:
+                        progress(set_name, done, total, futures[future])
+                    done += 1
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+
+    # -- merge in original order --------------------------------------------
+    # Counter sums and histogram sample order then match the serial run
+    # exactly, whatever order workers finished in.
+    results = {}
+    for config in configs:
+        result = resolved[config.key]
+        results[config.key] = result
+        merge_result_metrics(result, metrics)
+    if trace_records is not None:
+        tracer.absorb(*trace_records)
+    return results

@@ -79,15 +79,44 @@ class ExperimentResult:
         return self.n_handshakes / self.config.duration
 
 
+def script_key(kem: str, sig: str, policy_value: str, seed: str = "paper") -> str:
+    """The script-cache key; the executor groups experiments by this to
+    single-flight recording (one script serves every scenario/duration)."""
+    return f"{kem}|{sig}|{policy_value}|{seed}"
+
+
 def load_script(kem: str, sig: str, policy: BufferPolicy,
                 seed: str = "paper") -> HandshakeScript:
-    """Load a recorded handshake script from the cache, recording on miss."""
-    key = f"{kem}|{sig}|{policy.value}|{seed}"
+    """Load a recorded handshake script from the cache, recording on miss.
+
+    Recording is single-flighted across processes: under parallel
+    campaigns, the first worker to reach a missing key records it under a
+    per-key file lock while its peers block on the lock and then load the
+    stored script, instead of N workers redoing identical crypto.
+    """
+    key = script_key(kem, sig, policy.value, seed)
     script = cache.load("script", key)
     if script is None:
-        script = record_script(kem, sig, policy, seed=seed)
-        cache.store("script", key, script)
+        with cache.lock("script", key):
+            script = cache.load("script", key)
+            if script is None:
+                script = record_script(kem, sig, policy, seed=seed)
+                cache.store("script", key, script)
     return script
+
+
+def merge_result_metrics(result: ExperimentResult, metrics) -> None:
+    """Replay a result's recorded metrics snapshot into ``metrics``.
+
+    Used on cache hits and when folding parallel-worker results into the
+    campaign registry, so an aggregated registry is identical whether the
+    experiment ran here, in a worker, or was loaded from disk. Counters,
+    gauges, *and* histograms are restored (snapshots carry raw samples;
+    pre-samples snapshots from old cache entries degrade to counters and
+    gauges only).
+    """
+    if metrics.enabled and result.metrics:
+        metrics.merge_snapshot(result.metrics)
 
 
 def run_experiment(config: ExperimentConfig, use_cache: bool = True,
@@ -110,13 +139,7 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
     if use_cache and not tracing:
         cached = cache.load("experiment", config.key)
         if cached is not None:
-            if metrics.enabled and cached.metrics:
-                restored = Metrics()
-                for name, value in cached.metrics.get("counters", {}).items():
-                    restored.inc(name, value)
-                for name, value in cached.metrics.get("gauges", {}).items():
-                    restored.set(name, value)
-                metrics.merge(restored)
+            merge_result_metrics(cached, metrics)
             return cached
     policy = BufferPolicy(config.policy)
     script = load_script(config.kem, config.sig, policy, config.seed)

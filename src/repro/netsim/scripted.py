@@ -71,15 +71,22 @@ def load_credentials(sig_name: str, seed: str = "paper"):
 
     Key generation and CA issuance dominate recording time for the slow
     signature schemes (Falcon keygen, SPHINCS+ signing), and credentials
-    are shared across every experiment using the same SA.
+    are shared across every experiment using the same SA — so generation
+    is single-flighted under a per-key file lock: concurrent recorders of
+    different (KA, SA) scripts with the same SA wait for one generator
+    instead of each re-deriving the same keys.
     """
     from repro import cache
 
     key = f"{sig_name}|{seed}"
     creds = cache.load("creds", key)
     if creds is None:
-        creds = make_server_credentials(sig_name, Drbg(f"creds:{sig_name}:{seed}"))
-        cache.store("creds", key, creds)
+        with cache.lock("creds", key):
+            creds = cache.load("creds", key)
+            if creds is None:
+                creds = make_server_credentials(
+                    sig_name, Drbg(f"creds:{sig_name}:{seed}"))
+                cache.store("creds", key, creds)
     return creds
 
 

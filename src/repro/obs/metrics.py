@@ -150,8 +150,30 @@ class Metrics:
         for name, instrument in other._histograms.items():
             self.histogram(name).samples.extend(instrument.samples)
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        The inverse of :meth:`snapshot`: ``a.merge_snapshot(b.snapshot())``
+        leaves ``a`` exactly as ``a.merge(b)`` would. This is how cached
+        experiment results and parallel-worker results replay their
+        metrics into the caller's registry without sharing objects.
+        Histogram replay needs the snapshot's ``samples`` list; snapshots
+        written before it existed merge their counters/gauges only.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set(name, value)
+        for name, stats in snapshot.get("histograms", {}).items():
+            self.histogram(name).samples.extend(stats.get("samples", ()))
+
     def snapshot(self) -> dict:
-        """Plain-dict dump, stable across runs, ready for ``json.dump``."""
+        """Plain-dict dump, stable across runs, ready for ``json.dump``.
+
+        Carries the raw ``samples`` alongside the summary statistics so a
+        snapshot is lossless: :meth:`merge_snapshot` can reconstruct the
+        full histogram (cache-hit restore, cross-process aggregation).
+        """
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
         for name in sorted(self._counters):
             out["counters"][name] = self._counters[name].value
@@ -167,6 +189,7 @@ class Metrics:
                 "mean": histogram.mean,
                 "median": histogram.median,
                 "p99": histogram.quantile(0.99),
+                "samples": list(histogram.samples),
             }
         return out
 
@@ -230,6 +253,9 @@ class NullMetrics:
         return {}
 
     def merge(self, other) -> None:
+        pass
+
+    def merge_snapshot(self, snapshot: dict) -> None:
         pass
 
     def snapshot(self) -> dict:

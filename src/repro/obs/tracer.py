@@ -112,6 +112,19 @@ class Tracer:
     def counter(self, track: str, name: str, time: float, value: float) -> None:
         self.counters.append(CounterSample(track, name, time, value))
 
+    # -- merging -----------------------------------------------------------
+    def absorb(self, spans, instants, counters) -> None:
+        """Append records collected by another tracer.
+
+        The record dataclasses are immutable and picklable, so a worker
+        process can trace locally and ship ``(tracer.spans,
+        tracer.instants, tracer.counters)`` back for the parent to absorb
+        — the parent's trace is then identical to having traced in-process.
+        """
+        self.spans.extend(spans)
+        self.instants.extend(instants)
+        self.counters.extend(counters)
+
     # -- queries -----------------------------------------------------------
     def tracks(self) -> list[str]:
         seen: dict[str, None] = {}
@@ -184,6 +197,9 @@ class NullTracer:
         pass
 
     def counter(self, *args, **kwargs) -> None:
+        pass
+
+    def absorb(self, spans, instants, counters) -> None:
         pass
 
     def tracks(self) -> list:

@@ -82,3 +82,47 @@ def test_explicit_datetime_is_fine(lint):
             return datetime.fromtimestamp(epoch_seconds, tz=timezone.utc)
     """, select=["det"])
     assert codes(report) == []
+
+
+def test_multiprocessing_outside_executor_flagged(lint):
+    report = lint("repro/core/campaign_helpers.py", """
+        import multiprocessing
+
+        def fan_out():
+            return multiprocessing.Pool()
+    """, select=["det"])
+    assert codes(report) == ["DET005"]
+
+
+def test_concurrent_futures_outside_executor_flagged(lint):
+    report = lint("repro/netsim/fix.py", """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def pool():
+            return ProcessPoolExecutor()
+    """, select=["det"])
+    assert codes(report) == ["DET005"]
+
+
+def test_os_cpu_count_outside_executor_flagged(lint):
+    report = lint("repro/core/cli_helpers.py", """
+        import os
+
+        def default_jobs():
+            return os.cpu_count()
+    """, select=["det"])
+    assert codes(report) == ["DET005"]
+
+
+def test_process_primitives_allowed_in_executor(lint):
+    report = lint("repro/core/executor.py", """
+        import multiprocessing
+        import os
+        from concurrent.futures import ProcessPoolExecutor
+
+        def pool():
+            context = multiprocessing.get_context("spawn")
+            return ProcessPoolExecutor(max_workers=os.cpu_count(),
+                                       mp_context=context)
+    """, select=["det"])
+    assert codes(report) == []

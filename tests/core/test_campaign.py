@@ -81,3 +81,17 @@ def test_run_set_small(monkeypatch):
     results = campaign.run_set("tiny", progress=lambda *a: calls.append(a))
     assert len(results) == 1
     assert calls and calls[0][0] == "tiny"
+
+
+def test_run_set_parallel_matches_serial(monkeypatch, tmp_path):
+    """--jobs N routes through the executor and reproduces the serial run."""
+    stub = lambda: [  # noqa: E731
+        campaign.ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0),
+        campaign.ExperimentConfig(kem="p256", sig="rsa:1024", duration=5.0),
+    ]
+    monkeypatch.setitem(EXPERIMENT_SETS, "tiny2", stub)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    serial = campaign.run_set("tiny2", jobs=1)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel = campaign.run_set("tiny2", jobs=2)
+    assert parallel == serial

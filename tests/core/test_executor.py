@@ -1,0 +1,215 @@
+"""Parallel campaign executor: cost model, scheduling, equivalence, faults.
+
+The equivalence tests run real (small) experiments twice — once serial,
+once through a spawned worker pool — against fresh cache directories, so
+they prove the executor's core contract: parallelism changes wall-clock
+time, never values.
+"""
+
+import pytest
+
+from repro import cache
+from repro.core import executor
+from repro.core.executor import (
+    estimated_cost,
+    record_cost,
+    replay_cost,
+    resolve_jobs,
+    run_campaign,
+    schedule,
+)
+from repro.core.experiment import ExperimentConfig, script_key
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Tracer
+
+SMALL_SET = [
+    ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0),
+    ExperimentConfig(kem="p256", sig="rsa:1024", duration=5.0),
+    ExperimentConfig(kem="x25519", sig="rsa:1024", scenario="high-loss",
+                     max_samples=5, duration=5.0),
+    ExperimentConfig(kem="kyber512", sig="dilithium2", duration=5.0),
+]
+
+
+@pytest.fixture
+def cold_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+# -- static cost table -------------------------------------------------------
+
+def test_record_cost_ranks_slow_recorders_first():
+    # hash-based signing dwarfs lattice signing; bigger variants cost more
+    assert record_cost("x25519", "sphincs256") > record_cost("x25519", "sphincs128")
+    assert record_cost("x25519", "sphincs128") > record_cost("x25519", "dilithium2")
+    # Falcon keygen blows up with the parameter set, RSA with the modulus
+    assert record_cost("x25519", "falcon1024") > record_cost("x25519", "falcon512")
+    assert record_cost("x25519", "rsa:3072") > record_cost("x25519", "rsa:2048")
+    # composites pay for both components
+    assert record_cost("x25519", "p256_sphincs128") >= record_cost("x25519", "sphincs128")
+
+
+def test_replay_cost_tracks_samples_and_flags():
+    base = ExperimentConfig(kem="kyber512", sig="dilithium2")
+    lossy = ExperimentConfig(kem="kyber512", sig="dilithium2", scenario="high-loss")
+    perf = ExperimentConfig(kem="kyber512", sig="dilithium2", profiling=True)
+    big = ExperimentConfig(kem="hqc256", sig="sphincs128")
+    assert replay_cost(lossy) > replay_cost(base)      # 151 samples vs 3
+    assert replay_cost(perf) > replay_cost(base)       # white-box overhead
+    assert replay_cost(big) > replay_cost(base)        # wire volume
+    assert estimated_cost(base, cold=True) > estimated_cost(base, cold=False)
+
+
+def test_schedule_puts_expensive_leaders_first():
+    cheap = ExperimentConfig(kem="x25519", sig="rsa:1024")
+    cheap_lossy = ExperimentConfig(kem="x25519", sig="rsa:1024", scenario="high-loss")
+    slow = ExperimentConfig(kem="x25519", sig="sphincs128")
+    ordered = schedule([cheap, cheap_lossy, slow])
+    # the SPHINCS+ recording is the long pole: dispatched first
+    assert ordered[0] == slow
+    # one leader per distinct script; the same-script follower trails them
+    leaders = ordered[:2]
+    assert {script_key(c.kem, c.sig, c.policy, c.seed) for c in leaders} == {
+        script_key(c.kem, c.sig, c.policy, c.seed) for c in [cheap, slow]}
+    assert ordered[2].scenario in ("none", "high-loss")
+    assert len(ordered) == 3
+
+
+def test_schedule_leader_is_costliest_replay_of_its_group():
+    none = ExperimentConfig(kem="x25519", sig="rsa:1024")
+    lossy = ExperimentConfig(kem="x25519", sig="rsa:1024", scenario="high-loss")
+    ordered = schedule([none, lossy])
+    assert ordered[0] == lossy  # recording + the 151-sample replay go together
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(None) >= 1
+    with pytest.raises(ValueError, match="jobs"):
+        resolve_jobs(0)
+
+
+# -- serial/parallel equivalence ---------------------------------------------
+
+def test_parallel_equals_serial(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    serial_metrics = Metrics()
+    serial = run_campaign(SMALL_SET, jobs=1, metrics=serial_metrics)
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel_metrics = Metrics()
+    stats = {}
+    parallel = run_campaign(SMALL_SET, jobs=3, metrics=parallel_metrics,
+                            stats=stats)
+
+    assert list(parallel) == list(serial)
+    for key in serial:
+        assert parallel[key] == serial[key], key     # full ExperimentResult eq
+    assert parallel_metrics.snapshot() == serial_metrics.snapshot()
+    assert stats["dispatched"] == len(SMALL_SET)
+    assert stats["distinct_scripts"] == 3            # two configs share a script
+
+
+def test_parallel_warm_cache_resolves_inline(cold_cache, monkeypatch):
+    serial = run_campaign(SMALL_SET, jobs=1, metrics=Metrics())
+
+    class PoolBomb:
+        def __init__(self, *a, **k):
+            raise AssertionError("a fully-cached campaign must not spawn workers")
+
+    monkeypatch.setattr(executor, "ProcessPoolExecutor", PoolBomb)
+    stats = {}
+    warm_metrics = Metrics()
+    warm = run_campaign(SMALL_SET, jobs=4, metrics=warm_metrics, stats=stats)
+    assert warm == serial
+    assert stats["hits"] == len(SMALL_SET) and stats["dispatched"] == 0
+
+
+def test_duplicate_configs_merge_like_serial(cold_cache, monkeypatch):
+    doubled = SMALL_SET[:2] + [SMALL_SET[0]]
+    serial_metrics = Metrics()
+    serial = run_campaign(doubled, jobs=1, metrics=serial_metrics)
+    # fresh dir for the parallel cold run
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cold_cache / "p"))
+    parallel_metrics = Metrics()
+    parallel = run_campaign(doubled, jobs=2, metrics=parallel_metrics)
+    assert parallel == serial
+    assert len(parallel) == 2
+    # the duplicate's metrics counted twice in both modes
+    assert parallel_metrics.snapshot() == serial_metrics.snapshot()
+
+
+def test_progress_reported_for_hits_and_misses(cold_cache):
+    run_campaign(SMALL_SET[:2], jobs=1, metrics=Metrics())   # warm 2 of 4
+    calls = []
+    run_campaign(SMALL_SET, jobs=2, set_name="small",
+                 progress=lambda *a: calls.append(a))
+    assert len(calls) == len(SMALL_SET)
+    assert {c[0] for c in calls} == {"small"}
+    assert sorted(c[1] for c in calls) == list(range(len(SMALL_SET)))
+
+
+# -- single-flight recording -------------------------------------------------
+
+def test_single_flight_records_each_script_once(cold_cache):
+    # two distinct experiments, one distinct (kem, sig, policy, seed) script:
+    # whichever worker wins the lock records; the loser must load, not re-record
+    shared_script = [
+        ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0),
+        ExperimentConfig(kem="x25519", sig="rsa:1024", scenario="high-loss",
+                         max_samples=3, duration=5.0),
+    ]
+    before = cache.metrics.snapshot()["counters"]
+    run_campaign(shared_script, jobs=2, metrics=Metrics())
+    after = cache.metrics.snapshot()["counters"]
+
+    def delta(name):
+        return after.get(name, 0.0) - before.get(name, 0.0)
+
+    assert delta("cache.script.store") == 1
+    assert delta("cache.creds.store") == 1
+    assert delta("cache.experiment.store") == 2
+
+
+# -- fault paths -------------------------------------------------------------
+
+def test_worker_exception_propagates_original(cold_cache):
+    bad = [
+        ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0),
+        ExperimentConfig(kem="x25519", sig="rsa:1024", duration=-1.0),
+    ]
+    with pytest.raises(ValueError, match="duration must be positive"):
+        run_campaign(bad, jobs=2, metrics=Metrics())
+    # the pool shut down cleanly: the executor is immediately reusable
+    results = run_campaign(bad[:1], jobs=2, metrics=Metrics())
+    assert len(results) == 1
+
+
+def test_unknown_algorithm_raises_keyerror_serial_and_parallel(cold_cache):
+    nope = [ExperimentConfig(kem="nope", sig="rsa:1024"),
+            ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0)]
+    with pytest.raises(KeyError, match="unknown key agreement"):
+        run_campaign(nope, jobs=1, metrics=Metrics())
+    with pytest.raises(KeyError, match="unknown key agreement"):
+        run_campaign(nope, jobs=2, metrics=Metrics())
+
+
+# -- trace merge -------------------------------------------------------------
+
+def test_traced_first_experiment_identical_serial_and_parallel(tmp_path,
+                                                               monkeypatch):
+    configs = SMALL_SET[:2]
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    serial_tracer = Tracer()
+    run_campaign(configs, jobs=1, tracer=serial_tracer)
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel_tracer = Tracer()
+    run_campaign(configs, jobs=2, tracer=parallel_tracer)
+
+    assert serial_tracer.spans, "tracing must record the first handshake"
+    assert parallel_tracer.spans == serial_tracer.spans
+    assert parallel_tracer.instants == serial_tracer.instants
+    assert parallel_tracer.counters == serial_tracer.counters

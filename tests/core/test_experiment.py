@@ -7,6 +7,7 @@ from repro.core.experiment import (
     ExperimentConfig,
     run_experiment,
 )
+from repro.obs.metrics import Metrics
 
 
 @pytest.fixture(scope="module")
@@ -100,6 +101,23 @@ def test_cache_round_trip(tmp_path, monkeypatch):
     second = run_experiment(config)
     assert first.total_samples == second.total_samples
     assert (tmp_path / "experiment").exists()
+
+
+def test_cache_hit_merges_same_metrics_as_cold_run(tmp_path, monkeypatch):
+    """A cache hit must replay the *whole* snapshot into the caller's
+    registry — counters, gauges, and histograms — so campaign aggregation
+    is identical whether the result was computed or loaded."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    config = ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0)
+    cold = Metrics()
+    run_experiment(config, metrics=cold)
+    warm = Metrics()
+    run_experiment(config, metrics=warm)
+    assert warm.snapshot() == cold.snapshot()
+    # histograms specifically: samples restored, not just summary counters
+    assert warm.histogram("handshake.part_a").samples == \
+        cold.histogram("handshake.part_a").samples
+    assert warm.histogram("handshake.part_a").samples
 
 
 def test_use_cache_false_recomputes(tmp_path, monkeypatch):

@@ -76,7 +76,36 @@ def test_snapshot_shape_and_sorting():
     assert list(snapshot["counters"]) == ["a", "z"]
     assert snapshot["histograms"]["lat"]["count"] == 1
     assert set(snapshot["histograms"]["lat"]) == {
-        "count", "sum", "min", "max", "mean", "median", "p99"}
+        "count", "sum", "min", "max", "mean", "median", "p99", "samples"}
+    assert snapshot["histograms"]["lat"]["samples"] == [2.0]
+
+
+def test_merge_snapshot_is_inverse_of_snapshot():
+    source = Metrics()
+    source.inc("hits", 3)
+    source.set("cwnd", 9)
+    source.observe("lat", 0.5)
+    source.observe("lat", 1.5)
+
+    via_merge, via_snapshot = Metrics(), Metrics()
+    via_merge.inc("hits", 1)
+    via_snapshot.inc("hits", 1)
+    via_merge.merge(source)
+    via_snapshot.merge_snapshot(source.snapshot())
+    assert via_snapshot.snapshot() == via_merge.snapshot()
+    assert via_snapshot.histogram("lat").samples == [0.5, 1.5]
+
+
+def test_merge_snapshot_tolerates_presamples_snapshots():
+    # snapshots cached before `samples` existed: counters/gauges restore,
+    # histograms degrade silently instead of raising
+    legacy = {"counters": {"hits": 2.0}, "gauges": {"cwnd": 4.0},
+              "histograms": {"lat": {"count": 1, "sum": 1.0}}}
+    metrics = Metrics()
+    metrics.merge_snapshot(legacy)
+    assert metrics.value("hits") == 2.0
+    assert metrics.value("cwnd") == 4.0
+    assert metrics.histogram("lat").samples == []
 
 
 def test_null_metrics_swallows_everything():
