@@ -7,7 +7,7 @@ breakdown to ``benchmarks/out/BENCH_campaign.json`` so the perf
 trajectory accumulates run over run.
 
 The default grid is sized for CI: it fans ``--jobs`` distinct credential
-recordings (per-seed, ~2.5 s of pure-Python RSA keygen each) plus script
+recordings (per-seed, ~0.5 s of pure-Python RSA keygen each) plus script
 recordings and replays, which is the exact shape of a cold Appendix B
 campaign in miniature. Pass ``--set level1`` (etc.) for the real thing —
 on a 4-core machine the level1 cold run shows the >= 2x speedup the
@@ -41,7 +41,7 @@ def bench_grid(jobs: int) -> list[ExperimentConfig]:
     """A miniature cold campaign with ``jobs`` independent recordings.
 
     Distinct seeds give distinct credential *and* script cache keys, so
-    the expensive units (one rsa:2048 keygen chain each, ~2.5 s) are
+    the expensive units (one rsa:2048 keygen chain each, ~0.5 s) are
     genuinely parallel work, while the x25519/kyber512 pairing per seed
     adds script-recording and replay traffic, including one lossy
     many-sample scenario per seed.
@@ -94,7 +94,9 @@ def main(argv=None) -> int:
                         help=f"output JSON (default {OUT_DEFAULT})")
     args = parser.parse_args(argv)
 
-    jobs = args.jobs or os.cpu_count() or 1
+    # mirror the executor's clamp: requesting more workers than cores
+    # resolves to the serial fallback, which the serial pass already timed
+    jobs = min(args.jobs or os.cpu_count() or 1, os.cpu_count() or 1)
     if args.set_name:
         configs = campaign.EXPERIMENT_SETS[args.set_name]()
     else:
@@ -107,8 +109,13 @@ def main(argv=None) -> int:
     try:
         with tempfile.TemporaryDirectory(prefix="bench-serial-") as cache_dir:
             serial = timed_run(configs, 1, cache_dir)
-        with tempfile.TemporaryDirectory(prefix="bench-parallel-") as cache_dir:
-            parallel = timed_run(configs, jobs, cache_dir)
+        if jobs <= 1:
+            # the executor falls back to the exact serial path at jobs=1,
+            # so a second timed run would only measure re-run noise
+            parallel = dict(serial, jobs=jobs, serial_fallback=True)
+        else:
+            with tempfile.TemporaryDirectory(prefix="bench-parallel-") as cache_dir:
+                parallel = timed_run(configs, jobs, cache_dir)
     finally:
         if saved_cache is None:
             os.environ.pop("REPRO_CACHE_DIR", None)

@@ -15,6 +15,16 @@ Deliberate declassification (e.g. FO-transform outcomes that the
 protocol reveals anyway) goes through
 :func:`repro.crypto.constanttime.declassify`, which this checker treats
 as a sanitizer — grep for callers to audit every such decision.
+
+``repro.crypto.kernels`` is checked in *strict* mode: every function
+parameter is seeded as tainted, whatever its name. Kernels are generic
+data-plane code (a polynomial, a table index, a block) whose inputs are
+secret whenever their caller's inputs are, so name-based seeding would
+systematically under-taint them. The kernels trade timing uniformity
+for speed on purpose — Python erases it anyway, and the simulated clock
+never reads the host clock — so each table lookup or data-dependent
+branch carries an explicit ``pqtls: allow[CT00x]`` pragma at the use
+site, which keeps every such decision greppable and reviewed.
 """
 
 from __future__ import annotations
@@ -42,6 +52,9 @@ _SANITIZERS = {"len", "declassify", "type", "isinstance", "id"}
 
 _SCOPES = ("repro.crypto", "repro.pqc")
 
+# Modules where *every* parameter seeds taint (see module docstring).
+_STRICT_SCOPES = ("repro.crypto.kernels",)
+
 
 def _is_secret_name(name: str) -> bool:
     return bool(_SECRET_NAME_RE.search(name))
@@ -59,11 +72,13 @@ def _call_name(node: ast.Call) -> str:
 class _FunctionTaint:
     """One function's forward taint pass (iterated to a fixpoint)."""
 
-    def __init__(self, func: ast.FunctionDef):
+    def __init__(self, func: ast.FunctionDef, strict: bool = False):
         self.func = func
         self.tainted: dict[str, str] = {}   # name -> origin description
         for arg in [*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs]:
-            if _is_secret_name(arg.arg):
+            if strict and arg.arg not in ("self", "cls"):
+                self.tainted[arg.arg] = f"parameter {arg.arg!r} (strict kernel scope)"
+            elif _is_secret_name(arg.arg):
                 self.tainted[arg.arg] = f"parameter {arg.arg!r}"
 
     # -- expression taint ---------------------------------------------------
@@ -154,12 +169,15 @@ class ConstantTimeChecker(Checker):
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         if not any(ctx.module == s or ctx.module.startswith(s + ".") for s in _SCOPES):
             return
+        strict = any(ctx.module == s or ctx.module.startswith(s + ".")
+                     for s in _STRICT_SCOPES)
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._check_function(ctx, node)
+                yield from self._check_function(ctx, node, strict)
 
-    def _check_function(self, ctx: FileContext, func: ast.FunctionDef) -> Iterator[Finding]:
-        taint = _FunctionTaint(func)
+    def _check_function(self, ctx: FileContext, func: ast.FunctionDef,
+                        strict: bool = False) -> Iterator[Finding]:
+        taint = _FunctionTaint(func, strict=strict)
         taint.solve()
         if not taint.tainted:
             return

@@ -10,7 +10,11 @@ from io import StringIO
 from pathlib import Path
 
 # `# pqtls: allow[CT001]` or `# pqtls: allow[CT001,DET002]`; a pragma on a
-# line of its own applies to the next statement line.
+# line of its own applies to the next statement line (skipping any further
+# comment lines, so a pragma may head a multi-line justification). A pragma
+# that lands on the first line of a multi-line *simple* statement is widened
+# to the whole statement span (see FileContext.load) — findings anchor on
+# the AST node, which may sit on a continuation line.
 _PRAGMA_RE = re.compile(r"#\s*pqtls:\s*allow\[([A-Z]+\d*(?:\s*,\s*[A-Z]+\d*)*)\]")
 
 
@@ -34,11 +38,40 @@ def parse_pragmas(source: str) -> dict[int, set[str]]:
         codes = {code.strip() for code in match.group(1).split(",")}
         line = tok.start[0]
         allowed.setdefault(line, set()).update(codes)
-        # a standalone pragma comment covers the following line
-        stripped = source.splitlines()[line - 1].lstrip()
-        if stripped.startswith("#"):
-            allowed.setdefault(line + 1, set()).update(codes)
+        # a standalone pragma comment covers the next *code* line, so a
+        # pragma may open a multi-line comment explaining the allowance
+        lines = source.splitlines()
+        if lines[line - 1].lstrip().startswith("#"):
+            target = line + 1
+            while target <= len(lines) and lines[target - 1].lstrip().startswith("#"):
+                target += 1
+            allowed.setdefault(target, set()).update(codes)
     return allowed
+
+
+def _widen_pragmas(tree: ast.Module, pragmas: dict[int, set[str]]) -> None:
+    """Extend first-line pragmas over their statement's whole line span.
+
+    Simple statements (assignments, returns, expression statements) are
+    covered in full. Compound statements extend only over their header —
+    the ``if``/``while`` test or ``for`` iterable — never the body, so a
+    pragma can't silently blanket a whole block.
+    """
+    for node in ast.walk(tree):
+        codes = pragmas.get(getattr(node, "lineno", -1))
+        if not codes or not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, (ast.If, ast.While)):
+            end = node.test.end_lineno
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            end = node.iter.end_lineno
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                               ast.With, ast.AsyncWith, ast.Try, ast.Match)):
+            continue
+        else:
+            end = node.end_lineno
+        for line in range(node.lineno + 1, (end or node.lineno) + 1):
+            pragmas.setdefault(line, set()).update(codes)
 
 
 def module_name_for(path: Path) -> str:
@@ -76,13 +109,15 @@ class FileContext:
             relpath = path.resolve().relative_to(project_root.resolve()).as_posix()
         except ValueError:
             relpath = path.as_posix()
+        pragmas = parse_pragmas(source)
+        _widen_pragmas(tree, pragmas)
         return cls(
             path=path,
             relpath=relpath,
             module=module_name_for(path),
             source=source,
             tree=tree,
-            pragmas=parse_pragmas(source),
+            pragmas=pragmas,
             parents=parents,
         )
 

@@ -55,6 +55,17 @@ def _key_path(kind: str, key: str) -> Path:
     return sub / f"{digest}.pkl"
 
 
+def contains(kind: str, key: str) -> bool:
+    """Counter-neutral existence probe (no hit/miss accounting).
+
+    The campaign executor partitions hits from misses with this before
+    deciding whether a pool is worth spawning; the miss itself is only
+    counted by whoever eventually :func:`load`-s and records, so the
+    counters come out identical to a serial run.
+    """
+    return _key_path(kind, key).exists()
+
+
 def load(kind: str, key: str):
     path = _key_path(kind, key)
     if not path.exists():

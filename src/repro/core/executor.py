@@ -60,6 +60,15 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 # RSA prime search is ~cubic in the modulus, Falcon's NTRU solving ~quartic
 # in the key size, hash-based signing linear in the signature (each wire
 # byte is bought with a fixed number of hash calls).
+#
+# Coefficients are calibrated against measured cold-record times with the
+# default fast kernels (PQTLS_KERNELS=fast; see benchmarks/bench_crypto.py)
+# and the primorial-screened prime search in repro.crypto.modmath:
+# dilithium2 0.14 s, rsa:2048 ~1.2 s, falcon512 2.24 s, sphincs128 11.5 s,
+# hqc/bike within noise of the lattice KEMs. RSA recording varies ~2x run
+# to run with prime-search luck, so its coefficient targets the middle of
+# that band. Under PQTLS_KERNELS=ref the absolute numbers grow but the
+# family order — and so the LPT schedule — is unchanged.
 # ---------------------------------------------------------------------------
 
 _WIRE_BYTES_PER_SEGMENT = 1200.0   # rough payload per simulated TCP segment
@@ -88,18 +97,19 @@ def record_cost(kem_name: str, sig_name: str) -> float:
     for sig in _sig_components(get_sig(sig_name)):
         name = sig.name
         if name.startswith("rsa"):
-            cost += 2.5 * (sig.signature_bytes / 256.0) ** 3
+            cost += 1.5 * (sig.signature_bytes / 256.0) ** 3
         elif name.startswith("falcon"):
             cost += 2.3 * (sig.public_key_bytes / 897.0) ** 4
         elif name.startswith("sphincs"):
-            cost += 8.5 * (sig.signature_bytes / 17088.0)
+            # recording pays ~2 signatures (CA chain + CertificateVerify)
+            cost += 11.4 * (sig.signature_bytes / 17088.0)
         else:  # lattice / ECDSA: milliseconds, wire size as tiebreaker
             cost += (sig.signature_bytes + sig.public_key_bytes) / 1e6
     for kem in _kem_components(get_kem(kem_name)):
-        material = kem.public_key_bytes + kem.ciphertext_bytes
-        # code-based decapsulation (iterative decoders) is the slow family
-        weight = 4e-4 if kem.name.startswith(("bike", "hqc")) else 4e-6
-        cost += weight * material
+        # all KEM families record in milliseconds now that the code-based
+        # decoders run on the table-driven GF(256) kernel; wire volume is
+        # a good enough tiebreaker
+        cost += 4e-6 * (kem.public_key_bytes + kem.ciphertext_bytes)
     return cost
 
 
@@ -189,11 +199,19 @@ def _worker_run(config: ExperimentConfig, trace: bool = False):
 # ---------------------------------------------------------------------------
 
 def resolve_jobs(jobs: int | None) -> int:
+    """Effective worker count: requested jobs, clamped to the core count.
+
+    Campaign work is CPU-bound, so oversubscribing cores only adds spawn
+    and context-switch overhead; on a 1-core runner the clamp routes
+    ``jobs=2`` straight to the exact serial path (the PR 3 pool measured
+    speedup < 1 there).
+    """
+    cpus = os.cpu_count() or 1
     if jobs is None:
-        return os.cpu_count() or 1
+        return cpus
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs!r}")
-    return jobs
+    return min(jobs, cpus)
 
 
 def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
@@ -203,7 +221,10 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
     """Run a list of experiments, fanning cache misses over ``jobs`` workers.
 
     ``jobs=None`` means one worker per CPU; ``jobs=1`` is the exact serial
-    path (no pool, no spawn). Results are keyed by config key and merged
+    path (no pool, no spawn). Requested jobs are clamped to the core
+    count, and sets with fewer than two expected cache misses run
+    serially too — both guards keep the pool from ever losing to the
+    serial path on small machines. Results are keyed by config key and merged
     in the original config order, so metrics/trace aggregation is
     key-for-key identical to a serial run. If a worker raises, pending
     work is cancelled and the original exception propagates.
@@ -215,6 +236,7 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
     total = len(configs)
     if stats is None:
         stats = {}
+
     stats.update(jobs=jobs, experiments=total)
 
     if jobs == 1 or total <= 1:
@@ -242,7 +264,11 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
             continue  # duplicate within the set: one run serves all
         seen.add(config.key)
         if config.key != traced_key:
-            cached = cache.load("experiment", config.key)
+            # counter-neutral probe: the miss is counted exactly once, by
+            # whichever process (worker or inline parent) later loads and
+            # records — so cache counters match a serial run
+            cached = (cache.load("experiment", config.key)
+                      if cache.contains("experiment", config.key) else None)
             if cached is not None:
                 resolved[config.key] = cached
                 if progress is not None:
@@ -257,6 +283,18 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
 
     # -- dispatch ------------------------------------------------------------
     trace_records = None
+    if len(ordered) < 2:
+        # A pool only pays for itself when two misses can actually run
+        # concurrently; for a single miss the spawn + pickle overhead is
+        # pure regression (PR 3 measured speedup < 1 in exactly this
+        # shape), so run it inline in the parent instead.
+        for config in ordered:
+            hs_tracer = tracer if config.key == traced_key else NULL_TRACER
+            resolved[config.key] = run_experiment(config, tracer=hs_tracer)
+            if progress is not None:
+                progress(set_name, done, total, config)
+            done += 1
+        ordered = []
     if ordered:
         context = multiprocessing.get_context("spawn")
         workers = min(jobs, len(ordered))
@@ -273,11 +311,10 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
                     if records is not None:
                         trace_records = records
                     for name, value in cache_counters.items():
-                        # the parent already counted these misses while
-                        # partitioning; everything else (script/creds
-                        # traffic, stores) happened only in the worker
-                        if name != "cache.experiment.miss":
-                            cache.metrics.inc(name, value)
+                        # all of this task's cache traffic (including its
+                        # experiment miss — the parent's partition probe
+                        # is counter-neutral) happened only in the worker
+                        cache.metrics.inc(name, value)
                     if progress is not None:
                         progress(set_name, done, total, futures[future])
                     done += 1

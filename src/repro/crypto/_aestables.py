@@ -1,0 +1,79 @@
+"""AES lookup tables shared by the reference cipher and the fast kernels.
+
+A leaf module with no intra-package imports: both ``repro.crypto.aes``
+(reference implementation) and ``repro.crypto.kernels.aes`` /
+``repro.crypto.kernels.haraka`` (fast twins) read these tables, and
+keeping the constants here means neither side ever has to import the
+other, which would be circular (the reference modules import the kernels
+package at the bottom of their files to register ref/fast bindings).
+
+The S-box is derived programmatically from the GF(2^8) inverse + affine
+transform rather than pasted as constants; the T-tables fold SubBytes +
+MixColumns into four 256-entry 32-bit tables (the classic Rijndael
+formulation, the fastest portable pure-Python shape).
+"""
+
+from __future__ import annotations
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    # Multiplicative inverses via exponentiation by generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    sbox = [0] * 256
+    for byte in range(256):
+        inverse = 0 if byte == 0 else exp[(255 - log[byte]) % 255]
+        result = 0
+        for bit in range(8):
+            result |= (
+                ((inverse >> bit)
+                 ^ (inverse >> ((bit + 4) % 8))
+                 ^ (inverse >> ((bit + 5) % 8))
+                 ^ (inverse >> ((bit + 6) % 8))
+                 ^ (inverse >> ((bit + 7) % 8))
+                 ^ (0x63 >> bit)) & 1
+            ) << bit
+        sbox[byte] = result
+    inv_sbox = [0] * 256
+    for byte, substituted in enumerate(sbox):
+        inv_sbox[substituted] = byte
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+# T-tables: TE0[b] = MixColumn of column (S[b], S[b], S[b], S[b]) pattern.
+TE0 = []
+for _b in range(256):
+    _s = SBOX[_b]
+    _s2 = _xtime(_s)
+    _s3 = _s2 ^ _s
+    TE0.append((_s2 << 24) | (_s << 16) | (_s << 8) | _s3)
+TE1 = [((t >> 8) | ((t & 0xFF) << 24)) & 0xFFFFFFFF for t in TE0]
+TE2 = [((t >> 16) | ((t & 0xFFFF) << 16)) & 0xFFFFFFFF for t in TE0]
+TE3 = [((t >> 24) | ((t & 0xFFFFFF) << 8)) & 0xFFFFFFFF for t in TE0]
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80,
+        0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]

@@ -1,8 +1,11 @@
 """AES-128/192/256 from scratch (FIPS 197), plus CTR mode.
 
-The S-box is derived programmatically from the GF(2^8) inverse + affine
-transform rather than pasted as constants, and encryption uses the classic
-32-bit T-table formulation, the fastest portable pure-Python shape.
+The S-box and T-tables are derived programmatically in
+``repro.crypto._aestables``. The reference ``encrypt_block`` here walks
+the FIPS 197 state array transform by transform (SubBytes, ShiftRows,
+MixColumns, AddRoundKey) so it reads like the spec; the fast twin in
+``repro.crypto.kernels.aes`` is the 32-bit T-table formulation. Both are
+byte-for-byte equivalent; ``PQTLS_KERNELS`` picks the active one.
 
 Only the forward cipher is implemented: every mode this repository needs
 (CTR for Kyber-90s/Dilithium-AES XOFs, GCM for TLS records, Haraka's AES
@@ -11,67 +14,14 @@ rounds) runs the block cipher forward.
 
 from __future__ import annotations
 
+import functools
+import sys
 
-def _xtime(value: int) -> int:
-    value <<= 1
-    if value & 0x100:
-        value ^= 0x11B
-    return value & 0xFF
+from repro.crypto._aestables import INV_SBOX, RCON as _RCON
+from repro.crypto._aestables import SBOX, TE0 as _TE0, TE1 as _TE1, TE2 as _TE2, TE3 as _TE3
 
-
-def _gf_mul(a: int, b: int) -> int:
-    result = 0
-    while b:
-        if b & 1:
-            result ^= a
-        a = _xtime(a)
-        b >>= 1
-    return result
-
-
-def _build_sbox() -> tuple[list[int], list[int]]:
-    # Multiplicative inverses via exponentiation by generator 3.
-    exp = [0] * 256
-    log = [0] * 256
-    value = 1
-    for i in range(255):
-        exp[i] = value
-        log[value] = i
-        value = _gf_mul(value, 3)
-    sbox = [0] * 256
-    for byte in range(256):
-        inverse = 0 if byte == 0 else exp[(255 - log[byte]) % 255]
-        result = 0
-        for bit in range(8):
-            result |= (
-                ((inverse >> bit)
-                 ^ (inverse >> ((bit + 4) % 8))
-                 ^ (inverse >> ((bit + 5) % 8))
-                 ^ (inverse >> ((bit + 6) % 8))
-                 ^ (inverse >> ((bit + 7) % 8))
-                 ^ (0x63 >> bit)) & 1
-            ) << bit
-        sbox[byte] = result
-    inv_sbox = [0] * 256
-    for byte, substituted in enumerate(sbox):
-        inv_sbox[substituted] = byte
-    return sbox, inv_sbox
-
-
-SBOX, INV_SBOX = _build_sbox()
-
-# T-tables: TE0[b] = MixColumn of column (S[b], S[b], S[b], S[b]) pattern.
-_TE0 = []
-for _b in range(256):
-    _s = SBOX[_b]
-    _s2 = _xtime(_s)
-    _s3 = _s2 ^ _s
-    _TE0.append((_s2 << 24) | (_s << 16) | (_s << 8) | _s3)
-_TE1 = [((t >> 8) | ((t & 0xFF) << 24)) & 0xFFFFFFFF for t in _TE0]
-_TE2 = [((t >> 16) | ((t & 0xFFFF) << 16)) & 0xFFFFFFFF for t in _TE0]
-_TE3 = [((t >> 24) | ((t & 0xFFFFFF) << 8)) & 0xFFFFFFFF for t in _TE0]
-
-_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+__all__ = ["AES", "INV_SBOX", "SBOX", "CtrBlockSource", "aes_round",
+           "aes_ctr_keystream", "aes_ctr_xor", "cached_cipher"]
 
 
 class AES:
@@ -108,38 +58,59 @@ class AES:
             words.append(words[i - nk] ^ temp)
         return words
 
-    def encrypt_block(self, block: bytes) -> bytes:
+    def _encrypt_block_ref(self, block: bytes) -> bytes:
+        """FIPS 197 reference cipher: explicit per-transform state walk.
+
+        The state is 16 bytes in column-major order (``state[4c + r]`` is
+        row *r* of column *c*), exactly the spec's layout. This is the
+        correctness oracle for the T-table kernel.
+        """
         if len(block) != 16:
             raise ValueError("AES block must be 16 bytes")
         rk = self._round_keys
-        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
-        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
-        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
-        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
-        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
-        k = 4
-        for _ in range(self.rounds - 1):
-            t0 = (te0[(s0 >> 24) & 0xFF] ^ te1[(s1 >> 16) & 0xFF]
-                  ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ rk[k])
-            t1 = (te0[(s1 >> 24) & 0xFF] ^ te1[(s2 >> 16) & 0xFF]
-                  ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ rk[k + 1])
-            t2 = (te0[(s2 >> 24) & 0xFF] ^ te1[(s3 >> 16) & 0xFF]
-                  ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ rk[k + 2])
-            t3 = (te0[(s3 >> 24) & 0xFF] ^ te1[(s0 >> 16) & 0xFF]
-                  ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ rk[k + 3])
-            s0, s1, s2, s3 = t0, t1, t2, t3
-            k += 4
-        sbox = SBOX
-        out0 = ((sbox[(s0 >> 24) & 0xFF] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
-                | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ rk[k]
-        out1 = ((sbox[(s1 >> 24) & 0xFF] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
-                | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ rk[k + 1]
-        out2 = ((sbox[(s2 >> 24) & 0xFF] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
-                | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ rk[k + 2]
-        out3 = ((sbox[(s3 >> 24) & 0xFF] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
-                | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ rk[k + 3]
-        return (out0.to_bytes(4, "big") + out1.to_bytes(4, "big")
-                + out2.to_bytes(4, "big") + out3.to_bytes(4, "big"))
+
+        def add_round_key(state: list[int], round_index: int) -> list[int]:
+            out = []
+            for c in range(4):
+                word = rk[4 * round_index + c]
+                out += [state[4 * c] ^ (word >> 24) & 0xFF,
+                        state[4 * c + 1] ^ (word >> 16) & 0xFF,
+                        state[4 * c + 2] ^ (word >> 8) & 0xFF,
+                        state[4 * c + 3] ^ word & 0xFF]
+            return out
+
+        def shift_rows(state: list[int]) -> list[int]:
+            # Row r rotates left by r: new column c takes row r's byte
+            # from column (c + r) mod 4.
+            return [state[4 * ((c + r) % 4) + r] for c in range(4) for r in range(4)]
+
+        def mix_columns(state: list[int]) -> list[int]:
+            out = []
+            for c in range(4):
+                a0, a1, a2, a3 = state[4 * c: 4 * c + 4]
+                out += [_xtime(a0) ^ _xtime(a1) ^ a1 ^ a2 ^ a3,
+                        a0 ^ _xtime(a1) ^ _xtime(a2) ^ a2 ^ a3,
+                        a0 ^ a1 ^ _xtime(a2) ^ _xtime(a3) ^ a3,
+                        _xtime(a0) ^ a0 ^ a1 ^ a2 ^ _xtime(a3)]
+            return out
+
+        state = add_round_key(list(block), 0)
+        for round_index in range(1, self.rounds):
+            state = [SBOX[b] for b in state]
+            state = shift_rows(state)
+            state = mix_columns(state)
+            state = add_round_key(state, round_index)
+        state = [SBOX[b] for b in state]
+        state = shift_rows(state)
+        state = add_round_key(state, self.rounds)
+        return bytes(state)
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
 
 
 def aes_round(state: bytes, round_key: bytes) -> bytes:
@@ -160,6 +131,17 @@ def aes_round(state: bytes, round_key: bytes) -> bytes:
     return b"".join(col.to_bytes(4, "big") for col in cols)
 
 
+@functools.lru_cache(maxsize=256)
+def cached_cipher(key: bytes) -> AES:
+    """A memoized AES instance: skips re-running the key schedule.
+
+    AES objects are immutable after construction, so sharing one per key
+    is safe; the Kyber-90s XOF/PRF and GCM record layer hit the same few
+    keys thousands of times per handshake.
+    """
+    return AES(key)
+
+
 def aes_ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     """AES-CTR keystream with a 12-byte nonce and 32-bit big-endian counter."""
     if len(nonce) != 12:
@@ -173,7 +155,52 @@ def aes_ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     return b"".join(blocks)[:length]
 
 
+def _aes_ctr_keystream_fast(key: bytes, nonce: bytes, length: int) -> bytes:
+    if len(nonce) != 12:
+        raise ValueError("CTR nonce must be 12 bytes")
+    encrypt = cached_cipher(key).encrypt_block
+    return b"".join(
+        encrypt(nonce + counter.to_bytes(4, "big"))
+        for counter in range((length + 15) // 16))[:length]
+
+
+class CtrBlockSource:
+    """Incremental AES-CTR XOF: ``source(ctr)`` is chunk *ctr* of the stream.
+
+    Byte-identical to ``aes_ctr_keystream(key, nonce, chunk * (ctr + 1))
+    [chunk * ctr:]`` — the shape the Kyber-90s XOF needs — but each call
+    encrypts only the blocks overlapping its chunk instead of restarting
+    the keystream from counter zero.
+    """
+
+    def __init__(self, key: bytes, nonce: bytes, chunk: int = 168):
+        if len(nonce) != 12:
+            raise ValueError("CTR nonce must be 12 bytes")
+        self._encrypt = cached_cipher(key).encrypt_block
+        self._nonce = nonce
+        self._chunk = chunk
+
+    def __call__(self, ctr: int) -> bytes:
+        start = self._chunk * ctr
+        first = start // 16
+        last = -(-(start + self._chunk) // 16)
+        nonce = self._nonce
+        stream = b"".join(self._encrypt(nonce + i.to_bytes(4, "big"))
+                          for i in range(first, last))
+        offset = start - 16 * first
+        return stream[offset:offset + self._chunk]
+
+
 def aes_ctr_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
     """Encrypt/decrypt *data* under AES-CTR (the operation is an involution)."""
     stream = aes_ctr_keystream(key, nonce, len(data))
     return bytes(a ^ b for a, b in zip(data, stream))
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import aes as _fast  # noqa: E402
+
+_kernels.bind(AES, "encrypt_block",
+              ref=AES._encrypt_block_ref, fast=_fast.encrypt_block)
+_kernels.bind(sys.modules[__name__], "aes_ctr_keystream",
+              ref=aes_ctr_keystream, fast=_aes_ctr_keystream_fast)

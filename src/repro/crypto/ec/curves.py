@@ -3,6 +3,11 @@
 These back three roles in the paper's algorithm matrix: the classical ECDH
 key agreements (p256/p384/p521 TLS groups), the classical halves of every
 hybrid (``p256_kyber512`` ...), and ECDSA handshake signatures.
+
+``PQTLS_KERNELS=fast`` (default) swaps ``Curve.scalar_mult`` for the
+windowed kernel in ``repro.crypto.kernels.ec`` (fixed-base comb for the
+generator, wNAF for arbitrary points); the bit-by-bit double-and-add
+below stays as the reference twin.
 """
 
 from __future__ import annotations
@@ -94,7 +99,7 @@ class Curve:
         nz = h * z1 * z2 % p
         return nx, ny, nz
 
-    def scalar_mult(self, k: int, point: Point | None = None) -> Point:
+    def _scalar_mult_ref(self, k: int, point: Point | None = None) -> Point:
         """Compute ``k * point`` (default: the generator)."""
         if point is None:
             point = self.g
@@ -180,3 +185,10 @@ P521 = Curve(
 )
 
 CURVES = {"p256": P256, "p384": P384, "p521": P521}
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import ec as _fast  # noqa: E402
+
+_kernels.bind(Curve, "scalar_mult",
+              ref=Curve._scalar_mult_ref, fast=_fast.scalar_mult)

@@ -1,11 +1,15 @@
 """AES-GCM AEAD (NIST SP 800-38D) for TLS 1.3 record protection.
 
-GHASH is implemented over GF(2^128) with the reflected reduction polynomial
-``x^128 + x^7 + x^2 + x + 1`` using a bit-serial carry-less multiply —
-simple, obviously correct, and fast enough for handshake-sized records.
+The reference GHASH is implemented over GF(2^128) with the reflected
+reduction polynomial ``x^128 + x^7 + x^2 + x + 1`` using a bit-serial
+carry-less multiply — simple and obviously correct. The fast twin in
+``repro.crypto.kernels.gcm`` replaces it with per-key byte tables
+(``PQTLS_KERNELS`` selects; outputs are byte-identical).
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.crypto.aes import AES
 
@@ -57,7 +61,7 @@ class AesGcm:
         self._aes = AES(key)
         self._h = self._aes.encrypt_block(b"\x00" * 16)
 
-    def _ctr(self, initial: bytes, data: bytes) -> bytes:
+    def _ctr_ref(self, initial: bytes, data: bytes) -> bytes:
         out = bytearray()
         counter_block = initial
         for i in range(0, len(data), 16):
@@ -66,6 +70,21 @@ class AesGcm:
             chunk = data[i: i + 16]
             out.extend(a ^ b for a, b in zip(chunk, keystream))
         return bytes(out)
+
+    def _ctr_fast(self, initial: bytes, data: bytes) -> bytes:
+        # Same keystream, but XORed in one bigint operation instead of a
+        # per-byte generator.
+        if not data:
+            return b""
+        encrypt = self._aes.encrypt_block
+        counter_block = initial
+        blocks = []
+        for _ in range((len(data) + 15) // 16):
+            counter_block = _inc32(counter_block)
+            blocks.append(encrypt(counter_block))
+        stream = b"".join(blocks)[:len(data)]
+        xored = int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+        return xored.to_bytes(len(data), "big")
 
     def _tag(self, j0: bytes, aad: bytes, ciphertext: bytes) -> bytes:
         ghash = _Ghash(self._h)
@@ -101,3 +120,10 @@ class AesGcm:
         if diff:
             raise ValueError("GCM tag verification failed")
         return self._ctr(j0, ciphertext)
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import gcm as _fast  # noqa: E402
+
+_kernels.bind(sys.modules[__name__], "_Ghash", ref=_Ghash, fast=_fast.Ghash)
+_kernels.bind(AesGcm, "_ctr", ref=AesGcm._ctr_ref, fast=AesGcm._ctr_fast)

@@ -12,6 +12,9 @@ expansion into the round constants; :class:`HarakaKeyed` provides that.
 
 from __future__ import annotations
 
+import functools
+import sys
+
 from repro.crypto.aes import aes_round
 
 # The Haraka v2 reference derives its 40 sixteen-byte round constants from
@@ -27,9 +30,11 @@ RC = [_RC_STREAM[16 * i: 16 * (i + 1)] for i in range(40)]
 
 _ZERO16 = b"\x00" * 16
 
-# Word-level fast path: states are lists of big-endian 32-bit column words
-# (4 words per 16-byte AES block), permuted with the T-tables from aes.py.
-from repro.crypto.aes import _TE0 as _T0, _TE1 as _T1, _TE2 as _T2, _TE3 as _T3
+# Word-level reference path: states are lists of big-endian 32-bit column
+# words (4 words per 16-byte AES block), permuted with the shared T-tables.
+# The fast twin (repro.crypto.kernels.haraka) compiles each round-constant
+# set into a fully unrolled straight-line permutation instead.
+from repro.crypto._aestables import TE0 as _T0, TE1 as _T1, TE2 as _T2, TE3 as _T3
 
 
 def _words(data: bytes) -> list[int]:
@@ -89,7 +94,7 @@ class Haraka:
         # Flattened word-form round constants for the fast path.
         self._rcw = _words(b"".join(self._rc[:40]))
 
-    def haraka256(self, data: bytes) -> bytes:
+    def _haraka256_ref(self, data: bytes) -> bytes:
         """32-byte → 32-byte Haraka-256 (permutation + feed-forward)."""
         if len(data) != 32:
             raise ValueError("Haraka-256 input must be 32 bytes")
@@ -105,7 +110,7 @@ class Haraka:
         out = _bytes_from_words(s)
         return bytes(a ^ b for a, b in zip(out, data))
 
-    def haraka512_perm(self, data: bytes) -> bytes:
+    def _haraka512_perm_ref(self, data: bytes) -> bytes:
         """The raw 64-byte Haraka-512 permutation (no feed-forward)."""
         if len(data) != 64:
             raise ValueError("Haraka-512 input must be 64 bytes")
@@ -124,7 +129,7 @@ class Haraka:
             s = [s[i] for i in _MIX512_ORDER]
         return _bytes_from_words(s)
 
-    def haraka512(self, data: bytes) -> bytes:
+    def _haraka512_ref(self, data: bytes) -> bytes:
         """64-byte → 32-byte Haraka-512 (permutation, feed-forward, truncation)."""
         permuted = self.haraka512_perm(data)
         mixed = bytes(a ^ b for a, b in zip(permuted, data))
@@ -134,7 +139,45 @@ class Haraka:
         keep = [2, 3, 6, 7, 8, 9, 12, 13]
         return b"".join(words[i] for i in keep)
 
-    def haraka_sponge(self, data: bytes, outlen: int) -> bytes:
+    def _haraka256_fast(self, data: bytes) -> bytes:
+        if len(data) != 32:
+            raise ValueError("Haraka-256 input must be 32 bytes")
+        perm256, _ = _fast.perms_for(self)
+        mixed = int.from_bytes(perm256(data), "big") ^ int.from_bytes(data, "big")
+        return mixed.to_bytes(32, "big")
+
+    def _haraka512_perm_fast(self, data: bytes) -> bytes:
+        if len(data) != 64:
+            raise ValueError("Haraka-512 input must be 64 bytes")
+        return _fast.perms_for(self)[1](data)
+
+    def _haraka512_fast(self, data: bytes) -> bytes:
+        if len(data) != 64:
+            raise ValueError("Haraka-512 input must be 64 bytes")
+        permuted = _fast.perms_for(self)[1](data)
+        mixed = int.from_bytes(permuted, "big") ^ int.from_bytes(data, "big")
+        out = mixed.to_bytes(64, "big")
+        # words 2,3 | 6,7,8,9 | 12,13 of the feed-forward result
+        return out[8:16] + out[24:40] + out[48:56]
+
+    def _haraka_sponge_fast(self, data: bytes, outlen: int) -> bytes:
+        perm512 = _fast.perms_for(self)[1]
+        rate = 32
+        padded = data + b"\x1f"
+        padded += b"\x00" * ((-len(padded)) % rate)
+        padded = padded[:-1] + bytes([padded[-1] | 0x80])
+        state = b"\x00" * 64
+        for i in range(0, len(padded), rate):
+            block = padded[i: i + rate]
+            head = int.from_bytes(block, "big") ^ int.from_bytes(state[:rate], "big")
+            state = perm512(head.to_bytes(rate, "big") + state[rate:])
+        out = state[:rate]
+        while len(out) < outlen:
+            state = perm512(state)
+            out += state[:rate]
+        return out[:outlen]
+
+    def _haraka_sponge_ref(self, data: bytes, outlen: int) -> bytes:
         """HarakaS: a sponge over the 512-bit permutation, rate 32 bytes.
 
         SPHINCS+ uses this for variable-length hashing (H_msg, PRF_msg).
@@ -168,7 +211,7 @@ def haraka512(data: bytes) -> bytes:
     return _DEFAULT.haraka512(data)
 
 
-def haraka_keyed(pub_seed: bytes) -> Haraka:
+def _haraka_keyed_ref(pub_seed: bytes) -> Haraka:
     """Haraka instance with round constants keyed by the SPHINCS+ public seed.
 
     Per the SPHINCS+ spec, the constants become ``HarakaS(pub_seed, 640)``
@@ -176,3 +219,24 @@ def haraka_keyed(pub_seed: bytes) -> Haraka:
     """
     stream = _DEFAULT.haraka_sponge(pub_seed, 40 * 16)
     return Haraka([stream[16 * i: 16 * (i + 1)] for i in range(40)])
+
+
+# The fast path memoizes the keyed instance per public seed: a SPHINCS+
+# signature makes thousands of backend calls against the same pub_seed,
+# and each Haraka instance also carries its compiled permutations.
+_haraka_keyed_fast = functools.lru_cache(maxsize=128)(_haraka_keyed_ref)
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import haraka as _fast  # noqa: E402
+
+_kernels.bind(Haraka, "haraka256",
+              ref=Haraka._haraka256_ref, fast=Haraka._haraka256_fast)
+_kernels.bind(Haraka, "haraka512_perm",
+              ref=Haraka._haraka512_perm_ref, fast=Haraka._haraka512_perm_fast)
+_kernels.bind(Haraka, "haraka512",
+              ref=Haraka._haraka512_ref, fast=Haraka._haraka512_fast)
+_kernels.bind(Haraka, "haraka_sponge",
+              ref=Haraka._haraka_sponge_ref, fast=Haraka._haraka_sponge_fast)
+_kernels.bind(sys.modules[__name__], "haraka_keyed",
+              ref=_haraka_keyed_ref, fast=_haraka_keyed_fast)

@@ -1,0 +1,58 @@
+"""Fast AES block encryption: the 32-bit T-table formulation.
+
+Four 256-entry tables fold SubBytes, ShiftRows and MixColumns into one
+XOR chain per column per round — the classic Rijndael software shape.
+The reference twin in ``repro.crypto.aes`` walks the FIPS 197 state
+array byte by byte; this kernel is ~10x fewer Python operations per
+block. Table indices depend on key and plaintext bytes, so this path is
+deliberately not constant-time: simulated handshake latencies come from
+the calibrated cost model, never from host wall clock (see DESIGN.md
+"Fast kernels").
+"""
+
+from __future__ import annotations
+
+from repro.crypto._aestables import SBOX, TE0, TE1, TE2, TE3
+
+
+def encrypt_block(self, block: bytes) -> bytes:
+    """T-table AES forward cipher; drop-in for ``AES.encrypt_block``."""
+    if len(block) != 16:
+        raise ValueError("AES block must be 16 bytes")
+    rk = self._round_keys
+    s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+    s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+    s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+    s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+    te0, te1, te2, te3 = TE0, TE1, TE2, TE3
+    k = 4
+    for _ in range(self.rounds - 1):
+        # pqtls: allow[CT003] — data-dependent T-table lookups by design
+        t0 = (te0[(s0 >> 24) & 0xFF] ^ te1[(s1 >> 16) & 0xFF]
+              ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ rk[k])
+        # pqtls: allow[CT003]
+        t1 = (te0[(s1 >> 24) & 0xFF] ^ te1[(s2 >> 16) & 0xFF]
+              ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ rk[k + 1])
+        # pqtls: allow[CT003]
+        t2 = (te0[(s2 >> 24) & 0xFF] ^ te1[(s3 >> 16) & 0xFF]
+              ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ rk[k + 2])
+        # pqtls: allow[CT003]
+        t3 = (te0[(s3 >> 24) & 0xFF] ^ te1[(s0 >> 16) & 0xFF]
+              ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ rk[k + 3])
+        s0, s1, s2, s3 = t0, t1, t2, t3
+        k += 4
+    sbox = SBOX
+    # pqtls: allow[CT003] — final round S-box lookups
+    out0 = ((sbox[(s0 >> 24) & 0xFF] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+            | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ rk[k]
+    # pqtls: allow[CT003]
+    out1 = ((sbox[(s1 >> 24) & 0xFF] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+            | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ rk[k + 1]
+    # pqtls: allow[CT003]
+    out2 = ((sbox[(s2 >> 24) & 0xFF] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+            | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ rk[k + 2]
+    # pqtls: allow[CT003]
+    out3 = ((sbox[(s3 >> 24) & 0xFF] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+            | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ rk[k + 3]
+    return (out0.to_bytes(4, "big") + out1.to_bytes(4, "big")
+            + out2.to_bytes(4, "big") + out3.to_bytes(4, "big"))

@@ -1,0 +1,157 @@
+"""Windowed EC scalar multiplication kernels.
+
+Fast twin of ``Curve.scalar_mult``. Two strategies, both returning the
+same affine point as the reference double-and-add (affine coordinates
+are unique, so the result is byte-identical however it was computed):
+
+- **generator**: a lazily built 4-bit fixed-base comb — every 4-bit
+  window of the scalar indexes a precomputed affine table of
+  ``d * 16^w * G``, so the whole multiplication is ~64 mixed additions
+  and *zero* doublings (the reference pays 256 doublings + ~128 adds);
+- **arbitrary point**: width-5 wNAF over precomputed odd multiples
+  ``P, 3P, ..., 15P`` (negations are free: flip y), cutting the
+  additions from ~128 to ~43 while keeping the 256 doublings.
+
+The comb table is built once per curve (a few thousand Jacobian ops and
+one batched inversion) and cached on the curve instance, which the
+handful of module-level ``P256``/``P384``/``P521`` singletons amortise
+across every handshake.
+
+This module must not import ``repro.crypto.ec.curves`` (which imports
+it to register the binding): the curve's Jacobian helpers are reached
+through ``self`` and result points are rebuilt via ``type(point)``.
+
+Scalars are secret; like the reference's ``bin(k)`` walk, the window
+decompositions below branch and index on scalar bits — flagged lines
+carry ``pqtls: allow`` pragmas because host timing is outside the
+simulation's measurement path (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.modmath import invmod
+
+_COMB_BITS = 4
+_COMB_MASK = 15
+_WNAF_WIDTH = 5
+
+
+def _batch_to_affine(points: list[tuple[int, int, int]], p: int) -> list[tuple[int, int]]:
+    """Jacobian -> affine for a table, with one shared field inversion."""
+    prefix = [1]
+    for _, _, z in points:
+        prefix.append(prefix[-1] * z % p)
+    inv = invmod(prefix[-1], p)
+    out: list[tuple[int, int]] = [(0, 0)] * len(points)
+    for i in range(len(points) - 1, -1, -1):
+        x, y, z = points[i]
+        zinv = inv * prefix[i] % p
+        inv = inv * z % p
+        z2 = zinv * zinv % p
+        out[i] = (x * z2 % p, y * z2 % p * zinv % p)
+    return out
+
+
+def _comb_table(curve) -> list[tuple[int, int]]:
+    """Affine ``d * 16^w * G`` for d in 1..15, w in 0..windows-1.
+
+    Flat layout: entry ``15 * w + (d - 1)``. None of the entries can be
+    the point at infinity because n is prime and far exceeds 15.
+    """
+    table = curve.__dict__.get("_kernel_comb")
+    # pqtls: allow[CT001] — one-time table build over the public generator
+    if table is None:
+        windows = (curve.n.bit_length() + _COMB_BITS - 1) // _COMB_BITS
+        jac: list[tuple[int, int, int]] = []
+        bx, by, bz = curve.g.x, curve.g.y, 1
+        for _ in range(windows):  # pqtls: allow[CT002] — public group-order size
+            entries = [(bx, by, bz)]
+            for _ in range(14):
+                ex, ey, ez = entries[-1]
+                entries.append(curve._jac_add(ex, ey, ez, bx, by, bz))
+            jac.extend(entries)
+            # next window base: 16^{w+1} G = double(8 * 16^w G)
+            ex, ey, ez = entries[7]
+            bx, by, bz = curve._jac_double(ex, ey, ez)
+        table = _batch_to_affine(jac, curve.p)
+        curve._kernel_comb = table
+    return table
+
+
+def _comb_mult(curve, k: int) -> tuple[int, int, int]:
+    table = _comb_table(curve)
+    x, y, z = 0, 1, 0
+    base = -15
+    while k:  # pqtls: allow[CT001] — scalar-bit walk, as in the reference
+        base += 15
+        d = k & _COMB_MASK
+        k >>= _COMB_BITS
+        # pqtls: allow[CT001]
+        if d:
+            ax, ay = table[base + d - 1]  # pqtls: allow[CT003]
+            x, y, z = curve._jac_add(x, y, z, ax, ay, 1)
+    return x, y, z
+
+
+def _wnaf_digits(k: int, width: int) -> list[int]:
+    """Non-adjacent form with odd digits in ``(-2^(w-1), 2^(w-1))``."""
+    power = 1 << width
+    half = power >> 1
+    digits: list[int] = []
+    while k:  # pqtls: allow[CT001] — scalar recoding, branches on k bits
+        # pqtls: allow[CT001]
+        if k & 1:
+            d = k & (power - 1)
+            # pqtls: allow[CT001]
+            if d >= half:
+                d -= power
+            k -= d
+            digits.append(d)
+        else:
+            digits.append(0)
+        k >>= 1
+    return digits
+
+
+def _wnaf_mult(curve, k: int, point) -> tuple[int, int, int]:
+    p = curve.p
+    # odd multiples P, 3P, ..., 15P in Jacobian coordinates
+    dx, dy, dz = curve._jac_double(point.x, point.y, 1)
+    odd = [(point.x, point.y, 1)]
+    for _ in range(7):
+        ex, ey, ez = odd[-1]
+        odd.append(curve._jac_add(ex, ey, ez, dx, dy, dz))
+    x, y, z = 0, 1, 0
+    for d in reversed(_wnaf_digits(k, _WNAF_WIDTH)):
+        x, y, z = curve._jac_double(x, y, z)
+        # pqtls: allow[CT001] — digit-dependent add, as the reference's
+        # per-bit conditional add
+        if d:
+            ax, ay, az = odd[abs(d) >> 1]  # pqtls: allow[CT003]
+            # pqtls: allow[CT001]
+            if d < 0:
+                ay = p - ay
+            x, y, z = curve._jac_add(x, y, z, ax, ay, az)
+    return x, y, z
+
+
+def scalar_mult(self, k: int, point=None):
+    """Drop-in fast twin of ``Curve.scalar_mult`` (same affine result)."""
+    fixed_base = point is None or point is self.g
+    if point is None:  # pqtls: allow[CT001] — default-argument plumbing
+        point = self.g
+    k %= self.n
+    # pqtls: allow[CT001] — spec edge cases, mirrored from the reference
+    if k == 0 or point.is_infinity:
+        return type(point)(None, None)
+    # pqtls: allow[CT001] — dispatch on point *identity*, not coordinates
+    if fixed_base:
+        x, y, z = _comb_mult(self, k)
+    else:
+        x, y, z = _wnaf_mult(self, k, point)
+    if not z:  # pqtls: allow[CT001] — infinity check, as the reference
+        return type(point)(None, None)
+    p = self.p
+    zinv = invmod(z, p)
+    zinv2 = zinv * zinv % p
+    return type(point)(x * zinv2 % p, y * zinv2 % p * zinv % p)

@@ -1,0 +1,85 @@
+"""Fast GHASH: per-key byte-position tables (Shoup's 8-bit method).
+
+The reference ``_Ghash`` multiplies by H with a 128-iteration bit-serial
+loop per block. This kernel precomputes, once per hash key H, sixteen
+256-entry tables ``M[j][b] = (b << (8 * (15 - j))) * H`` in GF(2^128),
+so one block multiply becomes 16 table lookups XORed together — about
+an order of magnitude fewer Python operations. Tables are memoized per
+key (GCM re-derives the same H for every record of a connection).
+
+Table indices are ciphertext/AAD bytes, not long-term secrets, but the
+lookup pattern still leaks through host timing; that is an accepted
+trade everywhere in the kernels package — simulated latencies come from
+the calibrated cost model, not wall clock.
+"""
+
+from __future__ import annotations
+
+import functools
+
+# GHASH reduction constant: x^128 + x^7 + x^2 + x + 1, bit-reflected.
+_R = 0xE1000000000000000000000000000000
+
+
+@functools.lru_cache(maxsize=64)
+def _tables(h_bytes: bytes) -> tuple[tuple[int, ...], ...]:
+    """Sixteen 256-entry multiply tables for hash key ``h_bytes``.
+
+    ``P[k] = (1 << k) * H`` for all 128 bit positions comes from a single
+    halving walk (the reference gf_mul's state sequence); each table row
+    then fills composite bytes as ``row[b] = row[b & (b-1)] ^ row[b & -b]``
+    (XOR of the two sub-masks), touching every entry exactly once.
+    """
+    value = int.from_bytes(h_bytes, "big")
+    powers = [0] * 128
+    for i in range(127, -1, -1):
+        powers[i] = value
+        # pqtls: allow[CT001] — H-dependent reduce in the one-time-per-key
+        # Shoup table build; per-record processing is pure table lookups
+        value = (value >> 1) ^ _R if value & 1 else value >> 1
+    tables = []
+    for byte_index in range(16):
+        base_bit = 8 * (15 - byte_index)
+        row = [0] * 256
+        for bit in range(8):
+            row[1 << bit] = powers[base_bit + bit]
+        for b in range(1, 256):
+            low = b & -b
+            rest = b ^ low
+            if rest:
+                row[b] = row[rest] ^ row[low]
+        tables.append(tuple(row))
+    return tuple(tables)
+
+
+class Ghash:
+    """Table-driven GHASH; drop-in for the reference ``_Ghash``."""
+
+    def __init__(self, h: bytes):
+        self._tables = _tables(h)
+        self._acc = 0
+
+    def update_block(self, block: bytes) -> None:
+        x = self._acc ^ int.from_bytes(block, "big")
+        t = self._tables
+        # pqtls: allow[CT003] — data-indexed multiply tables by design
+        self._acc = (t[0][x >> 120 & 0xFF] ^ t[1][x >> 112 & 0xFF]
+                     ^ t[2][x >> 104 & 0xFF] ^ t[3][x >> 96 & 0xFF]
+                     ^ t[4][x >> 88 & 0xFF] ^ t[5][x >> 80 & 0xFF]
+                     ^ t[6][x >> 72 & 0xFF] ^ t[7][x >> 64 & 0xFF]
+                     ^ t[8][x >> 56 & 0xFF] ^ t[9][x >> 48 & 0xFF]
+                     ^ t[10][x >> 40 & 0xFF] ^ t[11][x >> 32 & 0xFF]
+                     ^ t[12][x >> 24 & 0xFF] ^ t[13][x >> 16 & 0xFF]
+                     ^ t[14][x >> 8 & 0xFF] ^ t[15][x & 0xFF])
+
+    def update(self, data: bytes) -> None:
+        # Each update() call zero-pads its own tail to a full block —
+        # GCM hashes AAD and ciphertext as independently padded strings.
+        for i in range(0, len(data), 16):
+            chunk = data[i:i + 16]
+            if len(chunk) < 16:
+                chunk = chunk.ljust(16, b"\x00")
+            self.update_block(chunk)
+
+    def digest(self) -> bytes:
+        return self._acc.to_bytes(16, "big")

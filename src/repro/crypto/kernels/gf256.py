@@ -1,0 +1,66 @@
+"""Table-driven GF(2^8) polynomial multiplication (HQC's field, 0x11D).
+
+Fast twin of ``repro.pqc.hqc.gf256.poly_mul``: a lazily built 64 KiB
+flat product table turns the inner loop's ``gf_mul`` call (two log
+lookups, an add, an exp lookup, plus zero guards) into a single byte
+fetch. Output is identical — GF(256) multiplication has one answer.
+
+Self-contained: this module derives its own exp/log tables from the
+same generator polynomial instead of importing ``repro.pqc.hqc.gf256``
+(which imports it to register the binding).
+
+Reed–Solomon decoding runs ``poly_mul`` over syndrome/locator
+polynomials derived from secret-adjacent codewords; like the reference,
+the sparsity guards branch on coefficient values (flagged lines carry
+``pqtls: allow`` pragmas — host timing is outside the simulation's
+measurement path).
+"""
+
+from __future__ import annotations
+
+_POLY = 0x11D
+
+_MUL: bytes | None = None
+
+
+def _build_mul_table() -> bytes:
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value <<= 1
+        if value & 0x100:
+            value ^= _POLY
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    table = bytearray(65536)
+    for x in range(1, 256):
+        row = x << 8
+        log_x = log[x]
+        for y in range(1, 256):
+            table[row | y] = exp[log_x + log[y]]
+    return bytes(table)
+
+
+def _mul_table() -> bytes:
+    global _MUL
+    if _MUL is None:
+        _MUL = _build_mul_table()
+    return _MUL
+
+
+def poly_mul(a: list[int], b: list[int]) -> list[int]:
+    """Multiply polynomials with coefficients in GF(256) (index = degree)."""
+    out = [0] * (len(a) + len(b) - 1)
+    mul = _mul_table()
+    for i, ai in enumerate(a):
+        # pqtls: allow[CT001] — sparsity skip, same shape as the reference
+        if ai:
+            row = ai << 8
+            for j, bj in enumerate(b):
+                # pqtls: allow[CT001]
+                if bj:
+                    out[i + j] ^= mul[row | bj]  # pqtls: allow[CT003]
+    return out

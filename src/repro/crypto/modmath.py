@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import functools
+import math
+
 from repro.crypto.drbg import Drbg
 
 _SMALL_PRIMES = [
@@ -9,6 +12,35 @@ _SMALL_PRIMES = [
     71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
     151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
 ]
+
+# Bound for the primorial-gcd pre-screen below. One gcd against a chunked
+# product of all primes < 2**16 replaces ~6500 trial divisions and, at
+# ~1 in 11 odd survivors (vs ~1 in 5 for division to 229), roughly halves
+# the number of composites that reach a full Miller–Rabin exponentiation —
+# the dominant cost of RSA key generation.
+_TRIAL_LIMIT = 1 << 16
+
+
+@functools.lru_cache(maxsize=1)
+def _primorial_chunks() -> tuple[int, ...]:
+    """Products of all primes < _TRIAL_LIMIT, chunked to ~4096-bit ints."""
+    sieve = bytearray([1]) * _TRIAL_LIMIT
+    sieve[0] = sieve[1] = 0
+    for i in range(2, int(_TRIAL_LIMIT ** 0.5) + 1):
+        if sieve[i]:
+            sieve[i * i::i] = bytes(len(sieve[i * i::i]))
+    chunks: list[int] = []
+    product = 1
+    for p in range(3, _TRIAL_LIMIT):
+        if not sieve[p]:
+            continue
+        product *= p
+        if product.bit_length() >= 4096:
+            chunks.append(product)
+            product = 1
+    if product > 1:
+        chunks.append(product)
+    return tuple(chunks)
 
 
 def invmod(a: int, m: int) -> int:
@@ -33,6 +65,12 @@ def is_probable_prime(n: int, drbg: Drbg | None = None, rounds: int = 20) -> boo
     for p in _SMALL_PRIMES:
         if n % p == 0:
             return n == p
+    if n >> 32:
+        # n > 2**32 sharing a factor with the primorial has a prime factor
+        # below _TRIAL_LIMIT < sqrt(n), so it is certainly composite.
+        for chunk in _primorial_chunks():
+            if math.gcd(n, chunk) != 1:
+                return False
     d = n - 1
     r = 0
     while d % 2 == 0:
@@ -53,6 +91,22 @@ def is_probable_prime(n: int, drbg: Drbg | None = None, rounds: int = 20) -> boo
     return True
 
 
+def _mr_rounds(bits: int) -> int:
+    """Miller–Rabin round count for *random* candidates of a given size.
+
+    FIPS 186-4 Table C.2: for candidates drawn uniformly (not
+    adversarially chosen) that already survived trial division, the
+    average-case error is far below the worst-case 4^-k, so 2^-100
+    assurance needs only a handful of rounds at RSA sizes. Below the
+    table's range we keep the conservative generic default.
+    """
+    if bits >= 1024:
+        return 4
+    if bits >= 512:
+        return 7
+    return 20
+
+
 def generate_prime(bits: int, drbg: Drbg) -> int:
     """Generate a random prime with exactly *bits* bits (top two bits set).
 
@@ -61,11 +115,12 @@ def generate_prime(bits: int, drbg: Drbg) -> int:
     """
     if bits < 16:
         raise ValueError("refusing to generate tiny primes")
+    rounds = _mr_rounds(bits)
     while True:
         candidate = int.from_bytes(drbg.random_bytes((bits + 7) // 8), "big")
         candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
         candidate &= (1 << bits) - 1
-        if is_probable_prime(candidate, drbg):
+        if is_probable_prime(candidate, drbg, rounds=rounds):
             return candidate
 
 

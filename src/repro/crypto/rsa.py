@@ -4,6 +4,13 @@ The paper measures rsa:1024 / rsa:2048 / rsa:3072 / rsa:4096 server
 certificates; TLS 1.3 CertificateVerify mandates RSASSA-PSS for RSA keys,
 so PSS is the scheme our TLS stack uses, with v1.5 kept for certificates
 (as the WebPKI does) and for tests.
+
+``PQTLS_KERNELS=fast`` (default) swaps the private-key operation for the
+CRT kernel in ``repro.crypto.kernels.rsa``; the textbook
+``pow(c, d, n)`` below is the reference twin (both compute the same
+integer, so signatures are byte-identical). Key generation is never
+kernelised — it consumes the deterministic DRBG and must keep its exact
+candidate/witness schedule.
 """
 
 from __future__ import annotations
@@ -57,13 +64,9 @@ class RsaPrivateKey:
     def public(self) -> RsaPublicKey:
         return RsaPublicKey(self.n, self.e)
 
-    def _decrypt(self, c: int) -> int:
-        """Private-key operation with the CRT speedup."""
-        mp = pow(c % self.p, self.d % (self.p - 1), self.p)
-        mq = pow(c % self.q, self.d % (self.q - 1), self.q)
-        qinv = invmod(self.q, self.p)
-        h = (mp - mq) * qinv % self.p
-        return mq + self.q * h
+    def _decrypt_ref(self, c: int) -> int:
+        """Private-key operation, textbook form."""
+        return pow(c, self.d, self.n)
 
 
 def generate_keypair(bits: int, drbg: Drbg) -> RsaPrivateKey:
@@ -170,3 +173,10 @@ def verify_pss(key: RsaPublicKey, message: bytes, signature: bytes) -> bool:
         return False
     m_prime = b"\x00" * 8 + m_hash + salt
     return sha256(m_prime) == h
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import rsa as _fast  # noqa: E402
+
+_kernels.bind(RsaPrivateKey, "_decrypt",
+              ref=RsaPrivateKey._decrypt_ref, fast=_fast.private_op)

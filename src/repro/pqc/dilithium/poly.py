@@ -2,9 +2,16 @@
 
 The Dilithium NTT is complete (8 layers, 256-point); rounding helpers
 (Power2Round, Decompose, hints) follow the round-3 specification.
+
+``PQTLS_KERNELS=fast`` (default) swaps the transform/arithmetic/packing
+entry points for the lane-packed twins in
+``repro.crypto.kernels.dilithium``; call through the module so rebinding
+takes effect.
 """
 
 from __future__ import annotations
+
+import sys
 
 Q = 8380417
 N = 256
@@ -161,3 +168,13 @@ def unpack_bits(data: bytes, bits: int, count: int = N) -> list[int]:
         acc >>= bits
         acc_bits -= bits
     return out
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import dilithium as _fast  # noqa: E402
+
+_SELF = sys.modules[__name__]
+for _name in ("ntt", "intt", "pointwise", "add", "sub",
+              "pack_bits", "unpack_bits"):
+    _kernels.bind(_SELF, _name,
+                  ref=getattr(_SELF, _name), fast=getattr(_fast, _name))

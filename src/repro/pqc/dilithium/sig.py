@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.crypto.aes import aes_ctr_keystream
+from repro.crypto import aes as _aes
 from repro.crypto.drbg import Drbg
 from repro.pqc.dilithium import poly
 from repro.pqc.dilithium.poly import N, Q
@@ -69,17 +69,18 @@ class _XofAes:
     @staticmethod
     def expand_a(rho: bytes, i: int, j: int, outlen: int) -> bytes:
         nonce = bytes([j, i]) + b"\x00" * 10
-        return aes_ctr_keystream(rho, nonce, outlen)
+        # module-attr call so the cached-cipher fast twin can rebind
+        return _aes.aes_ctr_keystream(rho, nonce, outlen)
 
     @staticmethod
     def expand_s(rho_prime: bytes, nonce: int, outlen: int) -> bytes:
         iv = nonce.to_bytes(2, "little") + b"\x00" * 10
-        return aes_ctr_keystream(rho_prime[:32], iv, outlen)
+        return _aes.aes_ctr_keystream(rho_prime[:32], iv, outlen)
 
     @staticmethod
     def expand_mask(rho_prime: bytes, nonce: int, outlen: int) -> bytes:
         iv = nonce.to_bytes(2, "little") + b"\x00" * 10
-        return aes_ctr_keystream(rho_prime[:32], iv, outlen)
+        return _aes.aes_ctr_keystream(rho_prime[:32], iv, outlen)
 
 
 class DilithiumSignature(SignatureScheme):

@@ -1,6 +1,13 @@
-"""GF(2^8) arithmetic with the HQC/AES-adjacent polynomial x^8+x^4+x^3+x^2+1."""
+"""GF(2^8) arithmetic with the HQC/AES-adjacent polynomial x^8+x^4+x^3+x^2+1.
+
+``PQTLS_KERNELS=fast`` (default) swaps ``poly_mul`` for the flat
+product-table kernel in ``repro.crypto.kernels.gf256``; call it through
+the module (``gf256.poly_mul(...)``) so rebinding takes effect.
+"""
 
 from __future__ import annotations
+
+import sys
 
 _POLY = 0x11D
 
@@ -63,3 +70,10 @@ def poly_eval(poly: list[int], x: int) -> int:
     for coeff in reversed(poly):
         acc = gf_mul(acc, x) ^ coeff
     return acc
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import gf256 as _fast  # noqa: E402
+
+_kernels.bind(sys.modules[__name__], "poly_mul",
+              ref=poly_mul, fast=_fast.poly_mul)

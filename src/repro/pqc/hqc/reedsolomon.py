@@ -6,7 +6,8 @@ Chien search → Forney, correcting up to ``delta`` symbol errors.
 
 from __future__ import annotations
 
-from repro.pqc.hqc.gf256 import gf_div, gf_mul, gf_pow, poly_eval, poly_mul
+from repro.pqc.hqc import gf256
+from repro.pqc.hqc.gf256 import gf_div, gf_mul, gf_pow, poly_eval
 
 
 def _poly_add(a: list[int], b: list[int]) -> list[int]:
@@ -36,7 +37,7 @@ class ReedSolomon:
         # generator polynomial: product of (x + alpha^i), i = 1..2*delta
         g = [1]
         for i in range(1, 2 * self.delta + 1):
-            g = poly_mul(g, [gf_pow(2, i), 1])
+            g = gf256.poly_mul(g, [gf_pow(2, i), 1])
         self._gen = g
 
     def encode(self, message: bytes) -> bytes:
@@ -109,7 +110,7 @@ class ReedSolomon:
             raise ValueError("error locator does not split (decoding failure)")
 
         # Forney error values (narrow-sense code, b = 1)
-        omega = poly_mul(syndromes, sigma)[: 2 * self.delta]
+        omega = gf256.poly_mul(syndromes, sigma)[: 2 * self.delta]
         sigma_deriv = _poly_deriv(sigma)
         corrected = bytearray(received)
         for pos in positions:

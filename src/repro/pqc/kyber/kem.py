@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.crypto.aes import aes_ctr_keystream
+from repro.crypto import aes, kernels as _kernels
 from repro.crypto.constanttime import ct_eq_bytes, ct_select_bytes
 from repro.crypto.drbg import Drbg
 from repro.pqc.kem import Kem
@@ -66,18 +66,29 @@ class _Symmetric:
 
 
 class _Symmetric90s:
-    """The AES/SHA-2 suite of the 90s variants."""
+    """The AES/SHA-2 suite of the 90s variants.
+
+    ``xof`` is a kernel switch point (bound at the bottom of the file):
+    the reference regenerates the CTR keystream from counter zero for
+    every 168-byte block, the fast twin keeps an incremental block
+    source that encrypts only the blocks each chunk overlaps. Both
+    yield the same stream bytes.
+    """
 
     @staticmethod
-    def xof(seed: bytes, i: int, j: int) -> XofStream:
+    def _xof_ref(seed: bytes, i: int, j: int) -> XofStream:
         nonce = bytes([i, j]) + b"\x00" * 10
         return XofStream(
-            lambda ctr: aes_ctr_keystream(seed, nonce, 168 * (ctr + 1))[168 * ctr:]
+            lambda ctr: aes.aes_ctr_keystream(seed, nonce, 168 * (ctr + 1))[168 * ctr:]
         )
 
     @staticmethod
+    def _xof_fast(seed: bytes, i: int, j: int) -> XofStream:
+        return XofStream(aes.CtrBlockSource(seed, bytes([i, j]) + b"\x00" * 10))
+
+    @staticmethod
     def prf(seed: bytes, nonce: int, outlen: int) -> bytes:
-        return aes_ctr_keystream(seed, bytes([nonce]) + b"\x00" * 11, outlen)
+        return aes.aes_ctr_keystream(seed, bytes([nonce]) + b"\x00" * 11, outlen)
 
     @staticmethod
     def h(data: bytes) -> bytes:
@@ -230,6 +241,10 @@ class KyberKem(Kem):
         reject = self._sym.kdf(z + h_ct)
         return ct_select_bytes(ct_eq_bytes(c_prime, ciphertext), accept, reject)
 
+
+_kernels.bind(_Symmetric90s, "xof",
+              ref=_Symmetric90s.__dict__["_xof_ref"],
+              fast=_Symmetric90s.__dict__["_xof_fast"])
 
 KYBER512 = KyberKem(512, nist_level=1)
 KYBER768 = KyberKem(768, nist_level=3)

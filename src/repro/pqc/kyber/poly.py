@@ -3,9 +3,16 @@
 Implements the incomplete NTT of the Kyber spec (128 quadratic base
 fields), centered binomial sampling, rejection sampling of uniform
 matrices, and the d-bit compression/serialisation functions.
+
+Everything here is the spec-shaped reference; ``PQTLS_KERNELS=fast``
+(the default) swaps the module entry points for the lane-packed bigint
+twins in ``repro.crypto.kernels.kyber`` at import. Call through the
+module (``poly.ntt(...)``) so rebinding takes effect.
 """
 
 from __future__ import annotations
+
+import sys
 
 Q = 3329
 N = 256
@@ -168,3 +175,14 @@ def unpack_bits(data: bytes, d: int, count: int = N) -> list[int]:
         acc >>= d
         acc_bits -= d
     return out
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import kyber as _fast  # noqa: E402
+
+_SELF = sys.modules[__name__]
+for _name in ("ntt", "intt", "basemul", "poly_add", "poly_sub",
+              "parse_uniform", "cbd", "compress", "decompress",
+              "pack_bits", "unpack_bits"):
+    _kernels.bind(_SELF, _name,
+                  ref=getattr(_SELF, _name), fast=getattr(_fast, _name))

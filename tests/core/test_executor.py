@@ -37,6 +37,17 @@ def cold_cache(tmp_path, monkeypatch):
     return tmp_path
 
 
+@pytest.fixture
+def multicore(monkeypatch):
+    """Pretend the host has 4 cores.
+
+    ``resolve_jobs`` clamps to ``os.cpu_count()``, so on a 1-core CI
+    runner every ``jobs > 1`` request would take the serial path and the
+    pool tests would silently stop exercising the pool.
+    """
+    monkeypatch.setattr(executor.os, "cpu_count", lambda: 4)
+
+
 # -- static cost table -------------------------------------------------------
 
 def test_record_cost_ranks_slow_recorders_first():
@@ -83,17 +94,24 @@ def test_schedule_leader_is_costliest_replay_of_its_group():
     assert ordered[0] == lossy  # recording + the 151-sample replay go together
 
 
-def test_resolve_jobs():
+def test_resolve_jobs(multicore):
     assert resolve_jobs(1) == 1
-    assert resolve_jobs(7) == 7
-    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(7) == 4      # clamped to the (patched) core count
+    assert resolve_jobs(None) == 4
     with pytest.raises(ValueError, match="jobs"):
         resolve_jobs(0)
 
 
+def test_resolve_jobs_clamps_to_one_core(monkeypatch):
+    monkeypatch.setattr(executor.os, "cpu_count", lambda: 1)
+    assert resolve_jobs(4) == 1
+    assert resolve_jobs(None) == 1
+
+
 # -- serial/parallel equivalence ---------------------------------------------
 
-def test_parallel_equals_serial(tmp_path, monkeypatch):
+def test_parallel_equals_serial(tmp_path, monkeypatch, multicore):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
     serial_metrics = Metrics()
     serial = run_campaign(SMALL_SET, jobs=1, metrics=serial_metrics)
@@ -112,7 +130,7 @@ def test_parallel_equals_serial(tmp_path, monkeypatch):
     assert stats["distinct_scripts"] == 3            # two configs share a script
 
 
-def test_parallel_warm_cache_resolves_inline(cold_cache, monkeypatch):
+def test_parallel_warm_cache_resolves_inline(cold_cache, monkeypatch, multicore):
     serial = run_campaign(SMALL_SET, jobs=1, metrics=Metrics())
 
     class PoolBomb:
@@ -127,7 +145,42 @@ def test_parallel_warm_cache_resolves_inline(cold_cache, monkeypatch):
     assert stats["hits"] == len(SMALL_SET) and stats["dispatched"] == 0
 
 
-def test_duplicate_configs_merge_like_serial(cold_cache, monkeypatch):
+def test_single_miss_runs_inline_without_pool(cold_cache, monkeypatch, multicore):
+    # warm all but one config: a single cold miss must not pay for a pool
+    run_campaign(SMALL_SET[:3], jobs=1, metrics=Metrics())
+    serial_key = SMALL_SET[3].key
+
+    class PoolBomb:
+        def __init__(self, *a, **k):
+            raise AssertionError("a single miss must not spawn workers")
+
+    monkeypatch.setattr(executor, "ProcessPoolExecutor", PoolBomb)
+    before = cache.metrics.snapshot()["counters"]
+    stats = {}
+    results = run_campaign(SMALL_SET, jobs=4, metrics=Metrics(), stats=stats)
+    after = cache.metrics.snapshot()["counters"]
+    assert serial_key in results and len(results) == len(SMALL_SET)
+    assert stats["hits"] == 3 and stats["dispatched"] == 1
+    # the inline run's miss is counted exactly once, as in a serial run
+    assert after["cache.experiment.miss"] - before.get("cache.experiment.miss", 0.0) == 1
+    assert after["cache.experiment.store"] - before.get("cache.experiment.store", 0.0) == 1
+
+
+def test_one_core_host_takes_exact_serial_path(cold_cache, monkeypatch):
+    monkeypatch.setattr(executor.os, "cpu_count", lambda: 1)
+
+    class PoolBomb:
+        def __init__(self, *a, **k):
+            raise AssertionError("jobs clamped to 1 core must not spawn workers")
+
+    monkeypatch.setattr(executor, "ProcessPoolExecutor", PoolBomb)
+    stats = {}
+    results = run_campaign(SMALL_SET, jobs=4, metrics=Metrics(), stats=stats)
+    assert len(results) == len(SMALL_SET)
+    assert stats["jobs"] == 1 and stats["dispatched"] is None  # serial branch
+
+
+def test_duplicate_configs_merge_like_serial(cold_cache, monkeypatch, multicore):
     doubled = SMALL_SET[:2] + [SMALL_SET[0]]
     serial_metrics = Metrics()
     serial = run_campaign(doubled, jobs=1, metrics=serial_metrics)
@@ -141,7 +194,7 @@ def test_duplicate_configs_merge_like_serial(cold_cache, monkeypatch):
     assert parallel_metrics.snapshot() == serial_metrics.snapshot()
 
 
-def test_progress_reported_for_hits_and_misses(cold_cache):
+def test_progress_reported_for_hits_and_misses(cold_cache, multicore):
     run_campaign(SMALL_SET[:2], jobs=1, metrics=Metrics())   # warm 2 of 4
     calls = []
     run_campaign(SMALL_SET, jobs=2, set_name="small",
@@ -153,7 +206,7 @@ def test_progress_reported_for_hits_and_misses(cold_cache):
 
 # -- single-flight recording -------------------------------------------------
 
-def test_single_flight_records_each_script_once(cold_cache):
+def test_single_flight_records_each_script_once(cold_cache, multicore):
     # two distinct experiments, one distinct (kem, sig, policy, seed) script:
     # whichever worker wins the lock records; the loser must load, not re-record
     shared_script = [
@@ -175,7 +228,7 @@ def test_single_flight_records_each_script_once(cold_cache):
 
 # -- fault paths -------------------------------------------------------------
 
-def test_worker_exception_propagates_original(cold_cache):
+def test_worker_exception_propagates_original(cold_cache, multicore):
     bad = [
         ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0),
         ExperimentConfig(kem="x25519", sig="rsa:1024", duration=-1.0),
@@ -187,7 +240,8 @@ def test_worker_exception_propagates_original(cold_cache):
     assert len(results) == 1
 
 
-def test_unknown_algorithm_raises_keyerror_serial_and_parallel(cold_cache):
+def test_unknown_algorithm_raises_keyerror_serial_and_parallel(cold_cache,
+                                                               multicore):
     nope = [ExperimentConfig(kem="nope", sig="rsa:1024"),
             ExperimentConfig(kem="x25519", sig="rsa:1024", duration=5.0)]
     with pytest.raises(KeyError, match="unknown key agreement"):
@@ -199,7 +253,8 @@ def test_unknown_algorithm_raises_keyerror_serial_and_parallel(cold_cache):
 # -- trace merge -------------------------------------------------------------
 
 def test_traced_first_experiment_identical_serial_and_parallel(tmp_path,
-                                                               monkeypatch):
+                                                               monkeypatch,
+                                                               multicore):
     configs = SMALL_SET[:2]
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
     serial_tracer = Tracer()

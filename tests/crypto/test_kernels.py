@@ -1,0 +1,261 @@
+"""Fast kernels are byte-for-byte equivalent to their reference twins.
+
+Every switch point registered in ``repro.crypto.kernels`` is exercised
+under both modes with randomized (Drbg-derived, so reproducible) inputs
+and compared exactly — the fast path must be an *observationally
+invisible* substitution. The final test closes the loop at campaign
+level: a handshake recorded under ``PQTLS_KERNELS=ref`` in a fresh
+interpreter is identical to one recorded under ``fast``.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.crypto import kernels
+from repro.crypto.drbg import Drbg
+
+pytestmark = pytest.mark.kernels
+
+
+def both_modes(fn):
+    """Call ``fn`` under each kernel mode, return {mode: result}."""
+    out = {}
+    for mode in ("ref", "fast"):
+        with kernels.override(mode):
+            out[mode] = fn()
+    return out
+
+
+def test_mode_env_default_and_override():
+    assert kernels.mode() in ("ref", "fast")
+    with kernels.override("ref"):
+        assert kernels.mode() == "ref" and not kernels.fast_enabled()
+    with kernels.override("fast"):
+        assert kernels.mode() == "fast" and kernels.fast_enabled()
+
+
+# -- AES / GCM ---------------------------------------------------------------
+
+def test_aes_block_ref_equals_fast():
+    from repro.crypto.aes import AES
+
+    drbg = Drbg(b"kernels-aes")
+    for key_len in (16, 24, 32):
+        key = drbg.random_bytes(key_len)
+        blocks = [drbg.random_bytes(16) for _ in range(8)] + [bytes(16)]
+        got = both_modes(lambda: [AES(key).encrypt_block(b) for b in blocks])
+        assert got["ref"] == got["fast"]
+
+
+def test_aes_ctr_keystream_ref_equals_fast():
+    from repro.crypto import aes
+
+    drbg = Drbg(b"kernels-ctr")
+    key, nonce = drbg.random_bytes(16), drbg.random_bytes(12)
+    for length in (0, 1, 15, 16, 17, 500, 4096):
+        got = both_modes(lambda: aes.aes_ctr_keystream(key, nonce, length))
+        assert got["ref"] == got["fast"], length
+
+
+def test_aes_gcm_ref_equals_fast_and_tamper_detected():
+    from repro.crypto.gcm import AesGcm
+
+    drbg = Drbg(b"kernels-gcm")
+    key = drbg.random_bytes(16)
+    for pt_len, aad_len in [(0, 0), (1, 7), (16, 16), (100, 0), (4096, 13)]:
+        nonce = drbg.random_bytes(12)
+        pt, aad = drbg.random_bytes(pt_len), drbg.random_bytes(aad_len)
+        got = both_modes(lambda: AesGcm(key).encrypt(nonce, pt, aad))
+        assert got["ref"] == got["fast"], (pt_len, aad_len)
+        ct = got["fast"]
+        with kernels.override("fast"):
+            assert AesGcm(key).decrypt(nonce, ct, aad) == pt
+            flipped = bytes([ct[0] ^ 1]) + ct[1:]
+            with pytest.raises(ValueError):
+                AesGcm(key).decrypt(nonce, flipped, aad)
+
+
+# -- Haraka ------------------------------------------------------------------
+
+def test_haraka_ref_equals_fast():
+    from repro.crypto import haraka
+
+    drbg = Drbg(b"kernels-haraka")
+    for _ in range(5):
+        d32, d64 = drbg.random_bytes(32), drbg.random_bytes(64)
+        got = both_modes(lambda: (haraka.haraka256(d32),
+                                  haraka.haraka512(d64)))
+        assert got["ref"] == got["fast"]
+
+
+def test_haraka_sponge_and_keyed_ref_equals_fast():
+    from repro.crypto import haraka
+
+    drbg = Drbg(b"kernels-harakas")
+    seed = drbg.random_bytes(32)
+    msg = drbg.random_bytes(177)
+
+    def run():
+        keyed = haraka.haraka_keyed(seed)
+        return (keyed.haraka_sponge(msg, 40),
+                keyed.haraka512(msg[:64]),
+                haraka.haraka_keyed(seed) is keyed if kernels.fast_enabled()
+                else True)  # fast path memoizes the keyed instance
+    got = both_modes(run)
+    assert got["ref"][:2] == got["fast"][:2]
+    assert got["fast"][2] is True
+
+
+# -- Kyber / Dilithium polynomial ops ----------------------------------------
+
+def test_kyber_poly_ops_ref_equals_fast():
+    from repro.pqc.kyber import poly as kp
+
+    drbg = Drbg(b"kernels-kyber")
+    a = [drbg.randint(0, kp.Q - 1) for _ in range(256)]
+    b = [drbg.randint(0, kp.Q - 1) for _ in range(256)]
+
+    def run():
+        ah, bh = kp.ntt(list(a)), kp.ntt(list(b))
+        prod = kp.basemul(ah, bh)
+        return (ah, bh, prod, kp.intt(list(prod)),
+                kp.poly_add(a, b), kp.poly_sub(a, b),
+                kp.compress(a, 10), kp.decompress(kp.compress(a, 4), 4),
+                kp.pack_bits(a, 12), kp.unpack_bits(kp.pack_bits(a, 12), 12))
+    got = both_modes(run)
+    assert got["ref"] == got["fast"]
+
+
+def test_kyber_cbd_and_parse_uniform_ref_equals_fast():
+    from repro.pqc.kyber import poly as kp
+
+    drbg = Drbg(b"kernels-cbd")
+    for eta in (2, 3):
+        data = drbg.random_bytes(64 * eta)
+        got = both_modes(lambda: kp.cbd(data, eta))
+        assert got["ref"] == got["fast"], eta
+
+    seed = drbg.random_bytes(32)
+
+    def stream():
+        return kp.XofStream(
+            lambda ctr: hashlib.shake_128(seed + ctr.to_bytes(4, "big")).digest(168))
+    got = both_modes(lambda: kp.parse_uniform(stream()))
+    assert got["ref"] == got["fast"]
+
+
+def test_dilithium_poly_ops_ref_equals_fast():
+    from repro.pqc.dilithium import poly as dp
+
+    drbg = Drbg(b"kernels-dilithium")
+    a = [drbg.randint(0, dp.Q - 1) for _ in range(256)]
+    b = [drbg.randint(0, dp.Q - 1) for _ in range(256)]
+
+    def run():
+        ah, bh = dp.ntt(list(a)), dp.ntt(list(b))
+        prod = dp.pointwise(ah, bh)
+        return (ah, bh, prod, dp.intt(list(prod)), dp.add(a, b), dp.sub(a, b),
+                dp.pack_bits(a, 23), dp.unpack_bits(dp.pack_bits(a, 23), 23))
+    got = both_modes(run)
+    assert got["ref"] == got["fast"]
+
+
+def test_kyber90s_xof_roundtrip_ref_equals_fast():
+    # exercises the incremental AES-CTR XOF against the sliced reference
+    from repro.pqc.registry import get_kem
+
+    def run():
+        kem = get_kem("kyber90s512")
+        drbg = Drbg(b"kernels-90s")
+        pk, sk = kem.keygen(drbg)
+        ct, ss = kem.encaps(pk, drbg)
+        return pk, sk, ct, ss, kem.decaps(sk, ct)
+    got = both_modes(run)
+    assert got["ref"] == got["fast"]
+
+
+# -- RSA / EC / GF(256) ------------------------------------------------------
+
+def test_rsa_crt_ref_equals_fast():
+    from repro.pqc.registry import get_sig
+
+    sig = get_sig("rsa:1024")
+    pk, sk = sig.keygen(Drbg(b"kernels-rsa"))
+    msg = b"kernel equivalence"
+
+    def run():
+        drbg = Drbg(b"kernels-rsa-sign")
+        s = sig.sign(sk, msg, drbg)
+        return s, sig.verify(pk, msg, s)
+    got = both_modes(run)
+    assert got["ref"] == got["fast"]
+    assert got["fast"][1] is True
+
+
+def test_ec_scalar_mult_ref_equals_fast():
+    from repro.crypto.ec.curves import CURVES
+
+    drbg = Drbg(b"kernels-ec")
+    for name, curve in CURVES.items():
+        ks = [1, 2, 3, curve.n - 1, curve.n + 5,
+              drbg.randint(1, curve.n - 1)]
+
+        def run():
+            fixed = [curve.scalar_mult(k) for k in ks]
+            p = curve.scalar_mult(ks[-1])
+            arbitrary = [curve.scalar_mult(k, p) for k in ks]
+            zero = curve.scalar_mult(0)
+            return fixed, arbitrary, zero
+        got = both_modes(run)
+        assert got["ref"] == got["fast"], name
+        assert got["fast"][2].x is None  # k = 0 -> point at infinity
+
+
+def test_gf256_poly_mul_ref_equals_fast():
+    from repro.pqc.hqc import gf256
+
+    drbg = Drbg(b"kernels-gf256")
+    cases = [([], [1, 2]), ([0, 0], [0]), ([1], [255])]
+    for _ in range(10):
+        la, lb = drbg.randint(1, 40), drbg.randint(1, 40)
+        cases.append(([drbg.randint(0, 255) for _ in range(la)],
+                      [drbg.randint(0, 255) for _ in range(lb)]))
+    for a, b in cases:
+        got = both_modes(lambda: gf256.poly_mul(a, b))
+        assert got["ref"] == got["fast"], (a, b)
+
+
+# -- campaign-level equivalence ----------------------------------------------
+
+_RECORD_SNIPPET = """
+import hashlib, pickle, sys
+from repro.core.experiment import ExperimentConfig, run_experiment
+result = run_experiment(
+    ExperimentConfig(kem="kyber512", sig="dilithium2", duration=5.0))
+sys.stdout.write(hashlib.sha256(pickle.dumps(result)).hexdigest())
+"""
+
+
+def test_recording_bit_identical_across_kernel_modes(tmp_path):
+    """A fresh-interpreter recording under ref == one under fast.
+
+    This is the contract the whole PR rests on: kernel selection may
+    change wall-clock time, never a single byte of any artifact.
+    """
+    digests = {}
+    for mode in ("ref", "fast"):
+        env = dict(os.environ,
+                   PQTLS_KERNELS=mode,
+                   REPRO_CACHE_DIR=str(tmp_path / mode),
+                   PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"))
+        proc = subprocess.run([sys.executable, "-c", _RECORD_SNIPPET],
+                              capture_output=True, text=True, env=env,
+                              timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        digests[mode] = proc.stdout.strip()
+    assert digests["ref"] == digests["fast"]
