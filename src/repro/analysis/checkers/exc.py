@@ -5,6 +5,14 @@ Broad catches are how contract violations hide: the original
 programming errors as cache misses / handshake failures.  A broad
 handler is allowed only when it re-raises (cleanup pattern).  Mutable
 default arguments are the classic shared-state bug and ride along here.
+
+The simulation layers (``tls``/``faults``/``netsim``) additionally may
+not raise bare ``RuntimeError``: a raw RuntimeError escaping the event
+loop aborts an entire campaign with no typed outcome (the failure mode
+this repo's fault model exists to prevent).  Raise a domain error
+(``TlsError`` subtypes, ``TransportError``, ...) or a named
+``RuntimeError`` subclass (``EventLoopRunaway``, ``MissingMarker``)
+instead.
 """
 
 from __future__ import annotations
@@ -18,6 +26,9 @@ from repro.analysis.registry import Checker, register
 
 _BROAD = {"Exception", "BaseException"}
 _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+
+# units whose failures must be typed so the testbed can classify outcomes
+_NO_BARE_RUNTIME_UNITS = ("repro.tls", "repro.faults", "repro.netsim")
 
 
 def _reraises(handler: ast.ExceptHandler) -> bool:
@@ -45,11 +56,14 @@ class ExceptionHygieneChecker(Checker):
     codes = {
         "EXC001": "bare or broad `except` that does not re-raise",
         "EXC002": "mutable default argument",
+        "EXC003": "bare `raise RuntimeError` in a simulation layer",
     }
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         if not (ctx.module == "repro" or ctx.module.startswith("repro.")):
             return
+        sim_unit = any(ctx.module == u or ctx.module.startswith(u + ".")
+                       for u in _NO_BARE_RUNTIME_UNITS)
 
         def finding(code: str, node: ast.AST, message: str) -> Finding:
             return Finding(code=code, message=message, path=ctx.relpath,
@@ -57,6 +71,16 @@ class ExceptionHygieneChecker(Checker):
                            symbol=ctx.symbol_at(node), checker=self.name)
 
         for node in ast.walk(ctx.tree):
+            if sim_unit and isinstance(node, ast.Raise):
+                exc = node.exc
+                callee = exc.func if isinstance(exc, ast.Call) else exc
+                if isinstance(callee, ast.Name) and callee.id == "RuntimeError":
+                    yield finding(
+                        "EXC003", node,
+                        "bare `raise RuntimeError` in a simulation layer "
+                        "escapes the event loop untyped and kills the whole "
+                        "campaign; raise a domain error (TlsError subtype, "
+                        "TransportError) or a named RuntimeError subclass")
             if isinstance(node, ast.ExceptHandler):
                 names = _broad_names(node)
                 if names and not _reraises(node):

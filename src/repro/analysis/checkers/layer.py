@@ -1,6 +1,6 @@
 """LAYER — the declared import DAG of the reproduction.
 
-The dependency order is ``crypto → pqc → tls → netsim → core``:
+The dependency order is ``crypto → pqc → tls → faults → netsim → core``:
 each unit may import itself and anything strictly below.  ``repro.obs``
 is importable by every unit but may import nothing from ``repro`` except
 itself (it must stay attachable anywhere); ``repro.cache`` sits between
@@ -22,20 +22,23 @@ from repro.analysis.finding import Finding
 from repro.analysis.registry import Checker, register
 
 # unit -> repro units it may import (besides itself); "*" = anything
+# "faults" (plans, outcomes, typed failures) sits between tls and netsim:
+# it may read tls (alert names) and below, and netsim/core build on it
 ALLOWED_IMPORTS: dict[str, set[str]] = {
     "obs": set(),
     "cache": {"obs"},
     "crypto": {"obs"},
     "pqc": {"crypto", "obs"},
     "tls": {"pqc", "crypto", "obs"},
-    "netsim": {"tls", "pqc", "crypto", "obs", "cache"},
-    "core": {"netsim", "tls", "pqc", "crypto", "obs", "cache"},
+    "faults": {"tls", "pqc", "crypto", "obs"},
+    "netsim": {"faults", "tls", "pqc", "crypto", "obs", "cache"},
+    "core": {"netsim", "faults", "tls", "pqc", "crypto", "obs", "cache"},
     "analysis": {"*"},
 }
 
 # real-I/O / concurrency stdlib modules forbidden in the simulation units
 _IO_STDLIB = {"socket", "asyncio", "selectors", "ssl", "threading", "multiprocessing"}
-_IO_FORBIDDEN_UNITS = {"crypto", "pqc", "tls", "netsim", "obs", "cache"}
+_IO_FORBIDDEN_UNITS = {"crypto", "pqc", "tls", "faults", "netsim", "obs", "cache"}
 
 
 def unit_of(module: str) -> str | None:
@@ -50,9 +53,9 @@ def unit_of(module: str) -> str | None:
 @register
 class LayerChecker(Checker):
     name = "layer"
-    description = ("imports follow the declared DAG crypto → pqc → tls → netsim "
-                   "→ core (obs shared, cache for netsim/core); sans-io units "
-                   "never import real-I/O stdlib")
+    description = ("imports follow the declared DAG crypto → pqc → tls → faults "
+                   "→ netsim → core (obs shared, cache for netsim/core); sans-io "
+                   "units never import real-I/O stdlib")
     codes = {
         "LAYER001": "repro import that violates the layer DAG",
         "LAYER002": "real-I/O or concurrency stdlib import in a sans-io unit",

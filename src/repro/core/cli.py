@@ -18,6 +18,7 @@ from repro import cache
 from repro.core import campaign, evaluate, report
 from repro.core.analysis import deviations_for_levels
 from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.faults.plan import FAULT_PLANS, resolve_fault_plan
 from repro.netsim.netem import SCENARIOS
 from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics_json
 from repro.obs.metrics import NULL_METRICS, Metrics
@@ -93,7 +94,8 @@ def evaluate_artifact(name: str, outdir: Path, jobs: int | None = 1) -> None:
 def run_single(args, metrics) -> None:
     """Run (and optionally trace) one experiment named by --kem/--sig."""
     config = ExperimentConfig(kem=args.kem, sig=args.sig, scenario=args.scenario,
-                              policy=args.policy, profiling=args.profiling)
+                              policy=args.policy, profiling=args.profiling,
+                              faults=args.faults)
     tracing = bool(args.trace or args.trace_jsonl or args.flame)
     tracer = Tracer() if tracing else NULL_TRACER
     result = run_experiment(config, tracer=tracer, metrics=metrics)
@@ -102,6 +104,12 @@ def run_single(args, metrics) -> None:
           f"partB {result.part_b_median * 1e3:.2f} ms, "
           f"{result.n_handshakes} handshakes/{config.duration:.0f}s",
           file=sys.stderr)
+    outcomes = getattr(result, "outcomes", {})
+    failed = {k: n for k, n in outcomes.items() if k != "success"}
+    if failed:
+        breakdown = ", ".join(f"{k}: {n}" for k, n in sorted(failed.items()))
+        print(f"  failures ({sum(failed.values())}/{sum(outcomes.values())} "
+              f"attempts): {breakdown}", file=sys.stderr)
     if args.trace:
         path = write_chrome_trace(tracer, args.trace)
         print(f"wrote {path} (load at https://ui.perfetto.dev)", file=sys.stderr)
@@ -135,6 +143,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="OpenSSL buffering policy (default: optimized)")
     single.add_argument("--profiling", action="store_true",
                         help="apply the paper's white-box perf overhead")
+    single.add_argument("--faults", default="none", metavar="PLAN",
+                        help="fault-injection plan: a named plan "
+                             f"({', '.join(sorted(FAULT_PLANS))}) or a "
+                             "key=value spec like 'corrupt=0.02,dup=0.05' "
+                             "(default: none)")
     obs = parser.add_argument_group("observability")
     obs.add_argument("--trace", metavar="FILE",
                      help="write a Chrome trace_event JSON of the first "
@@ -163,6 +176,14 @@ def main(argv: list[str] | None = None) -> int:
     if (args.trace or args.trace_jsonl or args.flame) and not single_mode:
         parser.error("--trace/--trace-jsonl/--flame trace a single handshake; "
                      "select it with --kem/--sig")
+    if args.faults != "none":
+        if not single_mode:
+            parser.error("--faults applies to a single experiment; "
+                         "select it with --kem/--sig")
+        try:
+            resolve_fault_plan(args.faults)
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
 
     outdir = Path(args.output)
     metrics = Metrics() if args.metrics else NULL_METRICS

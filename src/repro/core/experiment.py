@@ -14,6 +14,9 @@ from dataclasses import dataclass, field
 
 from repro.crypto.drbg import Drbg
 from repro import cache
+from repro.faults.errors import FailureQuotaExceeded
+from repro.faults.outcome import KIND_TIMEOUT
+from repro.faults.plan import CORRUPT_DELIVER, resolve_fault_plan
 from repro.netsim.costmodel import CostModel
 from repro.netsim.netem import SCENARIOS
 from repro.netsim.scripted import HandshakeScript, record_script, scripted_apps
@@ -26,6 +29,11 @@ from repro.tls.server import BufferPolicy
 # (x25519/rsa:2048 -> ~22k handshakes per 60 s).
 INTER_HANDSHAKE_GAP = 0.0009
 
+# Defaults for the failure-handling knobs (kept out of the cache key when
+# unchanged, so pre-fault cache entries stay addressable).
+DEFAULT_HANDSHAKE_TIMEOUT = 600.0
+DEFAULT_FAILURE_QUOTA = 50
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -37,12 +45,24 @@ class ExperimentConfig:
     duration: float = 60.0             # measurement period, seconds
     seed: str = "paper"
     max_samples: int = 151             # cap on simulated handshakes per run
+    faults: str = "none"               # FaultPlan name or key=value spec
+    handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT  # per-handshake wall clock
+    failure_quota: int = DEFAULT_FAILURE_QUOTA  # failed handshakes tolerated per run
 
     @property
     def key(self) -> str:
-        return (f"{self.kem}|{self.sig}|{self.scenario}|{self.policy}"
+        base = (f"{self.kem}|{self.sig}|{self.scenario}|{self.policy}"
                 f"|prof={self.profiling}|dur={self.duration}|seed={self.seed}"
                 f"|max={self.max_samples}")
+        # newer knobs append only when set, so older keys stay stable
+        plan_spec = resolve_fault_plan(self.faults).spec
+        if plan_spec != "none":
+            base += f"|faults={plan_spec}"
+        if self.handshake_timeout != DEFAULT_HANDSHAKE_TIMEOUT:
+            base += f"|hsto={self.handshake_timeout}"
+        if self.failure_quota != DEFAULT_FAILURE_QUOTA:
+            base += f"|quota={self.failure_quota}"
+        return base
 
 
 @dataclass
@@ -61,6 +81,14 @@ class ExperimentResult:
     client_cpu_by_library: dict = field(default_factory=dict)
     server_cpu_by_library: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)  # Metrics.snapshot() of the run
+    # outcome-key -> count over every attempted handshake ("success",
+    # "timeout", "transport-error", "alert.<name>"); read with
+    # getattr(result, "outcomes", {}) when old cached pickles may appear
+    outcomes: dict = field(default_factory=dict)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(n for key, n in self.outcomes.items() if key != "success")
 
     @property
     def part_a_median(self) -> float:
@@ -135,6 +163,13 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
             "(the measurement period needs room for at least one handshake)")
     if config.max_samples < 1:
         raise ValueError(f"max_samples must be >= 1, got {config.max_samples!r}")
+    plan = resolve_fault_plan(config.faults)
+    if plan.active and plan.corrupt_mode == CORRUPT_DELIVER and (
+            plan.corrupt or plan.corrupt_nth):
+        raise ValueError(
+            "deliver-mode corruption needs real TLS endpoints (Testbed); "
+            "scripted replay only counts bytes and would sail past a flipped "
+            "bit — use corrupt_mode=checksum in experiments")
     tracing = tracer.enabled
     if use_cache and not tracing:
         cached = cache.load("experiment", config.key)
@@ -151,21 +186,42 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
     sample_cap = 3 if deterministic else config.max_samples
 
     part_a, part_b, totals, periods = [], [], [], []
+    outcomes: dict[str, int] = {}
     first_trace = None
     run_metrics = Metrics()
     elapsed = 0.0
-    count = 0
+    attempt = 0   # every attempt (success or failure) advances the DRBG fork
+    failures = 0
     while elapsed < config.duration and len(totals) < sample_cap:
         client_app, server_app = scripted_apps(script)
         # every handshake replays the same script, so tracing the first one
         # captures the run's structure without recording thousands of copies
-        hs_tracer = tracer if count == 0 else NULL_TRACER
+        hs_tracer = tracer if attempt == 0 else NULL_TRACER
         trace = run_simulated_handshake(
             client_app, server_app, scenario=scenario,
-            netem_drbg=drbg.fork(f"netem:{count}"), cost_model=cost_model,
-            max_sim_seconds=600.0,
+            netem_drbg=drbg.fork(f"netem:{attempt}"), cost_model=cost_model,
+            max_sim_seconds=config.handshake_timeout,
+            plan=plan if plan.active else None,
             tracer=hs_tracer, metrics=run_metrics,
         )
+        attempt += 1
+        outcomes[trace.outcome.key] = outcomes.get(trace.outcome.key, 0) + 1
+        if not trace.outcome.ok:
+            # retry with a fresh seed: the next attempt forks "netem:{n+1}",
+            # so the retry sees new loss/fault randomness, and the failed
+            # handshake's wall time still counts against the period
+            failures += 1
+            if failures > config.failure_quota:
+                raise FailureQuotaExceeded(
+                    f"{failures} failed handshakes (quota {config.failure_quota}) "
+                    f"for {config.key}; last: {trace.outcome.key} "
+                    f"({trace.outcome.detail})")
+            if trace.outcome.kind == KIND_TIMEOUT:
+                # the operator's watchdog would have waited out the timer
+                elapsed += config.handshake_timeout + INTER_HANDSHAKE_GAP
+            else:
+                elapsed += trace.wall_end + INTER_HANDSHAKE_GAP
+            continue
         if first_trace is None:
             first_trace = trace
         part_a.append(trace.part_a)
@@ -178,10 +234,13 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
         for lib, seconds in trace.server_cpu.items():
             run_metrics.inc(f"cpu.server.{lib}", seconds)
         elapsed += period
-        count += 1
 
+    if not totals:
+        raise FailureQuotaExceeded(
+            f"no successful handshake in {config.duration}s measurement period "
+            f"for {config.key} ({failures} failures: {outcomes})")
     mean_period = statistics.fmean(periods)
-    n_handshakes = count
+    n_handshakes = len(totals)
     if elapsed < config.duration:
         # sample cap hit: extrapolate the count over the full period
         n_handshakes = int(config.duration / mean_period)
@@ -206,6 +265,7 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
         client_cpu_by_library={k: v / samples_run for k, v in cpu_client.items()},
         server_cpu_by_library={k: v / samples_run for k, v in cpu_server.items()},
         metrics=run_metrics.snapshot(),
+        outcomes=outcomes,
     )
     if metrics.enabled:
         metrics.merge(run_metrics)

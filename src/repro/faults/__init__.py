@@ -1,0 +1,47 @@
+"""repro.faults — deterministic fault injection & failure taxonomy.
+
+The robustness subsystem: declarative :class:`FaultPlan` recipes that the
+netem layer executes from the forkable DRBG (seed-reproducible chaos),
+typed :class:`HandshakeOutcome` values every simulated handshake ends in,
+and the typed errors (:class:`TransportError`, ...) that replace bare
+``RuntimeError`` unwinding through the event loop.
+
+Layering: ``faults`` sits between ``tls`` and ``netsim`` — it may import
+``tls`` (alert names) and below; ``netsim`` and ``core`` import it.
+"""
+
+from repro.faults.errors import FailureQuotaExceeded, FaultError, TransportError
+from repro.faults.outcome import (
+    FAILURE_KINDS,
+    KIND_ALERT,
+    KIND_SUCCESS,
+    KIND_TIMEOUT,
+    KIND_TRANSPORT,
+    SUCCESS,
+    HandshakeOutcome,
+)
+from repro.faults.plan import (
+    CORRUPT_CHECKSUM,
+    CORRUPT_DELIVER,
+    FAULT_PLANS,
+    FaultPlan,
+    resolve_fault_plan,
+)
+
+__all__ = [
+    "CORRUPT_CHECKSUM",
+    "CORRUPT_DELIVER",
+    "FAILURE_KINDS",
+    "FAULT_PLANS",
+    "FailureQuotaExceeded",
+    "FaultError",
+    "FaultPlan",
+    "HandshakeOutcome",
+    "KIND_ALERT",
+    "KIND_SUCCESS",
+    "KIND_TIMEOUT",
+    "KIND_TRANSPORT",
+    "SUCCESS",
+    "TransportError",
+    "resolve_fault_plan",
+]

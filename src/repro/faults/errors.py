@@ -1,0 +1,29 @@
+"""Typed failure classes for the simulated stack.
+
+The seed code let bare ``RuntimeError`` escape the event loop — one
+unlucky high-loss seed aborted an entire campaign (or crashed a pool
+worker under ``--jobs N``). Every failure a fault plan can provoke now
+has a type, so the experiment layer can convert it into a recorded
+:class:`~repro.faults.outcome.HandshakeOutcome` instead of unwinding.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class for simulation-level (non-TLS) failures."""
+
+
+class TransportError(FaultError):
+    """The simulated transport gave up (retransmission exhaustion,
+    connection driven in an impossible state)."""
+
+
+class FailureQuotaExceeded(FaultError):
+    """An experiment burned its failure budget without enough successes.
+
+    Raised by :func:`repro.core.experiment.run_experiment` when the
+    retry-with-fresh-seed policy exhausts the per-config quota — the one
+    failure that *should* surface to the operator, because it means the
+    (scenario, fault plan) combination cannot produce a measurement.
+    """

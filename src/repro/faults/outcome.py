@@ -1,0 +1,71 @@
+"""Typed handshake outcomes: how a simulated handshake ended.
+
+Every handshake run through the testbed terminates in exactly one
+outcome — the happy path is just the ``success`` kind. Failures carry
+enough structure for results and metrics to say *why* a run failed
+(``handshake.failures.<kind>`` counters, ``outcomes`` histogram on
+:class:`~repro.core.experiment.ExperimentResult`) without anyone having
+to parse exception strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIND_SUCCESS = "success"
+KIND_ALERT = "alert"                     # a TLS endpoint aborted with an alert
+KIND_TIMEOUT = "timeout"                 # simulated clock ran out / stack stalled
+KIND_TRANSPORT = "transport-error"       # TCP gave up (retransmission limit)
+
+FAILURE_KINDS = (KIND_ALERT, KIND_TIMEOUT, KIND_TRANSPORT)
+
+
+@dataclass(frozen=True)
+class HandshakeOutcome:
+    """Terminal state of one simulated handshake.
+
+    ``alert`` is the TLS alert description code when ``kind == "alert"``
+    (the *originating* endpoint's alert, not the peer's echo); ``detail``
+    is a short human-readable reason, never used for control flow.
+    """
+
+    kind: str
+    detail: str = ""
+    alert: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == KIND_SUCCESS
+
+    @property
+    def key(self) -> str:
+        """Stable dotted key for metrics / result histograms.
+
+        ``success``, ``timeout``, ``transport-error``, or
+        ``alert.<alert-name>`` (e.g. ``alert.bad_record_mac``).
+        """
+        if self.kind == KIND_ALERT and self.alert is not None:
+            from repro.tls.errors import alert_name
+
+            return f"{self.kind}.{alert_name(self.alert)}"
+        return self.kind
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def success(cls) -> "HandshakeOutcome":
+        return cls(KIND_SUCCESS)
+
+    @classmethod
+    def from_alert(cls, alert: int, detail: str = "") -> "HandshakeOutcome":
+        return cls(KIND_ALERT, detail=detail, alert=alert)
+
+    @classmethod
+    def timeout(cls, detail: str = "") -> "HandshakeOutcome":
+        return cls(KIND_TIMEOUT, detail=detail)
+
+    @classmethod
+    def transport(cls, detail: str = "") -> "HandshakeOutcome":
+        return cls(KIND_TRANSPORT, detail=detail)
+
+
+SUCCESS = HandshakeOutcome.success()

@@ -1,0 +1,126 @@
+"""Declarative fault plans: the deterministic-chaos DSL.
+
+A :class:`FaultPlan` names the ``tc netem`` knobs the paper's scenarios
+leave at zero — per-frame corruption, duplication, and reordering — plus
+testbed-only precision knobs (``corrupt_nth``). Plans compose with the
+existing ``SCENARIOS`` table: the scenario sets loss/delay/rate, the plan
+layers chaos on top, and both draw from the same forkable DRBG, so every
+injected fault is seed-reproducible and cacheable.
+
+Corruption has two fidelity modes:
+
+``checksum`` (default)
+    The bit-flipped frame fails the receiver's TCP checksum and is
+    discarded *after* consuming link capacity — what ``tc netem corrupt``
+    does to a real TCP flow in almost every case. Works with scripted
+    replay (the transport recovers; payload contents never reach TLS).
+
+``deliver``
+    The flipped bytes are delivered to the TLS layer — the rare
+    checksum-collision case, kept as an explicit mode because it is the
+    one that exercises record-layer alerts (``bad_record_mac``,
+    ``decode_error``). Requires real TLS endpoints: scripted replay only
+    counts bytes and would sail past a flipped bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+CORRUPT_CHECKSUM = "checksum"
+CORRUPT_DELIVER = "deliver"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One declarative chaos recipe, applied per link direction."""
+
+    corrupt: float = 0.0          # per-data-frame bit-flip probability
+    corrupt_nth: int = 0          # flip a bit in exactly the Nth data frame (1-based; 0 = off)
+    corrupt_mode: str = CORRUPT_CHECKSUM
+    dup: float = 0.0              # per-frame duplication probability
+    reorder: float = 0.0          # probability a frame is held back past its successors
+    reorder_delay: float = 0.01   # extra holding delay for reordered frames, seconds
+
+    def __post_init__(self) -> None:
+        for knob in ("corrupt", "dup", "reorder"):
+            value = getattr(self, knob)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{knob} must be a probability in [0, 1], got {value!r}")
+        if self.corrupt_nth < 0:
+            raise ValueError(f"corrupt_nth must be >= 0, got {self.corrupt_nth!r}")
+        if self.reorder_delay < 0:
+            raise ValueError(f"reorder_delay must be >= 0, got {self.reorder_delay!r}")
+        if self.corrupt_mode not in (CORRUPT_CHECKSUM, CORRUPT_DELIVER):
+            raise ValueError(
+                f"corrupt_mode must be '{CORRUPT_CHECKSUM}' or '{CORRUPT_DELIVER}', "
+                f"got {self.corrupt_mode!r}")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.corrupt or self.corrupt_nth or self.dup or self.reorder)
+
+    @property
+    def spec(self) -> str:
+        """Canonical ``key=value`` encoding (field order, defaults omitted).
+
+        Stable across processes, so it is safe inside cache keys; the
+        inactive plan canonicalizes to ``"none"``.
+        """
+        parts = []
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                parts.append(f"{field.name}={value}")
+        return ",".join(parts) if parts else "none"
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``key=value,key=value`` spec (the CLI / config syntax)."""
+        if spec in ("", "none"):
+            return cls()
+        kwargs: dict[str, object] = {}
+        valid = {field.name: field.type for field in fields(cls)}
+        for part in spec.split(","):
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in valid:
+                raise ValueError(
+                    f"bad fault-plan entry {part!r}; expected key=value with key in "
+                    f"{sorted(valid)}")
+            raw = raw.strip()
+            if key == "corrupt_mode":
+                kwargs[key] = raw
+            elif key == "corrupt_nth":
+                kwargs[key] = int(raw)
+            else:
+                kwargs[key] = float(raw)
+        return cls(**kwargs)
+
+
+# Named plans, composable with any scenario (``--faults chaos``).
+FAULT_PLANS: dict[str, FaultPlan] = {
+    "none": FaultPlan(),
+    # steady background bit-rot, invisible to TLS (checksum discards)
+    "bit-rot": FaultPlan(corrupt=0.02),
+    # the checksum-collision case: flipped bytes reach the record layer
+    "bit-rot-deliver": FaultPlan(corrupt=0.02, corrupt_mode=CORRUPT_DELIVER),
+    # duplicated frames (LTE handover retransmissions, buggy middleboxes)
+    "dup": FaultPlan(dup=0.05),
+    # held-back frames arriving behind their successors
+    "reorder": FaultPlan(reorder=0.10, reorder_delay=0.03),
+    # everything at once, still seed-reproducible
+    "chaos": FaultPlan(corrupt=0.01, dup=0.02, reorder=0.05, reorder_delay=0.02),
+}
+
+
+def resolve_fault_plan(plan: "FaultPlan | str | None") -> FaultPlan:
+    """Coerce a plan object, plan name, or ``key=value`` spec to a plan."""
+    if plan is None:
+        return FAULT_PLANS["none"]
+    if isinstance(plan, FaultPlan):
+        return plan
+    named = FAULT_PLANS.get(plan)
+    if named is not None:
+        return named
+    return FaultPlan.parse(plan)

@@ -6,6 +6,11 @@ import heapq
 from typing import Callable
 
 
+class EventLoopRunaway(RuntimeError):
+    """The event budget was exhausted — almost always a protocol deadlock
+    (two endpoints retransmitting at each other forever)."""
+
+
 class EventLoop:
     def __init__(self):
         self.now = 0.0
@@ -32,7 +37,7 @@ class EventLoop:
             callback()
             events += 1
             if events > max_events:
-                raise RuntimeError("event loop runaway (likely a protocol deadlock)")
+                raise EventLoopRunaway("event loop runaway (likely a protocol deadlock)")
         if until is not None:
             # the clock reflects the requested horizon even when idle, so
             # callers interleaving run(until=...) with direct calls (tests,

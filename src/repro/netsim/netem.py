@@ -1,10 +1,27 @@
-"""netem-style link emulation: loss, delay, and rate limiting.
+"""netem-style link emulation: loss, delay, rate limiting — and faults.
 
 Mirrors the paper's §5.4 scenarios, which place ``tc netem`` between client
 and server. A link serializes frames at its rate (sequential: a frame waits
 for the previous one to finish transmitting), applies one-way propagation
 delay (RTT/2 per direction), and drops frames i.i.d. with the loss
 probability — all driven by a forkable DRBG so runs are reproducible.
+
+Stage order follows the real qdisc: netem decides loss *before* the rate
+stage, so a dropped frame never occupies the serializer (the seed code had
+this backwards, which overcharged the 1 Mbit/s lossy scenarios). The
+remaining ``tc netem`` knobs — per-frame corruption, duplication, and
+reordering — come from an optional :class:`repro.faults.FaultPlan`:
+
+* **corrupt** flips one DRBG-chosen bit in the payload. In ``checksum``
+  mode the frame still consumes link capacity but is discarded at the
+  receiver (TCP checksum); in ``deliver`` mode the flipped bytes reach
+  the TLS layer (the checksum-collision case that provokes alerts).
+* **dup** re-enqueues the frame once, right behind itself — the duplicate
+  serializes separately, exactly like ``tc netem duplicate``.
+* **reorder** holds the selected frame back by ``reorder_delay`` so it
+  arrives behind its successors. (``tc`` fast-paths the selected frame
+  past the delayed ones instead; same reordering pressure, and holding
+  back composes more simply with the serializer — see DESIGN.md §9.)
 """
 
 from __future__ import annotations
@@ -13,8 +30,10 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.crypto.drbg import Drbg
+from repro.faults.plan import CORRUPT_DELIVER, FaultPlan
 from repro.netsim.eventloop import EventLoop
 from repro.netsim.packets import Segment
+from repro.obs.metrics import NULL_METRICS
 
 
 @dataclass(frozen=True)
@@ -47,31 +66,99 @@ class Link:
 
     def __init__(self, loop: EventLoop, config: NetemConfig, drbg: Drbg,
                  deliver: Callable[[Segment], None],
-                 tap: Callable[[float, Segment], None] | None = None):
+                 tap: Callable[[float, Segment], None] | None = None,
+                 plan: FaultPlan | None = None,
+                 metrics=NULL_METRICS, name: str = ""):
         self._loop = loop
         self._config = config
         self._drbg = drbg
         self._deliver = deliver
         self._tap = tap
+        self._plan = plan if plan is not None and plan.active else None
+        self._metrics = metrics
+        self._name = name or "link"
         self._busy_until = 0.0
+        self._data_frames = 0  # corrupt_nth counts payload-bearing frames
 
-    def transmit(self, segment: Segment) -> None:
-        """Send one frame: serialize, tap, maybe drop, propagate."""
+    def _count(self, event: str) -> None:
+        if self._metrics.enabled:
+            self._metrics.inc(f"netem.{self._name}.{event}")
+
+    def _flip_bit(self, segment: Segment) -> Segment:
+        """A copy of *segment* with one DRBG-chosen payload bit flipped."""
+        payload = bytearray(segment.payload)
+        index = self._drbg.randint_below(len(payload))
+        payload[index] ^= 1 << self._drbg.randint_below(8)
+        return Segment(segment.src, segment.dst, seq=segment.seq,
+                       payload=bytes(payload), ack=segment.ack,
+                       syn=segment.syn, fin=segment.fin, push=segment.push,
+                       is_ack_only=segment.is_ack_only, labels=segment.labels)
+
+    def transmit(self, segment: Segment, _is_dup: bool = False) -> None:
+        """Send one frame: fault stages, maybe drop, serialize, propagate.
+
+        Fault draws happen only when the corresponding knob is active, so
+        a plan-free link consumes exactly one DRBG value per frame (the
+        loss draw) — the paper scenarios replay bit-identically.
+        """
+        plan = self._plan
+        corrupted = False
+        duplicate = False
+        extra_delay = 0.0
+        if plan is not None:
+            if segment.payload:
+                self._data_frames += 1
+                if plan.corrupt_nth and self._data_frames == plan.corrupt_nth:
+                    corrupted = True
+                elif plan.corrupt and self._drbg.random() < plan.corrupt:
+                    corrupted = True
+            # a duplicate is never duplicated again (tc netem semantics)
+            if plan.dup and not _is_dup and self._drbg.random() < plan.dup:
+                duplicate = True
+            if plan.reorder and self._drbg.random() < plan.reorder:
+                extra_delay = plan.reorder_delay
+                self._count("reordered")
+        # netem drops in the qdisc, before the rate stage: a dropped frame
+        # never occupies the serializer. The tap still records it (taps sit
+        # on the fiber before the receiver-side emulation) at the moment it
+        # would have reached the wire.
+        if self._drbg.random() < self._config.loss:
+            self._count("dropped")
+            if self._tap is not None:
+                tap_time = max(self._loop.now, self._busy_until)
+                tap = self._tap
+                self._loop.schedule(max(0.0, tap_time - self._loop.now),
+                                    lambda: tap(tap_time, segment))
+            if duplicate:
+                self._count("duplicated")
+                self.transmit(segment, _is_dup=True)
+            return
         serialization = 8.0 * segment.wire_bytes / self._config.rate_bps
         start = max(self._loop.now, self._busy_until)
         done = start + serialization
         self._busy_until = done
         if self._tap is not None:
             # The optical tap sits right after the sender's NIC: it sees the
-            # frame when fully on the wire, even if netem later drops it...
-            # but the paper's taps sit on the real fiber (loss is emulated
-            # *inside* the endpoints via tc), so tap sees what was sent.
+            # frame when fully on the wire (loss/corruption are emulated at
+            # the receiving endpoint via tc, so the tap sees what was sent).
             tap_time = done
             tap = self._tap
             self._loop.schedule(max(0.0, done - self._loop.now),
                                 lambda: tap(tap_time, segment))
-        if self._drbg.random() < self._config.loss:
-            return  # dropped by netem
-        arrival = done + self._config.one_way_delay
-        self._loop.schedule(max(0.0, arrival - self._loop.now),
-                            lambda: self._deliver(segment))
+        deliverable = segment
+        if corrupted:
+            self._count("corrupted")
+            if plan.corrupt_mode == CORRUPT_DELIVER:
+                deliverable = self._flip_bit(segment)
+            else:
+                # checksum mode: the frame burned link capacity but the
+                # receiver's TCP checksum rejects it — never delivered
+                deliverable = None
+        if deliverable is not None:
+            arrival = done + self._config.one_way_delay + extra_delay
+            deliver = self._deliver
+            self._loop.schedule(max(0.0, arrival - self._loop.now),
+                                lambda: deliver(deliverable))
+        if duplicate:
+            self._count("duplicated")
+            self.transmit(segment, _is_dup=True)

@@ -26,6 +26,11 @@ from repro.tls.records import decode_records
 from repro.tls.server import BufferPolicy, TlsServer
 
 
+class RecordingError(RuntimeError):
+    """Lockstep script recording went off the rails (a real-endpoint bug —
+    recording runs on a perfect link, so it must always complete)."""
+
+
 @dataclass(frozen=True)
 class ScriptedSend:
     length: int
@@ -62,7 +67,7 @@ def _record_side(actions) -> tuple:
 def _split_record_boundaries(stream: bytes) -> list[bytes]:
     records, rest = decode_records(stream)
     if rest:
-        raise RuntimeError("stream does not end on a record boundary")
+        raise RecordingError("stream does not end on a record boundary")
     return [r.encode() for r in records]
 
 
@@ -134,7 +139,12 @@ def record_script(kem_name: str, sig_name: str,
             server_milestones.append(Milestone(server_in, _record_side(actions)))
 
     if not (client.handshake_complete and server.handshake_complete):
-        raise RuntimeError("lockstep recording did not complete the handshake")
+        for endpoint in (client, server):
+            if endpoint.failed:
+                raise RecordingError(
+                    f"lockstep recording aborted: {endpoint.failure}"
+                ) from endpoint.failure
+        raise RecordingError("lockstep recording did not complete the handshake")
 
     return HandshakeScript(
         kem_name=kem_name,
@@ -149,6 +159,11 @@ def record_script(kem_name: str, sig_name: str,
 
 class ScriptedApp:
     """Replays one side of a recorded script against the byte stream."""
+
+    # scripts replay successful recordings, so a replay app never fails on
+    # its own — the attributes exist so hosts treat both app kinds uniformly
+    failed = False
+    failure = None
 
     def __init__(self, milestones: tuple[Milestone, ...], total_in: int,
                  is_client: bool):

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.faults.errors import TransportError
 from repro.netsim.eventloop import EventLoop
 from repro.netsim.packets import Segment
 from repro.obs.metrics import NULL_METRICS
@@ -91,6 +92,8 @@ class TcpEndpoint:
         # stats (wire bytes including headers, as the paper reports)
         self.bytes_sent = 0
         self.packets_sent = 0
+        # terminal failure (retransmission exhaustion): recorded, not raised
+        self.failure: TransportError | None = None
 
     def attach_link(self, link) -> None:
         self._link = link
@@ -98,7 +101,7 @@ class TcpEndpoint:
     # -- connection establishment ------------------------------------------
     def connect(self) -> None:
         if self.state != "closed":
-            raise RuntimeError("connect on non-closed endpoint")
+            raise TransportError("connect on non-closed endpoint")
         self.state = "syn-sent"
         self._syn_time = self._loop.now
         self._transmit(Segment(self.name, self.peer, seq=0, payload=b"",
@@ -107,7 +110,7 @@ class TcpEndpoint:
 
     def listen(self) -> None:
         if self.state != "closed":
-            raise RuntimeError("listen on non-closed endpoint")
+            raise TransportError("listen on non-closed endpoint")
         self.state = "listen"
 
     # -- application interface ------------------------------------------------
@@ -185,13 +188,30 @@ class TcpEndpoint:
         delay = delay * 1.1 + 0.002
         self._loop.schedule(delay, lambda: self._on_pto(token))
 
+    def _fail(self, reason: str) -> None:
+        """Give up on the connection: terminal state, typed failure recorded.
+
+        Raising here would unwind through the event loop and kill the whole
+        campaign; instead the endpoint goes quiet and the testbed reads
+        ``failure`` into a transport-error outcome.
+        """
+        self.failure = TransportError(reason)
+        self.state = "failed"
+        self._pto_token += 1     # cancel the retransmission timer
+        self._delack_token += 1  # and any pending delayed ACK
+        self._metrics.inc(f"tcp.{self.name}.failed")
+        if self._tracer.enabled:
+            self._tracer.instant(self._track, "transport-failed", self._loop.now,
+                                 reason=reason, retries=self._retries)
+
     def _on_pto(self, token: int) -> None:
         if token != self._pto_token:
             return
         if self.state == "syn-sent":
             self._retries += 1
             if self._retries > MAX_RETRIES:
-                raise RuntimeError("SYN retransmission limit reached")
+                self._fail("SYN retransmission limit reached")
+                return
             if self._tracer.enabled:
                 self._tracer.instant(self._track, "syn-retransmit",
                                      self._loop.now, retries=self._retries)
@@ -204,7 +224,8 @@ class TcpEndpoint:
             return
         self._retries += 1
         if self._retries > MAX_RETRIES:
-            raise RuntimeError("retransmission limit reached")
+            self._fail("retransmission limit reached")
+            return
         if self._tracer.enabled:
             self._tracer.instant(self._track, "pto-fired", self._loop.now,
                                  retries=self._retries)
@@ -236,6 +257,8 @@ class TcpEndpoint:
 
     # -- segment reception ---------------------------------------------------------
     def on_segment(self, segment: Segment) -> None:
+        if self.state == "failed":
+            return  # terminal: late arrivals are dead letters
         if segment.syn and not segment.payload:
             self._handle_syn(segment)
             return

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from repro.crypto.drbg import Drbg
+from repro.faults.outcome import SUCCESS, HandshakeOutcome
+from repro.faults.plan import FaultPlan
 from repro.netsim.costmodel import CostModel
 from repro.netsim.eventloop import EventLoop
 from repro.netsim.hosts import Host
@@ -26,6 +28,7 @@ from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.tls.certs import Certificate, TrustStore
 from repro.tls.client import TlsClient
+from repro.tls.errors import PeerAlert, TlsError
 from repro.tls.server import BufferPolicy, TlsServer
 
 
@@ -36,6 +39,9 @@ class App(Protocol):
     def receive(self, data: bytes) -> list: ...
     @property
     def handshake_complete(self) -> bool: ...
+    # terminal failure bookkeeping (False/None on apps that cannot fail)
+    failed: bool
+    failure: Exception | None
 
 
 @dataclass(frozen=True)
@@ -51,6 +57,7 @@ class HandshakeTrace:
     client_cpu: dict               # library -> seconds
     server_cpu: dict
     flight_labels: tuple[str, ...]
+    outcome: HandshakeOutcome = SUCCESS  # how the handshake ended
 
 
 def _tapped(tap_fn, tracer, direction: str):
@@ -72,17 +79,50 @@ def _tapped(tap_fn, tracer, direction: str):
     return _record
 
 
+def _determine_outcome(client_app, server_app, client_tcp, server_tcp,
+                       client_host, server_host, *, scenario_name: str,
+                       max_sim_seconds: float) -> HandshakeOutcome:
+    """Classify how a non-successful run ended (checked in causal order)."""
+    # a TLS endpoint aborted: the alert originator is authoritative
+    for app in (client_app, server_app):
+        failure = app.failure if app.failed else None
+        if isinstance(failure, TlsError) and not isinstance(failure, PeerAlert):
+            return HandshakeOutcome.from_alert(failure.alert, detail=str(failure))
+    for app in (client_app, server_app):
+        if app.failed and isinstance(app.failure, PeerAlert):
+            return HandshakeOutcome.from_alert(app.failure.code,
+                                               detail=str(app.failure))
+    # host backstop (a TlsError that escaped the endpoint's own guard)
+    for host in (client_host, server_host):
+        if isinstance(host.failure, TlsError):
+            return HandshakeOutcome.from_alert(host.failure.alert,
+                                               detail=str(host.failure))
+    # the transport gave up
+    for tcp in (client_tcp, server_tcp):
+        if tcp.failure is not None:
+            return HandshakeOutcome.transport(f"{tcp.name}: {tcp.failure}")
+    # nothing failed, nothing finished: the clock ran out
+    return HandshakeOutcome.timeout(
+        f"incomplete after {max_sim_seconds} simulated seconds "
+        f"(scenario {scenario_name})")
+
+
 def run_simulated_handshake(client_app: App, server_app: App, *,
                             scenario: NetemConfig, netem_drbg: Drbg,
                             cost_model: CostModel,
                             max_sim_seconds: float = 120.0,
+                            plan: FaultPlan | None = None,
                             tracer=NULL_TRACER,
                             metrics=NULL_METRICS) -> HandshakeTrace:
-    """Wire two apps through TCP + netem + taps and run to completion.
+    """Wire two apps through TCP + netem + taps and run to a typed outcome.
 
-    *tracer* / *metrics* default to the null implementations: an
-    un-observed run takes exactly the pre-observability code paths and
-    produces bit-identical traces.
+    Never raises on handshake failure: every run ends in the trace's
+    ``outcome`` (success, alert, timeout, or transport-error), with the
+    timing fields zeroed when no complete handshake happened. *plan*
+    layers fault injection (corruption/duplication/reordering) on both
+    link directions. *tracer* / *metrics* default to the null
+    implementations: an un-observed run takes exactly the
+    pre-observability code paths and produces bit-identical traces.
     """
     loop = EventLoop()
     tap = Timestamper()
@@ -113,9 +153,11 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
         tap_c2s = _tapped(tap_c2s, tracer, "c2s")
         tap_s2c = _tapped(tap_s2c, tracer, "s2c")
     c2s = Link(loop, scenario, netem_drbg.fork("c2s"),
-               deliver=deliver_to_server, tap=tap_c2s)
+               deliver=deliver_to_server, tap=tap_c2s,
+               plan=plan, metrics=metrics, name="c2s")
     s2c = Link(loop, scenario, netem_drbg.fork("s2c"),
-               deliver=deliver_to_client, tap=tap_s2c)
+               deliver=deliver_to_client, tap=tap_s2c,
+               plan=plan, metrics=metrics, name="s2c")
     client_tcp.attach_link(c2s)
     server_tcp.attach_link(s2c)
     client_host.attach(client_tcp, client_app.receive)
@@ -127,24 +169,30 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
     client_tcp.connect()
     loop.run(until=max_sim_seconds)
 
-    if client_host.failure is not None:
-        raise client_host.failure
-    if server_host.failure is not None:
-        raise server_host.failure
+    outcome = SUCCESS
     if not (client_app.handshake_complete and server_app.handshake_complete):
-        raise RuntimeError(
-            f"handshake did not complete within {max_sim_seconds} simulated seconds "
-            f"(scenario {scenario.name})")
+        outcome = _determine_outcome(
+            client_app, server_app, client_tcp, server_tcp,
+            client_host, server_host,
+            scenario_name=scenario.name, max_sim_seconds=max_sim_seconds)
 
-    t_ch, t_sh, t_fin = tap.phase_times()
     # end of the handshake's wire activity (stale cancelled timers may have
     # advanced loop.now far beyond the last real packet)
-    wall_end = max(record.time for record in tap.records)
+    wall_end = max((record.time for record in tap.records), default=loop.now)
     labels = tuple(
         "/".join(r.segment.labels) for r in tap.records
         if r.direction == "s2c" and r.segment.labels
     )
-    if tracer.enabled:
+    if outcome.ok:
+        t_ch, t_sh, t_fin = tap.phase_times()
+    else:
+        t_ch = t_sh = t_fin = 0.0  # no complete handshake: no phase timings
+        if tracer.enabled:
+            tracer.instant("phases", f"failed:{outcome.key}", wall_end,
+                           cat="phase", detail=outcome.detail)
+        if metrics.enabled:
+            metrics.inc(f"handshake.failures.{outcome.key}")
+    if tracer.enabled and outcome.ok:
         # the phase lane Figure 1 defines, nested under one root span that
         # covers the entire simulated run (SYN to last trailing ACK)
         tracer.begin("phases", "handshake", 0.0, cat="batch",
@@ -155,9 +203,10 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
         tracer.span("phases", "tail (trailing ACKs)", t_fin, wall_end, cat="phase")
         tracer.end("phases", wall_end)
     if metrics.enabled:
-        metrics.observe("handshake.part_a", t_sh - t_ch)
-        metrics.observe("handshake.part_b", t_fin - t_sh)
-        metrics.observe("handshake.total", t_fin - t_ch)
+        if outcome.ok:
+            metrics.observe("handshake.part_a", t_sh - t_ch)
+            metrics.observe("handshake.part_b", t_fin - t_sh)
+            metrics.observe("handshake.total", t_fin - t_ch)
         metrics.inc("wire.c2s.bytes", tap.bytes_in_direction("c2s"))
         metrics.inc("wire.s2c.bytes", tap.bytes_in_direction("s2c"))
         metrics.inc("wire.c2s.packets", tap.packets_in_direction("c2s"))
@@ -175,6 +224,7 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
         client_cpu=client_host.cpu_log.total_by_library(),
         server_cpu=server_host.cpu_log.total_by_library(),
         flight_labels=labels,
+        outcome=outcome,
     )
 
 
@@ -192,6 +242,14 @@ class _ClientApp:
     def handshake_complete(self) -> bool:
         return self._tls.handshake_complete
 
+    @property
+    def failed(self) -> bool:
+        return self._tls.failed
+
+    @property
+    def failure(self):
+        return self._tls.failure
+
 
 class _ServerApp:
     def __init__(self, tls: TlsServer):
@@ -206,6 +264,14 @@ class _ServerApp:
     @property
     def handshake_complete(self) -> bool:
         return self._tls.handshake_complete
+
+    @property
+    def failed(self) -> bool:
+        return self._tls.failed
+
+    @property
+    def failure(self):
+        return self._tls.failure
 
 
 class Testbed:
@@ -233,6 +299,7 @@ class Testbed:
         self._handshake_index = 0
 
     def run_handshake(self, max_sim_seconds: float = 120.0, *,
+                      plan: FaultPlan | None = None,
                       tracer=NULL_TRACER, metrics=NULL_METRICS) -> HandshakeTrace:
         index = self._handshake_index
         self._handshake_index += 1
@@ -248,5 +315,6 @@ class Testbed:
             netem_drbg=self._drbg.fork(f"netem:{index}"),
             cost_model=self._cost_model,
             max_sim_seconds=max_sim_seconds,
+            plan=plan,
             tracer=tracer, metrics=metrics,
         )

@@ -13,6 +13,11 @@ from dataclasses import dataclass, field
 from repro.netsim.packets import Segment
 
 
+class MissingMarker(RuntimeError):
+    """A handshake phase marker never appeared on the wire (the handshake
+    failed or stalled before reaching it)."""
+
+
 @dataclass
 class TapRecord:
     time: float
@@ -56,11 +61,18 @@ class Timestamper:
                     (fin, "CCS+Fin", "c2s"))
                    if record is None]
         if missing:
-            raise RuntimeError(
+            raise MissingMarker(
                 "handshake markers missing from the tap records: "
                 + ", ".join(missing)
                 + f" ({len(self.records)} frames tapped)")
         return ch.time, sh.time, fin.time
+
+    def phase_times_or_none(self) -> tuple[float, float, float] | None:
+        """Like :meth:`phase_times`, but ``None`` for failed handshakes."""
+        try:
+            return self.phase_times()
+        except MissingMarker:
+            return None
 
     def part_a(self) -> float:
         t_ch, t_sh, _ = self.phase_times()

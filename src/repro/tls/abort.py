@@ -1,0 +1,71 @@
+"""Connection-abort machinery shared by the sans-io client and server.
+
+RFC 8446 §6.2: every handshake-time error is fatal. An endpoint that hits
+one sends a single alert record, enters a terminal FAILED state, and
+ignores everything the peer says afterwards; an endpoint that *receives*
+a fatal alert closes without echoing one back. Failures are recorded on
+the endpoint (``failed`` / ``failure`` / ``alert_sent`` /
+``alert_received``) instead of unwinding through the event loop, so the
+testbed can turn them into typed :class:`repro.faults.HandshakeOutcome`
+values.
+"""
+
+from __future__ import annotations
+
+from repro.tls.actions import Action, Send
+from repro.tls.errors import DecodeError, PeerAlert, TlsError, alert_name
+from repro.tls.records import decode_records, encode_alert
+
+# Malformed peer bytes can slip past explicit length checks and blow up in
+# struct-level parsing; at the record boundary they all mean decode_error.
+_PARSE_ERRORS = (ValueError, KeyError, IndexError, OverflowError)
+
+
+class AbortMixin:
+    """Failure bookkeeping + the guarded receive loop.
+
+    Hosts must provide ``_recv_buffer``, ``bytes_out``, ``_state`` and
+    ``_handle_record(record) -> list[Action]``.
+    """
+
+    failed = False
+    failure: TlsError | None = None
+    alert_sent: int | None = None
+    alert_received: int | None = None
+
+    def receive(self, data: bytes) -> list[Action]:
+        """Feed TCP bytes from the peer; returns ordered actions.
+
+        Never raises on peer-triggered errors: a failure aborts the
+        connection (alert on the wire, terminal state) and any bytes
+        arriving afterwards are silently ignored.
+        """
+        if self.failed:
+            return []
+        self._recv_buffer += data
+        actions: list[Action] = []
+        try:
+            records, self._recv_buffer = decode_records(self._recv_buffer)
+            for record in records:
+                if self.failed:
+                    break
+                actions.extend(self._handle_record(record))
+        except TlsError as error:
+            actions.extend(self._abort(error))
+        except _PARSE_ERRORS as error:
+            actions.extend(self._abort(DecodeError(f"malformed peer data: {error!r}")))
+        return actions
+
+    def _abort(self, error: TlsError) -> list[Action]:
+        """Enter the terminal FAILED state; emit our alert if we failed first."""
+        self.failed = True
+        self.failure = error
+        self._state = "failed"
+        if isinstance(error, PeerAlert):
+            # the peer aborted first: record its alert, never echo one back
+            self.alert_received = error.code
+            return []
+        self.alert_sent = error.alert
+        wire = encode_alert(error.alert).encode()
+        self.bytes_out += len(wire)
+        return [Send(wire, f"Alert({alert_name(error.alert)})")]

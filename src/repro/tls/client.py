@@ -13,16 +13,18 @@ from repro.pqc.registry import get_kem, get_sig
 from repro.tls import messages as msg
 from repro.tls.actions import Action, Compute, CryptoOp, Send
 from repro.tls.certs import Certificate, TrustStore
-from repro.tls.errors import HandshakeFailure, UnexpectedMessage
+from repro.tls.abort import AbortMixin
+from repro.tls.errors import HandshakeFailure, PeerAlert, TlsError, UnexpectedMessage
 from repro.tls.groups import SIGSCHEME_NAMES, group_id, sigscheme_id
 from repro.tls.keyschedule import KeySchedule, traffic_keys
 from repro.tls.records import (
+    CONTENT_ALERT,
     CONTENT_CHANGE_CIPHER_SPEC,
     CONTENT_HANDSHAKE,
     Record,
     RecordProtection,
     content_type_name,
-    decode_records,
+    decode_alert,
     encrypt_handshake_stream,
 )
 from repro.tls.transcript import TranscriptHash
@@ -33,7 +35,7 @@ _DECRYPT_DETAIL = {
 }
 
 
-class TlsClient:
+class TlsClient(AbortMixin):
     """One client-side handshake (fresh instance per connection)."""
 
     def __init__(self, kem_name: str, sig_name: str, trust_store: TrustStore,
@@ -55,6 +57,10 @@ class TlsClient:
         self._state = "start"
         self.handshake_complete = False
         self.bytes_out = 0
+        self.failed = False
+        self.failure: TlsError | None = None
+        self.alert_sent: int | None = None
+        self.alert_received: int | None = None
 
     def start(self) -> list[Action]:
         """Generate the key share and produce the ClientHello flight."""
@@ -81,19 +87,13 @@ class TlsClient:
         self._state = "wait_sh"
         return actions
 
-    # -- receive path ------------------------------------------------------------
-    def receive(self, data: bytes) -> list[Action]:
-        """Feed TCP bytes from the server; returns ordered actions."""
-        self._recv_buffer += data
-        records, self._recv_buffer = decode_records(self._recv_buffer)
-        actions: list[Action] = []
-        for record in records:
-            actions.extend(self._handle_record(record))
-        return actions
-
+    # -- receive path (the guarded loop itself lives in AbortMixin) --------------
     def _handle_record(self, record: Record) -> list[Action]:
         if record.content_type == CONTENT_CHANGE_CIPHER_SPEC:
             return []
+        if record.content_type == CONTENT_ALERT:
+            _level, description = decode_alert(record.payload)
+            raise PeerAlert(description)
         if self._state == "wait_sh":
             if record.content_type != CONTENT_HANDSHAKE:
                 raise UnexpectedMessage(

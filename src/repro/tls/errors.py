@@ -1,17 +1,65 @@
-"""TLS error types."""
+"""TLS error types and the RFC 8446 §6 alert descriptions they map to.
+
+Each error class carries the alert description its originating endpoint
+puts on the wire when aborting (RFC 8446 §6.2: every handshake failure is
+fatal). The reverse mapping (:func:`alert_name`) labels received alerts in
+outcomes and metrics.
+"""
+
+# RFC 8446 §6 AlertDescription values (the subset this stack can emit).
+ALERT_UNEXPECTED_MESSAGE = 10
+ALERT_BAD_RECORD_MAC = 20
+ALERT_HANDSHAKE_FAILURE = 40
+ALERT_DECODE_ERROR = 50
+ALERT_INTERNAL_ERROR = 80
+
+_ALERT_NAMES = {
+    ALERT_UNEXPECTED_MESSAGE: "unexpected_message",
+    ALERT_BAD_RECORD_MAC: "bad_record_mac",
+    ALERT_HANDSHAKE_FAILURE: "handshake_failure",
+    ALERT_DECODE_ERROR: "decode_error",
+    ALERT_INTERNAL_ERROR: "internal_error",
+}
+
+
+def alert_name(code: int) -> str:
+    """Human-readable RFC name for an alert description code."""
+    return _ALERT_NAMES.get(code, f"alert_{code}")
 
 
 class TlsError(Exception):
     """Base class for handshake and record failures."""
 
+    alert = ALERT_INTERNAL_ERROR  # description the aborting side sends
+
 
 class DecodeError(TlsError):
     """A peer message could not be parsed."""
+
+    alert = ALERT_DECODE_ERROR
+
+
+class BadRecordMac(TlsError):
+    """AEAD deprotection failed (tampered or corrupted ciphertext)."""
+
+    alert = ALERT_BAD_RECORD_MAC
 
 
 class HandshakeFailure(TlsError):
     """Negotiation or verification failed."""
 
+    alert = ALERT_HANDSHAKE_FAILURE
+
 
 class UnexpectedMessage(TlsError):
     """A message arrived in the wrong state."""
+
+    alert = ALERT_UNEXPECTED_MESSAGE
+
+
+class PeerAlert(TlsError):
+    """The remote endpoint aborted the handshake with a fatal alert."""
+
+    def __init__(self, code: int):
+        super().__init__(f"peer sent fatal alert: {alert_name(code)} ({code})")
+        self.code = code

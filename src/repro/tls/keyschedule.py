@@ -6,6 +6,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.crypto.hashes import hkdf_expand, hkdf_extract, hmac_digest
+from repro.tls.errors import HandshakeFailure
 
 HASH_LEN = 32
 KEY_LEN = 16
@@ -72,7 +73,7 @@ class KeySchedule:
     def derive_master(self, transcript_hash: bytes) -> None:
         """Derive application secrets once the server Finished is hashed."""
         if self.handshake_secret is None:
-            raise RuntimeError("handshake secret not established")
+            raise HandshakeFailure("handshake secret not established")
         derived = derive_secret(self.handshake_secret, "derived", self._empty_hash())
         self.master_secret = hkdf_extract(derived, b"\x00" * HASH_LEN)
         self.client_app_secret = derive_secret(

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.gcm import AesGcm
-from repro.tls.errors import DecodeError
+from repro.tls.errors import BadRecordMac, DecodeError
 from repro.tls.keyschedule import TrafficKeys
 
 CONTENT_CHANGE_CIPHER_SPEC = 20
@@ -111,7 +111,7 @@ class RecordProtection:
         try:
             inner = self._aead.decrypt(self._nonce(), record.payload, aad)
         except ValueError as exc:
-            raise DecodeError(f"record decryption failed: {exc}") from exc
+            raise BadRecordMac(f"record deprotection failed: {exc}") from exc
         self._sequence += 1
         # strip zero padding, last nonzero byte is the content type
         end = len(inner)
@@ -120,6 +120,26 @@ class RecordProtection:
         if end == 0:
             raise DecodeError("record of only padding")
         return inner[end - 1], inner[: end - 1]
+
+
+ALERT_LEVEL_FATAL = 2
+
+
+def encode_alert(description: int) -> Record:
+    """A fatal alert record (RFC 8446 §6: all handshake alerts are fatal).
+
+    Sent as a plaintext alert record even after keys are installed — a
+    documented simplification (DESIGN.md §9): the byte accounting is off
+    by the 17-byte AEAD expansion only on the already-failed path.
+    """
+    return Record(CONTENT_ALERT, bytes((ALERT_LEVEL_FATAL, description)))
+
+
+def decode_alert(payload: bytes) -> tuple[int, int]:
+    """Parse an alert body into ``(level, description)``."""
+    if len(payload) != 2:
+        raise DecodeError(f"alert record must be 2 bytes, got {len(payload)}")
+    return payload[0], payload[1]
 
 
 def encrypt_handshake_stream(protection: RecordProtection, payload: bytes) -> list[Record]:

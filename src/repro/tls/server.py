@@ -20,16 +20,18 @@ from repro.pqc.registry import get_kem, get_sig
 from repro.tls import messages as msg
 from repro.tls.actions import Action, Compute, CryptoOp, Send
 from repro.tls.certs import Certificate
-from repro.tls.errors import HandshakeFailure, UnexpectedMessage
+from repro.tls.abort import AbortMixin
+from repro.tls.errors import HandshakeFailure, PeerAlert, TlsError, UnexpectedMessage
 from repro.tls.groups import GROUP_NAMES, group_id, sigscheme_id
 from repro.tls.keyschedule import KeySchedule, traffic_keys
 from repro.tls.records import (
+    CONTENT_ALERT,
     CONTENT_CHANGE_CIPHER_SPEC,
     CONTENT_HANDSHAKE,
     Record,
     RecordProtection,
-    decode_records,
     content_type_name,
+    decode_alert,
     encrypt_handshake_stream,
     fragment_handshake,
 )
@@ -83,7 +85,7 @@ class _FlightBuffer:
         return []
 
 
-class TlsServer:
+class TlsServer(AbortMixin):
     """One server-side handshake (fresh instance per connection)."""
 
     def __init__(self, kem_name: str, sig_name: str, certificate: Certificate,
@@ -101,24 +103,23 @@ class TlsServer:
         self._schedule = KeySchedule()
         self._recv_buffer = b""
         self._hs_stream = b""
+        self._fin_stream = b""  # reassembles a client Finished split across records
         self._client_fin_protection: RecordProtection | None = None
         self._state = "start"
         self.handshake_complete = False
         self.bytes_out = 0
+        self.failed = False
+        self.failure: TlsError | None = None
+        self.alert_sent: int | None = None
+        self.alert_received: int | None = None
 
-    # -- main entry point ---------------------------------------------------
-    def receive(self, data: bytes) -> list[Action]:
-        """Feed TCP bytes from the client; returns ordered actions."""
-        self._recv_buffer += data
-        records, self._recv_buffer = decode_records(self._recv_buffer)
-        actions: list[Action] = []
-        for record in records:
-            actions.extend(self._handle_record(record))
-        return actions
-
+    # -- main entry point (the guarded receive loop lives in AbortMixin) -----
     def _handle_record(self, record: Record) -> list[Action]:
         if record.content_type == CONTENT_CHANGE_CIPHER_SPEC:
             return []
+        if record.content_type == CONTENT_ALERT:
+            _level, description = decode_alert(record.payload)
+            raise PeerAlert(description)
         if self._state == "start":
             if record.content_type != CONTENT_HANDSHAKE:
                 raise UnexpectedMessage(
@@ -238,9 +239,10 @@ class TlsServer:
             raise UnexpectedMessage(
                 "expected encrypted handshake record, got inner "
                 f"{content_type_name(content_type)}")
-        msgs, leftover = msg.iter_handshake_messages(plaintext)
-        if leftover:
-            raise UnexpectedMessage("fragmented client Finished not supported")
+        # a Finished split across record boundaries (RFC 8446 §5.1 allows any
+        # fragmentation) reassembles here; incomplete tails wait for more bytes
+        self._fin_stream += plaintext
+        msgs, self._fin_stream = msg.iter_handshake_messages(self._fin_stream)
         actions: list[Action] = []
         for msg_type, body, raw in msgs:
             if msg_type != msg.HT_FINISHED:

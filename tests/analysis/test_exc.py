@@ -1,4 +1,6 @@
-"""EXC checker: broad excepts and mutable defaults."""
+"""EXC checker: broad excepts, mutable defaults, untyped sim-layer raises."""
+
+import pytest
 
 
 def codes(report):
@@ -77,5 +79,58 @@ def test_none_default_is_clean(lint):
             bucket = bucket if bucket is not None else []
             bucket.append(item)
             return bucket
+    """, select=["exc"])
+    assert codes(report) == []
+
+
+@pytest.mark.parametrize("unit", ["tls", "faults", "netsim"])
+def test_bare_runtime_error_flagged_in_sim_layers(lint, unit):
+    report = lint(f"repro/{unit}/fix.py", """
+        def step(state):
+            if state is None:
+                raise RuntimeError("impossible state")
+    """, select=["exc"])
+    assert codes(report) == ["EXC003"]
+    assert "untyped" in report.findings[0].message
+
+
+def test_bare_runtime_error_without_call_flagged(lint):
+    report = lint("repro/netsim/fix.py", """
+        def step():
+            raise RuntimeError
+    """, select=["exc"])
+    assert codes(report) == ["EXC003"]
+
+
+def test_named_runtime_error_subclass_is_clean(lint):
+    report = lint("repro/netsim/fix.py", """
+        class EventLoopStuck(RuntimeError):
+            pass
+
+        def step(pending):
+            if pending > 10_000:
+                raise EventLoopStuck(f"{pending} events pending")
+    """, select=["exc"])
+    assert codes(report) == []
+
+
+def test_runtime_error_outside_sim_layers_is_clean(lint):
+    # core/analysis run outside the event loop: a RuntimeError there
+    # surfaces normally and EXC003 stays out of the way
+    report = lint("repro/core/fix.py", """
+        def resolve(jobs):
+            if jobs is None:
+                raise RuntimeError("no job count")
+    """, select=["exc"])
+    assert codes(report) == []
+
+
+def test_reraise_in_sim_layer_is_clean(lint):
+    report = lint("repro/tls/fix.py", """
+        def guarded(op):
+            try:
+                return op()
+            except ValueError:
+                raise
     """, select=["exc"])
     assert codes(report) == []

@@ -204,6 +204,33 @@ def test_progress_reported_for_hits_and_misses(cold_cache, multicore):
     assert sorted(c[1] for c in calls) == list(range(len(SMALL_SET)))
 
 
+def test_fault_campaign_failure_sets_identical_serial_and_parallel(
+        tmp_path, monkeypatch, multicore):
+    """The determinism contract under chaos: same configs + seeds + fault
+    plans produce bit-identical outcome histograms at --jobs 1 and N."""
+    fault_set = [
+        ExperimentConfig(kem="x25519", sig="rsa:1024", scenario="5g",
+                         faults="chaos", max_samples=20, duration=30.0,
+                         handshake_timeout=0.2),
+        ExperimentConfig(kem="x25519", sig="rsa:1024", scenario="high-loss",
+                         faults="bit-rot", max_samples=10, duration=10.0),
+        ExperimentConfig(kem="x25519", sig="rsa:1024", scenario="lte-m",
+                         faults="dup", max_samples=10, duration=10.0),
+    ]
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    serial = run_campaign(fault_set, jobs=1, metrics=Metrics())
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel = run_campaign(fault_set, jobs=3, metrics=Metrics())
+    assert parallel == serial                      # full ExperimentResult eq
+    for key, result in serial.items():
+        assert result.outcomes == parallel[key].outcomes
+        # every attempt is accounted for: successes + failures
+        assert sum(result.outcomes.values()) == \
+            len(result.total_samples) + result.n_failures
+    # the chaos/5g config is the one that actually exercises failures
+    assert serial[fault_set[0].key].n_failures > 0
+
+
 # -- single-flight recording -------------------------------------------------
 
 def test_single_flight_records_each_script_once(cold_cache, multicore):

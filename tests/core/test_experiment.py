@@ -1,4 +1,4 @@
-"""Experiment runner: sampling, extrapolation, caching."""
+"""Experiment runner: sampling, extrapolation, caching, failure handling."""
 
 import pytest
 
@@ -7,6 +7,7 @@ from repro.core.experiment import (
     ExperimentConfig,
     run_experiment,
 )
+from repro.faults.errors import FailureQuotaExceeded
 from repro.obs.metrics import Metrics
 
 
@@ -132,6 +133,88 @@ def test_profiling_increases_cpu_costs(baseline):
     profiled = run_experiment(ExperimentConfig(
         kem="x25519", sig="rsa:1024", profiling=True))
     assert profiled.server_cpu_ms > baseline.server_cpu_ms * 1.2
+
+
+# -- fault plans and failure semantics ---------------------------------------
+
+def test_fault_knobs_extend_key_only_when_set():
+    base = ExperimentConfig(kem="x25519", sig="rsa:1024")
+    # defaults leave the key byte-identical to the pre-fault format, so
+    # existing cache entries stay addressable
+    assert "faults" not in base.key
+    assert "hsto" not in base.key and "quota" not in base.key
+    chaotic = ExperimentConfig(kem="x25519", sig="rsa:1024", faults="chaos")
+    assert "faults=corrupt=0.01" in chaotic.key
+    timed = ExperimentConfig(kem="x25519", sig="rsa:1024", handshake_timeout=1.0,
+                             failure_quota=3)
+    assert "hsto=1.0" in timed.key and "quota=3" in timed.key
+    # a named plan and its equivalent spec canonicalize to the same key
+    spec = ExperimentConfig(
+        kem="x25519", sig="rsa:1024",
+        faults="corrupt=0.01,dup=0.02,reorder=0.05,reorder_delay=0.02")
+    assert spec.key == chaotic.key
+
+
+def test_successful_run_outcomes_all_success(baseline):
+    outcomes = getattr(baseline, "outcomes", {})
+    assert outcomes == {"success": len(baseline.total_samples)}
+    assert baseline.n_failures == 0
+
+
+def test_retry_with_fresh_seed_fills_the_sample_budget(monkeypatch):
+    """A failed handshake must not end the run: the next attempt forks a
+    fresh netem seed and the sample budget still fills."""
+    from repro.netsim import tcp
+
+    monkeypatch.setattr(tcp, "MAX_RETRIES", 1)  # make lte-m loss lethal
+    result = run_experiment(ExperimentConfig(
+        kem="x25519", sig="rsa:1024", scenario="lte-m", faults="chaos",
+        max_samples=15, duration=30.0), use_cache=False)
+    assert result.outcomes == {"success": 15, "transport-error": 2}
+    assert result.n_failures == 2
+    assert len(result.total_samples) == 15
+    # failure counters surfaced through the run's metrics snapshot
+    assert result.metrics["counters"]["handshake.failures.transport-error"] == 2
+
+
+def test_failure_quota_exceeded_raises_typed_error(monkeypatch):
+    from repro.netsim import tcp
+
+    monkeypatch.setattr(tcp, "MAX_RETRIES", 0)  # every lossy handshake dies
+    with pytest.raises(FailureQuotaExceeded, match="quota 2"):
+        run_experiment(ExperimentConfig(
+            kem="x25519", sig="rsa:1024", scenario="lte-m", max_samples=15,
+            duration=30.0, failure_quota=2), use_cache=False)
+
+
+def test_all_timeouts_is_a_typed_failure_not_a_hang():
+    # lte-m needs >= 1 RTT (0.2 s); a 0.05 s watchdog kills every attempt
+    # and each one charges the full timeout against the period
+    with pytest.raises(FailureQuotaExceeded, match="no successful handshake"):
+        run_experiment(ExperimentConfig(
+            kem="x25519", sig="rsa:1024", scenario="lte-m", duration=1.0,
+            handshake_timeout=0.05), use_cache=False)
+
+
+def test_mixed_outcomes_deterministic_and_cached(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    config = ExperimentConfig(kem="x25519", sig="rsa:1024", scenario="5g",
+                              faults="chaos", max_samples=20, duration=30.0,
+                              handshake_timeout=0.2)
+    cold = run_experiment(config)
+    assert cold.outcomes == {"success": 20, "timeout": 10}
+    warm = run_experiment(config)          # cache hit
+    assert warm.outcomes == cold.outcomes
+    assert warm.total_samples == cold.total_samples
+    rerun = run_experiment(config, use_cache=False)  # recomputed
+    assert rerun.outcomes == cold.outcomes
+
+
+def test_deliver_mode_corruption_rejected_for_scripted_replay():
+    with pytest.raises(ValueError, match="deliver-mode"):
+        run_experiment(ExperimentConfig(
+            kem="x25519", sig="rsa:1024",
+            faults="corrupt=0.1,corrupt_mode=deliver"))
 
 
 def test_scenario_latency_ordering():

@@ -1,0 +1,60 @@
+"""HandshakeOutcome: the typed terminal state of every simulated handshake."""
+
+from repro.faults.outcome import (
+    FAILURE_KINDS,
+    KIND_ALERT,
+    KIND_SUCCESS,
+    KIND_TIMEOUT,
+    KIND_TRANSPORT,
+    SUCCESS,
+    HandshakeOutcome,
+)
+from repro.tls.errors import (
+    ALERT_BAD_RECORD_MAC,
+    ALERT_HANDSHAKE_FAILURE,
+    ALERT_UNEXPECTED_MESSAGE,
+)
+
+
+def test_success_singleton():
+    assert SUCCESS.ok
+    assert SUCCESS.kind == KIND_SUCCESS
+    assert SUCCESS.key == "success"
+    assert SUCCESS == HandshakeOutcome.success()
+
+
+def test_failure_kinds_are_not_ok():
+    assert set(FAILURE_KINDS) == {KIND_ALERT, KIND_TIMEOUT, KIND_TRANSPORT}
+    assert not HandshakeOutcome.timeout("clock ran out").ok
+    assert not HandshakeOutcome.transport("tcp gave up").ok
+    assert not HandshakeOutcome.from_alert(ALERT_BAD_RECORD_MAC).ok
+
+
+def test_alert_outcomes_carry_code_and_dotted_key():
+    outcome = HandshakeOutcome.from_alert(ALERT_BAD_RECORD_MAC, detail="boom")
+    assert outcome.kind == KIND_ALERT
+    assert outcome.alert == ALERT_BAD_RECORD_MAC
+    assert outcome.detail == "boom"
+    assert outcome.key == "alert.bad_record_mac"
+    assert HandshakeOutcome.from_alert(ALERT_HANDSHAKE_FAILURE).key == \
+        "alert.handshake_failure"
+    assert HandshakeOutcome.from_alert(ALERT_UNEXPECTED_MESSAGE).key == \
+        "alert.unexpected_message"
+
+
+def test_non_alert_keys_are_the_kind():
+    assert HandshakeOutcome.timeout().key == "timeout"
+    assert HandshakeOutcome.transport().key == "transport-error"
+
+
+def test_unknown_alert_code_still_produces_stable_key():
+    key = HandshakeOutcome.from_alert(199).key
+    assert key.startswith("alert.")
+    assert key == HandshakeOutcome.from_alert(199).key
+
+
+def test_outcomes_are_frozen_and_hashable():
+    a = HandshakeOutcome.timeout("x")
+    b = HandshakeOutcome.timeout("x")
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b, SUCCESS}) == 2

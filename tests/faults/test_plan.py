@@ -1,0 +1,92 @@
+"""FaultPlan DSL: validation, canonical specs, parsing, the named table."""
+
+import pytest
+
+from repro.faults.plan import (
+    CORRUPT_CHECKSUM,
+    CORRUPT_DELIVER,
+    FAULT_PLANS,
+    FaultPlan,
+    resolve_fault_plan,
+)
+
+
+def test_default_plan_is_inactive():
+    plan = FaultPlan()
+    assert not plan.active
+    assert plan.spec == "none"
+    assert plan.corrupt_mode == CORRUPT_CHECKSUM
+
+
+def test_any_knob_activates():
+    assert FaultPlan(corrupt=0.1).active
+    assert FaultPlan(corrupt_nth=3).active
+    assert FaultPlan(dup=0.1).active
+    assert FaultPlan(reorder=0.1).active
+    # reorder_delay alone is a parameter, not a knob
+    assert not FaultPlan(reorder_delay=0.5).active
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"corrupt": -0.1},
+    {"corrupt": 1.5},
+    {"dup": 2.0},
+    {"reorder": -1e-9},
+    {"corrupt_nth": -1},
+    {"reorder_delay": -0.01},
+    {"corrupt_mode": "maybe"},
+])
+def test_invalid_knobs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FaultPlan(**kwargs)
+
+
+def test_spec_omits_defaults_and_orders_fields():
+    plan = FaultPlan(reorder=0.1, corrupt=0.02)
+    # field order, not insertion order: stable across processes
+    assert plan.spec == "corrupt=0.02,reorder=0.1"
+    assert FaultPlan(corrupt_nth=4, corrupt_mode=CORRUPT_DELIVER).spec == \
+        "corrupt_nth=4,corrupt_mode=deliver"
+
+
+@pytest.mark.parametrize("plan", list(FAULT_PLANS.values()) + [
+    FaultPlan(corrupt=0.5, corrupt_nth=2, dup=0.25, reorder=1.0, reorder_delay=0.125),
+])
+def test_spec_parse_roundtrip(plan):
+    assert FaultPlan.parse(plan.spec) == plan
+
+
+def test_parse_rejects_unknown_key_and_bad_shape():
+    with pytest.raises(ValueError, match="key=value"):
+        FaultPlan.parse("jitter=0.1")
+    with pytest.raises(ValueError, match="key=value"):
+        FaultPlan.parse("corrupt")
+
+
+def test_parse_empty_and_none_are_the_inactive_plan():
+    assert FaultPlan.parse("") == FaultPlan()
+    assert FaultPlan.parse("none") == FaultPlan()
+
+
+def test_named_plans_sane():
+    assert FAULT_PLANS["none"] == FaultPlan()
+    assert not FAULT_PLANS["none"].active
+    for name, plan in FAULT_PLANS.items():
+        if name != "none":
+            assert plan.active, name
+    # the chaos plan exercises every probabilistic knob at once
+    chaos = FAULT_PLANS["chaos"]
+    assert chaos.corrupt and chaos.dup and chaos.reorder
+
+
+def test_resolve_accepts_plan_name_spec_and_none():
+    assert resolve_fault_plan(None) == FaultPlan()
+    assert resolve_fault_plan("dup") is FAULT_PLANS["dup"]
+    assert resolve_fault_plan("corrupt=0.5") == FaultPlan(corrupt=0.5)
+    plan = FaultPlan(reorder=0.2)
+    assert resolve_fault_plan(plan) is plan
+
+
+def test_resolve_rejects_garbage():
+    with pytest.raises(ValueError):
+        resolve_fault_plan("definitely-not-a-plan")

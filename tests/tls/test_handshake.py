@@ -6,7 +6,12 @@ from repro.crypto.drbg import Drbg
 from repro.tls.actions import Send
 from repro.tls.certs import TrustStore, make_server_credentials
 from repro.tls.client import TlsClient
-from repro.tls.errors import HandshakeFailure
+from repro.tls.errors import (
+    ALERT_BAD_RECORD_MAC,
+    ALERT_HANDSHAKE_FAILURE,
+    BadRecordMac,
+    HandshakeFailure,
+)
 from repro.tls.server import BufferPolicy, TlsServer
 
 
@@ -59,8 +64,14 @@ def test_group_mismatch_fails_closed():
     server = TlsServer("kyber512", "rsa:1024", cert, sk, drbg.fork("s"))
     actions = client.start()
     wire = b"".join(a.data for a in actions if isinstance(a, Send))
-    with pytest.raises(HandshakeFailure, match="offered"):
-        server.receive(wire)
+    sends = [a for a in server.receive(wire) if isinstance(a, Send)]
+    assert server.failed and not server.handshake_complete
+    assert isinstance(server.failure, HandshakeFailure)
+    assert "offered" in str(server.failure)
+    assert server.alert_sent == ALERT_HANDSHAKE_FAILURE
+    assert sends and "Alert" in sends[-1].label
+    # terminal: further bytes are dead letters
+    assert server.receive(wire) == []
 
 
 def test_sig_scheme_mismatch_fails_closed():
@@ -69,8 +80,9 @@ def test_sig_scheme_mismatch_fails_closed():
     client = TlsClient("x25519", "rsa:1024", store, drbg.fork("c"))
     server = TlsServer("x25519", "falcon512", cert, sk, drbg.fork("s"))
     wire = b"".join(a.data for a in client.start() if isinstance(a, Send))
-    with pytest.raises(HandshakeFailure, match="does not accept"):
-        server.receive(wire)
+    server.receive(wire)
+    assert server.failed and "does not accept" in str(server.failure)
+    assert server.alert_sent == ALERT_HANDSHAKE_FAILURE
 
 
 def test_client_rejects_untrusted_certificate():
@@ -81,16 +93,21 @@ def test_client_rejects_untrusted_certificate():
     server = TlsServer("x25519", "rsa:1024", cert, sk, drbg.fork("s"))
     wire = b"".join(a.data for a in client.start() if isinstance(a, Send))
     server_out = b"".join(a.data for a in server.receive(wire) if isinstance(a, Send))
-    with pytest.raises(HandshakeFailure):
-        client.receive(server_out)
+    client.receive(server_out)
+    assert client.failed and not client.handshake_complete
+    assert isinstance(client.failure, HandshakeFailure)
+    assert client.alert_sent == ALERT_HANDSHAKE_FAILURE
 
 
 def test_client_rejects_wrong_server_name():
     drbg = Drbg("sni")
     creds = make_server_credentials("rsa:1024", drbg.fork("ca"))
-    with pytest.raises(HandshakeFailure, match="subject"):
-        lockstep("x25519", "rsa:1024", creds=creds, seed="sni-run",
-                 client_kwargs={"server_name": "other.host"})
+    client, server, _ = lockstep("x25519", "rsa:1024", creds=creds, seed="sni-run",
+                                 client_kwargs={"server_name": "other.host"})
+    assert client.failed and "subject" in str(client.failure)
+    # the client's alert reached the server, which closed without echoing
+    assert server.failed and server.alert_received == client.alert_sent
+    assert server.alert_sent is None
 
 
 def test_tampered_server_flight_detected():
@@ -102,9 +119,10 @@ def test_tampered_server_flight_detected():
     server_out = bytearray(
         b"".join(a.data for a in server.receive(wire) if isinstance(a, Send)))
     server_out[-20] ^= 0x01  # corrupt an encrypted byte near the Finished
-    with pytest.raises(Exception):
-        client.receive(bytes(server_out))
-    assert not client.handshake_complete
+    client.receive(bytes(server_out))
+    assert client.failed and not client.handshake_complete
+    assert isinstance(client.failure, BadRecordMac)
+    assert client.alert_sent == ALERT_BAD_RECORD_MAC
 
 
 def test_hybrid_handshake_secret_length():

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.tls.errors import HandshakeFailure
 from repro.tls.keyschedule import (
     KeySchedule,
     derive_secret,
@@ -73,7 +74,7 @@ def test_variable_length_shared_secrets_accepted():
 
 
 def test_derive_master_requires_handshake_secret():
-    with pytest.raises(RuntimeError):
+    with pytest.raises(HandshakeFailure):
         KeySchedule().derive_master(b"\x00" * 32)
 
 

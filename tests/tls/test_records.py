@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.tls.errors import DecodeError
+from repro.tls.errors import BadRecordMac, DecodeError
 from repro.tls.keyschedule import TrafficKeys
 from repro.tls.records import (
     CONTENT_APPLICATION_DATA,
@@ -83,7 +83,7 @@ def test_out_of_order_decryption_fails():
     recv = RecordProtection(_keys())
     send.encrypt(CONTENT_HANDSHAKE, b"one")
     r2 = send.encrypt(CONTENT_HANDSHAKE, b"two")
-    with pytest.raises(DecodeError):
+    with pytest.raises(BadRecordMac):
         recv.decrypt(r2)  # receiver still expects sequence 0
 
 
@@ -92,7 +92,7 @@ def test_tampered_record_rejected():
     recv = RecordProtection(_keys())
     record = send.encrypt(CONTENT_HANDSHAKE, b"payload")
     bad = Record(record.content_type, bytes([record.payload[0] ^ 1]) + record.payload[1:])
-    with pytest.raises(DecodeError):
+    with pytest.raises(BadRecordMac):
         recv.decrypt(bad)
 
 

@@ -6,7 +6,7 @@ from repro.crypto.drbg import Drbg
 from repro.tls.actions import Send
 from repro.tls.certs import make_server_credentials
 from repro.tls.client import TlsClient
-from repro.tls.errors import DecodeError, TlsError
+from repro.tls.errors import BadRecordMac, TlsError
 from repro.tls.server import TlsServer
 from repro.tls.session import SecureChannel, establish_channels
 
@@ -57,7 +57,7 @@ def test_tampering_detected(completed_handshake):
     client_chan, server_chan = establish_channels(*completed_handshake)
     wire = bytearray(client_chan.send(b"important"))
     wire[8] ^= 0x01
-    with pytest.raises(DecodeError):
+    with pytest.raises(BadRecordMac):
         server_chan.receive(bytes(wire))
 
 
@@ -65,7 +65,7 @@ def test_direction_separation(completed_handshake):
     """A client record replayed to the client itself must not decrypt."""
     client_chan, _ = establish_channels(*completed_handshake)
     wire = client_chan.send(b"loopback?")
-    with pytest.raises(DecodeError):
+    with pytest.raises(BadRecordMac):
         client_chan.receive(wire)
 
 
