@@ -32,7 +32,9 @@ from pathlib import Path
 from repro.core import campaign
 from repro.core.executor import run_campaign
 from repro.core.experiment import ExperimentConfig
+from repro.obs.hostmeta import host_metadata, serial_fallback_reason
 from repro.obs.metrics import Metrics
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 
 OUT_DEFAULT = Path(__file__).parent / "out" / "BENCH_campaign.json"
 
@@ -58,12 +60,14 @@ def bench_grid(jobs: int) -> list[ExperimentConfig]:
     return configs
 
 
-def timed_run(configs, jobs: int, cache_dir: str) -> dict:
+def timed_run(configs, jobs: int, cache_dir: str,
+              recorder=NULL_RECORDER, set_name: str = "campaign") -> dict:
     """One cold + one warm pass at the given parallelism."""
     os.environ["REPRO_CACHE_DIR"] = cache_dir
     stats: dict = {}
     start = time.perf_counter()
-    results = run_campaign(configs, jobs=jobs, metrics=Metrics(), stats=stats)
+    results = run_campaign(configs, jobs=jobs, metrics=Metrics(), stats=stats,
+                           set_name=set_name, recorder=recorder)
     cold = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -92,6 +96,9 @@ def main(argv=None) -> int:
                              "the synthetic bench grid")
     parser.add_argument("--out", type=Path, default=OUT_DEFAULT,
                         help=f"output JSON (default {OUT_DEFAULT})")
+    parser.add_argument("--flight-record", type=Path, default=None,
+                        help="write a flight-recorder JSONL covering the "
+                             "cold passes (serial + parallel)")
     args = parser.parse_args(argv)
 
     # mirror the executor's clamp: requesting more workers than cores
@@ -105,18 +112,25 @@ def main(argv=None) -> int:
     print(f"[bench_campaign] {label}: {len(configs)} experiments, "
           f"serial then --jobs {jobs} (cold cache each)", file=sys.stderr)
 
+    recorder = (FlightRecorder(args.flight_record)
+                if args.flight_record else NULL_RECORDER)
     saved_cache = os.environ.get("REPRO_CACHE_DIR")
     try:
         with tempfile.TemporaryDirectory(prefix="bench-serial-") as cache_dir:
-            serial = timed_run(configs, 1, cache_dir)
-        if jobs <= 1:
-            # the executor falls back to the exact serial path at jobs=1,
-            # so a second timed run would only measure re-run noise
-            parallel = dict(serial, jobs=jobs, serial_fallback=True)
+            serial = timed_run(configs, 1, cache_dir, recorder,
+                               f"{label}-serial")
+        fallback = serial_fallback_reason(jobs, os.cpu_count())
+        if fallback:
+            # the executor falls back to the exact serial path, so a
+            # second timed run would only measure re-run noise
+            parallel = dict(serial, jobs=jobs, serial_fallback=True,
+                            serial_fallback_reason=fallback)
         else:
             with tempfile.TemporaryDirectory(prefix="bench-parallel-") as cache_dir:
-                parallel = timed_run(configs, jobs, cache_dir)
+                parallel = timed_run(configs, jobs, cache_dir, recorder,
+                                     f"{label}-j{jobs}")
     finally:
+        recorder.close()
         if saved_cache is None:
             os.environ.pop("REPRO_CACHE_DIR", None)
         else:
@@ -124,7 +138,7 @@ def main(argv=None) -> int:
 
     payload = {
         "set": label,
-        "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
         "serial": serial,
         "parallel": parallel,
         "speedup_cold": round(serial["cold_s"] / parallel["cold_s"], 3),
@@ -136,6 +150,9 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(payload, indent=1) + "\n")
     print(json.dumps(payload, indent=1))
     print(f"wrote {args.out}", file=sys.stderr)
+    if recorder.enabled:
+        print(f"wrote {recorder.path} ({len(recorder.events)} events)",
+              file=sys.stderr)
     return 0
 
 

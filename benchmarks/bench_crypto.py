@@ -27,13 +27,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import time
 from pathlib import Path
 
 from repro.crypto import kernels
 from repro.crypto.drbg import Drbg
+from repro.obs.hostmeta import host_metadata
 from repro.pqc.registry import get_kem, get_sig
 
 OUT_DEFAULT = Path(__file__).parent / "out" / "BENCH_crypto.json"
@@ -170,10 +169,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report: dict = {
-        "host": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
+        "host": host_metadata(),
         "kems": {}, "sigs": {}, "primitives": {},
     }
     agg_ref = agg_fast = 0.0

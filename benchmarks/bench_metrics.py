@@ -1,0 +1,130 @@
+"""Histogram quantile-path microbenchmarks (`repro.obs.metrics`).
+
+Two measurements, written to ``benchmarks/out/BENCH_metrics.json``:
+
+- **Cached sorted view.** ``Histogram.quantile`` used to re-sort the
+  sample list on every call; it now keeps a sorted view that is
+  invalidated on ``observe`` and rebuilt at most once per write. The
+  bench interleaves quantile reads with occasional writes (the shape of
+  a live progress display polling p99 mid-campaign) and times the same
+  workload against a deliberately cache-less re-sort, reporting the
+  speedup.
+- **Streaming spill.** Feeding 100k observations through a Histogram
+  with the default retention bound must stay O(1) in memory (the exact
+  window spills into the DDSketch + reservoir pair). Reports wall time,
+  the retained bucket count, and the observed relative error of
+  p50/p90/p99 against the exact offline quantiles — the number that
+  backs the documented ``relative_accuracy`` bound.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_metrics.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.obs.hostmeta import host_metadata
+from repro.obs.metrics import DEFAULT_RETENTION, Histogram
+
+OUT_DEFAULT = Path(__file__).parent / "out" / "BENCH_metrics.json"
+
+# cached-sort workload: a window of samples polled for quantiles far
+# more often than it is written, as the live progress line does
+WINDOW = 2000
+READS_PER_WRITE = 50
+WRITES = 200
+
+STREAM_N = 100_000
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def synthetic_latencies(n: int, seed: int = 0xC0FFEE) -> list[float]:
+    """Deterministic long-tailed 'handshake latency' stream (seconds)."""
+    rng = random.Random(seed)
+    return [0.001 + rng.expovariate(1 / 0.042) for _ in range(n)]
+
+
+def bench_cached_sort() -> dict:
+    values = synthetic_latencies(WINDOW + WRITES)
+
+    def workload(quantile_of) -> float:
+        histogram = Histogram("bench.latency", retention=10 ** 9)
+        for value in values[:WINDOW]:
+            histogram.observe(value)
+        sink = 0.0
+        start = time.perf_counter()
+        for value in values[WINDOW:]:
+            histogram.observe(value)
+            for _ in range(READS_PER_WRITE):
+                sink += quantile_of(histogram, 0.99)
+        elapsed = time.perf_counter() - start
+        assert sink > 0
+        return elapsed
+
+    cached = workload(lambda h, q: h.quantile(q))
+
+    def resort_every_call(histogram, q):  # what the old implementation did
+        ordered = sorted(histogram.samples)
+        return ordered[round(q * (len(ordered) - 1))]
+
+    naive = workload(resort_every_call)
+    return {
+        "reads": WRITES * READS_PER_WRITE,
+        "window": WINDOW,
+        "cached_s": round(cached, 4),
+        "resort_s": round(naive, 4),
+        "speedup": round(naive / cached, 2),
+    }
+
+
+def bench_streaming_spill() -> dict:
+    values = synthetic_latencies(STREAM_N)
+    exact = sorted(values)
+    histogram = Histogram("bench.stream")
+    start = time.perf_counter()
+    for value in values:
+        histogram.observe(value)
+    elapsed = time.perf_counter() - start
+
+    entry = histogram.snapshot_entry()
+    streaming = entry["streaming"]
+    errors = {}
+    for q in QUANTILES:
+        true = exact[round(q * (STREAM_N - 1))]
+        errors[f"p{int(q * 100)}_rel_err"] = round(
+            abs(histogram.quantile(q) - true) / true, 5)
+    return {
+        "observations": STREAM_N,
+        "retention": DEFAULT_RETENTION,
+        "observe_s": round(elapsed, 4),
+        "retained_buckets": len(streaming["sketch"]["buckets"]),
+        "reservoir_k": len(streaming["reservoir"]),
+        **errors,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=OUT_DEFAULT)
+    args = parser.parse_args(argv)
+
+    report = {
+        "host": host_metadata(),
+        "quantile_cached_sort": bench_cached_sort(),
+        "streaming_spill": bench_streaming_spill(),
+    }
+    print(json.dumps(report, indent=2))
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[artifact] {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,5 +1,5 @@
 """Built-in checkers; importing this package registers all of them."""
 
-from repro.analysis.checkers import ct, det, exc, layer, wire
+from repro.analysis.checkers import ct, det, exc, layer, obs, wire
 
-__all__ = ["ct", "det", "exc", "layer", "wire"]
+__all__ = ["ct", "det", "exc", "layer", "obs", "wire"]

@@ -40,6 +40,11 @@ ALLOWED_IMPORTS: dict[str, set[str]] = {
 _IO_STDLIB = {"socket", "asyncio", "selectors", "ssl", "threading", "multiprocessing"}
 _IO_FORBIDDEN_UNITS = {"crypto", "pqc", "tls", "faults", "netsim", "obs", "cache"}
 
+# named exemptions: (module, stdlib root) pairs allowed despite the rule.
+# The self-profiler needs a sampling thread over the *host* clock; it only
+# reads interpreter frames and never touches simulation state.
+_IO_EXEMPT = {("repro.obs.profiler", "threading")}
+
 
 def unit_of(module: str) -> str | None:
     """The layer unit of a dotted repro module name (None if not repro)."""
@@ -90,7 +95,8 @@ class LayerChecker(Checker):
                 target_unit = unit_of(target)
                 if target_unit is None:
                     root = target.split(".")[0]
-                    if root in _IO_STDLIB and unit in _IO_FORBIDDEN_UNITS:
+                    if root in _IO_STDLIB and unit in _IO_FORBIDDEN_UNITS \
+                            and (ctx.module, root) not in _IO_EXEMPT:
                         yield finding(
                             "LAYER002", node,
                             f"repro.{unit} imports `{root}`: the stack is sans-io "

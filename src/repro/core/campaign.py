@@ -11,6 +11,7 @@ from typing import Iterable
 from repro.core.executor import run_campaign
 from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.recorder import NULL_RECORDER
 from repro.obs.tracer import NULL_TRACER
 from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES, LEVEL_GROUPS
 
@@ -109,15 +110,17 @@ EXPERIMENT_SETS = {
 
 
 def run_set(name: str, progress=None, metrics=NULL_METRICS,
-            jobs: int | None = 1,
-            tracer=NULL_TRACER) -> dict[str, ExperimentResult]:
+            jobs: int | None = 1, tracer=NULL_TRACER,
+            recorder=NULL_RECORDER) -> dict[str, ExperimentResult]:
     """Run one named experiment set; returns results keyed by config key.
 
     Pass a :class:`repro.obs.metrics.Metrics` as ``metrics`` to accumulate
     every experiment's counters into one campaign-level registry. ``jobs``
     fans cache misses over that many worker processes via
     :mod:`repro.core.executor` (``None`` = one per CPU); results and the
-    merged metrics are identical to the serial ``jobs=1`` path.
+    merged metrics are identical to the serial ``jobs=1`` path. A
+    :class:`repro.obs.recorder.FlightRecorder` as ``recorder`` logs the
+    campaign's task/cache/timing events.
     """
     try:
         configs = EXPERIMENT_SETS[name]()
@@ -126,12 +129,15 @@ def run_set(name: str, progress=None, metrics=NULL_METRICS,
             f"unknown experiment set {name!r}; known: {sorted(EXPERIMENT_SETS)}"
         ) from None
     return run_campaign(configs, jobs=jobs, metrics=metrics,
-                        progress=progress, tracer=tracer, set_name=name)
+                        progress=progress, tracer=tracer, set_name=name,
+                        recorder=recorder)
 
 
 def run_sets(names: Iterable[str], progress=None, metrics=NULL_METRICS,
-             jobs: int | None = 1) -> dict[str, ExperimentResult]:
+             jobs: int | None = 1,
+             recorder=NULL_RECORDER) -> dict[str, ExperimentResult]:
     results: dict[str, ExperimentResult] = {}
     for name in names:
-        results.update(run_set(name, progress, metrics=metrics, jobs=jobs))
+        results.update(run_set(name, progress, metrics=metrics, jobs=jobs,
+                               recorder=recorder))
     return results

@@ -21,7 +21,10 @@ from repro.core.experiment import ExperimentConfig, run_experiment
 from repro.faults.plan import FAULT_PLANS, resolve_fault_plan
 from repro.netsim.netem import SCENARIOS
 from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics_json
+from repro.obs.flame import write_flame_svg
 from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pqc.registry import ALL_KEM_NAMES, ALL_SIG_NAMES, LEVEL_GROUPS
 
@@ -41,9 +44,13 @@ def _write(outdir: Path, name: str, content: str) -> None:
 ARTIFACTS = ["table2", "table3", "table4", "figure3", "figure4", "section55"]
 
 
-def evaluate_artifact(name: str, outdir: Path, jobs: int | None = 1) -> None:
+def evaluate_artifact(name: str, outdir: Path, jobs: int | None = 1,
+                      progress=_progress, recorder=NULL_RECORDER) -> None:
+    def run_sets(names):
+        return campaign.run_sets(names, progress, jobs=jobs, recorder=recorder)
+
     if name == "table2":
-        results = campaign.run_sets(["all-kem", "all-sig"], _progress, jobs=jobs)
+        results = run_sets(["all-kem", "all-sig"])
         rows_a = evaluate.table2a(results, ALL_KEM_NAMES)
         rows_b = evaluate.table2b(results, ALL_SIG_NAMES)
         _write(outdir, "table2a.txt", report.render_table2(rows_a, "Table 2a: KAs with rsa:2048"))
@@ -51,18 +58,18 @@ def evaluate_artifact(name: str, outdir: Path, jobs: int | None = 1) -> None:
         _write(outdir, "latencies_kem.csv", report.latencies_csv(rows_a))
         _write(outdir, "latencies_sig.csv", report.latencies_csv(rows_b))
     elif name == "table3":
-        results = campaign.run_sets(["table3-perf"], _progress, jobs=jobs)
+        results = run_sets(["table3-perf"])
         rows = evaluate.table3(results)
         _write(outdir, "table3.txt", report.render_table3(rows))
     elif name == "table4":
-        results = campaign.run_sets(["all-kem-scenarios", "all-sig-scenarios"], _progress, jobs=jobs)
+        results = run_sets(["all-kem-scenarios", "all-sig-scenarios"])
         rows_a = evaluate.table4(results, ALL_KEM_NAMES, vary="kem")
         rows_b = evaluate.table4(results, ALL_SIG_NAMES, vary="sig")
         _write(outdir, "table4a.txt", report.render_table4(rows_a, "Table 4a: KAs per scenario"))
         _write(outdir, "table4b.txt", report.render_table4(rows_b, "Table 4b: SAs per scenario"))
     elif name == "figure3":
-        push = campaign.run_sets(["level1", "level3", "level5"], _progress, jobs=jobs)
-        nopush = campaign.run_sets(["level1-nopush", "level3-nopush", "level5-nopush"], _progress, jobs=jobs)
+        push = run_sets(["level1", "level3", "level5"])
+        nopush = run_sets(["level1-nopush", "level3-nopush", "level5-nopush"])
         dev_push = deviations_for_levels(push, "optimized", LEVEL_GROUPS)
         dev_nopush = deviations_for_levels(nopush, "default", LEVEL_GROUPS)
         _write(outdir, "figure3a.txt",
@@ -78,11 +85,11 @@ def evaluate_artifact(name: str, outdir: Path, jobs: int | None = 1) -> None:
                + "\n".join(improvements))
         _write(outdir, "deviations.csv", report.deviations_csv(dev_push))
     elif name == "figure4":
-        results = campaign.run_sets(["all-kem", "all-sig"], _progress, jobs=jobs)
+        results = run_sets(["all-kem", "all-sig"])
         kem_ranks, sig_ranks = evaluate.figure4(results, ALL_KEM_NAMES, ALL_SIG_NAMES)
         _write(outdir, "figure4.txt", report.render_ranking(kem_ranks, sig_ranks))
     elif name == "section55":
-        results = campaign.run_sets(["table3-perf", "all-sig"], _progress, jobs=jobs)
+        results = run_sets(["table3-perf", "all-sig"])
         whitebox = evaluate.table3(results)
         t2b = evaluate.table2b(results, ALL_SIG_NAMES)
         metrics = evaluate.attack_metrics(whitebox, t2b)
@@ -159,6 +166,16 @@ def main(argv: list[str] | None = None) -> int:
     obs.add_argument("--flame", action="store_true",
                      help="print a perf-style report (call tree, library "
                           "shares, slow summary); single experiment only")
+    obs.add_argument("--profile", action="store_true",
+                     help="sample the harness's own host CPU while it runs "
+                          "and print a self-profile (categories, hot frames)")
+    obs.add_argument("--profile-svg", metavar="FILE",
+                     help="write the self-profile as an SVG flamegraph "
+                          "(implies --profile)")
+    obs.add_argument("--flight-record", metavar="FILE",
+                     help="write a JSONL flight log of campaign events "
+                          "(task start/finish, cache hits, per-worker timing) "
+                          "and show a live progress/ETA line")
     parser.add_argument("names", nargs="*",
                         help=f"experiment sets {sorted(campaign.EXPERIMENT_SETS)} "
                              f"or, with --evaluate, artifacts {ARTIFACTS}")
@@ -185,21 +202,49 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(f"--faults: {exc}")
 
+    if args.flight_record and single_mode and not args.names:
+        parser.error("--flight-record logs campaign events; name experiment "
+                     "sets or artifacts to run")
+
     outdir = Path(args.output)
     metrics = Metrics() if args.metrics else NULL_METRICS
-    if args.evaluate:
-        for name in args.names:
-            evaluate_artifact(name, outdir, jobs=args.jobs)
-    else:
-        count = 0
-        if single_mode:
-            run_single(args, metrics)
-            count += 1
-        if args.names:
-            results = campaign.run_sets(args.names, _progress, metrics=metrics,
-                                        jobs=args.jobs)
-            count += len(results)
-        print(f"ran {count} experiments", file=sys.stderr)
+    recorder = (FlightRecorder(args.flight_record, live=True)
+                if args.flight_record else NULL_RECORDER)
+    # the live ETA line replaces the per-experiment progress prints
+    progress = None if args.flight_record else _progress
+    profiler = (SamplingProfiler()
+                if args.profile or args.profile_svg else None)
+    if profiler is not None:
+        profiler.start()
+    try:
+        if args.evaluate:
+            for name in args.names:
+                evaluate_artifact(name, outdir, jobs=args.jobs,
+                                  progress=progress, recorder=recorder)
+        else:
+            count = 0
+            if single_mode:
+                run_single(args, metrics)
+                count += 1
+            if args.names:
+                results = campaign.run_sets(args.names, progress,
+                                            metrics=metrics, jobs=args.jobs,
+                                            recorder=recorder)
+                count += len(results)
+            print(f"ran {count} experiments", file=sys.stderr)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        recorder.close()
+    if args.flight_record:
+        print(f"wrote {recorder.path} ({len(recorder.events)} events)",
+              file=sys.stderr)
+    if profiler is not None:
+        print(profiler.report(), file=sys.stderr)
+        if args.profile_svg:
+            path = write_flame_svg(profiler.to_tracer(), "host-cpu",
+                                   args.profile_svg)
+            print(f"wrote {path}", file=sys.stderr)
     if args.metrics:
         merged = Metrics()
         merged.merge(cache.metrics)   # hit/miss counts from this process

@@ -47,6 +47,7 @@ from repro.core.experiment import (
 )
 from repro.netsim.netem import SCENARIOS
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.recorder import NULL_RECORDER, walltime
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 # ---------------------------------------------------------------------------
@@ -179,19 +180,31 @@ def _counter_delta(before: dict, after: dict) -> dict[str, float]:
 def _worker_run(config: ExperimentConfig, trace: bool = False):
     """Run one experiment in a worker process.
 
-    Returns ``(key, result, cache_counters, trace_records)``: the result
-    carries its own metrics snapshot; ``cache_counters`` is this task's
-    hit/miss/store delta (workers are long-lived, so a before/after diff
-    isolates the task); ``trace_records`` is the traced first handshake
-    when requested (tracing bypasses the result cache, exactly as in a
-    serial run).
+    Returns ``(key, result, cache_counters, trace_records, host_seconds)``:
+    the result carries its own metrics snapshot; ``cache_counters`` is
+    this task's hit/miss/store delta (workers are long-lived, so a
+    before/after diff isolates the task); ``trace_records`` is the traced
+    first handshake when requested (tracing bypasses the result cache,
+    exactly as in a serial run); ``host_seconds`` is the task's real CPU
+    wall time in the worker, reported to the flight recorder.
     """
+    started = walltime()
     before = cache.metrics.snapshot()["counters"]
     tracer = Tracer() if trace else NULL_TRACER
     result = run_experiment(config, tracer=tracer)
     after = cache.metrics.snapshot()["counters"]
     records = (tracer.spans, tracer.instants, tracer.counters) if trace else None
-    return config.key, result, _counter_delta(before, after), records
+    return (config.key, result, _counter_delta(before, after), records,
+            walltime() - started)
+
+
+def _flight_outcome(result: ExperimentResult) -> tuple[dict, float]:
+    """(fault outcomes, TCP retransmit count) of one result, for the log."""
+    outcomes = getattr(result, "outcomes", None) or {}
+    counters = result.metrics.get("counters", {}) if result.metrics else {}
+    retransmits = sum(value for name, value in counters.items()
+                      if name.endswith("retransmits"))
+    return outcomes, retransmits
 
 
 # ---------------------------------------------------------------------------
@@ -216,8 +229,8 @@ def resolve_jobs(jobs: int | None) -> int:
 
 def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
                  metrics=NULL_METRICS, progress=None, tracer=NULL_TRACER,
-                 set_name: str = "campaign",
-                 stats: dict | None = None) -> dict[str, ExperimentResult]:
+                 set_name: str = "campaign", stats: dict | None = None,
+                 recorder=NULL_RECORDER) -> dict[str, ExperimentResult]:
     """Run a list of experiments, fanning cache misses over ``jobs`` workers.
 
     ``jobs=None`` means one worker per CPU; ``jobs=1`` is the exact serial
@@ -231,23 +244,68 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
 
     ``stats``, if given, is filled with the partition/schedule summary
     (``jobs``, ``hits``, ``dispatched``, ``distinct_scripts``, ...).
+
+    ``recorder`` (a :class:`repro.obs.recorder.FlightRecorder`) logs
+    task/cache/timing events and drives the live ETA line; it observes
+    only — results, cache state, and metrics are identical with or
+    without it.
     """
     jobs = resolve_jobs(jobs)
     total = len(configs)
     if stats is None:
-        stats = {}
+        stats = {}  # pqtls: allow[OBS003] — caller-owned scheduling
+        # introspection (bench_campaign reads it back), not telemetry
 
     stats.update(jobs=jobs, experiments=total)
 
+    flight = recorder.enabled
+    started = walltime() if flight else 0.0
+    done_cost = total_cost = 0.0
+    costs: dict[str, float] = {}
+    if flight:
+        recorder.event("campaign_begin", set=set_name, experiments=total,
+                       jobs=jobs)
+
+    def eta() -> float | None:
+        if done_cost <= 0 or total_cost <= done_cost:
+            return None
+        elapsed = walltime() - started
+        return elapsed * (total_cost - done_cost) / done_cost
+
     if jobs == 1 or total <= 1:
         stats.update(hits=None, dispatched=None, distinct_scripts=None)
+        if flight:
+            # counter-neutral probes: cost estimates and hit/miss labels
+            # for the log, with cache metrics untouched
+            costs = {c.key: estimated_cost(
+                c, cold=not cache.contains("experiment", c.key))
+                for c in configs}
+            total_cost = sum(costs[c.key] for c in configs)
         results: dict[str, ExperimentResult] = {}
         for i, config in enumerate(configs):
             if progress is not None:
                 progress(set_name, i, total, config)
             hs_tracer = tracer if i == 0 else NULL_TRACER
+            if flight:
+                recorder.task_start(
+                    config.key, mode="serial", set_name=set_name,
+                    cached=cache.contains("experiment", config.key),
+                    est_cost=costs[config.key])
+                task_started = walltime()
             results[config.key] = run_experiment(config, tracer=hs_tracer,
                                                  metrics=metrics)
+            if flight:
+                outcomes, retransmits = _flight_outcome(results[config.key])
+                recorder.task_finish(
+                    config.key, mode="serial", set_name=set_name,
+                    host_seconds=walltime() - task_started,
+                    outcomes=outcomes, retransmits=retransmits)
+                done_cost += costs[config.key]
+                recorder.progress(set_name, i + 1, total,
+                                  elapsed=walltime() - started, eta=eta())
+        if flight:
+            recorder.event("campaign_end", set=set_name, experiments=total,
+                           host_seconds=round(walltime() - started, 6))
         return results
 
     # -- partition: resolve hits inline, collect distinct misses ------------
@@ -271,6 +329,8 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
                       if cache.contains("experiment", config.key) else None)
             if cached is not None:
                 resolved[config.key] = cached
+                if flight:
+                    recorder.event("cache_hit", set=set_name, key=config.key)
                 if progress is not None:
                     progress(set_name, done, total, config)
                 done += 1
@@ -280,6 +340,20 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
     stats.update(hits=len(resolved), dispatched=len(misses),
                  distinct_scripts=len({script_key(c.kem, c.sig, c.policy, c.seed)
                                        for c in misses}))
+    if flight:
+        recorder.event("schedule", set=set_name, hits=stats["hits"],
+                       dispatched=stats["dispatched"],
+                       distinct_scripts=stats["distinct_scripts"], jobs=jobs)
+        # recording is charged once per distinct script (single-flight),
+        # so only the first dispatched config of each script is "cold"
+        warm_scripts: set[str] = set()
+        for config in ordered:
+            script = script_key(config.kem, config.sig, config.policy,
+                                config.seed)
+            costs[config.key] = estimated_cost(
+                config, cold=script not in warm_scripts)
+            warm_scripts.add(script)
+        total_cost = sum(costs.values())
 
     # -- dispatch ------------------------------------------------------------
     trace_records = None
@@ -290,7 +364,18 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
         # shape), so run it inline in the parent instead.
         for config in ordered:
             hs_tracer = tracer if config.key == traced_key else NULL_TRACER
+            if flight:
+                recorder.task_start(config.key, mode="inline",
+                                    set_name=set_name,
+                                    est_cost=costs[config.key])
+                task_started = walltime()
             resolved[config.key] = run_experiment(config, tracer=hs_tracer)
+            if flight:
+                outcomes, retransmits = _flight_outcome(resolved[config.key])
+                recorder.task_finish(
+                    config.key, mode="inline", set_name=set_name,
+                    host_seconds=walltime() - task_started,
+                    outcomes=outcomes, retransmits=retransmits)
             if progress is not None:
                 progress(set_name, done, total, config)
             done += 1
@@ -300,13 +385,17 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
         workers = min(jobs, len(ordered))
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=context) as pool:
-            futures = {
-                pool.submit(_worker_run, config, config.key == traced_key): config
-                for config in ordered
-            }
+            futures = {}
+            for config in ordered:
+                if flight:
+                    recorder.task_start(config.key, mode="worker",
+                                        set_name=set_name,
+                                        est_cost=costs[config.key])
+                futures[pool.submit(_worker_run, config,
+                                    config.key == traced_key)] = config
             try:
                 for future in as_completed(futures):
-                    key, result, cache_counters, records = future.result()
+                    key, result, cache_counters, records, seconds = future.result()
                     resolved[key] = result
                     if records is not None:
                         trace_records = records
@@ -315,6 +404,17 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
                         # experiment miss — the parent's partition probe
                         # is counter-neutral) happened only in the worker
                         cache.metrics.inc(name, value)
+                    if flight:
+                        outcomes, retransmits = _flight_outcome(result)
+                        recorder.task_finish(
+                            key, mode="worker", set_name=set_name,
+                            host_seconds=seconds, outcomes=outcomes,
+                            retransmits=retransmits,
+                            cache_counters=cache_counters)
+                        done_cost += costs[key]
+                        recorder.progress(set_name, done + 1, total,
+                                          elapsed=walltime() - started,
+                                          eta=eta(), hits=stats["hits"])
                     if progress is not None:
                         progress(set_name, done, total, futures[future])
                     done += 1
@@ -334,4 +434,7 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
         merge_result_metrics(result, metrics)
     if trace_records is not None:
         tracer.absorb(*trace_records)
+    if flight:
+        recorder.event("campaign_end", set=set_name, experiments=total,
+                       host_seconds=round(walltime() - started, 6))
     return results

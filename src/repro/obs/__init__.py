@@ -16,6 +16,9 @@ existed (results are bit-identical; cache keys do not change).
 """
 
 from repro.obs.metrics import NULL_METRICS, Counter, Gauge, Histogram, Metrics, NullMetrics
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder, NullRecorder, walltime
+from repro.obs.sketch import QuantileSketch, ReservoirSample
 from repro.obs.tracer import (
     NULL_TRACER,
     CounterSample,
@@ -38,4 +41,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileSketch",
+    "ReservoirSample",
+    "SamplingProfiler",
+    "FlightRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "walltime",
 ]

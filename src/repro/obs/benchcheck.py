@@ -1,0 +1,231 @@
+"""``pqtls-bench-check``: the perf-regression gate over ``BENCH_*.json``.
+
+Compares freshly-measured benchmark JSON against the committed baselines
+in ``benchmarks/out/`` and fails (exit 1) when any metric regressed past
+its tolerance band. Three rules keep the gate honest:
+
+- **Hosts must match.** Every benchmark embeds the
+  :mod:`repro.obs.hostmeta` block; if the fingerprint (kernel mode,
+  machine, interpreter line) differs, the diff is refused outright
+  (exit 2) — a fast-kernel baseline tells you nothing about a ref run.
+  CPU-topology mismatches are softer: only parallel-speedup metrics are
+  skipped, the rest still gate.
+- **Direction comes from the name.** Metrics containing ``speedup`` are
+  higher-is-better; metrics ending in ``_s`` are wall seconds,
+  lower-is-better; everything else is informational (printed, never
+  failed) — counts and sizes change legitimately with the grid.
+- **Bands are per-metric patterns.** ``benchmarks/bench_tolerances.json``
+  maps fnmatch patterns over flattened metric paths
+  (``kems.kyber512.speedup``, ``serial.cold_s``) to the allowed
+  fractional regression; first match wins, defaults below apply last.
+  Ratios (speedups) are host-normalized so their bands are tight;
+  absolute seconds get a wide band that only catches catastrophes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from repro.obs.hostmeta import comparable, cpu_mismatch
+
+# (pattern over flattened metric paths, allowed fractional regression);
+# consulted after the tolerance file, first match wins
+DEFAULT_TOLERANCES: list[tuple[str, float]] = [
+    ("*speedup*", 0.30),
+    ("*_s", 1.00),
+]
+
+# metrics meaningless when CPU topology differs or the pool fell back
+CPU_SENSITIVE = ("speedup_cold", "speedup_record_stage", "parallel.*")
+
+OK, REGRESSION, SKIPPED, INFO = "ok", "REGRESSION", "skipped", "info"
+
+
+def flatten(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Dotted-path view of every numeric leaf, ``host.*`` excluded."""
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if path == "host" or path.startswith("host."):
+            continue
+        if isinstance(value, dict):
+            out.update(flatten(value, f"{path}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[path] = float(value)
+    return out
+
+
+def direction(path: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    leaf = path.rsplit(".", 1)[-1]
+    if "speedup" in leaf:
+        return 1
+    if leaf.endswith("_s"):
+        return -1
+    return 0
+
+
+def tolerance_for(path: str, tolerances: list[tuple[str, float]]) -> float | None:
+    for pattern, band in [*tolerances, *DEFAULT_TOLERANCES]:
+        if fnmatchcase(path, pattern):
+            return band
+    return None
+
+
+def load_tolerances(path: Path) -> list[tuple[str, float]]:
+    """``{"tolerances": {pattern: band}}`` — insertion order is precedence."""
+    payload = json.loads(path.read_text())
+    return [(pattern, float(band))
+            for pattern, band in payload.get("tolerances", {}).items()]
+
+
+def _serial_fallback(payload: dict) -> bool:
+    parallel = payload.get("parallel")
+    return bool(parallel and parallel.get("serial_fallback"))
+
+
+def check_pair(baseline: dict, fresh: dict,
+               tolerances: list[tuple[str, float]] | None = None,
+               ignore_host: bool = False) -> tuple[list[dict], list[str]]:
+    """Diff one benchmark payload pair.
+
+    Returns ``(rows, host_mismatches)``: one row per metric present in
+    either side, and the fingerprint keys that made the pair
+    incomparable (rows are still produced for the report, but callers
+    must treat any mismatch as a refusal unless overridden).
+    """
+    tolerances = tolerances or []
+    baseline_host = baseline.get("host", {})
+    fresh_host = fresh.get("host", {})
+    mismatches = [] if ignore_host else comparable(baseline_host, fresh_host)
+    cpus_differ = cpu_mismatch(baseline_host, fresh_host)
+    fallback = _serial_fallback(baseline) or _serial_fallback(fresh)
+
+    base_metrics = flatten(baseline)
+    fresh_metrics = flatten(fresh)
+    rows: list[dict] = []
+    for path in sorted(base_metrics | fresh_metrics):
+        row = {"metric": path, "baseline": base_metrics.get(path),
+               "fresh": fresh_metrics.get(path), "status": INFO, "note": ""}
+        rows.append(row)
+        if row["baseline"] is None or row["fresh"] is None:
+            row["note"] = "missing in " + (
+                "fresh" if row["fresh"] is None else "baseline")
+            continue
+        sense = direction(path)
+        if sense == 0:
+            continue
+        if any(fnmatchcase(path, pattern) for pattern in CPU_SENSITIVE) \
+                and (cpus_differ or fallback):
+            row["status"] = SKIPPED
+            row["note"] = ("cpu topology differs" if cpus_differ
+                           else "serial fallback")
+            continue
+        band = tolerance_for(path, tolerances)
+        if band is None:
+            continue
+        if row["baseline"] == 0:
+            row["note"] = "zero baseline"
+            continue
+        # positive = got worse, as a fraction of the baseline
+        change = (row["fresh"] - row["baseline"]) / abs(row["baseline"])
+        regression = -change if sense > 0 else change
+        row["regression"] = round(regression, 4)
+        row["band"] = band
+        row["status"] = REGRESSION if regression > band else OK
+    return rows, mismatches
+
+
+def _render(name: str, rows: list[dict], mismatches: list[str],
+            out) -> None:
+    print(f"== {name}", file=out)
+    if mismatches:
+        print(f"   host fingerprint differs on: {', '.join(mismatches)} "
+              "— refusing to compare (regenerate the baseline on this host, "
+              "or pass --ignore-host)", file=out)
+    for row in rows:
+        if row["status"] == INFO and not row["note"]:
+            continue  # silent: unchanged informational metric
+        base = "-" if row["baseline"] is None else f"{row['baseline']:g}"
+        new = "-" if row["fresh"] is None else f"{row['fresh']:g}"
+        detail = row["note"]
+        if "regression" in row:
+            detail = (f"{row['regression']:+.1%} vs band "
+                      f"{row['band']:.0%}")
+        print(f"   {row['status']:>10}  {row['metric']:<32} "
+              f"{base:>10} -> {new:>10}  {detail}", file=out)
+
+
+def check_files(pairs: list[tuple[str, Path, Path]],
+                tolerances: list[tuple[str, float]],
+                ignore_host: bool, out=None) -> int:
+    """Check (name, baseline_path, fresh_path) pairs; return exit code."""
+    out = out if out is not None else sys.stderr
+    exit_code = 0
+    for name, baseline_path, fresh_path in pairs:
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        rows, mismatches = check_pair(baseline, fresh, tolerances,
+                                      ignore_host=ignore_host)
+        _render(name, rows, mismatches, out)
+        if mismatches:
+            exit_code = max(exit_code, 2)
+        elif any(row["status"] == REGRESSION for row in rows):
+            exit_code = max(exit_code, 1)
+    verdict = {0: "no regressions", 1: "REGRESSION", 2: "host mismatch"}
+    print(f"pqtls-bench-check: {verdict[exit_code]} "
+          f"({len(pairs)} file(s) checked)", file=out)
+    return exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pqtls-bench-check",
+        description="Diff fresh BENCH_*.json against committed baselines; "
+                    "exit 1 on perf regression, 2 on host mismatch.")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path("benchmarks/out"),
+                        help="committed baselines (default benchmarks/out)")
+    parser.add_argument("--fresh-dir", type=Path, required=True,
+                        help="directory holding freshly measured BENCH_*.json")
+    parser.add_argument("--tolerances", type=Path,
+                        default=Path("benchmarks/bench_tolerances.json"),
+                        help="per-metric tolerance bands "
+                             "(default benchmarks/bench_tolerances.json)")
+    parser.add_argument("--ignore-host", action="store_true",
+                        help="compare even when the host fingerprint differs")
+    parser.add_argument("names", nargs="*",
+                        help="restrict to these file names "
+                             "(default: every BENCH_*.json in --fresh-dir)")
+    args = parser.parse_args(argv)
+
+    names = args.names or sorted(
+        path.name for path in args.fresh_dir.glob("BENCH_*.json"))
+    if not names:
+        print(f"pqtls-bench-check: no BENCH_*.json under {args.fresh_dir}",
+              file=sys.stderr)
+        return 2
+    pairs = []
+    for name in names:
+        baseline_path = args.baseline_dir / name
+        fresh_path = args.fresh_dir / name
+        if not baseline_path.exists():
+            print(f"pqtls-bench-check: no committed baseline for {name} "
+                  f"(expected {baseline_path})", file=sys.stderr)
+            return 2
+        if not fresh_path.exists():
+            print(f"pqtls-bench-check: missing fresh measurement {fresh_path}",
+                  file=sys.stderr)
+            return 2
+        pairs.append((name, baseline_path, fresh_path))
+    tolerances = (load_tolerances(args.tolerances)
+                  if args.tolerances.exists() else [])
+    return check_files(pairs, tolerances, args.ignore_host)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

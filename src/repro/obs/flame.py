@@ -10,7 +10,10 @@ the longest wire-silence stall.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
+from xml.sax.saxutils import escape
 
 from repro.obs.tracer import Tracer
 
@@ -101,6 +104,81 @@ def library_shares(tracer: Tracer, track: str) -> dict[str, float]:
     if grand <= 0:
         return {}
     return {lib: value / grand for lib, value in sorted(totals.items())}
+
+
+# -- SVG flamegraph -----------------------------------------------------------
+
+_SVG_WIDTH = 1200
+_SVG_ROW = 18
+_SVG_PAD = 10
+
+
+def _flame_color(name: str) -> str:
+    """Deterministic warm color per frame name (stable across runs)."""
+    digest = hashlib.blake2b(name.encode(), digest_size=3).digest()
+    return (f"rgb({205 + digest[0] % 50},"
+            f"{digest[1] % 130},{digest[2] % 50})")
+
+
+def _depth_of(node: SpanNode) -> int:
+    return 1 + max((_depth_of(c) for c in node.children), default=0)
+
+
+def flame_svg(tracer: Tracer, track: str, title: str | None = None) -> str:
+    """A self-contained SVG flamegraph (icicle layout) of one track.
+
+    Geometry and colors are pure functions of the spans, so two runs over
+    the same trace produce byte-identical SVGs — diffable CI artifacts.
+    """
+    roots = sorted(build_tree(tracer.spans_on(track)), key=lambda n: n.start)
+    total = sum(r.duration for r in roots)
+    depth = max((_depth_of(r) for r in roots), default=0)
+    height = 2 * _SVG_PAD + _SVG_ROW + max(depth, 1) * _SVG_ROW
+    title = title or f"{track} — {total * 1e3:.3f} ms"
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_SVG_WIDTH}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{_SVG_WIDTH}" height="{height}" fill="#f8f8f8"/>',
+        f'<text x="{_SVG_PAD}" y="{_SVG_PAD + 11}">{escape(title)}</text>',
+    ]
+    usable = _SVG_WIDTH - 2 * _SVG_PAD
+    scale = usable / total if total > 0 else 0.0
+    origin = min((r.start for r in roots), default=0.0)
+
+    def emit(node: SpanNode, level: int) -> None:
+        x = _SVG_PAD + (node.start - origin) * scale
+        width = max(node.duration * scale, 0.4)
+        y = _SVG_PAD + _SVG_ROW + level * _SVG_ROW
+        share = 100.0 * node.duration / total if total > 0 else 0.0
+        label = f"{node.name} ({node.duration * 1e3:.3f} ms, {share:.1f}%)"
+        out.append(
+            f'<g><title>{escape(label)}</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{width:.2f}" '
+            f'height="{_SVG_ROW - 1}" fill="{_flame_color(node.name)}" '
+            f'rx="1"/>')
+        if width > 40:
+            text = node.name
+            limit = max(1, int(width / 6.5))
+            if len(text) > limit:
+                text = text[:limit - 1] + "…"
+            out.append(f'<text x="{x + 3:.2f}" y="{y + 13}" '
+                       f'fill="#111">{escape(text)}</text>')
+        out.append("</g>")
+        for child in sorted(node.children, key=lambda n: n.start):
+            emit(child, level + 1)
+
+    for root in roots:
+        emit(root, 0)
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def write_flame_svg(tracer: Tracer, track: str, path: str | Path,
+                    title: str | None = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(flame_svg(tracer, track, title=title))
+    return path
 
 
 # -- "why was this slow" ------------------------------------------------------

@@ -1,0 +1,77 @@
+"""Uniform host metadata for every ``BENCH_*.json`` writer.
+
+A benchmark number is only meaningful next to the machine and kernel
+mode that produced it: a ``speedup_cold`` measured on one core (where
+the executor's clamp makes the pool a serial fallback) says nothing
+about the pool, and ``fast``-kernel wall times are incomparable to
+``ref`` ones. Every benchmark writer embeds :func:`host_metadata` under
+a ``"host"`` key, and ``pqtls-bench-check`` uses :func:`comparable` to
+refuse apples-to-oranges diffs before any tolerance band is consulted.
+
+This lives in ``repro.obs`` because describing the host is observation,
+not simulation: DET005 confines ``os.cpu_count`` to the executor, and
+the pragma below is the one sanctioned exception — the value is only
+ever *reported*, never fed into simulated results. The ``PQTLS_KERNELS``
+mode is read straight from the environment (same default as
+``repro.crypto.kernels``) because the layer DAG forbids ``repro.obs``
+from importing crypto.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+# must match repro.crypto.kernels.DEFAULT (obs may not import crypto)
+_KERNELS_ENV = "PQTLS_KERNELS"
+_KERNELS_DEFAULT = "fast"
+
+# metadata keys that must match for two benchmark runs to be comparable
+FINGERPRINT_KEYS = ("kernels", "machine", "python_major")
+
+# keys whose mismatch invalidates only CPU-topology-sensitive metrics
+# (parallel speedups), not the whole file
+CPU_KEYS = ("cpu_count",)
+
+
+def serial_fallback_reason(jobs: int, cpu_count: int | None) -> str | None:
+    """Why a campaign bench fell back to the serial path, or None."""
+    cpus = cpu_count or 1
+    if jobs <= 1:
+        return "jobs<=1 requested"
+    if cpus < 2:
+        return f"host has {cpus} cpu (jobs clamped to core count)"
+    return None
+
+
+def host_metadata() -> dict:
+    """The uniform ``"host"`` block: interpreter, machine, kernel mode."""
+    version = platform.python_version()
+    return {
+        "python": version,
+        "python_major": version.rsplit(".", 1)[0],       # "3.11"
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),  # pqtls: allow[DET005] — reported, never
+        # fed into simulation; bench-check needs it to gate speedup diffs
+        "kernels": os.environ.get(_KERNELS_ENV, _KERNELS_DEFAULT),
+    }
+
+
+def comparable(baseline_host: dict, fresh_host: dict) -> list[str]:
+    """Fingerprint keys on which two hosts differ (empty = comparable).
+
+    Benchmarks written before the ``host`` block existed return every
+    fingerprint key as missing-and-different, so bench-check refuses
+    them too — regenerate the baseline rather than compare blind.
+    """
+    return [key for key in FINGERPRINT_KEYS
+            if baseline_host.get(key) != fresh_host.get(key)]
+
+
+def cpu_mismatch(baseline_host: dict, fresh_host: dict) -> bool:
+    """True when CPU topology differs: parallel speedups not comparable."""
+    return any(baseline_host.get(key) != fresh_host.get(key)
+               for key in CPU_KEYS)

@@ -5,7 +5,21 @@ The seed code accumulated its statistics in ad-hoc dicts scattered across
 quantity a stable dotted name (``tcp.client.retransmits``,
 ``cpu.server.libcrypto``, ``cache.hit``) so campaign code, the CLI, and
 tests all read the same instrument. Instruments are created lazily on
-first access and snapshot to plain dicts for JSON export.
+first access and snapshot to plain dicts for JSON export. Instrument
+names are dotted lowercase ``[a-z0-9_.]`` by contract (pqtls-lint
+OBS001), so prefix reads and cross-run diffs never fight naming drift.
+
+Histograms are **exact below, streaming above** a retention threshold:
+up to :data:`DEFAULT_RETENTION` raw samples are kept (with a cached
+sorted view, so repeated ``quantile`` calls don't re-sort), and beyond
+that the histogram *spills* — raw samples are dropped and every further
+observation feeds a constant-memory
+:class:`~repro.obs.sketch.QuantileSketch` (quantiles within a documented
+relative-error bound) plus a deterministic
+:class:`~repro.obs.sketch.ReservoirSample` (raw-value peeks). Both
+structures merge associatively, so worker→leader snapshot shipping in
+``repro.core.executor`` is bit-identical at any ``--jobs`` and a
+million-handshake campaign holds O(retention) memory per histogram.
 
 :data:`NULL_METRICS` mirrors :data:`repro.obs.tracer.NULL_TRACER`:
 ``enabled`` is False and the instruments it hands out swallow updates, so
@@ -15,7 +29,20 @@ un-observed runs pay nothing beyond an attribute check.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    DEFAULT_RESERVOIR_K,
+    QuantileSketch,
+    ReservoirSample,
+)
+
+# Raw samples retained per histogram before it spills to streaming mode.
+# Sized so every per-experiment histogram of the paper's campaigns (≤151
+# handshake samples, a few thousand TCP flight observations) stays exact,
+# while campaign-level aggregates over large sets stream.
+DEFAULT_RETENTION = 4096
 
 
 @dataclass
@@ -42,46 +69,205 @@ class Gauge:
         self.value = value
 
 
-@dataclass
 class Histogram:
-    """Full-sample histogram (flight sizes, per-handshake latencies)."""
+    """Sample distribution: exact to ``retention`` samples, streaming after.
 
-    name: str
-    samples: list[float] = field(default_factory=list)
+    While unspilled, ``samples`` is the full observation stream in order
+    and every statistic is exact (quantiles served from a cached sorted
+    view, invalidated on observe). Once the count crosses ``retention``
+    the histogram spills: ``samples`` empties, scalars (count/sum/min/
+    max) stay exact, and quantiles come from the log-bucketed sketch
+    with relative error ≤ ``relative_accuracy``.
+    """
 
+    def __init__(self, name: str, retention: int = DEFAULT_RETENTION,
+                 relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+                 reservoir_k: int = DEFAULT_RESERVOIR_K):
+        self.name = name
+        self.retention = retention
+        self.relative_accuracy = relative_accuracy
+        self.reservoir_k = reservoir_k
+        self.samples: list[float] = []
+        self.sketch: QuantileSketch | None = None
+        self.reservoir: ReservoirSample | None = None
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._next_index = 0          # stream position of the next direct observe
+        self._sorted: list[float] | None = None   # cached sorted view
+
+    # -- writes --------------------------------------------------------------
     def observe(self, value: float) -> None:
-        self.samples.append(value)
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self.sketch is None:
+            self.samples.append(value)
+            self._sorted = None
+            self._next_index += 1
+            if len(self.samples) > self.retention:
+                self._spill()
+        else:
+            self.sketch.add(value)
+            self.reservoir.add(self._next_index, value)
+            self._next_index += 1
+
+    def _spill(self) -> None:
+        """Hand the retained stream to the streaming structures.
+
+        Samples are replayed at their stream positions, so a spilled
+        histogram's state is a pure function of the observation stream —
+        whichever process, merge order, or snapshot round-trip produced
+        it (the ``--jobs`` bit-identity contract).
+        """
+        self.sketch = QuantileSketch(relative_accuracy=self.relative_accuracy)
+        self.reservoir = ReservoirSample(k=self.reservoir_k)
+        for index, value in enumerate(self.samples):
+            self.sketch.add(value)
+            self.reservoir.add(index, value)
+        self.samples.clear()
+        self._sorted = None
+
+    # -- reads ---------------------------------------------------------------
+    @property
+    def spilled(self) -> bool:
+        return self.sketch is not None
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def sum(self) -> float:
-        return sum(self.samples)
+        return self._sum
 
     @property
     def mean(self) -> float:
-        return statistics.fmean(self.samples) if self.samples else 0.0
+        if self._count == 0:
+            return 0.0
+        if not self.spilled:
+            return statistics.fmean(self.samples)
+        return self._sum / self._count
 
     @property
     def median(self) -> float:
-        return statistics.median(self.samples) if self.samples else 0.0
+        if self._count == 0:
+            return 0.0
+        if not self.spilled:
+            return statistics.median(self.samples)
+        return self.sketch.quantile(0.5)
 
     @property
     def min(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        return self._min if self._min is not None else 0.0
 
     @property
     def max(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self._max if self._max is not None else 0.0
 
     def quantile(self, q: float) -> float:
-        if not self.samples:
+        if self._count == 0:
             return 0.0
-        ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[index]
+        if not self.spilled:
+            if self._sorted is None:
+                self._sorted = sorted(self.samples)
+            ordered = self._sorted
+            index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+            return ordered[index]
+        return self.sketch.quantile(q)
+
+    # -- merging -------------------------------------------------------------
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in, as if its stream were observed here.
+
+        Exact if the combined count fits the retention window; spills
+        (both ways) otherwise. Spilled state merges associatively, so
+        campaign aggregation gives one answer at any ``--jobs``.
+        """
+        if other._count == 0:
+            return
+        self._count += other._count
+        self._sum += other._sum
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+        if (not self.spilled and not other.spilled
+                and len(self.samples) + len(other.samples) <= self.retention):
+            self.samples.extend(other.samples)
+            self._next_index = len(self.samples)
+            self._sorted = None
+            return
+        if not self.spilled:
+            self._spill()
+        if not other.spilled:
+            # feed at *other's* stream positions: identical to merging the
+            # histogram a snapshot round-trip would reconstruct
+            for index, value in enumerate(other.samples):
+                self.sketch.add(value)
+                self.reservoir.add(index, value)
+        else:
+            self.sketch.merge(other.sketch)
+            self.reservoir.merge(other.reservoir)
+
+    def snapshot_entry(self) -> dict:
+        """Plain-dict dump; lossless (see :meth:`from_snapshot_entry`)."""
+        entry = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "samples": list(self.samples),
+        }
+        if self.spilled:
+            entry["streaming"] = {
+                "observed": self._count,
+                "relative_accuracy": self.relative_accuracy,
+                "sketch": self.sketch.state(),
+                "reservoir": self.reservoir.state(),
+            }
+        return entry
+
+    @classmethod
+    def from_snapshot_entry(cls, name: str, entry: dict,
+                            retention: int = DEFAULT_RETENTION,
+                            relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+                            reservoir_k: int = DEFAULT_RESERVOIR_K) -> "Histogram":
+        """Rebuild the histogram a snapshot came from.
+
+        Unspilled snapshots carry the full ordered stream and replay
+        exactly; spilled ones import their streaming state. Snapshots
+        written before ``samples`` existed degrade to an empty histogram
+        (counters/gauges still restore), preserving the pre-streaming
+        contract for old cached results.
+        """
+        histogram = cls(name, retention=retention,
+                        relative_accuracy=relative_accuracy,
+                        reservoir_k=reservoir_k)
+        streaming = entry.get("streaming")
+        if streaming is None:
+            for value in entry.get("samples", ()):
+                histogram.observe(value)
+            return histogram
+        histogram.sketch = QuantileSketch.from_state(streaming["sketch"])
+        histogram.reservoir = ReservoirSample.from_state(
+            streaming["reservoir"], k=reservoir_k)
+        histogram._count = int(entry["count"])
+        histogram._sum = float(entry["sum"])
+        if histogram._count:
+            histogram._min = float(entry["min"])
+            histogram._max = float(entry["max"])
+        histogram._next_index = int(streaming.get("observed", histogram._count))
+        return histogram
 
 
 class Metrics:
@@ -89,7 +275,12 @@ class Metrics:
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, retention: int = DEFAULT_RETENTION,
+                 relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+                 reservoir_k: int = DEFAULT_RESERVOIR_K):
+        self.retention = retention
+        self.relative_accuracy = relative_accuracy
+        self.reservoir_k = reservoir_k
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -109,7 +300,10 @@ class Metrics:
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            instrument = self._histograms[name] = Histogram(
+                name, retention=self.retention,
+                relative_accuracy=self.relative_accuracy,
+                reservoir_k=self.reservoir_k)
         return instrument
 
     # -- convenience write paths (read like statsd calls) -------------------
@@ -148,31 +342,36 @@ class Metrics:
         for name, instrument in other._gauges.items():
             self.gauge(name).set(instrument.value)
         for name, instrument in other._histograms.items():
-            self.histogram(name).samples.extend(instrument.samples)
+            self.histogram(name).merge(instrument)
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` dict into this registry.
 
         The inverse of :meth:`snapshot`: ``a.merge_snapshot(b.snapshot())``
-        leaves ``a`` exactly as ``a.merge(b)`` would. This is how cached
-        experiment results and parallel-worker results replay their
-        metrics into the caller's registry without sharing objects.
-        Histogram replay needs the snapshot's ``samples`` list; snapshots
-        written before it existed merge their counters/gauges only.
+        leaves ``a`` exactly as ``a.merge(b)`` would — including streaming
+        (sketch + reservoir) state, so cache-hit restores and parallel
+        workers replay their metrics bit-identically to an in-process
+        run. Histogram replay needs the snapshot's ``samples`` (or
+        ``streaming``) payload; snapshots written before those existed
+        merge their counters/gauges only.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.inc(name, value)
         for name, value in snapshot.get("gauges", {}).items():
             self.set(name, value)
-        for name, stats in snapshot.get("histograms", {}).items():
-            self.histogram(name).samples.extend(stats.get("samples", ()))
+        for name, entry in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(Histogram.from_snapshot_entry(
+                name, entry, retention=self.retention,
+                relative_accuracy=self.relative_accuracy,
+                reservoir_k=self.reservoir_k))
 
     def snapshot(self) -> dict:
         """Plain-dict dump, stable across runs, ready for ``json.dump``.
 
-        Carries the raw ``samples`` alongside the summary statistics so a
-        snapshot is lossless: :meth:`merge_snapshot` can reconstruct the
-        full histogram (cache-hit restore, cross-process aggregation).
+        Lossless: unspilled histograms carry their raw ``samples``,
+        spilled ones their ``streaming`` sketch/reservoir state, so
+        :meth:`merge_snapshot` reconstructs the full instrument
+        (cache-hit restore, cross-process aggregation).
         """
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
         for name in sorted(self._counters):
@@ -180,17 +379,7 @@ class Metrics:
         for name in sorted(self._gauges):
             out["gauges"][name] = self._gauges[name].value
         for name in sorted(self._histograms):
-            histogram = self._histograms[name]
-            out["histograms"][name] = {
-                "count": histogram.count,
-                "sum": histogram.sum,
-                "min": histogram.min,
-                "max": histogram.max,
-                "mean": histogram.mean,
-                "median": histogram.median,
-                "p99": histogram.quantile(0.99),
-                "samples": list(histogram.samples),
-            }
+            out["histograms"][name] = self._histograms[name].snapshot_entry()
         return out
 
 
@@ -206,6 +395,7 @@ class _NullInstrument:
     median = 0.0
     min = 0.0
     max = 0.0
+    spilled = False
 
     def inc(self, amount: float = 1.0) -> None:
         pass

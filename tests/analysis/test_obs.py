@@ -1,0 +1,103 @@
+"""OBS checker: metric/track naming discipline, ad-hoc stats dicts."""
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+def test_bad_metric_name_flagged(lint):
+    report = lint("repro/core/fix.py", """
+        def run(metrics):
+            metrics.counter("Handshake Time")
+            metrics.histogram("tls.handshakeTotal")
+    """, select=["obs"])
+    assert codes(report) == ["OBS001", "OBS001"]
+    assert "dotted lowercase" in report.findings[0].message
+
+
+def test_dotted_lowercase_metric_names_are_clean(lint):
+    report = lint("repro/core/fix.py", """
+        def run(metrics):
+            metrics.counter("cache.hit")
+            metrics.gauge("executor.jobs")
+            metrics.histogram("tls.handshake.total")
+            metrics.inc("faults.injected.loss", 2)
+            metrics.observe("record.bytes_on_wire", 512)
+    """, select=["obs"])
+    assert codes(report) == []
+
+
+def test_shortcut_calls_check_first_arg_only_with_value(lint):
+    # histogram.observe(value) has one arg: not a registry shortcut
+    report = lint("repro/core/fix.py", """
+        def run(histogram, metrics):
+            histogram.observe(0.5)
+            metrics.observe("BAD NAME", 0.5)
+    """, select=["obs"])
+    assert codes(report) == ["OBS001"]
+
+
+def test_fstring_metric_names_check_literal_chunks(lint):
+    report = lint("repro/core/fix.py", """
+        def run(metrics, kem, phase):
+            metrics.inc(f"pqc.{kem}.encaps", 1)
+            metrics.inc(f"PQC {kem} encaps", 1)
+    """, select=["obs"])
+    assert codes(report) == ["OBS001"]
+
+
+def test_variable_metric_names_pass(lint):
+    # enforced where the literal is written down, not at dynamic call sites
+    report = lint("repro/core/fix.py", """
+        def run(metrics, name):
+            metrics.counter(name)
+    """, select=["obs"])
+    assert codes(report) == []
+
+
+def test_bad_track_name_flagged_but_span_display_name_exempt(lint):
+    report = lint("repro/netsim/fix.py", """
+        def trace(tracer):
+            tracer.span("phases", "partA (CH..SH)", 0.0, 1.0)
+            tracer.begin("host-cpu", "poly_mul", 0.0)
+            tracer.span("Host CPU", "ok_name", 0.0, 1.0)
+    """, select=["obs"])
+    assert codes(report) == ["OBS002"]
+    assert "Host CPU" in report.findings[0].message
+
+
+def test_adhoc_stats_dict_flagged_outside_obs(lint):
+    report = lint("repro/core/fix.py", """
+        def run():
+            stats = {}
+            retry_stats = {"count": 0}
+            return stats, retry_stats
+    """, select=["obs"])
+    assert codes(report) == ["OBS003", "OBS003"]
+
+
+def test_stats_dict_allowed_inside_obs(lint):
+    report = lint("repro/obs/fix.py", """
+        def snapshot():
+            stats = {"count": 1}
+            return stats
+    """, select=["obs"])
+    assert codes(report) == []
+
+
+def test_unrelated_dicts_and_names_pass(lint):
+    report = lint("repro/core/fix.py", """
+        def run():
+            config = {"kem": "kyber512"}
+            statste = {}
+            return config, statste
+    """, select=["obs"])
+    assert codes(report) == []
+
+
+def test_non_repro_modules_are_out_of_scope(lint):
+    report = lint("tools/fix.py", """
+        def run(metrics):
+            metrics.counter("BAD NAME")
+    """, select=["obs"])
+    assert codes(report) == []

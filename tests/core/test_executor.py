@@ -130,6 +130,29 @@ def test_parallel_equals_serial(tmp_path, monkeypatch, multicore):
     assert stats["distinct_scripts"] == 3            # two configs share a script
 
 
+def test_parallel_equals_serial_with_streaming_instruments(
+        tmp_path, monkeypatch, multicore):
+    """Bit-identity holds when campaign histograms spill to sketches.
+
+    A retention of 8 forces every campaign-level latency histogram into
+    streaming (sketch + reservoir) mode; worker snapshot shipping must
+    still reconstruct the exact leader state.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    serial_metrics = Metrics(retention=8)
+    serial = run_campaign(SMALL_SET, jobs=1, metrics=serial_metrics)
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel_metrics = Metrics(retention=8)
+    parallel = run_campaign(SMALL_SET, jobs=3, metrics=parallel_metrics)
+
+    assert parallel == serial
+    assert parallel_metrics.snapshot() == serial_metrics.snapshot()
+    histogram = parallel_metrics.histogram("handshake.total")
+    assert histogram.spilled and histogram.samples == []
+    assert histogram.count == serial_metrics.histogram("handshake.total").count
+
+
 def test_parallel_warm_cache_resolves_inline(cold_cache, monkeypatch, multicore):
     serial = run_campaign(SMALL_SET, jobs=1, metrics=Metrics())
 

@@ -1,0 +1,221 @@
+"""pqtls-bench-check: flattening, direction, bands, host gating, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import benchcheck
+from repro.obs.benchcheck import (
+    OK,
+    REGRESSION,
+    SKIPPED,
+    check_pair,
+    direction,
+    flatten,
+    main,
+    tolerance_for,
+)
+from repro.obs.hostmeta import host_metadata
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def payload(**overrides):
+    base = {
+        "host": host_metadata(),
+        "set": "bench-grid",
+        "serial": {"jobs": 1, "cold_s": 2.0, "warm_s": 0.1, "experiments": 6},
+        "parallel": {"jobs": 2, "cold_s": 1.0, "warm_s": 0.1,
+                     "serial_fallback": False},
+        "speedup_cold": 2.0,
+    }
+    base.update(overrides)
+    return base
+
+
+def row_of(rows, metric):
+    (row,) = [r for r in rows if r["metric"] == metric]
+    return row
+
+
+# ---------------------------------------------------------------- pieces
+
+def test_flatten_excludes_host_and_non_numerics():
+    flat = flatten({"host": {"cpu_count": 8}, "set": "x",
+                    "serial": {"cold_s": 2.0, "ok": True},
+                    "speedup_cold": 1.5})
+    assert flat == {"serial.cold_s": 2.0, "speedup_cold": 1.5}
+
+
+def test_direction_from_metric_name():
+    assert direction("speedup_cold") == 1
+    assert direction("kems.kyber512.speedup") == 1
+    assert direction("serial.cold_s") == -1
+    assert direction("serial.experiments") == 0
+    assert direction("parallel.jobs") == 0
+
+
+def test_tolerance_file_patterns_win_over_defaults():
+    bands = [("serial.*", 0.05)]
+    assert tolerance_for("serial.cold_s", bands) == 0.05
+    assert tolerance_for("parallel.cold_s", bands) == 1.00  # default *_s
+    assert tolerance_for("speedup_cold", bands) == 0.30     # default speedup
+    assert tolerance_for("experiments", bands) is None
+
+
+# ------------------------------------------------------------ check_pair
+
+def test_identical_payloads_pass():
+    rows, mismatches = check_pair(payload(), payload())
+    assert mismatches == []
+    assert all(row["status"] != REGRESSION for row in rows)
+    assert row_of(rows, "serial.cold_s")["status"] == OK
+    assert row_of(rows, "speedup_cold")["status"] == OK
+
+
+def test_seconds_regression_past_band_fails():
+    fresh = payload()
+    fresh["serial"] = dict(fresh["serial"], cold_s=4.2)  # +110% vs band 100%
+    rows, _ = check_pair(payload(), fresh)
+    row = row_of(rows, "serial.cold_s")
+    assert row["status"] == REGRESSION
+    assert row["regression"] == pytest.approx(1.1)
+
+
+def test_improvement_never_fails():
+    fresh = payload()
+    fresh["serial"] = dict(fresh["serial"], cold_s=0.2)
+    fresh["speedup_cold"] = 5.0
+    rows, _ = check_pair(payload(), fresh)
+    assert row_of(rows, "serial.cold_s")["status"] == OK
+    assert row_of(rows, "speedup_cold")["status"] == OK
+
+
+def test_speedup_drop_past_band_fails():
+    rows, _ = check_pair(payload(), payload(speedup_cold=1.2))  # -40%
+    assert row_of(rows, "speedup_cold")["status"] == REGRESSION
+
+
+def test_counts_are_informational_not_gated():
+    fresh = payload()
+    fresh["serial"] = dict(fresh["serial"], experiments=60)
+    rows, _ = check_pair(payload(), fresh)
+    assert row_of(rows, "serial.experiments")["status"] == "info"
+
+
+def test_cpu_mismatch_skips_only_parallel_metrics():
+    fresh = payload(speedup_cold=1.0)                   # would fail...
+    fresh["serial"] = dict(fresh["serial"], cold_s=9.0)  # ...and so would this
+    fresh["host"] = dict(fresh["host"], cpu_count=99)
+    rows, mismatches = check_pair(payload(), fresh)
+    assert mismatches == []                              # still comparable
+    speedup = row_of(rows, "speedup_cold")
+    assert speedup["status"] == SKIPPED
+    assert speedup["note"] == "cpu topology differs"
+    assert row_of(rows, "parallel.cold_s")["status"] == SKIPPED
+    assert row_of(rows, "serial.cold_s")["status"] == REGRESSION
+
+
+def test_serial_fallback_on_either_side_skips_speedups():
+    baseline = payload()
+    baseline["parallel"] = dict(baseline["parallel"], serial_fallback=True)
+    rows, _ = check_pair(baseline, payload(speedup_cold=0.5))
+    row = row_of(rows, "speedup_cold")
+    assert row["status"] == SKIPPED and row["note"] == "serial fallback"
+
+
+def test_fingerprint_mismatch_reported():
+    fresh = payload()
+    fresh["host"] = dict(fresh["host"], kernels="ref")
+    _, mismatches = check_pair(payload(), fresh)
+    assert mismatches == ["kernels"]
+    _, mismatches = check_pair(payload(), fresh, ignore_host=True)
+    assert mismatches == []
+
+
+def test_missing_host_block_is_a_fingerprint_mismatch():
+    legacy = payload()
+    del legacy["host"]
+    _, mismatches = check_pair(legacy, payload())
+    assert set(mismatches) == {"kernels", "machine", "python_major"}
+
+
+def test_missing_metric_is_informational():
+    fresh = payload()
+    del fresh["speedup_cold"]
+    rows, _ = check_pair(payload(), fresh)
+    row = row_of(rows, "speedup_cold")
+    assert row["status"] == "info" and row["note"] == "missing in fresh"
+
+
+# ------------------------------------------------------------------- CLI
+
+def write_pair(tmp_path, baseline, fresh, name="BENCH_x.json"):
+    base_dir, fresh_dir = tmp_path / "base", tmp_path / "fresh"
+    base_dir.mkdir(exist_ok=True)
+    fresh_dir.mkdir(exist_ok=True)
+    (base_dir / name).write_text(json.dumps(baseline))
+    (fresh_dir / name).write_text(json.dumps(fresh))
+    return ["--baseline-dir", str(base_dir), "--fresh-dir", str(fresh_dir),
+            "--tolerances", str(tmp_path / "absent.json")]
+
+
+def test_main_passes_on_equal_payloads(tmp_path, capsys):
+    assert main(write_pair(tmp_path, payload(), payload())) == 0
+    assert "no regressions" in capsys.readouterr().err
+
+
+def test_main_fails_on_perturbed_fixture(tmp_path, capsys):
+    fresh = payload(speedup_cold=1.0)
+    assert main(write_pair(tmp_path, payload(), fresh)) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_main_refuses_host_mismatch(tmp_path, capsys):
+    fresh = payload()
+    fresh["host"] = dict(fresh["host"], kernels="ref")
+    argv = write_pair(tmp_path, payload(), fresh)
+    assert main(argv) == 2
+    assert "refusing to compare" in capsys.readouterr().err
+    assert main([*argv, "--ignore-host"]) == 0
+
+
+def test_main_refuses_missing_baseline(tmp_path, capsys):
+    argv = write_pair(tmp_path, payload(), payload())
+    assert main([*argv, "BENCH_missing.json"]) == 2
+    assert "no committed baseline" in capsys.readouterr().err
+
+
+def test_main_reads_tolerances_file(tmp_path):
+    fresh = payload()
+    fresh["serial"] = dict(fresh["serial"], cold_s=2.3)   # +15%
+    argv = write_pair(tmp_path, payload(), fresh)
+    assert main(argv) == 0                                # default band 100%
+    bands = tmp_path / "bands.json"
+    bands.write_text(json.dumps({"tolerances": {"serial.*": 0.1}}))
+    argv[argv.index(str(tmp_path / "absent.json"))] = str(bands)
+    assert main(argv) == 1
+
+
+def test_committed_baselines_pass_against_themselves(tmp_path, monkeypatch):
+    """The in-repo gate: baselines vs themselves under the repo bands."""
+    out = REPO / "benchmarks" / "out"
+    baselines = sorted(out.glob("BENCH_*.json"))
+    assert len(baselines) >= 3                 # campaign, crypto, metrics
+    fresh_dir = tmp_path / "fresh"
+    fresh_dir.mkdir()
+    for path in baselines:
+        (fresh_dir / path.name).write_text(path.read_text())
+    code = main(["--baseline-dir", str(out), "--fresh-dir", str(fresh_dir),
+                 "--tolerances",
+                 str(REPO / "benchmarks" / "bench_tolerances.json")])
+    assert code == 0
+
+
+def test_default_tolerances_cover_all_gated_metrics():
+    """Every directional metric in the committed baselines has a band."""
+    for path in sorted((REPO / "benchmarks" / "out").glob("BENCH_*.json")):
+        for metric in benchcheck.flatten(json.loads(path.read_text())):
+            if direction(metric) != 0:
+                assert tolerance_for(metric, []) is not None, metric

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.obs.metrics import NULL_METRICS, Histogram, Metrics
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY
+
+
+def synthetic_latencies(n, worker=0):
+    out = []
+    for i in range(n):
+        x = (i * 2654435761 + worker * 97) % 10_000
+        out.append(0.001 + (x / 10_000.0) ** 3 * 0.25)
+    return out
 
 
 def test_counter_accumulates_and_rejects_negative():
@@ -76,7 +85,7 @@ def test_snapshot_shape_and_sorting():
     assert list(snapshot["counters"]) == ["a", "z"]
     assert snapshot["histograms"]["lat"]["count"] == 1
     assert set(snapshot["histograms"]["lat"]) == {
-        "count", "sum", "min", "max", "mean", "median", "p99", "samples"}
+        "count", "sum", "min", "max", "mean", "median", "p90", "p99", "samples"}
     assert snapshot["histograms"]["lat"]["samples"] == [2.0]
 
 
@@ -106,6 +115,157 @@ def test_merge_snapshot_tolerates_presamples_snapshots():
     assert metrics.value("hits") == 2.0
     assert metrics.value("cwnd") == 4.0
     assert metrics.histogram("lat").samples == []
+
+
+def test_histogram_quantile_uses_cached_sorted_view():
+    histogram = Histogram("lat")
+    for v in (3.0, 1.0, 2.0):
+        histogram.observe(v)
+    assert histogram.quantile(0.5) == 2.0
+    assert histogram._sorted == [1.0, 2.0, 3.0]  # cached after first call
+    histogram.observe(0.5)                        # invalidates the cache
+    assert histogram._sorted is None
+    assert histogram.quantile(0.0) == 0.5
+    assert histogram.samples == [3.0, 1.0, 2.0, 0.5]  # stream order intact
+
+
+def test_histogram_spills_to_constant_memory():
+    histogram = Histogram("lat", retention=100)
+    values = synthetic_latencies(5000)
+    for v in values:
+        histogram.observe(v)
+    assert histogram.spilled
+    assert histogram.samples == []                 # raw samples released
+    assert len(histogram.sketch.buckets) < 1000    # log-bucketed, not per-sample
+    assert histogram.count == 5000
+    assert histogram.sum == pytest.approx(sum(values))
+    assert histogram.min == min(values) and histogram.max == max(values)
+    ordered = sorted(values)
+    for q in (0.5, 0.9, 0.99):
+        exact = ordered[round(q * (len(ordered) - 1))]
+        assert abs(histogram.quantile(q) - exact) <= (
+            DEFAULT_RELATIVE_ACCURACY * exact)
+
+
+def test_histogram_spill_is_transparent_to_statistics():
+    exact = Histogram("lat", retention=10_000)
+    spilled = Histogram("lat", retention=32)
+    for v in synthetic_latencies(1000):
+        exact.observe(v)
+        spilled.observe(v)
+    assert not exact.spilled and spilled.spilled
+    assert spilled.count == exact.count
+    assert spilled.sum == exact.sum
+    assert spilled.mean == pytest.approx(exact.mean)
+    assert spilled.median == pytest.approx(exact.median, rel=0.011)
+
+
+def test_histogram_merge_spills_when_combined_exceeds_retention():
+    a = Histogram("lat", retention=100)
+    b = Histogram("lat", retention=100)
+    for v in synthetic_latencies(80, worker=0):
+        a.observe(v)
+    for v in synthetic_latencies(80, worker=1):
+        b.observe(v)
+    a.merge(b)
+    assert a.spilled and a.count == 160
+    assert a.samples == []
+
+
+def test_merge_equals_merge_snapshot_when_spilled():
+    # the --jobs bit-identity contract: shipping a spilled histogram as a
+    # snapshot and re-merging reconstructs the exact same state as an
+    # in-process merge
+    def build(worker):
+        metrics = Metrics(retention=64)
+        for v in synthetic_latencies(300, worker=worker):
+            metrics.observe("lat", v)
+        metrics.inc("handshake.count", 300)
+        return metrics
+
+    via_merge, via_snapshot = Metrics(retention=64), Metrics(retention=64)
+    for worker in range(3):
+        via_merge.merge(build(worker))
+        via_snapshot.merge_snapshot(build(worker).snapshot())
+    assert via_merge.snapshot() == via_snapshot.snapshot()
+    assert via_merge.histogram("lat").spilled
+
+
+def test_merge_snapshot_empty_histograms():
+    source = Metrics()
+    source.histogram("lat")  # created, never observed
+    target = Metrics()
+    target.merge_snapshot(source.snapshot())
+    histogram = target.histogram("lat")
+    assert histogram.count == 0
+    assert histogram.quantile(0.5) == 0.0
+    assert target.snapshot()["histograms"]["lat"]["count"] == 0
+
+
+def test_merge_snapshot_gauge_last_write_wins_ordering():
+    target = Metrics()
+    target.set("cwnd", 3)
+    first, second = Metrics(), Metrics()
+    first.set("cwnd", 7)
+    second.set("cwnd", 11)
+    target.merge_snapshot(first.snapshot())
+    target.merge_snapshot(second.snapshot())
+    assert target.value("cwnd") == 11   # last snapshot applied wins
+    target.merge_snapshot(first.snapshot())
+    assert target.value("cwnd") == 7
+
+
+def test_streaming_snapshot_round_trips_sketch_and_reservoir():
+    source = Metrics(retention=16)
+    for v in synthetic_latencies(200):
+        source.observe("lat", v)
+    entry = source.snapshot()["histograms"]["lat"]
+    assert entry["samples"] == []
+    assert entry["streaming"]["observed"] == 200
+    clone = Histogram.from_snapshot_entry("lat", entry, retention=16)
+    assert clone.snapshot_entry() == entry
+
+
+def test_synthetic_100k_campaign_streams_bit_identically_across_jobs():
+    """Acceptance: 100k handshakes, O(1) memory, jobs=1 == jobs=4.
+
+    Simulates the executor's two aggregation paths over the same 100k
+    observations: one leader observing everything (jobs=1) vs four
+    worker registries shipped as snapshots and merged in config order
+    (jobs=4). Quantiles must agree bit-for-bit between the paths and
+    with the exact sorted-list answer within the sketch's error bound.
+    """
+    retention = 4096
+    per_worker = 25_000
+    streams = [synthetic_latencies(per_worker, worker=w) for w in range(4)]
+
+    serial = Metrics(retention=retention)
+    for stream in streams:
+        worker = Metrics(retention=retention)
+        for v in stream:
+            worker.observe("handshake.total", v)
+        serial.merge(worker)
+
+    parallel = Metrics(retention=retention)
+    snapshots = []
+    for stream in streams:
+        worker = Metrics(retention=retention)
+        for v in stream:
+            worker.observe("handshake.total", v)
+        snapshots.append(worker.snapshot())
+    for snapshot in snapshots:
+        parallel.merge_snapshot(snapshot)
+
+    assert serial.snapshot() == parallel.snapshot()
+
+    histogram = serial.histogram("handshake.total")
+    assert histogram.count == 100_000
+    assert histogram.spilled and histogram.samples == []
+    all_values = sorted(v for stream in streams for v in stream)
+    for q in (0.5, 0.9, 0.99):
+        exact = all_values[round(q * (len(all_values) - 1))]
+        assert abs(histogram.quantile(q) - exact) <= (
+            DEFAULT_RELATIVE_ACCURACY * exact)
 
 
 def test_null_metrics_swallows_everything():

@@ -1,0 +1,177 @@
+"""Streaming instruments: sketch accuracy, reservoir determinism, merges."""
+
+import pytest
+
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    ReservoirSample,
+    priority,
+)
+
+
+def synthetic_latencies(n, worker=0):
+    """Deterministic positive 'latency' stream with a heavy-ish tail."""
+    out = []
+    for i in range(n):
+        x = (i * 2654435761 + worker * 97) % 10_000
+        out.append(0.001 + (x / 10_000.0) ** 3 * 0.25)
+    return out
+
+
+def exact_quantile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))]
+
+
+# -- QuantileSketch ----------------------------------------------------------
+
+def test_sketch_relative_error_bound():
+    values = synthetic_latencies(50_000)
+    sketch = QuantileSketch()
+    for v in values:
+        sketch.add(v)
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        exact = exact_quantile(values, q)
+        estimate = sketch.quantile(q)
+        assert abs(estimate - exact) <= DEFAULT_RELATIVE_ACCURACY * abs(exact)
+
+
+def test_sketch_handles_zero_and_negative_values():
+    sketch = QuantileSketch()
+    for v in (-4.0, -1.0, 0.0, 0.0, 1.0, 4.0):
+        sketch.add(v)
+    assert sketch.count == 6
+    assert sketch.quantile(0.0) == pytest.approx(-4.0, rel=0.011)
+    assert sketch.quantile(0.5) == 0.0
+    assert sketch.quantile(1.0) == pytest.approx(4.0, rel=0.011)
+
+
+def test_sketch_empty_returns_zero():
+    assert QuantileSketch().quantile(0.5) == 0.0
+
+
+def test_sketch_merge_matches_single_stream_bitwise():
+    merged, single = QuantileSketch(), QuantileSketch()
+    parts = [QuantileSketch() for _ in range(3)]
+    for worker, part in enumerate(parts):
+        for v in synthetic_latencies(1000, worker=worker):
+            part.add(v)
+            single.add(v)
+    for part in parts:
+        merged.merge(part)
+    assert merged.state() == single.state()
+    assert merged.count == single.count
+
+
+def test_sketch_merge_is_associative_and_commutative():
+    def build(worker):
+        sketch = QuantileSketch()
+        for v in synthetic_latencies(500, worker=worker):
+            sketch.add(v)
+        return sketch
+
+    a_bc = build(0)
+    bc = build(1)
+    bc.merge(build(2))
+    a_bc.merge(bc)
+
+    ab_c = build(0)
+    ab_c.merge(build(1))
+    ab_c.merge(build(2))
+
+    cba = build(2)
+    cba.merge(build(1))
+    cba.merge(build(0))
+
+    assert a_bc.state() == ab_c.state() == cba.state()
+
+
+def test_sketch_merge_rejects_mismatched_accuracy():
+    with pytest.raises(ValueError):
+        QuantileSketch(relative_accuracy=0.01).merge(
+            QuantileSketch(relative_accuracy=0.02))
+
+
+def test_sketch_collapse_bounds_memory_and_keeps_high_quantiles():
+    sketch = QuantileSketch(max_buckets=32)
+    values = [1.5 ** i for i in range(-40, 41)]  # ~81 distinct buckets
+    for v in values:
+        sketch.add(v)
+    assert len(sketch.buckets) <= 32
+    assert sketch.count == len(values)
+    # the top of the distribution survives collapse unscathed
+    assert sketch.quantile(1.0) == pytest.approx(max(values), rel=0.011)
+
+
+def test_sketch_state_round_trip():
+    sketch = QuantileSketch()
+    for v in (-2.0, 0.0, 0.5, 3.0, 3.0):
+        sketch.add(v)
+    clone = QuantileSketch.from_state(sketch.state())
+    assert clone.state() == sketch.state()
+    assert clone.count == sketch.count
+    assert clone.quantile(0.9) == sketch.quantile(0.9)
+
+
+# -- ReservoirSample ---------------------------------------------------------
+
+def test_priority_is_deterministic_and_index_sensitive():
+    assert priority(3, 1.25) == priority(3, 1.25)
+    assert priority(3, 1.25) != priority(4, 1.25)
+    assert priority(3, 1.25) != priority(3, 1.5)
+
+
+def test_reservoir_keeps_bottom_k_of_union():
+    reservoir = ReservoirSample(k=4)
+    for i in range(100):
+        reservoir.add(i, float(i))
+    expected = sorted((priority(i, float(i)), float(i)) for i in range(100))[:4]
+    assert reservoir.entries == expected
+
+
+def test_reservoir_merge_is_associative_and_order_independent():
+    def build(worker):
+        reservoir = ReservoirSample(k=8)
+        for i, v in enumerate(synthetic_latencies(200, worker=worker)):
+            reservoir.add(i, v)
+        return reservoir
+
+    left = build(0)
+    right = build(1)
+    right.merge(build(2))
+    left.merge(right)
+
+    other = build(2)
+    other.merge(build(0))
+    other.merge(build(1))
+
+    assert left.entries == other.entries
+
+
+def test_reservoir_merge_matches_single_process_feed():
+    # sharded feed at each shard's own indices == merging the shards
+    shards = [ReservoirSample(k=16) for _ in range(4)]
+    union = ReservoirSample(k=16)
+    for worker, shard in enumerate(shards):
+        for i, v in enumerate(synthetic_latencies(100, worker=worker)):
+            shard.add(i, v)
+    for shard in shards:
+        union.merge(shard)
+    expected = sorted(
+        entry for shard in shards for entry in shard.entries)[:16]
+    assert union.entries == expected
+
+
+def test_reservoir_state_round_trip():
+    reservoir = ReservoirSample(k=8)
+    for i in range(50):
+        reservoir.add(i, i * 0.1)
+    clone = ReservoirSample.from_state(reservoir.state(), k=8)
+    assert clone.entries == reservoir.entries
+    assert clone.values() == reservoir.values()
+
+
+def test_reservoir_rejects_bad_k():
+    with pytest.raises(ValueError):
+        ReservoirSample(k=0)
