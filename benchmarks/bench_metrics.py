@@ -15,6 +15,11 @@ Two measurements, written to ``benchmarks/out/BENCH_metrics.json``:
   the retained bucket count, and the observed relative error of
   p50/p90/p99 against the exact offline quantiles — the number that
   backs the documented ``relative_accuracy`` bound.
+- **Lint runner.** A cold `pqtls-lint` pass over ``src/repro`` into a
+  fresh cache directory versus the warm pass that follows it. The warm
+  number is what every incremental CI/pre-commit run pays, so it gates
+  regressions in the content-addressed cache path; the cold number
+  tracks the full analysis (flow engine included).
 
 Usage::
 
@@ -26,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import tempfile
 import time
 from pathlib import Path
 
@@ -109,6 +115,29 @@ def bench_streaming_spill() -> dict:
     }
 
 
+def bench_lint_runner() -> dict:
+    """Cold vs warm `pqtls-lint` over src/repro with a throwaway cache."""
+    from repro.analysis.runner import analyze
+
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        start = time.perf_counter()
+        cold_report = analyze([src], project_root=root)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_report = analyze([src], project_root=root)
+        warm = time.perf_counter() - start
+    assert warm_report.from_cache == warm_report.files_checked
+    return {
+        "files": warm_report.files_checked,
+        "findings": len(cold_report.findings),
+        "cold_s": round(cold, 4),
+        "warm_s": round(warm, 4),
+        "warm_speedup": round(cold / warm, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=OUT_DEFAULT)
@@ -118,6 +147,7 @@ def main(argv=None) -> int:
         "host": host_metadata(),
         "quantile_cached_sort": bench_cached_sort(),
         "streaming_spill": bench_streaming_spill(),
+        "lint_runner": bench_lint_runner(),
     }
     print(json.dumps(report, indent=2))
     args.out.parent.mkdir(parents=True, exist_ok=True)

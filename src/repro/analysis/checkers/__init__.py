@@ -1,5 +1,16 @@
 """Built-in checkers; importing this package registers all of them."""
 
-from repro.analysis.checkers import ct, det, exc, layer, obs, wire
+from repro.analysis.checkers import (
+    ct,
+    ctflow,
+    det,
+    exc,
+    flowapi,
+    layer,
+    leak,
+    obs,
+    wire,
+)
 
-__all__ = ["ct", "det", "exc", "layer", "obs", "wire"]
+__all__ = ["ct", "ctflow", "det", "exc", "flowapi", "layer", "leak", "obs",
+           "wire"]

@@ -30,43 +30,21 @@ site, which keeps every such decision greppable and reviewed.
 from __future__ import annotations
 
 import ast
-import re
 from typing import Iterator
 
 from repro.analysis.context import FileContext
 from repro.analysis.finding import Finding
-from repro.analysis.registry import Checker, register
-
-# Parameter / variable names treated as secret seeds.
-_SECRET_NAME_RE = re.compile(
-    r"(^|_)(sk|secret|secrets|seed|seeds|coins|scalar|private|priv|signing_key|"
-    r"shared_secret)(_|$)|secret"
+from repro.analysis.flow.taint import (
+    CRYPTO_SCOPES as _SCOPES,
+    KEYGEN_NAMES as _KEYGEN_NAMES,
+    SANITIZERS as _SANITIZERS,
+    SECRET_RETURNING as _SECRET_RETURNING,
+    STRICT_SCOPES as _STRICT_SCOPES,
+    attr_root,
+    call_name as _call_name,
+    is_secret_name as _is_secret_name,
 )
-
-# Calls whose results are secret: obj.keygen() -> (pk, sk); obj.decaps()/decap()
-_SECRET_RETURNING = {"decaps", "decap"}
-_KEYGEN_NAMES = {"keygen", "generate_keypair"}
-
-# Calls whose results are public regardless of argument taint.
-_SANITIZERS = {"len", "declassify", "type", "isinstance", "id"}
-
-_SCOPES = ("repro.crypto", "repro.pqc")
-
-# Modules where *every* parameter seeds taint (see module docstring).
-_STRICT_SCOPES = ("repro.crypto.kernels",)
-
-
-def _is_secret_name(name: str) -> bool:
-    return bool(_SECRET_NAME_RE.search(name))
-
-
-def _call_name(node: ast.Call) -> str:
-    func = node.func
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return ""
+from repro.analysis.registry import Checker, register
 
 
 class _FunctionTaint:
@@ -86,13 +64,23 @@ class _FunctionTaint:
         """Origin string if *expr* is tainted, else None.
 
         Sanitizer calls (``len``, ``declassify``, ...) produce public
-        values, so their subtrees are not descended into.
+        values, so their subtrees are not descended into — with one
+        exception: a sanitizer applied to an *attribute or subscript* of
+        a tainted value does not launder.  ``len(sk)`` is a public wire
+        size, but ``len(sk.x)`` / ``declassify(sk[i])`` project a
+        component out of secret data first, and the projection (or its
+        length) may itself be secret-dependent.
         """
         stack = [expr]
         while stack:
             node = stack.pop()
             if isinstance(node, ast.Call) and _call_name(node) in _SANITIZERS:
-                continue  # public result: do not descend
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    if isinstance(arg, (ast.Attribute, ast.Subscript)):
+                        root = attr_root(arg)
+                        if root is not None and root in self.tainted:
+                            return self.tainted[root]
+                continue  # public result: do not descend further
             if isinstance(node, ast.Name) and node.id in self.tainted:
                 return self.tainted[node.id]
             if isinstance(node, ast.Call) and _call_name(node) in _SECRET_RETURNING:
@@ -133,20 +121,44 @@ class _FunctionTaint:
                 origin = self.origin_of(node.iter)
                 if origin:
                     changed |= self._taint_target(node.target, origin)
+            elif isinstance(node, ast.comprehension):
+                # `[table[x] for x in sk]` indexes on secret data even
+                # though x never appears in an assignment statement
+                origin = self.origin_of(node.iter)
+                if origin:
+                    changed |= self._taint_target(node.target, origin)
         return changed
 
     def _transfer_assign(self, targets: list[ast.AST], value: ast.AST) -> bool:
         changed = False
-        # `pk, sk = scheme.keygen(drbg)`: only the secret-key element taints
-        if (isinstance(value, ast.Call) and _call_name(value) in _KEYGEN_NAMES
-                and len(targets) == 1 and isinstance(targets[0], ast.Tuple)
-                and len(targets[0].elts) == 2):
-            secret_elt = targets[0].elts[1]
-            return self._taint_target(secret_elt, f"{_call_name(value)}() secret key")
-        origin = self.origin_of(value)
-        if origin:
+        # `pk, sk = scheme.keygen(drbg)`: only the secret-key element
+        # taints; any other target shape (`pair = scheme.keygen(drbg)`)
+        # keeps the whole binding secret so a later unpacking cannot
+        # launder the key
+        if isinstance(value, ast.Call) and _call_name(value) in _KEYGEN_NAMES:
+            origin = f"{_call_name(value)}() secret key"
             for target in targets:
-                changed |= self._taint_target(target, origin)
+                if isinstance(target, ast.Tuple) and len(target.elts) == 2:
+                    changed |= self._taint_target(target.elts[1], origin)
+                else:
+                    changed |= self._taint_target(target, origin)
+            return changed
+        for target in targets:
+            # element-wise tuple transfer: `a, b = sk, pk` taints only a,
+            # and `n, m = len(sk.x), declassify(sk.y)` taints both (the
+            # whole-tuple origin used to launder these)
+            if (isinstance(target, (ast.Tuple, ast.List))
+                    and isinstance(value, (ast.Tuple, ast.List))
+                    and len(target.elts) == len(value.elts)
+                    and not any(isinstance(e, ast.Starred) for e in target.elts)):
+                for t_elt, v_elt in zip(target.elts, value.elts):
+                    origin = self.origin_of(v_elt)
+                    if origin:
+                        changed |= self._taint_target(t_elt, origin)
+            else:
+                origin = self.origin_of(value)
+                if origin:
+                    changed |= self._taint_target(target, origin)
         return changed
 
     def solve(self, max_rounds: int = 10) -> None:

@@ -27,7 +27,10 @@ from repro.analysis.finding import Finding
 from repro.analysis.registry import Checker, register
 
 _CLOCK_EXEMPT_PREFIX = "repro.obs"
-_PROCESS_EXEMPT_MODULE = "repro.core.executor"
+# repro.core.executor owns simulation-side process pools; the lint
+# runner's own worker pool (repro.analysis.parallel) tolls no simulation
+# clock and follows the same spawn + deterministic-merge conventions
+_PROCESS_EXEMPT_MODULES = ("repro.core.executor", "repro.analysis.parallel")
 
 _TIME_FUNCS = {
     "time", "time_ns", "monotonic", "monotonic_ns",
@@ -49,8 +52,8 @@ class DeterminismChecker(Checker):
         "DET002": "stdlib `random` module used (randomness must flow through Drbg)",
         "DET003": "OS entropy used (`os.urandom` / `secrets`); keys would differ per run",
         "DET004": "ambient `datetime.now()`/`today()`/`utcnow()` read",
-        "DET005": "process-level parallelism outside repro.core.executor "
-                  "(multiprocessing/concurrent.futures/os.cpu_count)",
+        "DET005": "process-level parallelism outside the executor / lint "
+                  "worker pools (multiprocessing/concurrent.futures/os.cpu_count)",
     }
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
@@ -58,7 +61,7 @@ class DeterminismChecker(Checker):
             return
         clock_exempt = (ctx.module == _CLOCK_EXEMPT_PREFIX
                         or ctx.module.startswith(_CLOCK_EXEMPT_PREFIX + "."))
-        process_exempt = ctx.module == _PROCESS_EXEMPT_MODULE
+        process_exempt = ctx.module in _PROCESS_EXEMPT_MODULES
 
         def finding(code: str, node: ast.AST, message: str) -> Finding:
             return Finding(code=code, message=message, path=ctx.relpath,

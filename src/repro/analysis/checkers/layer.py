@@ -19,6 +19,7 @@ from typing import Iterator
 
 from repro.analysis.context import FileContext
 from repro.analysis.finding import Finding
+from repro.analysis.flow.imports import import_statement_targets
 from repro.analysis.registry import Checker, register
 
 # unit -> repro units it may import (besides itself); "*" = anything
@@ -80,16 +81,12 @@ class LayerChecker(Checker):
                            symbol=ctx.symbol_at(node), checker=self.name)
 
         for node in ast.walk(ctx.tree):
-            targets: list[str] = []
-            if isinstance(node, ast.Import):
-                targets = [alias.name for alias in node.names]
-            elif isinstance(node, ast.ImportFrom):
-                if node.level:  # relative import resolves within repro
-                    base = ctx.module.rsplit(".", node.level)[0]
-                    targets = [f"{base}.{node.module}" if node.module else base]
-                elif node.module:
-                    targets = [node.module]
-            else:
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            # shared resolution with the flow engine: correct for package
+            # __init__.py files, where a naive rsplit lands one level high
+            targets = import_statement_targets(ctx, node)
+            if not targets:
                 continue
             for target in targets:
                 target_unit = unit_of(target)

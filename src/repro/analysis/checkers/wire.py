@@ -85,7 +85,8 @@ class WireSizeChecker(Checker):
         self._kem_table = KEM_SPEC_SIZES if kem_table is None else kem_table
         self._sig_table = SIG_SPEC_SIZES if sig_table is None else sig_table
 
-    def check_project(self, ctxs: list[FileContext]) -> Iterator[Finding]:
+    def check_project(self, ctxs: list[FileContext],
+                      engine=None) -> Iterator[Finding]:
         if not any(ctx.module.startswith("repro.pqc") for ctx in ctxs):
             return
         project_root = self._project_root(ctxs)

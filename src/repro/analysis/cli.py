@@ -12,7 +12,7 @@ from pathlib import Path
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.registry import all_checkers
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.runner import analyze, find_project_root
 
 
@@ -20,14 +20,29 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pqtls-lint",
         description="Domain static analysis for the post-quantum TLS reproduction: "
-                    "constant-time discipline (CT), determinism (DET), layering "
-                    "(LAYER), wire sizes (WIRE), and exception hygiene (EXC).",
+                    "constant-time discipline (CT, intra- and interprocedural), "
+                    "secret-leak-to-observability (LEAK), flow-API misuse (FLOW), "
+                    "determinism (DET), layering (LAYER), wire sizes (WIRE), and "
+                    "exception hygiene (EXC).",
     )
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories (default: src/repro under the project root)")
     parser.add_argument("--format", choices=("text", "json"), default="text")
     parser.add_argument("--select", action="append", metavar="CODE",
                         help="run only matching checkers (name or code prefix, repeatable)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="fan per-file checking over N spawned workers "
+                             "(clamped to the core count; output is byte-identical "
+                             "to --jobs 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and don't write the content-addressed result "
+                             "cache under .cache/lint/")
+    parser.add_argument("--sarif", type=Path, metavar="FILE", default=None,
+                        help="also write findings as SARIF 2.1.0 to FILE "
+                             "(for code-scanning upload)")
+    parser.add_argument("--check-pragmas", action="store_true",
+                        help="flag `pqtls: allow[...]` pragmas and baseline entries "
+                             "that no longer suppress anything (ANA001/ANA002)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help=f"baseline file (default: <project root>/{DEFAULT_BASELINE_NAME} if present)")
     parser.add_argument("--no-baseline", action="store_true",
@@ -35,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update-baseline", action="store_true",
                         help="write current findings to the baseline file and exit 0; "
                              "each new entry still needs a hand-written justification")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline file without its stale entries "
+                             "and exit 0")
     parser.add_argument("--list-checkers", action="store_true")
     parser.add_argument("--verbose", action="store_true",
                         help="also show baseline-suppressed findings")
@@ -57,6 +75,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_checkers:
         print(_list_checkers())
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     paths = args.paths
     if not paths:
@@ -78,10 +98,16 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"pqtls-lint: bad baseline: {exc}", file=sys.stderr)
             return 2
+    if args.prune_baseline and baseline is None:
+        print("pqtls-lint: --prune-baseline needs a loadable baseline file",
+              file=sys.stderr)
+        return 2
 
     try:
         report = analyze(paths, project_root=project_root, select=args.select,
-                         baseline=baseline)
+                         baseline=baseline, jobs=args.jobs,
+                         use_cache=not args.no_cache,
+                         check_pragmas=args.check_pragmas)
     except KeyError as exc:
         print(f"pqtls-lint: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -99,6 +125,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"pqtls-lint: {len(todo)} entries need a justification before "
                   "the baseline will load", file=sys.stderr)
         return 0
+
+    if args.prune_baseline:
+        stale = {entry.identity() for entry in report.stale_baseline}
+        kept = [e for e in baseline.entries if e.identity() not in stale]
+        baseline.entries = kept
+        baseline.save(baseline_path)
+        print(f"pqtls-lint: pruned {len(stale)} stale entries from "
+              f"{baseline_path}; {len(kept)} remain")
+        return 0
+
+    if args.sarif is not None:
+        args.sarif.write_text(render_sarif(report), encoding="utf-8")
 
     if args.format == "json":
         print(render_json(report))

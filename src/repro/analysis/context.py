@@ -9,8 +9,8 @@ from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
 
-# `# pqtls: allow[CT001]` or `# pqtls: allow[CT001,DET002]`; a pragma on a
-# line of its own applies to the next statement line (skipping any further
+# ``allow[CT001]`` or ``allow[CT001,DET002]`` after the pqtls marker; a
+# pragma on a line of its own applies to the next statement line (skipping any further
 # comment lines, so a pragma may head a multi-line justification). A pragma
 # that lands on the first line of a multi-line *simple* statement is widened
 # to the whole statement span (see FileContext.load) — findings anchor on
@@ -18,13 +18,24 @@ from pathlib import Path
 _PRAGMA_RE = re.compile(r"#\s*pqtls:\s*allow\[([A-Z]+\d*(?:\s*,\s*[A-Z]+\d*)*)\]")
 
 
-def parse_pragmas(source: str) -> dict[int, set[str]]:
-    """Map line number -> set of allowed codes, via the token stream.
+def parse_pragmas(source: str) -> dict[int, dict[str, set[int]]]:
+    """Map line number -> {allowed code -> declaring pragma lines}.
+
+    The declaring line (where the ``# pqtls: allow[...]`` comment itself
+    sits) rides along so the runner can attribute each suppression back
+    to its pragma — that attribution is what ``--check-pragmas`` uses to
+    flag declarations that no longer suppress anything (ANA001).
 
     Tokenizing (rather than regexing raw lines) keeps pragma-looking text
     inside string literals from suppressing anything.
     """
-    allowed: dict[int, set[str]] = {}
+    allowed: dict[int, dict[str, set[int]]] = {}
+
+    def cover(line: int, codes: set[str], decl: int) -> None:
+        slot = allowed.setdefault(line, {})
+        for code in codes:
+            slot.setdefault(code, set()).add(decl)
+
     try:
         tokens = list(tokenize.generate_tokens(StringIO(source).readline))
     except (tokenize.TokenError, IndentationError):  # half-written file: no pragmas
@@ -37,7 +48,7 @@ def parse_pragmas(source: str) -> dict[int, set[str]]:
             continue
         codes = {code.strip() for code in match.group(1).split(",")}
         line = tok.start[0]
-        allowed.setdefault(line, set()).update(codes)
+        cover(line, codes, line)
         # a standalone pragma comment covers the next *code* line, so a
         # pragma may open a multi-line comment explaining the allowance
         lines = source.splitlines()
@@ -45,11 +56,11 @@ def parse_pragmas(source: str) -> dict[int, set[str]]:
             target = line + 1
             while target <= len(lines) and lines[target - 1].lstrip().startswith("#"):
                 target += 1
-            allowed.setdefault(target, set()).update(codes)
+            cover(target, codes, line)
     return allowed
 
 
-def _widen_pragmas(tree: ast.Module, pragmas: dict[int, set[str]]) -> None:
+def _widen_pragmas(tree: ast.Module, pragmas: dict[int, dict[str, set[int]]]) -> None:
     """Extend first-line pragmas over their statement's whole line span.
 
     Simple statements (assignments, returns, expression statements) are
@@ -71,7 +82,9 @@ def _widen_pragmas(tree: ast.Module, pragmas: dict[int, set[str]]) -> None:
         else:
             end = node.end_lineno
         for line in range(node.lineno + 1, (end or node.lineno) + 1):
-            pragmas.setdefault(line, set()).update(codes)
+            slot = pragmas.setdefault(line, {})
+            for code, decls in codes.items():
+                slot.setdefault(code, set()).update(decls)
 
 
 def module_name_for(path: Path) -> str:
@@ -94,7 +107,8 @@ class FileContext:
     module: str                       # dotted import name ("repro.tls.client")
     source: str
     tree: ast.Module
-    pragmas: dict[int, set[str]] = field(default_factory=dict)
+    # covered line -> {code -> lines of the pragma comments declaring it}
+    pragmas: dict[int, dict[str, set[int]]] = field(default_factory=dict)
     parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
 
     @classmethod
@@ -133,3 +147,16 @@ class FileContext:
 
     def is_allowed(self, line: int, code: str) -> bool:
         return code in self.pragmas.get(line, ())
+
+    def allowing_declarations(self, line: int, code: str) -> set[int]:
+        """Pragma-comment lines whose allowance covers (*line*, *code*)."""
+        return self.pragmas.get(line, {}).get(code, set())
+
+    def pragma_declarations(self) -> dict[int, set[str]]:
+        """Every pragma declaration in the file: comment line -> codes."""
+        decls: dict[int, set[str]] = {}
+        for slot in self.pragmas.values():
+            for code, lines in slot.items():
+                for decl in lines:
+                    decls.setdefault(decl, set()).add(code)
+        return decls

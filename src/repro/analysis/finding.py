@@ -57,3 +57,17 @@ class Finding:
             "message": self.message,
             "checker": self.checker,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (lint-cache record round trip)."""
+        return cls(
+            code=data["code"],
+            message=data["message"],
+            path=data["path"],
+            line=data["line"],
+            col=data.get("col", 0),
+            symbol=data.get("symbol", ""),
+            severity=Severity(data.get("severity", "error")),
+            checker=data.get("checker", ""),
+        )

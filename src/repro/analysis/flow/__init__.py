@@ -1,0 +1,39 @@
+"""`repro.analysis.flow` — whole-program dataflow engine for pqtls-lint.
+
+The intraprocedural checkers see one function at a time; this package
+sees the tree.  It discovers every module under the analyzed paths,
+resolves imports to a :class:`~repro.analysis.flow.imports.ModuleIndex`,
+indexes every function into a call graph
+(:class:`~repro.analysis.flow.callgraph.FunctionIndex`), builds a
+per-function control-flow graph with reaching-definition taint states
+(:mod:`~repro.analysis.flow.cfg`), and solves per-function *taint
+summaries* — which parameters flow to the return value, whether the
+return is secret-derived, and which parameters reach a constant-time or
+observability sink — to a deterministic interprocedural fixpoint
+(:mod:`~repro.analysis.flow.taint`, :mod:`~repro.analysis.flow.engine`).
+
+Checkers consume the solved :class:`FlowEngine`: CT1xx follows secrets
+across call and module boundaries, LEAK00x follows them into tracer
+spans, metric names, flight-recorder events and exception messages, and
+FLOW00x audits `declassify`/`Drbg.fork` API use.  Soundness limits are
+documented in DESIGN.md §11.
+"""
+
+from repro.analysis.flow.callgraph import FunctionIndex, FunctionInfo
+from repro.analysis.flow.cfg import Cfg, build_cfg
+from repro.analysis.flow.engine import FlowEngine
+from repro.analysis.flow.imports import ModuleIndex, import_bindings, resolve_relative
+from repro.analysis.flow.taint import FunctionAnalysis, TaintSummary
+
+__all__ = [
+    "Cfg",
+    "FlowEngine",
+    "FunctionAnalysis",
+    "FunctionIndex",
+    "FunctionInfo",
+    "ModuleIndex",
+    "TaintSummary",
+    "build_cfg",
+    "import_bindings",
+    "resolve_relative",
+]

@@ -1,0 +1,127 @@
+"""Per-file checking units and the lint runner's spawned worker pool.
+
+One *unit* of work is ``build_record``: hash a file, consult the lint
+cache, and on a miss parse it and run every file-scope checker, giving a
+JSON-serializable record (findings + pragma tables). The runner executes
+units inline for ``--jobs 1`` and fans them over a spawned
+``ProcessPoolExecutor`` otherwise, mirroring ``repro.core.executor``'s
+conventions: workers are spawned (clean interpreters, no inherited
+state), requested jobs clamp to the host core count, and results merge
+in the input file order — so a parallel run is byte-identical to a
+serial one, whatever order workers finish in. Workers coordinate only
+through the content-addressed cache, whose writes are atomic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.analysis.context import FileContext
+from repro.analysis.finding import Finding
+from repro.analysis.lintcache import LintCache
+from repro.analysis.registry import Checker, all_checkers
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Effective worker count: requested jobs, clamped to the core count.
+
+    Same policy as ``repro.core.executor.resolve_jobs`` (checking is
+    CPU-bound; oversubscription only adds spawn overhead), duplicated
+    here so the lint CLI does not import the simulation stack.
+    """
+    cpus = os.cpu_count() or 1
+    if jobs is None:
+        return cpus
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    return min(jobs, cpus)
+
+
+def file_checkers(names: list[str] | None) -> list[Checker]:
+    """File-scope checker instances, optionally restricted to *names*."""
+    return [checker for checker in all_checkers()
+            if checker.scope != "project"
+            and (names is None or checker.name in names)]
+
+
+def relpath_for(path: Path, project_root: Path) -> str:
+    try:
+        return path.resolve().relative_to(project_root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def build_record(path: Path, project_root: Path, cache: LintCache | None,
+                 checkers: list[Checker]) -> tuple[dict, FileContext | None]:
+    """One file's lint record, from the cache when its key matches.
+
+    Returns ``(record, context)``; the context is only populated when the
+    file was actually parsed this call (cache miss), letting an inline
+    runner reuse it for the project-scope pass.
+    """
+    relpath = relpath_for(path, project_root)
+    record_key = ""
+    if cache is not None:
+        record_key = cache.file_key(relpath, path.read_bytes())
+        record = cache.load("files", record_key)
+        if record is not None:
+            record["cached"] = True
+            return record, None
+    ctx: FileContext | None = None
+    try:
+        ctx = FileContext.load(path, project_root)
+    except SyntaxError as exc:
+        syntax = Finding(code="SYNTAX", message=f"cannot parse: {exc.msg}",
+                         path=path.as_posix(), line=exc.lineno or 1,
+                         checker="runner")
+        record = {"key": record_key, "relpath": relpath, "module": "",
+                  "syntax_error": True, "findings": [syntax.to_dict()],
+                  "pragmas": [], "pragma_decls": []}
+    else:
+        findings = []
+        for checker in checkers:
+            findings.extend(f.to_dict() for f in checker.check_file(ctx))
+        record = {
+            "key": record_key,
+            "relpath": relpath,
+            "module": ctx.module,
+            "syntax_error": False,
+            "findings": findings,
+            "pragmas": [
+                [line, code, sorted(decls)]
+                for line, slot in sorted(ctx.pragmas.items())
+                for code, decls in sorted(slot.items())
+            ],
+            "pragma_decls": [
+                [line, sorted(codes)]
+                for line, codes in sorted(ctx.pragma_declarations().items())
+            ],
+        }
+    if cache is not None:
+        cache.store("files", record_key, record)
+    record["cached"] = False
+    return record, ctx
+
+
+def _check_one(task: tuple[str, str, bool, list[str] | None]) -> dict:
+    """Worker entry point: one file -> one serialized record."""
+    path, root, use_cache, names = task
+    cache = LintCache(Path(root)) if use_cache else None
+    record, _ = build_record(Path(path), Path(root), cache, file_checkers(names))
+    return record
+
+
+def check_files(files: list[Path], project_root: Path, jobs: int,
+                use_cache: bool, names: list[str] | None) -> list[dict]:
+    """Fan per-file units over *jobs* spawned workers; records in file order."""
+    jobs = min(resolve_jobs(jobs), len(files))
+    tasks = [(str(f), str(project_root), use_cache, names) for f in files]
+    if jobs <= 1:
+        return [_check_one(task) for task in tasks]
+    context = multiprocessing.get_context("spawn")
+    chunk = max(1, len(tasks) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        return list(pool.map(_check_one, tasks, chunksize=chunk))

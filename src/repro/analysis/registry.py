@@ -24,17 +24,22 @@ class Checker:
         ``pqtls-lint --list-checkers`` and the docs.
     scope: ``"file"`` (checked per file) or ``"project"`` (sees all files
         at once — e.g. the WIRE registry audit).
+    needs_engine: project checkers set this to receive the solved
+        :class:`~repro.analysis.flow.engine.FlowEngine` via the
+        ``engine`` keyword; the runner builds it once per run.
     """
 
     name: str = ""
     description: str = ""
     codes: dict[str, str] = {}
     scope: str = "file"
+    needs_engine: bool = False
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         return iter(())
 
-    def check_project(self, ctxs: list[FileContext]) -> Iterator[Finding]:
+    def check_project(self, ctxs: list[FileContext],
+                      engine=None) -> Iterator[Finding]:
         return iter(())
 
 
@@ -55,7 +60,10 @@ def all_checkers(select: Iterable[str] | None = None) -> list[Checker]:
     """Instantiate registered checkers, optionally filtered.
 
     *select* entries may be checker names (``ct``) or finding-code
-    prefixes (``CT001``, ``CT``); anything unknown raises.
+    prefixes (``CT001``, ``CT``); an exact checker name wins outright, so
+    ``ct`` selects the intraprocedural checker alone while ``CT1`` still
+    reaches the interprocedural family by code prefix.  Anything unknown
+    raises.
     """
     import repro.analysis.checkers  # noqa: F401  (registration side effect)
 
@@ -64,11 +72,13 @@ def all_checkers(select: Iterable[str] | None = None) -> list[Checker]:
     wanted = list(select)
     chosen: dict[str, Type[Checker]] = {}
     for token in wanted:
+        if token.lower() in _REGISTRY:
+            chosen[token.lower()] = _REGISTRY[token.lower()]
+            continue
         hits = {
             name: cls
             for name, cls in _REGISTRY.items()
-            if name == token.lower()
-            or any(code.startswith(token.upper()) for code in cls.codes)
+            if any(code.startswith(token.upper()) for code in cls.codes)
         }
         if not hits:
             known = sorted(_REGISTRY)

@@ -36,13 +36,13 @@ def ct_select_bytes(flag: int, when_true: bytes, when_false: bytes) -> bytes:
     """``when_true`` if *flag* is 1 else ``when_false``, branchlessly.
 
     Both alternatives must already be computed (that is the point: the
-    caller does the same work on both paths) and equally long.
+    caller does the same work on both paths) and equally long.  The flag
+    is reduced mod 2 arithmetically — validating it with a branch would
+    itself leak the secret selector this function exists to hide.
     """
-    if flag not in (0, 1):
-        raise ValueError("flag must be 0 or 1")
     if len(when_true) != len(when_false):
         raise ValueError("alternatives must have equal (public) lengths")
-    mask = -flag & 0xFF  # 0x00 or 0xFF
+    mask = -(flag & 1) & 0xFF  # 0x00 or 0xFF, branchlessly
     inv = mask ^ 0xFF
     return bytes((t & mask) | (f & inv) for t, f in zip(when_true, when_false))
 

@@ -36,9 +36,13 @@ def _ladder(k: int, u: int) -> int:
     swap = 0
     for t in range(254, -1, -1):
         k_t = (k >> t) & 1
-        if swap ^ k_t:
-            x2, x3 = x3, x2
-            z2, z3 = z3, z2
+        # arithmetic cswap: mask is 0 or -1, so the XOR-select runs the
+        # same operations whether or not the limbs actually swap
+        mask = -(swap ^ k_t)
+        dx = mask & (x2 ^ x3)
+        dz = mask & (z2 ^ z3)
+        x2, x3 = x2 ^ dx, x3 ^ dx
+        z2, z3 = z2 ^ dz, z3 ^ dz
         swap = k_t
         a = (x2 + z2) % P
         aa = a * a % P
@@ -55,9 +59,10 @@ def _ladder(k: int, u: int) -> int:
         z3 = x1 * z3 * z3 % P
         x2 = aa * bb % P
         z2 = e * (aa + A24 * e) % P
-    if swap:
-        x2, x3 = x3, x2
-        z2, z3 = z3, z2
+    mask = -swap
+    dx = mask & (x2 ^ x3)
+    dz = mask & (z2 ^ z3)
+    x2, z2 = x2 ^ dx, z2 ^ dz
     return x2 * pow(z2, P - 2, P) % P
 
 

@@ -99,7 +99,7 @@ def set_mode(value: str) -> None:
 def override(value: str):
     """Temporarily run under *value* mode (used by the equivalence tests)."""
     previous = _mode
-    set_mode(value)
+    set_mode(value)  # pqtls: allow[CT110] — mode label, not secret data
     try:
         yield
     finally:

@@ -29,8 +29,6 @@ simulation's measurement path (see DESIGN.md).
 
 from __future__ import annotations
 
-from repro.crypto.modmath import invmod
-
 _COMB_BITS = 4
 _COMB_MASK = 15
 _WNAF_WIDTH = 5
@@ -41,7 +39,7 @@ def _batch_to_affine(points: list[tuple[int, int, int]], p: int) -> list[tuple[i
     prefix = [1]
     for _, _, z in points:
         prefix.append(prefix[-1] * z % p)
-    inv = invmod(prefix[-1], p)
+    inv = pow(prefix[-1], p - 2, p)  # Fermat inverse, p prime
     out: list[tuple[int, int]] = [(0, 0)] * len(points)
     for i in range(len(points) - 1, -1, -1):
         x, y, z = points[i]
@@ -68,18 +66,18 @@ def _comb_table(curve) -> list[tuple[int, int]]:
             entries = [(bx, by, bz)]
             for _ in range(14):
                 ex, ey, ez = entries[-1]
-                entries.append(curve._jac_add(ex, ey, ez, bx, by, bz))
+                entries.append(curve._jac_add(ex, ey, ez, bx, by, bz))  # pqtls: allow[CT101] — one-time table build over the public generator
             jac.extend(entries)
             # next window base: 16^{w+1} G = double(8 * 16^w G)
             ex, ey, ez = entries[7]
-            bx, by, bz = curve._jac_double(ex, ey, ez)
+            bx, by, bz = curve._jac_double(ex, ey, ez)  # pqtls: allow[CT101] — public generator table build
         table = _batch_to_affine(jac, curve.p)
         curve._kernel_comb = table
     return table
 
 
 def _comb_mult(curve, k: int) -> tuple[int, int, int]:
-    table = _comb_table(curve)
+    table = _comb_table(curve)  # pqtls: allow[CT110] — table build is allowed at the sink (public generator)
     x, y, z = 0, 1, 0
     base = -15
     while k:  # pqtls: allow[CT001] — scalar-bit walk, as in the reference
@@ -89,7 +87,7 @@ def _comb_mult(curve, k: int) -> tuple[int, int, int]:
         # pqtls: allow[CT001]
         if d:
             ax, ay = table[base + d - 1]  # pqtls: allow[CT003]
-            x, y, z = curve._jac_add(x, y, z, ax, ay, 1)
+            x, y, z = curve._jac_add(x, y, z, ax, ay, 1)  # pqtls: allow[CT101] — Jacobian identity checks in curves, as the reference
     return x, y, z
 
 
@@ -116,14 +114,14 @@ def _wnaf_digits(k: int, width: int) -> list[int]:
 def _wnaf_mult(curve, k: int, point) -> tuple[int, int, int]:
     p = curve.p
     # odd multiples P, 3P, ..., 15P in Jacobian coordinates
-    dx, dy, dz = curve._jac_double(point.x, point.y, 1)
+    dx, dy, dz = curve._jac_double(point.x, point.y, 1)  # pqtls: allow[CT101] — Jacobian identity checks in curves, as the reference
     odd = [(point.x, point.y, 1)]
     for _ in range(7):
         ex, ey, ez = odd[-1]
-        odd.append(curve._jac_add(ex, ey, ez, dx, dy, dz))
+        odd.append(curve._jac_add(ex, ey, ez, dx, dy, dz))  # pqtls: allow[CT101] — Jacobian identity checks in curves, as the reference
     x, y, z = 0, 1, 0
-    for d in reversed(_wnaf_digits(k, _WNAF_WIDTH)):
-        x, y, z = curve._jac_double(x, y, z)
+    for d in reversed(_wnaf_digits(k, _WNAF_WIDTH)):  # pqtls: allow[CT110] — scalar recoding is allowed at the sink, as the reference
+        x, y, z = curve._jac_double(x, y, z)  # pqtls: allow[CT101] — Jacobian identity checks in curves, as the reference
         # pqtls: allow[CT001] — digit-dependent add, as the reference's
         # per-bit conditional add
         if d:
@@ -131,7 +129,7 @@ def _wnaf_mult(curve, k: int, point) -> tuple[int, int, int]:
             # pqtls: allow[CT001]
             if d < 0:
                 ay = p - ay
-            x, y, z = curve._jac_add(x, y, z, ax, ay, az)
+            x, y, z = curve._jac_add(x, y, z, ax, ay, az)  # pqtls: allow[CT101] — Jacobian identity checks in curves, as the reference
     return x, y, z
 
 
@@ -146,12 +144,14 @@ def scalar_mult(self, k: int, point=None):
         return type(point)(None, None)
     # pqtls: allow[CT001] — dispatch on point *identity*, not coordinates
     if fixed_base:
-        x, y, z = _comb_mult(self, k)
+        x, y, z = _comb_mult(self, k)  # pqtls: allow[CT110] — comb walk is allowed at the sink, as the reference
     else:
-        x, y, z = _wnaf_mult(self, k, point)
+        x, y, z = _wnaf_mult(self, k, point)  # pqtls: allow[CT110] — wNAF walk is allowed at the sink, as the reference
     if not z:  # pqtls: allow[CT001] — infinity check, as the reference
         return type(point)(None, None)
     p = self.p
-    zinv = invmod(z, p)
+    # Fermat inverse: p is prime and z != 0, and pow() avoids the
+    # secret-dependent iteration count of the extended-Euclid invmod
+    zinv = pow(z, p - 2, p)
     zinv2 = zinv * zinv % p
     return type(point)(x * zinv2 % p, y * zinv2 % p * zinv % p)

@@ -82,6 +82,8 @@ def _perm_source(name: str, nwords: int, mix_order: list[int],
                     f" ^ T2[{s1} >> 8 & 255] ^ T3[{s2} & 255] ^ {k[3]}",
                 ]
                 names[4 * block: 4 * block + 4] = new  # pqtls: allow[CT003]
+        # pqtls: allow[CT003] — mix_order is the codegen-time MIX word
+        # shuffle (a public permutation constant), never message data
         names = [names[i] for i in mix_order]
     lines.append(f"    return {pack}({', '.join(names)})")
     return "\n".join(lines)

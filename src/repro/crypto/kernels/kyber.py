@@ -208,7 +208,7 @@ def cbd(data: bytes, eta: int) -> list[int]:
         raise ValueError("CBD input must be 64*eta bytes")
     if eta == 2:  # pqtls: allow[CT001]
         coeffs: list[int] = []
-        for pair in map(_CBD2.__getitem__, data):  # pqtls: allow[CT003]
+        for pair in map(_CBD2.__getitem__, data):
             coeffs += pair
         return coeffs
     if eta == 3:  # pqtls: allow[CT001] — public parameter-set constant

@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import functools
 
-from repro.crypto.modmath import invmod
-
 
 @functools.lru_cache(maxsize=256)
 def _crt_params(p: int, q: int, d: int) -> tuple[int, int, int]:
-    return d % (p - 1), d % (q - 1), invmod(q, p)
+    # Fermat inverse: p is prime and q is coprime to it, and pow() avoids
+    # running extended Euclid over the secret factors
+    return d % (p - 1), d % (q - 1), pow(q, p - 2, p)
 
 
 def private_op(self, c: int) -> int:

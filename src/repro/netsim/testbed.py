@@ -309,7 +309,7 @@ class Testbed:
         tls_server = TlsServer(self.kem_name, self.sig_name, self._certificate,
                                self._server_secret, tls_drbg.fork("server"),
                                policy=self.policy)
-        return run_simulated_handshake(
+        return run_simulated_handshake(  # pqtls: allow[LEAK001] — outcome labels are alert codes, not key material (object-granularity taint over the credential)
             _ClientApp(tls_client), _ServerApp(tls_server),
             scenario=self.scenario,
             netem_drbg=self._drbg.fork(f"netem:{index}"),

@@ -122,7 +122,7 @@ class BikeKem(Kem):
         c1 = ciphertext[self._r_bytes:]
         c0_bits = ring.from_bytes(c0, p.r)
         syndrome = ring.sparse_mul(h0, c0_bits)
-        e = self._decoder.decode(syndrome, [h0, h1])
+        e = self._decoder.decode(syndrome, [h0, h1])  # pqtls: allow[CT101] — BGF decoder iterations are ciphertext-dependent by design; the paper measures exactly this variability
         if e is None or int(e.sum()) != p.t:
             return _hash_k(sigma, c0, c1)  # implicit rejection
         m_prime = bytes(a ^ b for a, b in zip(c1, _hash_l(e)))

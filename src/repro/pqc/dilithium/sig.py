@@ -307,7 +307,7 @@ class DilithiumSignature(SignatureScheme):
             for i in range(p.k):
                 row = []
                 for j in range(N):
-                    hint = poly.make_hint(
+                    hint = poly.make_hint(  # pqtls: allow[CT101] — hint decomposition is published with the signature (Fiat-Shamir with aborts)
                         (-ct0[i][j]) % Q, (w_cs2[i][j] + ct0[i][j]) % Q, alpha
                     )
                     row.append(hint)

@@ -209,7 +209,7 @@ class SphincsSignature(SignatureScheme):
         fors_pk = fors.fors_pk_from_sig(
             backend, fors_sig, md, fors_adrs, self.params.k, self.params.a
         )
-        ht_sig = self._ht_sign(backend, fors_pk, sk_seed, idx_tree, idx_leaf)
+        ht_sig = self._ht_sign(backend, fors_pk, sk_seed, idx_tree, idx_leaf)  # pqtls: allow[CT101] — hypertree indices are published in the signature
         signature = r + fors_sig + ht_sig
         if len(signature) != self.signature_bytes:
             raise AssertionError(

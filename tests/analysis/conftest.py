@@ -36,5 +36,27 @@ def lint(tmp_path):
 
 
 @pytest.fixture
+def lint_tree(tmp_path):
+    """Like ``lint`` but for multi-file trees: ``{relpath: source}``."""
+
+    def _lint(files: dict[str, str], select: list[str] | None = None,
+              baseline=None, **kwargs):
+        paths = []
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            current = path.parent
+            while current != tmp_path:
+                (current / "__init__.py").touch()
+                current = current.parent
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+            paths.append(path)
+        return analyze(paths, project_root=tmp_path, select=select,
+                       baseline=baseline, **kwargs)
+
+    return _lint
+
+
+@pytest.fixture
 def repo_root() -> Path:
     return Path(__file__).resolve().parents[2]

@@ -86,6 +86,67 @@ def test_len_and_declassify_sanitize(lint):
     assert codes(report) == []
 
 
+def test_sanitizer_on_attribute_projection_does_not_launder(lint):
+    report = lint("repro/crypto/fix.py", """
+        def split(sk):
+            n, m = len(sk.x), declassify(sk.y)
+            if m:
+                return n
+            return 0
+    """, select=["ct"])
+    assert codes(report) == ["CT001"]
+
+
+def test_sanitizer_on_subscript_projection_does_not_launder(lint):
+    report = lint("repro/crypto/fix.py", """
+        def pick(sk):
+            n = len(sk[2])
+            if n:
+                return 1
+            return 0
+    """, select=["ct"])
+    assert codes(report) == ["CT001"]
+
+
+def test_whole_keypair_binding_stays_secret_through_unpack(lint):
+    report = lint("repro/pqc/fix.py", """
+        def kp(scheme, drbg):
+            keypair = scheme.keygen(drbg)
+            pk, s = keypair
+            if s:
+                return 1
+            return 0
+    """, select=["ct"])
+    assert codes(report) == ["CT001"]
+
+
+def test_declassify_of_secret_subscript_in_while(lint):
+    report = lint("repro/crypto/fix.py", """
+        def drain(secret_key):
+            m = declassify(secret_key[0])
+            while m:
+                m -= 1
+            return m
+    """, select=["ct"])
+    assert codes(report) == ["CT001"]
+
+
+def test_comprehension_target_subscript_flagged(lint):
+    report = lint("repro/pqc/fix.py", """
+        def compress_like(sk, table):
+            return [table[x] for x in sk]
+    """, select=["ct"])
+    assert codes(report) == ["CT003"]
+
+
+def test_comprehension_over_public_iterable_is_fine(lint):
+    report = lint("repro/pqc/fix.py", """
+        def decompress_like(values, table):
+            return [table[v] for v in values]
+    """, select=["ct"])
+    assert codes(report) == []
+
+
 def test_public_code_outside_crypto_scope_not_checked(lint):
     report = lint("repro/tls/fix.py", """
         def handle(secret_key):

@@ -1,0 +1,205 @@
+"""Flow engine: module/call-graph resolution, summary fixpoint, CFG taint."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.context import FileContext
+from repro.analysis.flow.engine import FlowEngine
+
+
+def make_engine(tmp_path, files: dict[str, str]) -> FlowEngine:
+    """Write a synthetic package tree and build a FlowEngine over it."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        current = path.parent
+        while current != tmp_path:
+            (current / "__init__.py").touch()
+            current = current.parent
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    ctxs = [FileContext.load(tmp_path / relpath, tmp_path)
+            for relpath in sorted(files)]
+    return FlowEngine(ctxs)
+
+
+def callees_of(info) -> list[str]:
+    return sorted(q for _, qs in info.call_sites for q in qs)
+
+
+def summary_states(engine: FlowEngine) -> dict[str, tuple]:
+    return {q: s.state() for q, s in sorted(engine.summaries.items())}
+
+
+# -- call graph -------------------------------------------------------------
+
+def test_import_binding_resolves_across_modules(tmp_path):
+    engine = make_engine(tmp_path, {
+        "repro/pqc/alg.py": """
+            def helper(x):
+                return x
+        """,
+        "repro/pqc/use.py": """
+            from repro.pqc.alg import helper
+
+            def caller(sk):
+                return helper(sk)
+        """,
+    })
+    info = engine.functions.get("repro.pqc.use:caller")
+    assert info is not None
+    assert callees_of(info) == ["repro.pqc.alg:helper"]
+
+
+def test_local_definition_beats_name_dispatch(tmp_path):
+    engine = make_engine(tmp_path, {
+        "repro/pqc/one.py": """
+            def encode(v):
+                return v
+
+            def run(sk):
+                return encode(sk)
+        """,
+        "repro/pqc/two.py": """
+            def encode(v):
+                return bytes(v)
+        """,
+    })
+    info = engine.functions.get("repro.pqc.one:run")
+    assert callees_of(info) == ["repro.pqc.one:encode"]
+
+
+def test_self_method_call_resolves_to_own_class(tmp_path):
+    engine = make_engine(tmp_path, {
+        "repro/tls/client.py": """
+            class Client:
+                def send(self, payload):
+                    return self.encode(payload)
+
+                def encode(self, payload):
+                    return bytes(payload)
+        """,
+    })
+    info = engine.functions.get("repro.tls.client:Client.send")
+    assert callees_of(info) == ["repro.tls.client:Client.encode"]
+
+
+def test_functions_in_scope_is_sorted_and_filtered(tmp_path):
+    engine = make_engine(tmp_path, {
+        "repro/pqc/z.py": "def zee():\n    return 1\n",
+        "repro/pqc/a.py": "def aye():\n    return 1\n",
+        "repro/tls/t.py": "def tee():\n    return 1\n",
+    })
+    names = [info.qualname for info in engine.functions_in_scope(("repro.pqc",))]
+    assert names == ["repro.pqc.a:aye", "repro.pqc.z:zee"]
+
+
+# -- summary fixpoint -------------------------------------------------------
+
+def test_mutual_recursion_converges_to_fixpoint(tmp_path):
+    engine = make_engine(tmp_path, {
+        "repro/pqc/rec.py": """
+            def even(sk, n):
+                if n == 0:
+                    return sk
+                return odd(sk, n - 1)
+
+            def odd(sk, n):
+                return even(sk, n - 1)
+        """,
+    }).solve()
+    even = engine.summary("repro.pqc.rec:even")
+    odd = engine.summary("repro.pqc.rec:odd")
+    # the secret parameter flows to the return of both, through the cycle;
+    # the loop counter never does
+    assert even.flows_to_return == frozenset({0})
+    assert odd.flows_to_return == frozenset({0})
+    # solve() is idempotent: a second call must not perturb any summary
+    before = summary_states(engine)
+    engine.solve()
+    assert summary_states(engine) == before
+
+
+def test_transitive_sink_recorded_through_intermediate_callee(tmp_path):
+    engine = make_engine(tmp_path, {
+        "repro/pqc/chain.py": """
+            def sink(v, table):
+                return table[v]
+
+            def relay(w, table):
+                return sink(w, table)
+        """,
+    }).solve()
+    relay = engine.summary("repro.pqc.chain:relay")
+    assert 0 in relay.param_sinks
+    assert relay.param_sinks[0].kind == "subscript"
+
+
+# -- CFG reaching definitions ----------------------------------------------
+
+def _return_env(engine, qualname, profile="summary"):
+    analysis = engine.analysis(qualname, profile)
+    for stmt, env in analysis.iter_env():
+        if isinstance(stmt, ast.Return):
+            return env
+    raise AssertionError(f"no return statement in {qualname}")
+
+
+def test_reassignment_kills_taint_but_loop_carries_it(tmp_path):
+    engine = make_engine(tmp_path, {
+        "repro/pqc/rd.py": """
+            def fn(sk, n):
+                x = sk
+                x = 0
+                y = sk
+                while n:
+                    y = y + 1
+                    n = n - 1
+                return (x, y)
+        """,
+    }).solve()
+    env = _return_env(engine, "repro.pqc.rd:fn")
+    assert env.get("x", frozenset()) == frozenset()       # strong update kills
+    assert ("param", 0, "sk") in env["y"]                 # survives the loop
+    summary = engine.summary("repro.pqc.rd:fn")
+    assert summary.flows_to_return == frozenset({0})
+
+
+def test_branch_join_preserves_taint_from_either_arm(tmp_path):
+    engine = make_engine(tmp_path, {
+        "repro/pqc/join.py": """
+            def fn(sk, flag):
+                v = 0
+                if flag:
+                    v = sk
+                return v
+        """,
+    }).solve()
+    env = _return_env(engine, "repro.pqc.join:fn")
+    assert ("param", 0, "sk") in env["v"]
+    assert engine.summary("repro.pqc.join:fn").flows_to_return == frozenset({0})
+
+
+# -- determinism ------------------------------------------------------------
+
+def test_two_fresh_engines_produce_identical_summaries(tmp_path):
+    files = {
+        "repro/pqc/a.py": """
+            from repro.pqc.b import mix
+
+            def top(sk):
+                return mix(sk, 3)
+        """,
+        "repro/pqc/b.py": """
+            def mix(data, rounds):
+                acc = data
+                for _ in range(rounds):
+                    acc = acc ^ 1
+                return acc
+        """,
+    }
+    first = make_engine(tmp_path / "one", files).solve()
+    second = make_engine(tmp_path / "two", files).solve()
+    assert summary_states(first) == summary_states(second)
+    assert sorted(first.functions.functions) == sorted(second.functions.functions)

@@ -1,0 +1,54 @@
+"""FLOW00x checker: DRBG fork labels and declassify() discipline."""
+
+from __future__ import annotations
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+def test_fork_label_without_literal_component(lint):
+    report = lint("repro/netsim/setup.py", """
+        def streams(drbg, names):
+            return [drbg.fork(name) for name in names]
+    """, select=["flowapi"])
+    assert codes(report) == ["FLOW001"]
+    assert "literal" in report.findings[0].message
+
+
+def test_fork_label_with_literal_prefix_is_fine(lint):
+    report = lint("repro/netsim/setup.py", """
+        def streams(drbg, count):
+            return [drbg.fork(f"client-{i}") for i in range(count)]
+    """, select=["flowapi"])
+    assert codes(report) == []
+
+
+def test_fork_at_module_level_is_still_checked(lint):
+    report = lint("repro/netsim/globals.py", """
+        import repro.core.rng as rng
+
+        CHILD = rng.DRBG(b"seed" * 8).fork(str(1234))
+    """, select=["flowapi"])
+    assert codes(report) == ["FLOW001"]
+
+
+def test_declassify_of_untainted_value_warns(lint):
+    report = lint("repro/crypto/pointless.py", """
+        from repro.crypto.constanttime import declassify
+
+        def publish(counter):
+            return declassify(counter)
+    """, select=["flowapi"])
+    assert codes(report) == ["FLOW002"]
+    assert report.findings[0].severity.value == "warning"
+
+
+def test_declassify_of_secret_value_is_fine(lint):
+    report = lint("repro/crypto/proper.py", """
+        from repro.crypto.constanttime import declassify
+
+        def publish(shared_secret):
+            return declassify(shared_secret[0])
+    """, select=["flowapi"])
+    assert codes(report) == []

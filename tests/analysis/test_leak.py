@@ -1,0 +1,84 @@
+"""LEAK00x checker: secret-derived values reaching observability sinks."""
+
+from __future__ import annotations
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+def test_secret_in_span_name(lint):
+    report = lint("repro/tls/trace.py", """
+        def trace_key(tracer, shared_secret):
+            tracer.instant("handshake", str(shared_secret))
+    """, select=["leak"])
+    assert codes(report) == ["LEAK001"]
+    assert "shared_secret" in report.findings[0].message
+
+
+def test_secret_in_metric_name(lint):
+    report = lint("repro/crypto/stats.py", """
+        def count(metrics, secret_key):
+            metrics.inc("kem." + secret_key.hex())
+    """, select=["leak"])
+    assert codes(report) == ["LEAK002"]
+
+
+def test_secret_in_recorder_field(lint):
+    report = lint("repro/tls/rec.py", """
+        def record(recorder, session_secret):
+            recorder.event("resume", ticket=session_secret)
+    """, select=["leak"])
+    assert codes(report) == ["LEAK003"]
+
+
+def test_secret_formatted_into_exception(lint):
+    report = lint("repro/crypto/err.py", """
+        def reject(sk):
+            raise ValueError(f"bad key material: {sk!r}")
+    """, select=["leak"])
+    assert codes(report) == ["LEAK004"]
+
+
+def test_secret_print_is_warning_not_error(lint):
+    report = lint("repro/pqc/dbg.py", """
+        def dump(signing_key):
+            print(signing_key)
+    """, select=["leak"])
+    assert codes(report) == ["LEAK005"]
+    assert report.findings[0].severity.value == "warning"
+    assert report.ok  # warnings do not gate
+
+
+def test_leak_across_call_boundary_reported_at_call_site(lint):
+    # `value` is not secret-named, so the callee alone shows nothing;
+    # the summary carries the observability sink back to the caller,
+    # where the secret is still recognisable.
+    report = lint("repro/tls/export.py", """
+        def emit(recorder, value):
+            recorder.event("session", key=value)
+
+        def publish(recorder, session_secret):
+            emit(recorder, session_secret)
+    """, select=["leak"])
+    assert codes(report) == ["LEAK003"]
+    finding = report.findings[0]
+    assert finding.symbol == "publish"
+    assert "emit(value=...)" in finding.message
+
+
+def test_public_values_in_observability_are_fine(lint):
+    report = lint("repro/tls/okay.py", """
+        def trace(tracer, group_name, size):
+            tracer.instant("handshake", group_name)
+            tracer.counter("bytes", size)
+    """, select=["leak"])
+    assert codes(report) == []
+
+
+def test_len_of_secret_is_public(lint):
+    report = lint("repro/tls/sizes.py", """
+        def trace(tracer, shared_secret):
+            tracer.instant("handshake", str(len(shared_secret)))
+    """, select=["leak"])
+    assert codes(report) == []
