@@ -133,6 +133,36 @@ BENCHES = [
 ]
 
 
+# the two former ~1x stragglers: CI uploads their flame SVGs next to the
+# fresh bench JSON so any future regression comes with its own profile
+FLAME_TARGETS = [
+    ("flame_hqc128_decaps.svg", _kem_roundtrip, "hqc128"),
+    ("flame_dilithium2_sign.svg", _sig_cycle, "dilithium2"),
+]
+
+
+def write_flames(flame_dir: Path, seconds: float = 1.0) -> list[Path]:
+    """Profile the straggler hot paths (fast kernels) into flame SVGs."""
+    from repro.obs.flame import write_flame_svg
+    from repro.obs.profiler import SamplingProfiler
+
+    flame_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for filename, builder, algorithm in FLAME_TARGETS:
+        with kernels.override("fast"):
+            fn = builder(algorithm)
+            with SamplingProfiler(interval=0.001) as profiler:
+                deadline = time.perf_counter() + seconds
+                while time.perf_counter() < deadline:
+                    fn()
+        path = flame_dir / filename
+        write_flame_svg(profiler.to_tracer(), "host-cpu", path,
+                        title=filename.removesuffix(".svg"))
+        print(f"[artifact] {path} ({profiler.sample_count} samples)")
+        written.append(path)
+    return written
+
+
 def _time_best(fn, reps: int) -> float:
     best = float("inf")
     for _ in range(reps):
@@ -166,6 +196,11 @@ def main(argv=None) -> int:
     parser.add_argument("--reps", type=int, default=None,
                         help="override best-of reps for every entry")
     parser.add_argument("--out", type=Path, default=OUT_DEFAULT)
+    parser.add_argument("--flame-dir", type=Path, default=None,
+                        help="also write flame SVGs of the hqc128-decaps and "
+                             "dilithium2-sign hot paths into this directory")
+    parser.add_argument("--flame-seconds", type=float, default=1.0,
+                        help="profiling window per flame target (default 1.0)")
     args = parser.parse_args(argv)
 
     report: dict = {
@@ -192,6 +227,8 @@ def main(argv=None) -> int:
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[artifact] {args.out}")
+    if args.flame_dir is not None:
+        write_flames(args.flame_dir, args.flame_seconds)
     return 0
 
 

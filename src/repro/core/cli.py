@@ -136,6 +136,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="worker processes for campaign cache misses "
                              "(default: one per CPU; 1 = the serial path)")
+    parser.add_argument("--batch-seconds", type=float, default=None,
+                        metavar="S",
+                        help="pack cache misses cheaper than S seconds into "
+                             "shared worker tasks (default: executor's 0.25; "
+                             "0 = one task per experiment)")
     parser.add_argument("--evaluate", action="store_true",
                         help="treat names as artifacts (table2, figure3, ...) "
                              "instead of experiment sets")
@@ -229,7 +234,8 @@ def main(argv: list[str] | None = None) -> int:
             if args.names:
                 results = campaign.run_sets(args.names, progress,
                                             metrics=metrics, jobs=args.jobs,
-                                            recorder=recorder)
+                                            recorder=recorder,
+                                            batch_seconds=args.batch_seconds)
                 count += len(results)
             print(f"ran {count} experiments", file=sys.stderr)
     finally:

@@ -177,6 +177,18 @@ def _counter_delta(before: dict, after: dict) -> dict[str, float]:
             for name, value in after.items() if value > before.get(name, 0.0)}
 
 
+def _worker_warm() -> None:
+    """Pool initializer: build lazy kernel tables once per worker.
+
+    Spawned workers start from a clean interpreter, so without this every
+    worker would rebuild e.g. the 64 KiB GF(256) product table lazily,
+    mid-way through its first recorded experiment.
+    """
+    from repro.crypto import kernels
+
+    kernels.warm()
+
+
 def _worker_run(config: ExperimentConfig, trace: bool = False):
     """Run one experiment in a worker process.
 
@@ -196,6 +208,19 @@ def _worker_run(config: ExperimentConfig, trace: bool = False):
     records = (tracer.spans, tracer.instants, tracer.counters) if trace else None
     return (config.key, result, _counter_delta(before, after), records,
             walltime() - started)
+
+
+def _worker_run_batch(configs: list[ExperimentConfig],
+                      traced_key: str | None = None):
+    """Run a batch of experiments sequentially in one worker task.
+
+    Returns the list of per-experiment :func:`_worker_run` tuples in
+    batch order. Batching only amortizes dispatch overhead (submit,
+    pickle, result shipping); each experiment still runs exactly as it
+    would alone.
+    """
+    return [_worker_run(config, config.key == traced_key)
+            for config in configs]
 
 
 def _flight_outcome(result: ExperimentResult) -> tuple[dict, float]:
@@ -227,17 +252,55 @@ def resolve_jobs(jobs: int | None) -> int:
     return min(jobs, cpus)
 
 
+DEFAULT_BATCH_SECONDS = 0.25
+
+
+def batch_units(ordered: list[ExperimentConfig], costs: dict[str, float],
+                batch_seconds: float,
+                traced_key: str | None = None) -> list[list[ExperimentConfig]]:
+    """Pack scheduled configs into dispatch units of ~``batch_seconds``.
+
+    Cheap experiments (expected cost below the threshold) accumulate
+    into a shared unit until it reaches the threshold, amortizing the
+    per-task submit/pickle/result overhead that dominates sub-100ms
+    replays. Expensive configs — and the traced one, which must ship its
+    trace records by itself — stay singleton units. ``batch_seconds <= 0``
+    disables packing (every unit is a singleton, the PR 3 behavior).
+    """
+    units: list[list[ExperimentConfig]] = []
+    open_batch: list[ExperimentConfig] = []
+    open_cost = 0.0
+    for config in ordered:
+        cost = costs[config.key]
+        if batch_seconds <= 0 or cost >= batch_seconds or config.key == traced_key:
+            units.append([config])
+            continue
+        if open_batch and open_cost + cost > batch_seconds:
+            units.append(open_batch)
+            open_batch, open_cost = [], 0.0
+        open_batch.append(config)
+        open_cost += cost
+    if open_batch:
+        units.append(open_batch)
+    return units
+
+
 def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
                  metrics=NULL_METRICS, progress=None, tracer=NULL_TRACER,
                  set_name: str = "campaign", stats: dict | None = None,
-                 recorder=NULL_RECORDER) -> dict[str, ExperimentResult]:
+                 recorder=NULL_RECORDER,
+                 batch_seconds: float = DEFAULT_BATCH_SECONDS
+                 ) -> dict[str, ExperimentResult]:
     """Run a list of experiments, fanning cache misses over ``jobs`` workers.
 
     ``jobs=None`` means one worker per CPU; ``jobs=1`` is the exact serial
     path (no pool, no spawn). Requested jobs are clamped to the core
-    count, and sets with fewer than two expected cache misses run
-    serially too — both guards keep the pool from ever losing to the
-    serial path on small machines. Results are keyed by config key and merged
+    count, and sets with fewer than two dispatch units run serially too —
+    both guards keep the pool from ever losing to the serial path on
+    small machines. Cache misses cheaper than ``batch_seconds`` are
+    packed into shared dispatch units (:func:`batch_units`) so per-task
+    pool overhead is amortized; ``batch_seconds=0`` dispatches one task
+    per experiment. Results are keyed by config key and merged
     in the original config order, so metrics/trace aggregation is
     key-for-key identical to a serial run. If a worker raises, pending
     work is cancelled and the original exception propagates.
@@ -337,30 +400,35 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
                 continue
         misses.append(config)
     ordered = schedule(misses)
+    # recording is charged once per distinct script (single-flight), so
+    # only the first dispatched config of each script is "cold"; the
+    # estimates drive both batching and the flight recorder's ETA
+    warm_scripts: set[str] = set()
+    for config in ordered:
+        script = script_key(config.kem, config.sig, config.policy,
+                            config.seed)
+        costs[config.key] = estimated_cost(
+            config, cold=script not in warm_scripts)
+        warm_scripts.add(script)
+    total_cost = sum(costs.values())
+    units = batch_units(ordered, costs, batch_seconds, traced_key)
     stats.update(hits=len(resolved), dispatched=len(misses),
                  distinct_scripts=len({script_key(c.kem, c.sig, c.policy, c.seed)
-                                       for c in misses}))
+                                       for c in misses}),
+                 units=len(units),
+                 batched=sum(len(u) for u in units if len(u) > 1))
     if flight:
         recorder.event("schedule", set=set_name, hits=stats["hits"],
                        dispatched=stats["dispatched"],
-                       distinct_scripts=stats["distinct_scripts"], jobs=jobs)
-        # recording is charged once per distinct script (single-flight),
-        # so only the first dispatched config of each script is "cold"
-        warm_scripts: set[str] = set()
-        for config in ordered:
-            script = script_key(config.kem, config.sig, config.policy,
-                                config.seed)
-            costs[config.key] = estimated_cost(
-                config, cold=script not in warm_scripts)
-            warm_scripts.add(script)
-        total_cost = sum(costs.values())
+                       distinct_scripts=stats["distinct_scripts"], jobs=jobs,
+                       units=stats["units"], batched=stats["batched"])
 
     # -- dispatch ------------------------------------------------------------
     trace_records = None
-    if len(ordered) < 2:
-        # A pool only pays for itself when two misses can actually run
-        # concurrently; for a single miss the spawn + pickle overhead is
-        # pure regression (PR 3 measured speedup < 1 in exactly this
+    if len(units) < 2:
+        # A pool only pays for itself when two dispatch units can actually
+        # run concurrently; for a single unit the spawn + pickle overhead
+        # is pure regression (PR 3 measured speedup < 1 in exactly this
         # shape), so run it inline in the parent instead.
         for config in ordered:
             hs_tracer = tracer if config.key == traced_key else NULL_TRACER
@@ -379,45 +447,50 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
             if progress is not None:
                 progress(set_name, done, total, config)
             done += 1
-        ordered = []
-    if ordered:
+        units = []
+    if units:
         context = multiprocessing.get_context("spawn")
-        workers = min(jobs, len(ordered))
+        workers = min(jobs, len(units))
         with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
+                                 mp_context=context,
+                                 initializer=_worker_warm) as pool:
             futures = {}
-            for config in ordered:
+            for unit in units:
                 if flight:
-                    recorder.task_start(config.key, mode="worker",
-                                        set_name=set_name,
-                                        est_cost=costs[config.key])
-                futures[pool.submit(_worker_run, config,
-                                    config.key == traced_key)] = config
+                    for config in unit:
+                        recorder.task_start(config.key, mode="worker",
+                                            set_name=set_name,
+                                            est_cost=costs[config.key])
+                futures[pool.submit(_worker_run_batch, unit,
+                                    traced_key)] = unit
             try:
                 for future in as_completed(futures):
-                    key, result, cache_counters, records, seconds = future.result()
-                    resolved[key] = result
-                    if records is not None:
-                        trace_records = records
-                    for name, value in cache_counters.items():
-                        # all of this task's cache traffic (including its
-                        # experiment miss — the parent's partition probe
-                        # is counter-neutral) happened only in the worker
-                        cache.metrics.inc(name, value)
-                    if flight:
-                        outcomes, retransmits = _flight_outcome(result)
-                        recorder.task_finish(
-                            key, mode="worker", set_name=set_name,
-                            host_seconds=seconds, outcomes=outcomes,
-                            retransmits=retransmits,
-                            cache_counters=cache_counters)
-                        done_cost += costs[key]
-                        recorder.progress(set_name, done + 1, total,
-                                          elapsed=walltime() - started,
-                                          eta=eta(), hits=stats["hits"])
-                    if progress is not None:
-                        progress(set_name, done, total, futures[future])
-                    done += 1
+                    # a batch returns its members' tuples in batch order
+                    for item, config in zip(future.result(), futures[future]):
+                        key, result, cache_counters, records, seconds = item
+                        resolved[key] = result
+                        if records is not None:
+                            trace_records = records
+                        for name, value in cache_counters.items():
+                            # all of this task's cache traffic (including
+                            # its experiment miss — the parent's partition
+                            # probe is counter-neutral) happened only in
+                            # the worker
+                            cache.metrics.inc(name, value)
+                        if flight:
+                            outcomes, retransmits = _flight_outcome(result)
+                            recorder.task_finish(
+                                key, mode="worker", set_name=set_name,
+                                host_seconds=seconds, outcomes=outcomes,
+                                retransmits=retransmits,
+                                cache_counters=cache_counters)
+                            done_cost += costs[key]
+                            recorder.progress(set_name, done + 1, total,
+                                              elapsed=walltime() - started,
+                                              eta=eta(), hits=stats["hits"])
+                        if progress is not None:
+                            progress(set_name, done, total, config)
+                        done += 1
             except BaseException:
                 for future in futures:
                     future.cancel()

@@ -109,3 +109,28 @@ def override(value: str):
 def bindings() -> list[tuple[object, str]]:
     """The registered switch points, as (owner, attribute) pairs."""
     return [(owner, name) for owner, name, _, _ in _BINDINGS]
+
+
+_KERNEL_MODULES = ("aes", "dilithium", "ec", "gcm", "gf256", "haraka",
+                   "hqc", "kyber", "rsa")
+
+
+def warm() -> list[str]:
+    """Build every kernel's lazy tables now; returns the modules touched.
+
+    Imports all kernel submodules (paying their import-time constant
+    derivation) and invokes each module-level ``warm()`` hook where one
+    exists, so first-use costs — e.g. the 64 KiB GF(256) product table
+    or the numpy gather tables — are paid once at executor worker
+    startup instead of in the middle of the first recorded experiment.
+    """
+    import importlib
+
+    warmed = []
+    for name in _KERNEL_MODULES:
+        module = importlib.import_module(f"{__name__}.{name}")
+        hook = getattr(module, "warm", None)
+        if hook is not None:
+            hook()
+        warmed.append(name)
+    return warmed

@@ -1,29 +1,53 @@
-"""Table-driven GF(2^8) polynomial multiplication (HQC's field, 0x11D).
+"""Table-gather GF(2^8) polynomial multiplication (HQC's field, 0x11D).
 
-Fast twin of ``repro.pqc.hqc.gf256.poly_mul``: a lazily built 64 KiB
-flat product table turns the inner loop's ``gf_mul`` call (two log
-lookups, an add, an exp lookup, plus zero guards) into a single byte
-fetch. Output is identical — GF(256) multiplication has one answer.
+Fast twin of ``repro.pqc.hqc.gf256.poly_mul``. Two regimes:
+
+- **Small operands** keep PR 4's flat 64 KiB product table: the inner
+  loop's ``gf_mul`` call (two log lookups, an add, an exp lookup, plus
+  zero guards) collapses to a single byte fetch. Below ``_NUMPY_MIN``
+  coefficient-products, interpreter dispatch beats array setup.
+- **Everything else** is one numpy gather pipeline: log both operands,
+  gather ``EXP[log a_i + log b_j]`` for the full outer product, then
+  XOR-reduce the anti-diagonals through a strided view (each row of a
+  ``(na, width+1)`` scratch buffer re-read at width ``width`` lands row
+  *i* shifted right by *i* — the convolution alignment — with no Python
+  loop). Zero operands need no masking: ``LOG[0]`` is a sentinel index
+  into a zero-padded EXP table, so their products gather 0.
+
+Output is identical either way — GF(256) multiplication has one answer,
+and XOR accumulation is order-independent.
 
 Self-contained: this module derives its own exp/log tables from the
 same generator polynomial instead of importing ``repro.pqc.hqc.gf256``
-(which imports it to register the binding).
+(which imports it to register the binding). ``repro.crypto.kernels.hqc``
+shares the numpy tables via :func:`np_tables`.
 
 Reed–Solomon decoding runs ``poly_mul`` over syndrome/locator
 polynomials derived from secret-adjacent codewords; like the reference,
-the sparsity guards branch on coefficient values (flagged lines carry
-``pqtls: allow`` pragmas — host timing is outside the simulation's
-measurement path).
+the small-operand path branches on coefficient values and both paths
+index tables by them (flagged lines carry ``pqtls: allow`` pragmas —
+host timing is outside the simulation's measurement path).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 _POLY = 0x11D
 
+# sentinel log of zero: EXP_NP[i] == 0 for every reachable sum involving
+# it (the table is zero beyond index 509), so zero coefficients
+# contribute nothing without a mask pass
+_LOG_ZERO = 1280
+
+# below this many coefficient-products, the flat-table loop wins
+_NUMPY_MIN = 128
+
 _MUL: bytes | None = None
+_NP: tuple[np.ndarray, np.ndarray] | None = None
 
 
-def _build_mul_table() -> bytes:
+def _build_tables() -> tuple[list[int], list[int]]:
     exp = [0] * 512
     log = [0] * 256
     value = 1
@@ -35,6 +59,11 @@ def _build_mul_table() -> bytes:
             value ^= _POLY
     for i in range(255, 512):
         exp[i] = exp[i - 255]
+    return exp, log
+
+
+def _build_mul_table() -> bytes:
+    exp, log = _build_tables()
     table = bytearray(65536)
     for x in range(1, 256):
         row = x << 8
@@ -51,16 +80,55 @@ def _mul_table() -> bytes:
     return _MUL
 
 
+def np_tables() -> tuple[np.ndarray, np.ndarray]:
+    """(EXP, LOG) as numpy gather tables with the zero sentinel.
+
+    ``EXP`` has ``2 * _LOG_ZERO + 1`` int32 entries, zero past index
+    509; ``LOG`` maps 0 to ``_LOG_ZERO``. Shared with the HQC decode
+    kernels in ``repro.crypto.kernels.hqc``.
+    """
+    global _NP
+    if _NP is None:
+        exp, log = _build_tables()
+        exp_np = np.zeros(2 * _LOG_ZERO + 1, dtype=np.int32)
+        exp_np[:510] = exp[:510]
+        log_np = np.full(256, _LOG_ZERO, dtype=np.int32)
+        log_np[1:] = [log[v] for v in range(1, 256)]
+        _NP = (exp_np, log_np)
+    return _NP
+
+
+def warm() -> None:
+    """Build both lazy tables (called once per executor worker)."""
+    _mul_table()
+    np_tables()
+
+
 def poly_mul(a: list[int], b: list[int]) -> list[int]:
     """Multiply polynomials with coefficients in GF(256) (index = degree)."""
-    out = [0] * (len(a) + len(b) - 1)
-    mul = _mul_table()
-    for i, ai in enumerate(a):
-        # pqtls: allow[CT001] — sparsity skip, same shape as the reference
-        if ai:
-            row = ai << 8
-            for j, bj in enumerate(b):
-                # pqtls: allow[CT001]
-                if bj:
-                    out[i + j] ^= mul[row | bj]  # pqtls: allow[CT003]
-    return out
+    # public operand shapes pick the regime
+    if len(a) * len(b) < _NUMPY_MIN:
+        out = [0] * (len(a) + len(b) - 1)
+        mul = _mul_table()
+        for i, ai in enumerate(a):
+            # pqtls: allow[CT001] — sparsity skip, same shape as the reference
+            if ai:
+                row = ai << 8
+                for j, bj in enumerate(b):
+                    # pqtls: allow[CT001]
+                    if bj:
+                        out[i + j] ^= mul[row | bj]  # pqtls: allow[CT003]
+        return out
+    exp_np, log_np = np_tables()
+    la = log_np[np.asarray(a, dtype=np.int32)]  # pqtls: allow[CT003]
+    lb = log_np[np.asarray(b, dtype=np.int32)]  # pqtls: allow[CT003]
+    prod = exp_np[la[:, None] + lb[None, :]]  # pqtls: allow[CT003]
+    na, nb = len(a), len(b)
+    width = na + nb - 1
+    # strided diagonal alignment: re-reading the (na, width + 1) buffer
+    # at row width `width` shifts row i right by i, landing prod[i][j]
+    # on output column i + j with zero padding everywhere else
+    buf = np.zeros((na, width + 1), dtype=np.int32)
+    buf[:, :nb] = prod
+    shifted = buf.ravel()[: na * width].reshape(na, width)
+    return np.bitwise_xor.reduce(shifted, axis=0).tolist()

@@ -1,0 +1,165 @@
+"""Fast HQC decode pipeline: cyclic products, RM(1,7) and RS decoding.
+
+Fast twins for the pure-Python hot paths of ``repro.pqc.hqc`` (profile
+of an hqc128 roundtrip: ``_sparse_mul``'s per-index ``np.roll`` is ~50%
+of wall time, the per-symbol Walsh–Hadamard loop in ``rm_decode``
+another ~15%, RS syndrome/Chien evaluation most of the rest):
+
+- :func:`sparse_mul` — the sparse·dense product in GF(2)[x]/(x^n - 1)
+  as one Python bigint: pack the dense vector into an int, then each
+  support index is a rotate-XOR (``(x << s | x >> (n - s)) & mask``)
+  on machine words instead of an n-element ``np.roll`` round trip.
+- :func:`rm_decode` — all n1 soft vectors pushed through one batched
+  fast Walsh–Hadamard transform on an (n1, 128) int32 matrix; argmax
+  per row replaces the per-symbol Python loop. |soft| ≤ multiplicity,
+  so transform values stay within ±640 — no overflow in int32.
+- :func:`rs_syndromes` / :func:`rs_chien` / :func:`rs_encode` — GF(256)
+  polynomial evaluation as exp/log table gathers against cached
+  exponent matrices (shared sentinel tables from
+  ``repro.crypto.kernels.gf256``: log 0 maps past the populated exp
+  range, so zero coefficients gather 0 with no masking).
+
+All arithmetic is exact (XOR/GF(256)); outputs are byte-identical to
+the reference twins in ``repro.pqc.hqc.{kem,reedmuller,reedsolomon}``.
+This module must not import those modules — they import it to register
+bindings.
+
+Like the reference twins, these operate on secret-derived values
+(supports, noisy codewords); data-dependent bigint limb counts and
+table gathers are flagged with ``pqtls: allow`` pragmas because host
+timing is outside the simulation's measurement path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.kernels import gf256 as _gf256
+
+_RM_BITS = 128
+
+# cached exponent matrices, keyed by the (public) code parameters
+_SYND_MATS: dict[tuple[int, int], np.ndarray] = {}
+_CHIEN_MATS: dict[tuple[int, int], np.ndarray] = {}
+_GENMUL: dict[bytes, np.ndarray] = {}
+
+
+def warm() -> None:
+    """Pre-build the shared GF(256) gather tables (per-worker warmup)."""
+    _gf256.np_tables()
+
+
+# -- sparse·dense cyclic product ------------------------------------------------
+
+def sparse_mul(support: list[int], dense: np.ndarray) -> np.ndarray:
+    """(sum_i x^support[i]) * dense in GF(2)[x]/(x^n - 1).
+
+    The dense bit vector becomes one little-endian bigint; each support
+    index contributes a rotate-left by that amount, XOR-accumulated.
+    """
+    n = dense.shape[0]
+    x = int.from_bytes(np.packbits(dense, bitorder="little").tobytes(), "little")
+    mask = (1 << n) - 1
+    acc = 0
+    for shift in support:
+        # the rotate amount is the secret support index; bigint shifts
+        # are not constant-time on the host, but this is the same
+        # exposure class as the reference np.roll(dense, shift)
+        acc ^= ((x << shift) | (x >> (n - shift))) & mask
+    out = np.frombuffer(acc.to_bytes((n + 7) // 8, "little"), dtype=np.uint8)
+    # pqtls: allow[CT003] — slice bound is the public ring dimension n
+    return np.unpackbits(out, bitorder="little")[:n].astype(dense.dtype)
+
+
+# -- Reed–Muller ML decode ------------------------------------------------------
+
+def rm_decode(bits: np.ndarray, n1: int, multiplicity: int) -> bytes:
+    """ML-decode n1 duplicated RM(1,7) codewords back to n1 bytes."""
+    expected = n1 * _RM_BITS * multiplicity
+    if bits.shape[0] != expected:  # pqtls: allow[CT001] — public shape check
+        raise ValueError(f"expected {expected} bits, got {bits.shape[0]}")
+    blocks = bits.reshape(n1, multiplicity, _RM_BITS)
+    # soft values: +1 for bit 0, -1 for bit 1, summed over copies
+    v = (multiplicity - 2 * blocks.sum(axis=1)).astype(np.int32)
+    h = 1
+    while h < _RM_BITS:
+        w = v.reshape(n1, -1, 2, h)
+        left = w[:, :, 0, :]
+        right = w[:, :, 1, :]
+        v = np.stack((left + right, left - right), axis=2).reshape(n1, _RM_BITS)
+        h *= 2
+    # np.argmax takes the first maximum, matching the reference row loop
+    index = np.argmax(np.abs(v), axis=1)
+    # pqtls: allow[CT003] — argmax gather over the soft codeword, same
+    # data-dependent access as the reference per-row argmax
+    value = v[np.arange(n1), index]
+    return bytes((index | np.where(value < 0, 0x80, 0)).astype(np.uint8).tolist())
+
+
+# -- Reed–Solomon component kernels ---------------------------------------------
+
+def _synd_matrix(delta: int, n: int) -> np.ndarray:
+    mat = _SYND_MATS.get((delta, n))
+    # pqtls: allow[CT001] — memoized matrix keyed by public code params
+    if mat is None:
+        i = np.arange(1, 2 * delta + 1, dtype=np.int32)
+        j = np.arange(n, dtype=np.int32)
+        mat = (i[:, None] * j[None, :]) % 255
+        _SYND_MATS[(delta, n)] = mat  # pqtls: allow[CT003] — public key
+    return mat
+
+
+def rs_syndromes(word: list[int], delta: int) -> list[int]:
+    """[poly_eval(word, alpha^i) for i in 1..2*delta] as one gather."""
+    exp_np, log_np = _gf256.np_tables()
+    logs = log_np[np.asarray(word, dtype=np.int32)]  # pqtls: allow[CT003]
+    mat = _synd_matrix(delta, len(word))  # pqtls: allow[CT110] — public code params
+    terms = exp_np[logs[None, :] + mat]  # pqtls: allow[CT003]
+    return np.bitwise_xor.reduce(terms, axis=1).tolist()
+
+
+def _chien_matrix(n: int, slen: int) -> np.ndarray:
+    mat = _CHIEN_MATS.get((n, slen))
+    # pqtls: allow[CT001] — memoized matrix keyed by public code params
+    if mat is None:
+        pos = np.arange(n, dtype=np.int32)
+        j = np.arange(slen, dtype=np.int32)
+        mat = (((255 - pos) % 255)[:, None] * j[None, :]) % 255
+        _CHIEN_MATS[(n, slen)] = mat  # pqtls: allow[CT003] — public key
+    return mat
+
+
+def rs_chien(sigma: list[int], n: int) -> list[int]:
+    """Positions p in 0..n-1 with sigma(alpha^-p) == 0, ascending."""
+    exp_np, log_np = _gf256.np_tables()
+    logs = log_np[np.asarray(sigma, dtype=np.int32)]  # pqtls: allow[CT003]
+    mat = _chien_matrix(n, len(sigma))  # pqtls: allow[CT110] — public code params
+    vals = np.bitwise_xor.reduce(exp_np[logs[None, :] + mat], axis=1)  # pqtls: allow[CT003]
+    return np.nonzero(vals == 0)[0].tolist()
+
+
+def _gen_table(gen: list[int]) -> np.ndarray:
+    key = bytes(gen)
+    tab = _GENMUL.get(key)
+    # pqtls: allow[CT001] — memoized table for the public generator poly
+    if tab is None:
+        exp_np, log_np = _gf256.np_tables()
+        logs = log_np[np.asarray(gen, dtype=np.int32)]  # pqtls: allow[CT003] — public generator
+        tab = exp_np[log_np[np.arange(256)][:, None] + logs[None, :]]  # pqtls: allow[CT003] — public generator
+        _GENMUL[key] = tab  # pqtls: allow[CT003] — public generator
+    return tab
+
+
+def rs_encode(message: bytes, gen: list[int], n: int, k: int) -> bytes:
+    """Systematic RS encoding: codeword = parity || message (degree order)."""
+    parity_len = n - k
+    remainder = np.zeros(n, dtype=np.int32)
+    remainder[parity_len:] = np.frombuffer(bytes(message), dtype=np.uint8)  # pqtls: allow[CT003] — public code shape
+    table = _gen_table(gen)  # pqtls: allow[CT110] — public generator poly
+    top = len(gen) - 1
+    for i in range(n - 1, parity_len - 1, -1):  # pqtls: allow[CT002] — public code length
+        coeff = int(remainder[i])  # pqtls: allow[CT003]
+        # pqtls: allow[CT001] — sparsity skip, same shape as the reference
+        if coeff:
+            remainder[i - top: i + 1] ^= table[coeff]  # pqtls: allow[CT003]
+    return remainder[:parity_len].astype(np.uint8).tobytes() + bytes(message)  # pqtls: allow[CT003] — public code shape

@@ -47,11 +47,24 @@ CATEGORY_PREFIXES: tuple[tuple[str, str], ...] = (
     ("repro", "harness"),
 )
 
+# algorithm families that refine the "pqc" and "kernel" categories: a
+# frame in repro.pqc.hqc.* is attributed "pqc/hqc", one in
+# repro.crypto.kernels.dilithium "kernel/dilithium" — so hotspot reports
+# and flame SVGs name the algorithm, not just the layer
+ALGORITHM_FAMILIES = ("kyber", "dilithium", "hqc", "sphincs", "falcon", "bike")
+
+_FAMILY_ROOTS = {"kernel": "repro.crypto.kernels", "pqc": "repro.pqc"}
+
 
 def categorize(module: str) -> str:
-    """Coarse cost category of one frame's module."""
+    """Cost category of one frame's module (``pqc/hqc``-style for crypto)."""
     for prefix, category in CATEGORY_PREFIXES:
         if module == prefix or module.startswith(prefix + "."):
+            root = _FAMILY_ROOTS.get(category)
+            if root is not None and module.startswith(root + "."):
+                family = module[len(root) + 1:].split(".", 1)[0]
+                if family in ALGORITHM_FAMILIES:
+                    return f"{category}/{family}"
             return category
     return "other"
 

@@ -170,11 +170,109 @@ def unpack_bits(data: bytes, bits: int, count: int = N) -> list[int]:
     return out
 
 
+# -- polynomial-vector entry points ----------------------------------------
+#
+# The unit of work in keygen/sign/verify is a whole vector of polynomials
+# (length k or l); these reference twins are the scalar loops spelled
+# out, and PQTLS_KERNELS=fast swaps them for the batched numpy kernels.
+
+def ntt_vec(rows: list[list[int]]) -> list[list[int]]:
+    return [ntt(row) for row in rows]
+
+
+def intt_vec(rows: list[list[int]]) -> list[list[int]]:
+    return [intt(row) for row in rows]
+
+
+def pointwise_each(one: list[int], rows: list[list[int]]) -> list[list[int]]:
+    return [pointwise(one, row) for row in rows]
+
+
+def matvec_pointwise(mat, vec) -> list[list[int]]:
+    """rows[i] = sum_j mat[i][j] * vec[j] (pointwise, mod q), NTT domain."""
+    out = []
+    for row in mat:
+        acc = [0] * N
+        for entry, v in zip(row, vec):
+            acc = add(acc, pointwise(entry, v))
+        out.append(acc)
+    return out
+
+
+def add_vec(a, b) -> list[list[int]]:
+    return [add(x, y) for x, y in zip(a, b)]
+
+
+def sub_vec(a, b) -> list[list[int]]:
+    return [sub(x, y) for x, y in zip(a, b)]
+
+
+def neg_vec(rows) -> list[list[int]]:
+    return [[(-c) % Q for c in row] for row in rows]
+
+
+def inf_norm_vec(rows) -> int:
+    return max(inf_norm(row) for row in rows)
+
+
+def highbits_vec(rows, alpha: int) -> list[list[int]]:
+    return [[highbits(c, alpha) for c in row] for row in rows]
+
+
+def lowbits_vec(rows, alpha: int) -> list[list[int]]:
+    return [[lowbits(c, alpha) for c in row] for row in rows]
+
+
+def make_hint_vec(z_rows, r_rows, alpha: int) -> list[list[int]]:
+    return [
+        [make_hint(z, r, alpha) for z, r in zip(z_row, r_row)]
+        for z_row, r_row in zip(z_rows, r_rows)
+    ]
+
+
+def use_hint_vec(hints, rows, alpha: int) -> list[list[int]]:
+    return [
+        [use_hint(h, r, alpha) for h, r in zip(h_row, r_row)]
+        for h_row, r_row in zip(hints, rows)
+    ]
+
+
+def power2round_vec(rows) -> tuple[list[list[int]], list[list[int]]]:
+    hi_rows, lo_rows = [], []
+    for row in rows:
+        pairs = [power2round(c) for c in row]
+        hi_rows.append([hi for hi, _ in pairs])
+        lo_rows.append([lo for _, lo in pairs])
+    return hi_rows, lo_rows
+
+
+def rej_uniform(data: bytes, limit: int) -> tuple[list[int], int]:
+    """Uniform-mod-q rejection sampling over 3-byte chunks (top bit cleared).
+
+    Returns (accepted values, bytes consumed); consumption stops exactly
+    after the chunk yielding the ``limit``-th acceptance.
+    """
+    out: list[int] = []
+    offset = 0
+    while len(out) < limit and offset + 3 <= len(data):
+        t = (data[offset]
+             | (data[offset + 1] << 8)
+             | ((data[offset + 2] & 0x7F) << 16))
+        offset += 3
+        if t < Q:
+            out.append(t)
+    return out, offset
+
+
 from repro.crypto import kernels as _kernels  # noqa: E402
 from repro.crypto.kernels import dilithium as _fast  # noqa: E402
 
 _SELF = sys.modules[__name__]
 for _name in ("ntt", "intt", "pointwise", "add", "sub",
-              "pack_bits", "unpack_bits"):
+              "pack_bits", "unpack_bits",
+              "ntt_vec", "intt_vec", "pointwise_each", "matvec_pointwise",
+              "add_vec", "sub_vec", "neg_vec", "inf_norm_vec",
+              "highbits_vec", "lowbits_vec", "make_hint_vec", "use_hint_vec",
+              "power2round_vec", "rej_uniform"):
     _kernels.bind(_SELF, _name,
                   ref=getattr(_SELF, _name), fast=getattr(_fast, _name))

@@ -105,6 +105,8 @@ class DilithiumSignature(SignatureScheme):
             row = []
             for j in range(self._p.l):
                 # Rejection-sample < q from 3-byte chunks (top bit cleared).
+                # Re-expanding a longer stream replays the same prefix
+                # (XOF), so chunked parsing is position-exact.
                 coeffs: list[int] = []
                 need = 3 * 340
                 stream = self._xof.expand_a(rho, i, j, need)
@@ -113,12 +115,9 @@ class DilithiumSignature(SignatureScheme):
                     if offset + 3 > len(stream):
                         need += 3 * 170
                         stream = self._xof.expand_a(rho, i, j, need)
-                    t = (stream[offset]
-                         | (stream[offset + 1] << 8)
-                         | ((stream[offset + 2] & 0x7F) << 16))
-                    offset += 3
-                    if t < Q:
-                        coeffs.append(t)
+                    got, used = poly.rej_uniform(stream[offset:], N - len(coeffs))
+                    coeffs.extend(got)
+                    offset += used
                 row.append(coeffs)
             matrix.append(row)
         return matrix
@@ -211,18 +210,9 @@ class DilithiumSignature(SignatureScheme):
         a_hat = self._expand_a(rho)
         s1 = [self._sample_eta(rho_prime, nonce) for nonce in range(p.l)]
         s2 = [self._sample_eta(rho_prime, nonce) for nonce in range(p.l, p.l + p.k)]
-        s1_hat = [poly.ntt(x) for x in s1]
-        t = []
-        for i in range(p.k):
-            acc = [0] * N
-            for j in range(p.l):
-                acc = poly.add(acc, poly.pointwise(a_hat[i][j], s1_hat[j]))
-            t.append(poly.add(poly.intt(acc), s2[i]))
-        t1_rows, t0_rows = [], []
-        for row in t:
-            pair = [poly.power2round(c) for c in row]
-            t1_rows.append([hi for hi, _ in pair])
-            t0_rows.append([lo for _, lo in pair])
+        s1_hat = poly.ntt_vec(s1)
+        t = poly.add_vec(poly.intt_vec(poly.matvec_pointwise(a_hat, s1_hat)), s2)
+        t1_rows, t0_rows = poly.power2round_vec(t)
         pk = rho + b"".join(poly.pack_bits(row, 10) for row in t1_rows)
         tr = _shake256(pk, 64)
         sk = (
@@ -266,61 +256,42 @@ class DilithiumSignature(SignatureScheme):
         a_hat = self._expand_a(rho)
         mu = _shake256(tr + message, 64)
         rho_prime = _shake256(key + drbg.random_bytes(32) + mu, 64)
-        s1_hat = [poly.ntt(x) for x in s1]
-        s2_hat = [poly.ntt(x) for x in s2]
-        t0_hat = [poly.ntt(x) for x in t0]
+        s1_hat = poly.ntt_vec(s1)
+        s2_hat = poly.ntt_vec(s2)
+        t0_hat = poly.ntt_vec(t0)
         alpha = 2 * p.gamma2
         for kappa in range(0, _MAX_SIGN_ITERS * p.l, p.l):
             y = [self._sample_mask_poly(rho_prime, kappa + i) for i in range(p.l)]
-            y_hat = [poly.ntt(x) for x in y]
-            w = []
-            for i in range(p.k):
-                acc = [0] * N
-                for j in range(p.l):
-                    acc = poly.add(acc, poly.pointwise(a_hat[i][j], y_hat[j]))
-                w.append(poly.intt(acc))
-            w1 = [[poly.highbits(c, alpha) for c in row] for row in w]
+            y_hat = poly.ntt_vec(y)
+            w = poly.intt_vec(poly.matvec_pointwise(a_hat, y_hat))
+            w1 = poly.highbits_vec(w, alpha)
             w1_packed = b"".join(poly.pack_bits(row, self._w1bits) for row in w1)
             c_tilde = _shake256(mu + w1_packed, 32)
             c = self._sample_in_ball(c_tilde)
             c_hat = poly.ntt(c)
-            z = [
-                poly.add(y[j], poly.intt(poly.pointwise(c_hat, s1_hat[j])))
-                for j in range(p.l)
-            ]
-            if max(poly.inf_norm(row) for row in z) >= p.gamma1 - p.beta:
+            z = poly.add_vec(y, poly.intt_vec(poly.pointwise_each(c_hat, s1_hat)))
+            if poly.inf_norm_vec(z) >= p.gamma1 - p.beta:
                 continue
-            w_cs2 = [
-                poly.sub(w[i], poly.intt(poly.pointwise(c_hat, s2_hat[i])))
-                for i in range(p.k)
-            ]
-            r0_norm = max(
-                max(abs(poly.lowbits(cf, alpha)) for cf in row) for row in w_cs2
+            w_cs2 = poly.sub_vec(
+                w, poly.intt_vec(poly.pointwise_each(c_hat, s2_hat))
             )
-            if r0_norm >= p.gamma2 - p.beta:
+            # lowbits are centered already, so the vector inf-norm is their max |.|
+            if poly.inf_norm_vec(poly.lowbits_vec(w_cs2, alpha)) >= p.gamma2 - p.beta:
                 continue
-            ct0 = [poly.intt(poly.pointwise(c_hat, t0_hat[i])) for i in range(p.k)]
-            if max(poly.inf_norm(row) for row in ct0) >= p.gamma2:
+            ct0 = poly.intt_vec(poly.pointwise_each(c_hat, t0_hat))
+            if poly.inf_norm_vec(ct0) >= p.gamma2:
                 continue
-            hints = []
-            count = 0
-            for i in range(p.k):
-                row = []
-                for j in range(N):
-                    hint = poly.make_hint(  # pqtls: allow[CT101] — hint decomposition is published with the signature (Fiat-Shamir with aborts)
-                        (-ct0[i][j]) % Q, (w_cs2[i][j] + ct0[i][j]) % Q, alpha
-                    )
-                    row.append(hint)
-                    count += hint
-                hints.append(row)
-            if count > p.omega:
+            hints = poly.make_hint_vec(
+                poly.neg_vec(ct0), poly.add_vec(w_cs2, ct0), alpha
+            )
+            if sum(sum(row) for row in hints) > p.omega:
                 continue
             z_packed = b"".join(
                 poly.pack_bits([(p.gamma1 - poly.centered(cf)) % (2 * p.gamma1)
                                 for cf in row], self._zbits)
                 for row in z
             )
-            return c_tilde + z_packed + self._pack_hint(hints)
+            return c_tilde + z_packed + self._pack_hint(hints)  # pqtls: allow[CT101] — hint positions are published in the signature encoding
         raise RuntimeError(f"{self.name}: signing did not converge")
 
     # -- verification ------------------------------------------------------------
@@ -348,25 +319,21 @@ class DilithiumSignature(SignatureScheme):
         hints = self._unpack_hint(signature[off:])
         if hints is None:
             return False
-        if max(poly.inf_norm(row) for row in z) >= p.gamma1 - p.beta:
+        if poly.inf_norm_vec(z) >= p.gamma1 - p.beta:
             return False
         a_hat = self._expand_a(rho)
         mu = _shake256(_shake256(public_key, 64) + message, 64)
         c = self._sample_in_ball(c_tilde)
         c_hat = poly.ntt(c)
-        z_hat = [poly.ntt(row) for row in z]
+        z_hat = poly.ntt_vec(z)
         alpha = 2 * p.gamma2
-        w1 = []
-        for i in range(p.k):
-            acc = [0] * N
-            for j in range(p.l):
-                acc = poly.add(acc, poly.pointwise(a_hat[i][j], z_hat[j]))
-            t1_shifted = poly.ntt([v << poly.D for v in t1[i]])
-            acc = poly.sub(acc, poly.pointwise(c_hat, t1_shifted))
-            w_approx = poly.intt(acc)
-            w1.append([
-                poly.use_hint(hints[i][j], w_approx[j], alpha) for j in range(N)
-            ])
+        t1_shifted = poly.ntt_vec([[v << poly.D for v in row] for row in t1])
+        acc = poly.sub_vec(
+            poly.matvec_pointwise(a_hat, z_hat),
+            poly.pointwise_each(c_hat, t1_shifted),
+        )
+        w_approx = poly.intt_vec(acc)
+        w1 = poly.use_hint_vec(hints, w_approx, alpha)
         w1_packed = b"".join(poly.pack_bits(row, self._w1bits) for row in w1)
         return _shake256(mu + w1_packed, 32) == c_tilde
 

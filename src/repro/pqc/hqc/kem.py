@@ -10,13 +10,14 @@ Table 2a.
 from __future__ import annotations
 
 import hashlib
+import sys
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.crypto.constanttime import ct_eq_bytes, ct_select_bytes
 from repro.crypto.drbg import Drbg
-from repro.pqc.hqc.reedmuller import rm_decode, rm_encode
+from repro.pqc.hqc import reedmuller
 from repro.pqc.hqc.reedsolomon import ReedSolomon
 from repro.pqc.kem import Kem
 
@@ -104,10 +105,10 @@ class HqcKem(Kem):
 
     # -- code (RS ∘ RM) ------------------------------------------------------
     def _encode(self, message: bytes) -> np.ndarray:
-        return rm_encode(self._rs.encode(message), self._p.multiplicity)
+        return reedmuller.rm_encode(self._rs.encode(message), self._p.multiplicity)
 
     def _decode(self, bits: np.ndarray) -> bytes:
-        symbols = rm_decode(bits, self._p.n1, self._p.multiplicity)
+        symbols = reedmuller.rm_decode(bits, self._p.n1, self._p.multiplicity)
         return self._rs.decode(symbols)
 
     # -- PKE --------------------------------------------------------------------
@@ -202,3 +203,10 @@ class HqcKem(Kem):
 HQC128 = HqcKem(128, nist_level=1)
 HQC192 = HqcKem(192, nist_level=3)
 HQC256 = HqcKem(256, nist_level=5)
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import hqc as _fast  # noqa: E402
+
+_kernels.bind(sys.modules[__name__], "_sparse_mul",
+              ref=_sparse_mul, fast=_fast.sparse_mul)

@@ -5,9 +5,14 @@ codeword repeated ``multiplicity`` times (3 for hqc-128, 5 for 192/256).
 Decoding is maximum-likelihood via the fast Walsh–Hadamard transform
 ("Green machine"): the duplicated copies are summed into a soft vector,
 transformed, and the largest component picks the information byte.
+``PQTLS_KERNELS=fast`` (default) swaps ``rm_decode`` for the batched
+transform in ``repro.crypto.kernels.hqc``; call it through the module
+so rebinding takes effect.
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -75,3 +80,10 @@ def rm_decode(bits: np.ndarray, n1: int, multiplicity: int) -> bytes:
             byte |= 0x80
         out.append(byte)
     return bytes(out)
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import hqc as _fast  # noqa: E402
+
+_kernels.bind(sys.modules[__name__], "rm_decode",
+              ref=rm_decode, fast=_fast.rm_decode)

@@ -2,9 +2,16 @@
 
 Systematic encoding, and decoding via syndromes → Berlekamp–Massey →
 Chien search → Forney, correcting up to ``delta`` symbol errors.
+
+The evaluation-heavy stages (encode LFSR, syndromes, Chien search) live
+in module-level functions so ``PQTLS_KERNELS=fast`` (default) can swap
+them for the table-gather kernels in ``repro.crypto.kernels.hqc``; the
+class calls them as module globals so rebinding takes effect.
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.pqc.hqc import gf256
 from repro.pqc.hqc.gf256 import gf_div, gf_mul, gf_pow, poly_eval
@@ -21,6 +28,32 @@ def _poly_add(a: list[int], b: list[int]) -> list[int]:
 def _poly_deriv(p: list[int]) -> list[int]:
     """Formal derivative in characteristic 2: keep odd-degree terms."""
     return [p[i] if i % 2 == 1 else 0 for i in range(1, len(p))]
+
+
+def rs_encode(message: bytes, gen: list[int], n: int, k: int) -> bytes:
+    """Systematic RS encoding: codeword = parity || message (degree order)."""
+    parity_len = n - k
+    remainder = [0] * parity_len + list(message)
+    for i in range(n - 1, parity_len - 1, -1):
+        coeff = remainder[i]
+        if coeff:
+            shift = i - (len(gen) - 1)
+            for j, gj in enumerate(gen):
+                remainder[shift + j] ^= gf_mul(coeff, gj)
+    return bytes(remainder[:parity_len]) + message
+
+
+def rs_syndromes(word: list[int], delta: int) -> list[int]:
+    """Evaluate the received word at alpha^1 .. alpha^(2*delta)."""
+    return [poly_eval(word, gf_pow(2, i)) for i in range(1, 2 * delta + 1)]
+
+
+def rs_chien(sigma: list[int], n: int) -> list[int]:
+    """Positions p in 0..n-1 with sigma(alpha^-p) == 0, ascending."""
+    return [
+        pos for pos in range(n)
+        if poly_eval(sigma, gf_pow(2, (255 - pos) % 255)) == 0
+    ]
 
 
 class ReedSolomon:
@@ -44,22 +77,10 @@ class ReedSolomon:
         """Systematic encoding: codeword = parity || message (degree order)."""
         if len(message) != self.k:
             raise ValueError(f"message must be {self.k} bytes")
-        parity_len = self.n - self.k
-        remainder = [0] * parity_len + list(message)
-        gen = self._gen
-        for i in range(self.n - 1, parity_len - 1, -1):
-            coeff = remainder[i]
-            if coeff:
-                shift = i - (len(gen) - 1)
-                for j, gj in enumerate(gen):
-                    remainder[shift + j] ^= gf_mul(coeff, gj)
-        return bytes(remainder[:parity_len]) + message
+        return rs_encode(bytes(message), self._gen, self.n, self.k)
 
     def _syndromes(self, codeword) -> list[int]:
-        word = list(codeword)
-        return [
-            poly_eval(word, gf_pow(2, i)) for i in range(1, 2 * self.delta + 1)
-        ]
+        return rs_syndromes(list(codeword), self.delta)
 
     def decode(self, received: bytes) -> bytes:
         """Correct up to delta symbol errors; return the message part.
@@ -102,10 +123,7 @@ class ReedSolomon:
             raise ValueError("too many errors for RS decoder")
 
         # Chien search: roots of sigma are inverse error locators alpha^-pos
-        positions = []
-        for pos in range(self.n):
-            if poly_eval(sigma, gf_pow(2, (255 - pos) % 255)) == 0:
-                positions.append(pos)
+        positions = rs_chien(sigma, self.n)
         if len(positions) != num_errors:
             raise ValueError("error locator does not split (decoding failure)")
 
@@ -123,3 +141,14 @@ class ReedSolomon:
         if any(self._syndromes(corrected)):
             raise ValueError("residual syndrome after correction")
         return bytes(corrected[self.n - self.k:])
+
+
+from repro.crypto import kernels as _kernels  # noqa: E402
+from repro.crypto.kernels import hqc as _fast  # noqa: E402
+
+_kernels.bind(sys.modules[__name__], "rs_encode",
+              ref=rs_encode, fast=_fast.rs_encode)
+_kernels.bind(sys.modules[__name__], "rs_syndromes",
+              ref=rs_syndromes, fast=_fast.rs_syndromes)
+_kernels.bind(sys.modules[__name__], "rs_chien",
+              ref=rs_chien, fast=_fast.rs_chien)

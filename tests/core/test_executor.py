@@ -11,6 +11,7 @@ import pytest
 from repro import cache
 from repro.core import executor
 from repro.core.executor import (
+    batch_units,
     estimated_cost,
     record_cost,
     replay_cost,
@@ -109,6 +110,50 @@ def test_resolve_jobs_clamps_to_one_core(monkeypatch):
     assert resolve_jobs(None) == 1
 
 
+# -- experiment batching -----------------------------------------------------
+
+def _synthetic_unit_inputs():
+    configs = [ExperimentConfig(kem="x25519", sig="rsa:1024", seed=f"s{i}")
+               for i in range(6)]
+    costs = {configs[0].key: 1.0,      # expensive: stays singleton
+             configs[1].key: 0.1, configs[2].key: 0.1,
+             configs[3].key: 0.1,      # three cheap ones share a unit
+             configs[4].key: 0.4,      # above threshold: singleton
+             configs[5].key: 0.05}
+    return configs, costs
+
+
+def test_batch_units_packs_cheap_and_isolates_expensive():
+    configs, costs = _synthetic_unit_inputs()
+    units = batch_units(configs, costs, batch_seconds=0.25)
+    assert units == [[configs[0]], [configs[1], configs[2]],
+                     [configs[4]], [configs[3], configs[5]]]
+    # every config dispatched exactly once, whatever the packing
+    flat = [c.key for unit in units for c in unit]
+    assert sorted(flat) == sorted(c.key for c in configs)
+
+
+def test_batch_units_zero_threshold_disables_packing():
+    configs, costs = _synthetic_unit_inputs()
+    units = batch_units(configs, costs, batch_seconds=0.0)
+    assert units == [[c] for c in configs]
+
+
+def test_batch_units_keeps_traced_config_singleton():
+    configs, costs = _synthetic_unit_inputs()
+    units = batch_units(configs, costs, batch_seconds=0.25,
+                        traced_key=configs[1].key)
+    assert [configs[1]] in units
+
+
+def test_worker_warm_builds_kernel_tables():
+    from repro.crypto import kernels
+
+    warmed = executor._worker_warm()
+    assert warmed is None                  # initializer returns nothing
+    assert set(kernels.warm()) >= {"gf256", "hqc", "dilithium", "kyber"}
+
+
 # -- serial/parallel equivalence ---------------------------------------------
 
 def test_parallel_equals_serial(tmp_path, monkeypatch, multicore):
@@ -151,6 +196,25 @@ def test_parallel_equals_serial_with_streaming_instruments(
     histogram = parallel_metrics.histogram("handshake.total")
     assert histogram.spilled and histogram.samples == []
     assert histogram.count == serial_metrics.histogram("handshake.total").count
+
+
+def test_batched_parallel_equals_serial(tmp_path, monkeypatch, multicore):
+    """A huge batch threshold packs whole script groups into shared units;
+    results and metrics must still be bit-identical to the serial run."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    serial_metrics = Metrics()
+    serial = run_campaign(SMALL_SET, jobs=1, metrics=serial_metrics,
+                          batch_seconds=0.0)
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "batched"))
+    batched_metrics = Metrics()
+    stats = {}
+    batched = run_campaign(SMALL_SET, jobs=3, metrics=batched_metrics,
+                           stats=stats, batch_seconds=0.5)
+    assert batched == serial
+    assert batched_metrics.snapshot() == serial_metrics.snapshot()
+    assert stats["batched"] >= 2                  # some unit actually shared
+    assert stats["units"] < stats["dispatched"]
 
 
 def test_parallel_warm_cache_resolves_inline(cold_cache, monkeypatch, multicore):

@@ -230,6 +230,198 @@ def test_gf256_poly_mul_ref_equals_fast():
         assert got["ref"] == got["fast"], (a, b)
 
 
+def test_gf256_poly_mul_crosses_the_numpy_threshold():
+    # the gather kernel only engages above _NUMPY_MIN products; exercise
+    # both sides of the cutover, RS-decoder-shaped sizes, and sparsity
+    from repro.pqc.hqc import gf256
+
+    drbg = Drbg(b"kernels-gf256-np")
+    cases = [(8, 8), (16, 8), (30, 31), (46, 16), (90, 60), (128, 1)]
+    for la, lb in cases:
+        a = [drbg.randint(0, 255) for _ in range(la)]
+        b = [drbg.randint(0, 255) for _ in range(lb)]
+        for i in range(0, la, 3):     # sprinkle zero coefficients
+            a[i] = 0
+        got = both_modes(lambda: gf256.poly_mul(a, b))
+        assert got["ref"] == got["fast"], (la, lb)
+
+
+# -- HQC sparse/dense products and RS-RM decode ------------------------------
+
+def test_hqc_sparse_mul_ref_equals_fast():
+    import numpy as np
+
+    from repro.pqc.hqc import kem as hqc_kem
+
+    drbg = Drbg(b"kernels-sparse")
+    for n, weight in [(97, 5), (17669, 66)]:   # toy ring + real hqc-128 ring
+        dense = np.array([drbg.randint(0, 1) for _ in range(n)], dtype=np.uint8)
+        support = drbg.sample_distinct(n, weight)
+        support = sorted(set(support) | {0, n - 1})  # edge shifts
+        got = both_modes(lambda: hqc_kem._sparse_mul(support, dense))
+        assert got["ref"].dtype == got["fast"].dtype
+        assert np.array_equal(got["ref"], got["fast"]), n
+
+
+def test_hqc_rm_decode_ref_equals_fast_on_corrupted_codewords():
+    import numpy as np
+
+    from repro.pqc.hqc import reedmuller
+
+    drbg = Drbg(b"kernels-rm")
+    for n1, multiplicity in [(46, 3), (56, 5)]:
+        symbols = bytes(drbg.randint(0, 255) for _ in range(n1))
+        bits = reedmuller.rm_encode(symbols, multiplicity)
+        # flip a noisy-but-decodable fraction of the bits, then a heavy
+        # fraction: the modes must agree even when decoding goes wrong
+        for flips in (bits.shape[0] // 20, bits.shape[0] // 3):
+            corrupted = bits.copy()
+            for pos in drbg.sample_distinct(bits.shape[0], flips):
+                corrupted[pos] ^= 1
+            got = both_modes(
+                lambda: reedmuller.rm_decode(corrupted, n1, multiplicity))
+            assert got["ref"] == got["fast"], (n1, multiplicity, flips)
+        with kernels.override("fast"):
+            assert reedmuller.rm_decode(bits, n1, multiplicity) == symbols
+            with pytest.raises(ValueError, match="expected"):
+                reedmuller.rm_decode(bits[:-1], n1, multiplicity)
+
+
+def _outcome(fn):
+    """Result or (exception type, message): failure parity across modes."""
+    try:
+        return fn()
+    except ValueError as exc:
+        return (type(exc).__name__, str(exc))
+
+
+def test_hqc_rs_decode_ref_equals_fast_across_error_weights():
+    from repro.pqc.hqc.reedsolomon import ReedSolomon
+
+    drbg = Drbg(b"kernels-rs")
+    for n, k in [(46, 16), (56, 24)]:
+        rs = ReedSolomon(n, k)
+        message = bytes(drbg.randint(0, 255) for _ in range(k))
+        codeword = both_modes(lambda: rs.encode(message))
+        assert codeword["ref"] == codeword["fast"]
+        # 0..delta errors decode; delta+2 and a blasted word must fail
+        # with the same exception type and message under both modes
+        for errors in (0, 1, rs.delta // 2, rs.delta, rs.delta + 2, n // 2):
+            corrupted = bytearray(codeword["fast"])
+            for pos in drbg.sample_distinct(n, errors):
+                corrupted[pos] ^= drbg.randint(1, 255)
+            got = both_modes(lambda: _outcome(
+                lambda: rs.decode(bytes(corrupted))))
+            assert got["ref"] == got["fast"], (n, k, errors)
+            if errors <= rs.delta:
+                assert got["fast"] == message
+
+
+def test_hqc_kem_roundtrip_ref_equals_fast():
+    from repro.pqc.registry import get_kem
+
+    def run():
+        kem = get_kem("hqc128")
+        drbg = Drbg(b"kernels-hqc")
+        pk, sk = kem.keygen(drbg)
+        ct, ss = kem.encaps(pk, drbg)
+        # tampered ciphertext drives the decode-failure / implicit-
+        # rejection path; both modes must still agree byte-for-byte
+        tampered = bytes([ct[0] ^ 1]) + ct[1:]
+        return pk, sk, ct, ss, kem.decaps(sk, ct), kem.decaps(sk, tampered)
+    got = both_modes(run)
+    assert got["ref"] == got["fast"]
+    assert got["fast"][3] == got["fast"][4]      # encaps ss == decaps ss
+    assert got["fast"][5] != got["fast"][3]      # rejection key differs
+
+
+# -- Dilithium batched vector ops --------------------------------------------
+
+DILITHIUM_ALPHAS = (190464, 523776)   # 2*gamma2 for dilithium2 and 3/5
+
+
+def test_dilithium_vec_ntt_and_matvec_ref_equals_fast():
+    from repro.pqc.dilithium import poly as dp
+
+    drbg = Drbg(b"kernels-dvec")
+    vec = [[drbg.randint(0, dp.Q - 1) for _ in range(256)] for _ in range(4)]
+    mat = [[[drbg.randint(0, dp.Q - 1) for _ in range(256)]
+            for _ in range(4)] for _ in range(3)]
+    one = [drbg.randint(0, dp.Q - 1) for _ in range(256)]
+
+    def run():
+        v_hat = dp.ntt_vec([list(row) for row in vec])
+        return (v_hat, dp.intt_vec([list(row) for row in v_hat]),
+                dp.matvec_pointwise(mat, v_hat),
+                dp.pointwise_each(one, v_hat),
+                dp.add_vec(vec, v_hat), dp.sub_vec(vec, v_hat),
+                dp.neg_vec(vec), dp.inf_norm_vec(vec))
+    got = both_modes(run)
+    assert got["ref"] == got["fast"]
+
+
+@pytest.mark.parametrize("alpha", DILITHIUM_ALPHAS)
+def test_dilithium_vec_decompose_and_hints_ref_equals_fast(alpha):
+    from repro.pqc.dilithium import poly as dp
+
+    drbg = Drbg(b"kernels-hints")
+    # include the q-1 wraparound corner and the alpha boundary values
+    specials = [0, 1, dp.Q - 1, dp.Q - 2, alpha, alpha - 1, alpha // 2,
+                alpha // 2 + 1, dp.Q - alpha, dp.Q - alpha // 2]
+    rows = [specials + [drbg.randint(0, dp.Q - 1)
+                        for _ in range(256 - len(specials))]
+            for _ in range(4)]
+    z_rows = [[drbg.randint(0, dp.Q - 1) for _ in range(256)]
+              for _ in range(4)]
+
+    def run():
+        hints = dp.make_hint_vec(z_rows, rows, alpha)
+        return (dp.highbits_vec(rows, alpha), dp.lowbits_vec(rows, alpha),
+                hints, dp.use_hint_vec(hints, rows, alpha),
+                dp.power2round_vec(rows))
+    got = both_modes(run)
+    assert got["ref"] == got["fast"]
+    # scalar reference cross-check on the first row
+    with kernels.override("fast"):
+        assert dp.highbits_vec(rows, alpha)[0] == \
+            [dp.highbits(r, alpha) for r in rows[0]]
+
+
+def test_dilithium_rej_uniform_ref_equals_fast():
+    from repro.pqc.dilithium import poly as dp
+
+    drbg = Drbg(b"kernels-rej")
+    stream = drbg.random_bytes(3 * 300)
+    # force some rejections: 3-byte chunks decoding >= Q get skipped
+    hot = bytearray(stream)
+    for i in range(0, 90, 9):
+        hot[i:i + 3] = b"\xff\xff\x7f"
+    cases = [(stream, 256), (bytes(hot), 256), (stream, 1), (stream, 0),
+             (b"", 4), (stream[:5], 4), (stream[:3 * 4], 256)]
+    for data, limit in cases:
+        got = both_modes(lambda: dp.rej_uniform(data, limit))
+        assert got["ref"] == got["fast"], (len(data), limit)
+        coeffs, used = got["fast"]
+        assert used <= len(data) and all(c < dp.Q for c in coeffs)
+
+
+@pytest.mark.parametrize("name", ["dilithium2", "dilithium3", "dilithium5"])
+def test_dilithium_sign_roundtrip_ref_equals_fast(name):
+    from repro.pqc.registry import get_sig
+
+    sig = get_sig(name)
+    msg = b"kernel equivalence " + name.encode()
+
+    def run():
+        drbg = Drbg(b"kernels-dsig-" + name.encode())
+        pk, sk = sig.keygen(drbg)
+        s = sig.sign(sk, msg, Drbg(b"sign-" + name.encode()))
+        return pk, sk, s, sig.verify(pk, msg, s), sig.verify(pk, msg + b"!", s)
+    got = both_modes(run)
+    assert got["ref"] == got["fast"]
+    assert got["fast"][3] is True and got["fast"][4] is False
+
+
 # -- campaign-level equivalence ----------------------------------------------
 
 _RECORD_SNIPPET = """

@@ -219,3 +219,57 @@ def test_default_tolerances_cover_all_gated_metrics():
         for metric in benchcheck.flatten(json.loads(path.read_text())):
             if direction(metric) != 0:
                 assert tolerance_for(metric, []) is not None, metric
+
+
+# ------------------------------------------- bench_campaign payload shape
+
+def _bench_campaign_module():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_campaign", REPO / "benchmarks" / "bench_campaign.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+SERIAL_PASS = {"jobs": 1, "cold_s": 2.0, "warm_s": 0.2,
+               "record_stage_s": 1.8, "experiments": 6}
+
+
+def test_build_payload_computes_speedups_on_a_real_parallel_run():
+    bench = _bench_campaign_module()
+    parallel = {"jobs": 2, "cold_s": 1.0, "warm_s": 0.2,
+                "record_stage_s": 0.8, "experiments": 6}
+    built = bench.build_payload("bench-grid", SERIAL_PASS, parallel)
+    assert built["speedup_cold"] == 2.0
+    assert built["speedup_record_stage"] == 2.25
+    assert "serial_fallback" not in built["parallel"]
+
+
+def test_build_payload_omits_speedups_on_serial_fallback():
+    """A 1-CPU host's baseline must not pin speedup_cold at a fake 1.0."""
+    bench = _bench_campaign_module()
+    parallel = {"jobs": 1, "serial_fallback": True,
+                "serial_fallback_reason": "1 CPU"}
+    built = bench.build_payload("bench-grid", SERIAL_PASS, parallel)
+    assert "speedup_cold" not in built
+    assert "speedup_record_stage" not in built
+    # the fallback block carries no cloned serial timings
+    assert "cold_s" not in built["parallel"]
+
+
+def test_fallback_baseline_cleanly_skips_against_multicore_fresh(tmp_path,
+                                                                 capsys):
+    """The CI shape: 1-CPU baseline, genuine -j2 fresh run -> no gate."""
+    bench = _bench_campaign_module()
+    baseline = bench.build_payload(
+        "bench-grid", SERIAL_PASS,
+        {"jobs": 1, "serial_fallback": True, "serial_fallback_reason": "1 CPU"})
+    fresh = bench.build_payload(
+        "bench-grid", SERIAL_PASS,
+        {"jobs": 2, "cold_s": 1.0, "warm_s": 0.2, "record_stage_s": 0.8,
+         "experiments": 6})
+    assert main(write_pair(tmp_path, baseline, fresh)) == 0
+    err = capsys.readouterr().err
+    assert "missing in baseline" in err and "no regressions" in err

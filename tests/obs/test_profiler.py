@@ -9,11 +9,28 @@ from repro.obs.profiler import SamplingProfiler, categorize, stack_category
 def test_categorize_prefix_precedence():
     assert categorize("repro.crypto.kernels.gf256") == "kernel"
     assert categorize("repro.crypto.modmath") == "crypto"
-    assert categorize("repro.pqc.kyber") == "pqc"
+    assert categorize("repro.pqc.kyber") == "pqc/kyber"
     assert categorize("repro.tls.handshake") == "tls"
     assert categorize("repro.netsim.tcp") == "netsim"
     assert categorize("repro.core.executor") == "harness"
     assert categorize("hashlib") == "other"
+
+
+def test_categorize_refines_pqc_and_kernel_by_family():
+    # repro.pqc.* and repro.crypto.kernels.* frames carry the algorithm
+    # family, so flame views separate hqc decode from dilithium sign
+    assert categorize("repro.pqc.hqc.kem") == "pqc/hqc"
+    assert categorize("repro.pqc.dilithium.sig") == "pqc/dilithium"
+    assert categorize("repro.pqc.sphincs.wots") == "pqc/sphincs"
+    assert categorize("repro.pqc.falcon.sig") == "pqc/falcon"
+    assert categorize("repro.crypto.kernels.dilithium") == "kernel/dilithium"
+    assert categorize("repro.crypto.kernels.hqc") == "kernel/hqc"
+    assert categorize("repro.crypto.kernels.kyber") == "kernel/kyber"
+    # non-family modules under the same roots keep the plain category
+    assert categorize("repro.pqc") == "pqc"
+    assert categorize("repro.pqc.registry") == "pqc"
+    assert categorize("repro.crypto.kernels") == "kernel"
+    assert categorize("repro.crypto.kernels.gf256") == "kernel"
 
 
 def test_stack_category_uses_innermost_repro_frame():
