@@ -1,6 +1,7 @@
 """LAYER — the declared import DAG of the reproduction.
 
-The dependency order is ``crypto → pqc → tls → faults → netsim → core``:
+The dependency order is ``crypto → pqc → tls → faults → netsim → core →
+traffic``:
 each unit may import itself and anything strictly below.  ``repro.obs``
 is importable by every unit but may import nothing from ``repro`` except
 itself (it must stay attachable anywhere); ``repro.cache`` sits between
@@ -34,12 +35,17 @@ ALLOWED_IMPORTS: dict[str, set[str]] = {
     "faults": {"tls", "pqc", "crypto", "obs"},
     "netsim": {"faults", "tls", "pqc", "crypto", "obs", "cache"},
     "core": {"netsim", "faults", "tls", "pqc", "crypto", "obs", "cache"},
+    # traffic (load engine) sits on top of core: it calibrates via the
+    # netsim testbed, prices bursts with tls action costs, forks DRBGs,
+    # and fans shards out through core.executor.  Nothing below imports it.
+    "traffic": {"core", "netsim", "tls", "crypto", "obs"},
     "analysis": {"*"},
 }
 
 # real-I/O / concurrency stdlib modules forbidden in the simulation units
 _IO_STDLIB = {"socket", "asyncio", "selectors", "ssl", "threading", "multiprocessing"}
-_IO_FORBIDDEN_UNITS = {"crypto", "pqc", "tls", "faults", "netsim", "obs", "cache"}
+_IO_FORBIDDEN_UNITS = {"crypto", "pqc", "tls", "faults", "netsim", "obs", "cache",
+                       "traffic"}
 
 # named exemptions: (module, stdlib root) pairs allowed despite the rule.
 # The self-profiler needs a sampling thread over the *host* clock; it only

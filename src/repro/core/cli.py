@@ -45,9 +45,13 @@ ARTIFACTS = ["table2", "table3", "table4", "figure3", "figure4", "section55"]
 
 
 def evaluate_artifact(name: str, outdir: Path, jobs: int | None = 1,
-                      progress=_progress, recorder=NULL_RECORDER) -> None:
+                      progress=_progress, recorder=NULL_RECORDER,
+                      batch_seconds: float | None = None) -> None:
     def run_sets(names):
-        return campaign.run_sets(names, progress, jobs=jobs, recorder=recorder)
+        # forward --batch-seconds so 0 means "disable batching" here too,
+        # instead of silently falling back to the executor default
+        return campaign.run_sets(names, progress, jobs=jobs, recorder=recorder,
+                                 batch_seconds=batch_seconds)
 
     if name == "table2":
         results = run_sets(["all-kem", "all-sig"])
@@ -225,7 +229,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.evaluate:
             for name in args.names:
                 evaluate_artifact(name, outdir, jobs=args.jobs,
-                                  progress=progress, recorder=recorder)
+                                  progress=progress, recorder=recorder,
+                                  batch_seconds=args.batch_seconds)
         else:
             count = 0
             if single_mode:

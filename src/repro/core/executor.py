@@ -252,6 +252,53 @@ def resolve_jobs(jobs: int | None) -> int:
     return min(jobs, cpus)
 
 
+def run_sharded(task, payloads: list, *, jobs: int | None = None,
+                on_complete=None) -> list:
+    """Map a picklable ``task`` over ``payloads`` across spawned workers.
+
+    The generic fan-out primitive behind ``repro.traffic`` (DET005
+    confines host parallelism to this module): results come back **in
+    payload order**, whatever order workers finish in, so callers can
+    merge deterministically. ``jobs`` resolves like :func:`run_campaign`
+    (clamped to cores; 1 or a single payload runs inline on the exact
+    same code path). ``on_complete(index, result)`` fires per finished
+    payload in completion order — observation only (progress display),
+    never part of the result.
+
+    ``task`` must be a module-level callable computing a pure function
+    of its payload: workers are spawned, so the only state it sees is
+    what the payload carries (plus the shared on-disk cache).
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(payloads) <= 1:
+        results = []
+        for index, payload in enumerate(payloads):
+            result = task(payload)
+            if on_complete is not None:
+                on_complete(index, result)
+            results.append(result)
+        return results
+    context = multiprocessing.get_context("spawn")
+    workers = min(jobs, len(payloads))
+    results: list = [None] * len(payloads)
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                             initializer=_worker_warm) as pool:
+        futures = {pool.submit(task, payload): index
+                   for index, payload in enumerate(payloads)}
+        try:
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if on_complete is not None:
+                    on_complete(index, results[index])
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+    return results
+
+
 DEFAULT_BATCH_SECONDS = 0.25
 
 

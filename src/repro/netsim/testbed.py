@@ -58,6 +58,11 @@ class HandshakeTrace:
     server_cpu: dict
     flight_labels: tuple[str, ...]
     outcome: HandshakeOutcome = SUCCESS  # how the handshake ended
+    # absolute phase timestamps on the simulated clock (0 = TCP connect);
+    # zeroed, like the phase durations, when no complete handshake happened
+    t_ch: float = 0.0                    # ClientHello on the wire
+    t_sh: float = 0.0                    # ServerHello flight starts
+    t_fin: float = 0.0                   # client Finished on the wire
 
 
 def _tapped(tap_fn, tracer, direction: str):
@@ -225,6 +230,9 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
         server_cpu=server_host.cpu_log.total_by_library(),
         flight_labels=labels,
         outcome=outcome,
+        t_ch=t_ch,
+        t_sh=t_sh,
+        t_fin=t_fin,
     )
 
 

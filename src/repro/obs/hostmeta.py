@@ -60,6 +60,33 @@ def host_metadata() -> dict:
     }
 
 
+def rss_bytes() -> int | None:
+    """Current resident set size of this process, or None off-Linux.
+
+    Read from ``/proc/self/statm`` (field 2, pages). Used by the flight
+    recorder's heartbeat and the traffic benchmark to show that
+    streaming evaluation holds memory flat; purely observational.
+    """
+    try:
+        with open("/proc/self/statm") as statm:
+            pages = int(statm.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def peak_rss_bytes(include_children: bool = False) -> int | None:
+    """High-water resident set size (ru_maxrss), or None off-POSIX."""
+    try:
+        import resource
+    except ImportError:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if include_children:
+        peak = max(peak, resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return peak * 1024  # Linux reports kilobytes
+
+
 def comparable(baseline_host: dict, fresh_host: dict) -> list[str]:
     """Fingerprint keys on which two hosts differ (empty = comparable).
 

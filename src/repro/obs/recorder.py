@@ -95,6 +95,26 @@ class FlightRecorder:
             fields["cache"] = dict(sorted(cache_counters.items()))
         self.event("task_finish", **fields)
 
+    def heartbeat(self, *, in_flight: int | None = None,
+                  completed: int | None = None, hps: float | None = None,
+                  rss: int | None = None, **fields) -> None:
+        """Periodic liveness event for long runs (traffic engine).
+
+        ``in_flight`` is the number of concurrent handshakes, ``completed``
+        the running total, ``hps`` the recent handshakes-per-host-second
+        rate, ``rss`` the resident set size in bytes (logged as ``rss_mb``).
+        All optional: emitters report what they can observe.
+        """
+        if in_flight is not None:
+            fields["in_flight"] = in_flight
+        if completed is not None:
+            fields["completed"] = completed
+        if hps is not None:
+            fields["hps"] = round(hps, 1)
+        if rss is not None:
+            fields["rss_mb"] = round(rss / 1048576, 1)
+        self.event("heartbeat", **fields)
+
     # -- live progress/ETA line --------------------------------------------
     def progress(self, set_name: str, done: int, total: int, *,
                  elapsed: float, eta: float | None = None,
@@ -146,6 +166,9 @@ class NullRecorder:
         pass
 
     def task_finish(self, key: str, **fields) -> None:
+        pass
+
+    def heartbeat(self, **fields) -> None:
         pass
 
     def progress(self, set_name: str, done: int, total: int, **fields) -> None:

@@ -1,0 +1,33 @@
+"""Load generation: million-handshake traffic runs against a shared server.
+
+The experiment layer (:mod:`repro.core`) measures *isolated* handshakes —
+one testbed, back-to-back, per (KA, SA, scenario, policy). The paper's
+open question is what happens **under load**: when many handshakes
+contend for the same server CPU, tail latency is dominated by queueing,
+and the interesting output is per-phase p99/p99.9 plus time-to-first-byte
+per algorithm pair, not medians.
+
+This package answers it with a calibrate-then-queue model (DESIGN.md
+§12): one full-fidelity simulated handshake per (KA, SA, scenario,
+policy) yields a :class:`~repro.traffic.profile.HandshakeProfile` —
+baseline phase timings plus the server's two CPU bursts — and the engine
+(:mod:`repro.traffic.engine`) replays millions of *arrivals* against a
+k-core FCFS server on the discrete event loop, streaming every latency
+into the constant-memory :mod:`repro.obs` histograms. Arrival processes
+(:mod:`repro.traffic.arrivals`) are Poisson / diurnal / flash-crowd /
+closed-loop, all DRBG-driven; the timeline shards into contiguous
+time-slices so ``--jobs N`` merges to bit-identical sketch state.
+"""
+
+from repro.traffic.arrivals import parse_arrival
+from repro.traffic.engine import TrafficConfig, TrafficSummary, run_traffic
+from repro.traffic.profile import HandshakeProfile, handshake_profile
+
+__all__ = [
+    "HandshakeProfile",
+    "TrafficConfig",
+    "TrafficSummary",
+    "handshake_profile",
+    "parse_arrival",
+    "run_traffic",
+]

@@ -1,0 +1,128 @@
+"""``pqtls-traffic``: the load-generation entry point.
+
+Examples::
+
+    # 600k Poisson arrivals against one server core, tail table to stdout
+    pqtls-traffic --arrival poisson:1000/s --duration 600 \\
+        --kem kyber512 --sig dilithium2
+
+    # flash crowd, sharded over 4 workers, merged metrics to JSON
+    pqtls-traffic --arrival flash:500/s,peak=5000/s --duration 120 \\
+        -j 4 --metrics out/traffic.json
+
+The merged metrics (and so the ``--metrics`` JSON) are bit-identical at
+any ``--jobs``; only wall-clock time changes. ``--flight-record`` adds a
+JSONL event stream with periodic ``heartbeat`` events (in-flight count,
+RSS, handshakes/s) for watching long runs mid-flight.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.export import write_metrics_json
+from repro.obs.metrics import Metrics
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder, walltime
+from repro.traffic.engine import TrafficConfig, run_traffic
+from repro.traffic.report import render_traffic
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pqtls-traffic",
+        description="Simulate TLS 1.3 handshake traffic against a shared "
+                    "server and report per-phase tail latency + TTFB.")
+    parser.add_argument("--arrival", default="poisson:1000/s",
+                        help="arrival spec: poisson:R/s | "
+                             "diurnal:R/s[,amp=A][,period=S] | "
+                             "flash:R/s[,peak=R/s][,at=S][,width=S] | "
+                             "closed:N[,think=S] (default %(default)s)")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds of arrivals (default %(default)s)")
+    parser.add_argument("--kem", action="append", default=None,
+                        help="KEM name; repeat for a mix (default kyber512)")
+    parser.add_argument("--sig", action="append", default=None,
+                        help="signature name; repeat for a mix "
+                             "(default dilithium2)")
+    parser.add_argument("--scenario", default="none",
+                        help="netem scenario for the baseline calibration "
+                             "(loss is zeroed; default %(default)s)")
+    parser.add_argument("--policy", default="optimized",
+                        choices=["optimized", "default"],
+                        help="server buffering policy (default %(default)s)")
+    parser.add_argument("--seed", default="paper",
+                        help="DRBG seed label (default %(default)s)")
+    parser.add_argument("--shard-seconds", type=float, default=60.0,
+                        help="arrival-timeline slice per shard "
+                             "(default %(default)s)")
+    parser.add_argument("--server-cores", type=int, default=1,
+                        help="server CPU cores (default %(default)s)")
+    parser.add_argument("--max-in-flight", type=int, default=100_000,
+                        help="admission cap on concurrent handshakes "
+                             "(default %(default)s)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes for the shard fan-out "
+                             "(default 1 = serial; results are identical)")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        help="write the merged metrics snapshot to this "
+                             "JSON file")
+    parser.add_argument("--flight-record", type=Path, default=None,
+                        help="write a flight-recorder JSONL (heartbeats, "
+                             "shard progress) to this file")
+    return parser
+
+
+def build_config(args: argparse.Namespace) -> TrafficConfig:
+    kems = args.kem or ["kyber512"]
+    sigs = args.sig or ["dilithium2"]
+    pairs = tuple((kem, sig) for kem in kems for sig in sigs)
+    return TrafficConfig(
+        arrival=args.arrival,
+        duration=args.duration,
+        pairs=pairs,
+        scenario=args.scenario,
+        policy=args.policy,
+        seed=args.seed,
+        shard_seconds=args.shard_seconds,
+        server_cores=args.server_cores,
+        max_in_flight=args.max_in_flight,
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = build_config(args)
+    except ValueError as error:
+        print(f"pqtls-traffic: {error}", file=sys.stderr)
+        return 2
+    recorder = (FlightRecorder(args.flight_record)
+                if args.flight_record else NULL_RECORDER)
+    metrics = Metrics()
+    started = walltime()
+    try:
+        summary = run_traffic(config, jobs=args.jobs, metrics=metrics,
+                              recorder=recorder)
+    except ValueError as error:
+        print(f"pqtls-traffic: {error}", file=sys.stderr)
+        return 2
+    finally:
+        recorder.close()
+    host_seconds = walltime() - started
+    print(render_traffic(metrics, config, summary))
+    rate = summary.completed / host_seconds if host_seconds > 0 else 0.0
+    print(f"\n{summary.completed} handshakes in {host_seconds:.1f} host "
+          f"seconds ({rate:.0f}/s)", file=sys.stderr)
+    if args.metrics is not None:
+        path = write_metrics_json(metrics, args.metrics)
+        print(f"wrote {path}", file=sys.stderr)
+    if recorder.enabled:
+        print(f"wrote {recorder.path} ({len(recorder.events)} events)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,401 @@
+"""The traffic engine: arrivals × queueing profiles on the event loop.
+
+One *shard* simulates a contiguous time-slice of the arrival timeline
+against its own :class:`~repro.traffic.server.ServerCores` and a fresh
+:class:`~repro.obs.metrics.Metrics` registry. Per handshake the engine
+runs exactly four event-loop callbacks — arrival, burst-A enqueue,
+burst-B enqueue (where every latency is observed), completion — and
+allocates nothing but three `partial` thunks: connection state lives in
+a pooled free-list, latencies stream straight into the registry's
+histograms (exact to the retention window, constant-memory sketch +
+reservoir beyond), so memory is flat in the handshake count.
+
+Determinism contract (`--jobs` bit-identity): the shard layout depends
+only on the config (never on the worker count), each shard forks its
+DRBG as ``Drbg("traffic:<key>").fork("shard:<i>")``, and the leader
+merges the per-shard snapshots in shard-index order. The serial path
+runs the *same* shard task inline, so ``--jobs 1`` and ``--jobs N``
+produce byte-identical merged sketch state. Closed-loop runs restart
+their N clients at each shard boundary (a cold-cache approximation the
+shard size controls); open-loop arrivals are exact.
+
+Host wall-clock appears only in flight-recorder heartbeats (via
+:func:`repro.obs.recorder.walltime`, the sanctioned accessor) and never
+feeds a simulated result.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from functools import partial
+
+from repro.core import executor
+from repro.crypto.drbg import Drbg
+from repro.netsim.eventloop import EventLoop
+from repro.obs.hostmeta import rss_bytes
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.obs.recorder import NULL_RECORDER, walltime
+from repro.traffic.arrivals import Window, open_arrivals, parse_arrival
+from repro.traffic.profile import handshake_profile
+from repro.traffic.server import ServerCores
+
+# host seconds between flight-recorder heartbeats (checked every
+# _HEARTBEAT_MASK+1 completions so the hot path never reads the clock)
+HEARTBEAT_SECONDS = 5.0
+_HEARTBEAT_MASK = 0x3FF
+
+_UNSAFE = re.compile(r"[^a-z0-9_]")
+
+
+def metric_key(name: str) -> str:
+    """An algorithm name as a metric-name component (OBS001-clean)."""
+    return _UNSAFE.sub("_", name.lower())
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """One traffic run; hashable and picklable (pairs are tuples)."""
+
+    arrival: str = "poisson:1000/s"
+    duration: float = 60.0
+    pairs: tuple[tuple[str, str], ...] = (("kyber512", "dilithium2"),)
+    scenario: str = "none"
+    policy: str = "optimized"
+    seed: str = "paper"
+    shard_seconds: float = 60.0
+    server_cores: int = 1
+    max_in_flight: int = 100_000
+
+    @property
+    def key(self) -> str:
+        pair_text = "+".join(f"{kem}/{sig}" for kem, sig in self.pairs)
+        return (f"{self.arrival}|d={self.duration}|{pair_text}"
+                f"|{self.scenario}|{self.policy}|seed={self.seed}"
+                f"|shard={self.shard_seconds}|cores={self.server_cores}"
+                f"|mif={self.max_in_flight}")
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Leader-side aggregate of a run (quantiles live in the metrics)."""
+
+    config: TrafficConfig
+    jobs: int
+    shards: int
+    offered: int
+    completed: int
+    dropped: int
+    peak_in_flight: int
+    busy_seconds: float
+    pool_peak: int
+
+    @property
+    def load_factor(self) -> float:
+        """Offered CPU seconds over capacity (ρ); > 1 means overload —
+        every admitted handshake is still served, draining past the
+        window's end, so this measures offered load, not busy fraction."""
+        capacity = self.config.duration * self.config.server_cores
+        return self.busy_seconds / capacity if capacity > 0 else 0.0
+
+
+def shard_windows(config: TrafficConfig) -> list[Window]:
+    """The run's deterministic shard layout (independent of ``--jobs``)."""
+    duration = config.duration
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration!r}")
+    size = config.shard_seconds
+    if size <= 0:
+        raise ValueError(f"shard_seconds must be positive, got {size!r}")
+    count = max(1, math.ceil(duration / size - 1e-12))
+    return [Window(i, i * size, duration if i == count - 1 else (i + 1) * size)
+            for i in range(count)]
+
+
+class _Conn:
+    """Pooled per-handshake state (free-listed, never per-handshake GC)."""
+
+    __slots__ = ("channel", "wait_a")
+
+    def __init__(self):
+        self.channel = None
+        self.wait_a = 0.0
+
+
+class _PairChannel:
+    """One (KEM, SIG) pair's profile plus bound histogram observers."""
+
+    __slots__ = ("profile", "prefix", "completed", "part_a", "part_b",
+                 "total", "ttfb", "wait")
+
+    def __init__(self, profile, metrics, prefix: str):
+        self.profile = profile
+        self.prefix = prefix
+        self.completed = 0
+        self.part_a = metrics.histogram(prefix + "part_a").observe
+        self.part_b = metrics.histogram(prefix + "part_b").observe
+        self.total = metrics.histogram(prefix + "total").observe
+        self.ttfb = metrics.histogram(prefix + "ttfb").observe
+        self.wait = metrics.histogram(prefix + "server_wait").observe
+
+
+class _ShardEngine:
+    """One time-slice of the run: arrivals -> queueing -> streamed latencies."""
+
+    def __init__(self, config: TrafficConfig, window: Window, metrics,
+                 recorder=NULL_RECORDER,
+                 heartbeat_seconds: float = HEARTBEAT_SECONDS):
+        self.config = config
+        self.window = window
+        self.loop = EventLoop()
+        self.server = ServerCores(config.server_cores)
+        self.spec = parse_arrival(config.arrival, config.duration)
+        self.drbg = Drbg(f"traffic:{config.key}").fork(f"shard:{window.index}")
+        self.channels = [
+            _PairChannel(
+                handshake_profile(kem, sig, scenario=config.scenario,
+                                  policy=config.policy, seed=config.seed),
+                metrics,
+                f"traffic.{metric_key(kem)}.{metric_key(sig)}.")
+            for kem, sig in config.pairs
+        ]
+        self._pick = (self.drbg.fork("pair")
+                      if len(self.channels) > 1 else None)
+        self.pool: list[_Conn] = []
+        self.pool_peak = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.offered = 0
+        self.completed = 0
+        self.dropped = 0
+        self._arrivals = None
+        # heartbeat bookkeeping (host clock; observation only)
+        self._recorder = recorder
+        self._beat = recorder.enabled
+        self._beat_seconds = heartbeat_seconds
+        self._beat_t = walltime() if self._beat else 0.0
+        self._beat_done = 0
+
+    # -- arrival drivers ----------------------------------------------------
+    def run(self) -> None:
+        if self.spec.closed:
+            self._start_closed()
+        else:
+            self._arrivals = open_arrivals(self.spec, self.window,
+                                           self.drbg.fork("arrivals"))
+            self._chain_arrival()
+        # arrivals stop at the window's end, so the queue always drains:
+        # in-flight handshakes complete past the boundary, then the loop
+        # goes idle (no budget cap — 1M handshakes is ~4M events)
+        self.loop.run(max_events=1 << 62)
+
+    def _chain_arrival(self) -> None:
+        at = self._arrivals.next_time()
+        if at is not None:
+            self.loop.schedule(at - self.loop.now, self._open_arrival)
+
+    def _open_arrival(self) -> None:
+        self._chain_arrival()
+        self._begin()
+
+    def _start_closed(self) -> None:
+        # clients ramp in uniformly over one think time (10 ms minimum)
+        # so a shard never opens with a synchronized thundering herd
+        ramp = max(self.spec.think, 0.01)
+        stagger = self.drbg.fork("stagger")
+        start = self.window.start
+        for _ in range(self.spec.clients):
+            self.loop.schedule(start + stagger.random() * ramp, self._begin)
+
+    # -- per-handshake hot path (4 events, zero per-handshake objects) -------
+    def _begin(self) -> None:
+        self.offered += 1
+        if self.in_flight >= self.config.max_in_flight:
+            self.dropped += 1
+            return
+        channels = self.channels
+        channel = (channels[0] if self._pick is None
+                   else channels[self._pick.randint_below(len(channels))])
+        pool = self.pool
+        conn = pool.pop() if pool else _Conn()
+        conn.channel = channel
+        self.in_flight += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+        self.loop.schedule(channel.profile.a_enqueue,
+                           partial(self._enqueue_a, conn))
+
+    def _enqueue_a(self, conn: _Conn) -> None:
+        now = self.loop.now
+        profile = conn.channel.profile
+        start, end = self.server.acquire(now, profile.burst_a)
+        conn.wait_a = start - now
+        self.loop.schedule(end + profile.b_gap - now,
+                           partial(self._enqueue_b, conn))
+
+    def _enqueue_b(self, conn: _Conn) -> None:
+        now = self.loop.now
+        channel = conn.channel
+        profile = channel.profile
+        start, end = self.server.acquire(now, profile.burst_b)
+        wait_a = conn.wait_a
+        wait_b = start - now
+        # wait_a shifts the whole server flight, so it lands in part A and
+        # everything downstream; wait_b happens after the client's
+        # Finished is already on the wire, so only TTFB sees it
+        channel.part_a(profile.part_a + wait_a)
+        channel.part_b(profile.part_b)
+        channel.total(profile.total + wait_a)
+        channel.ttfb(profile.ttfb + wait_a + wait_b)
+        channel.wait(wait_a + wait_b)
+        channel.completed += 1
+        self.loop.schedule(end + profile.resp_transit - now,
+                           partial(self._finish, conn))
+
+    def _finish(self, conn: _Conn) -> None:
+        self.in_flight -= 1
+        self.completed += 1
+        conn.channel = None
+        pool = self.pool
+        pool.append(conn)
+        if len(pool) > self.pool_peak:
+            self.pool_peak = len(pool)
+        if self.spec.closed:
+            think = self.spec.think
+            if self.loop.now + think < self.window.end:
+                self.loop.schedule(think, self._begin)
+        if self._beat and not (self.completed & _HEARTBEAT_MASK):
+            self._heartbeat()
+
+    # -- observation ---------------------------------------------------------
+    def _heartbeat(self) -> None:
+        now = walltime()
+        elapsed = now - self._beat_t
+        if elapsed < self._beat_seconds:
+            return
+        done = self.completed
+        self._recorder.heartbeat(
+            in_flight=self.in_flight, completed=done,
+            hps=(done - self._beat_done) / elapsed if elapsed > 0 else None,
+            rss=rss_bytes(), shard=self.window.index,
+            sim_t=round(self.loop.now, 3))
+        self._beat_t = now
+        self._beat_done = done
+
+    def finalize(self, metrics) -> dict:
+        """Flush shard counters into the registry, return the aggregates."""
+        metrics.inc("traffic.offered", self.offered)
+        metrics.inc("traffic.completed", self.completed)
+        metrics.inc("traffic.dropped", self.dropped)
+        metrics.inc("traffic.shards")
+        metrics.inc("traffic.server.busy_s", self.server.busy_seconds)
+        for channel in self.channels:
+            metrics.inc(channel.prefix + "completed", channel.completed)
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "peak_in_flight": self.peak_in_flight,
+            "busy_seconds": self.server.busy_seconds,
+            "pool_peak": self.pool_peak,
+        }
+
+
+def _run_shard(config: TrafficConfig, index: int, metrics,
+               recorder=NULL_RECORDER,
+               heartbeat_seconds: float = HEARTBEAT_SECONDS) -> dict:
+    """Run one shard into ``metrics`` (a fresh per-shard registry)."""
+    window = shard_windows(config)[index]
+    engine = _ShardEngine(config, window, metrics, recorder=recorder,
+                          heartbeat_seconds=heartbeat_seconds)
+    engine.run()
+    return engine.finalize(metrics)
+
+
+def _shard_task(payload: tuple[TrafficConfig, int]) -> tuple[dict, dict]:
+    """Worker entry point: one shard -> (metrics snapshot, aggregates)."""
+    config, index = payload
+    metrics = Metrics()
+    shard = _run_shard(config, index, metrics)
+    return metrics.snapshot(), shard
+
+
+def run_traffic(config: TrafficConfig, *, jobs: int | None = 1,
+                metrics=NULL_METRICS, recorder=NULL_RECORDER,
+                heartbeat_seconds: float = HEARTBEAT_SECONDS
+                ) -> TrafficSummary:
+    """Run the full arrival timeline, sharded over ``jobs`` workers.
+
+    The merged content of ``metrics`` — and therefore any exported
+    snapshot — is byte-identical at any ``jobs``: both paths run the
+    same per-shard task against a fresh registry and merge the snapshots
+    in shard-index order; only wall-clock time changes. ``recorder``
+    observes (shard progress, heartbeats) and never alters results.
+    """
+    parse_arrival(config.arrival, config.duration)  # fail fast on bad specs
+    for kem, sig in config.pairs:
+        handshake_profile(kem, sig, scenario=config.scenario,
+                          policy=config.policy, seed=config.seed)
+    windows = shard_windows(config)
+    jobs = executor.resolve_jobs(jobs)
+    flight = recorder.enabled
+    started = walltime() if flight else 0.0
+    if flight:
+        recorder.event("traffic_begin", key=config.key, shards=len(windows),
+                       jobs=jobs)
+
+    if jobs == 1 or len(windows) == 1:
+        results = []
+        for window in windows:
+            shard_metrics = Metrics()
+            shard = _run_shard(config, window.index, shard_metrics,
+                               recorder=recorder,
+                               heartbeat_seconds=heartbeat_seconds)
+            results.append((shard_metrics.snapshot(), shard))
+            if flight:
+                recorder.event("shard_finish", shard=window.index,
+                               mode="serial", **shard)
+    else:
+        payloads = [(config, window.index) for window in windows]
+        on_complete = _leader_progress(recorder, started) if flight else None
+        results = executor.run_sharded(_shard_task, payloads, jobs=jobs,
+                                       on_complete=on_complete)
+
+    offered = completed = dropped = peak = pool_peak = 0
+    busy = 0.0
+    for snapshot, shard in results:
+        metrics.merge_snapshot(snapshot)
+        offered += shard["offered"]
+        completed += shard["completed"]
+        dropped += shard["dropped"]
+        busy += shard["busy_seconds"]
+        peak = max(peak, shard["peak_in_flight"])
+        pool_peak = max(pool_peak, shard["pool_peak"])
+    summary = TrafficSummary(
+        config=config, jobs=jobs, shards=len(windows), offered=offered,
+        completed=completed, dropped=dropped, peak_in_flight=peak,
+        busy_seconds=busy, pool_peak=pool_peak)
+    if flight:
+        recorder.event("traffic_end", offered=offered, completed=completed,
+                       dropped=dropped, shards=len(windows),
+                       host_seconds=round(walltime() - started, 6))
+    return summary
+
+
+def _leader_progress(recorder, started: float):
+    """Per-shard-completion observer for the parallel path (leader side)."""
+    progress = {"shards": 0, "completed": 0}
+
+    def on_complete(index: int, result) -> None:
+        _, shard = result
+        progress["shards"] += 1
+        progress["completed"] += shard["completed"]
+        recorder.event("shard_finish", shard=index, mode="worker", **shard)
+        elapsed = walltime() - started
+        recorder.heartbeat(
+            completed=progress["completed"],
+            hps=progress["completed"] / elapsed if elapsed > 0 else None,
+            rss=rss_bytes(), shards_done=progress["shards"])
+
+    return on_complete

@@ -382,3 +382,50 @@ def test_traced_first_experiment_identical_serial_and_parallel(tmp_path,
     assert parallel_tracer.spans == serial_tracer.spans
     assert parallel_tracer.instants == serial_tracer.instants
     assert parallel_tracer.counters == serial_tracer.counters
+
+
+# -- generic shard fan-out ---------------------------------------------------
+
+def _triple(payload):
+    return payload * 3
+
+
+def _explode_on_two(payload):
+    if payload == 2:
+        raise ValueError("shard 2 is cursed")
+    return payload
+
+
+def test_run_sharded_serial_preserves_payload_order():
+    seen = []
+    results = executor.run_sharded(
+        _triple, [5, 1, 4], jobs=1,
+        on_complete=lambda index, result: seen.append((index, result)))
+    assert results == [15, 3, 12]
+    assert seen == [(0, 15), (1, 3), (2, 12)]  # serial: completion == order
+
+
+def test_run_sharded_parallel_equals_serial(multicore):
+    payloads = list(range(6))
+    serial = executor.run_sharded(_triple, payloads, jobs=1)
+    seen = []
+    parallel = executor.run_sharded(
+        _triple, payloads, jobs=3,
+        on_complete=lambda index, result: seen.append((index, result)))
+    # results come back in payload order whatever order workers finish in
+    assert parallel == serial == [p * 3 for p in payloads]
+    assert sorted(seen) == [(i, i * 3) for i in payloads]
+
+
+def test_run_sharded_single_payload_skips_the_pool(multicore, monkeypatch):
+    class PoolBomb:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("a single payload must run inline")
+
+    monkeypatch.setattr(executor, "ProcessPoolExecutor", PoolBomb)
+    assert executor.run_sharded(_triple, [7], jobs=4) == [21]
+
+
+def test_run_sharded_propagates_worker_exceptions(multicore):
+    with pytest.raises(ValueError, match="shard 2 is cursed"):
+        executor.run_sharded(_explode_on_two, [0, 1, 2, 3], jobs=2)

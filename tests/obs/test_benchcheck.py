@@ -273,3 +273,15 @@ def test_fallback_baseline_cleanly_skips_against_multicore_fresh(tmp_path,
     assert main(write_pair(tmp_path, baseline, fresh)) == 0
     err = capsys.readouterr().err
     assert "missing in baseline" in err and "no regressions" in err
+
+
+def test_rss_probes_report_plausible_linux_numbers():
+    from repro.obs.hostmeta import peak_rss_bytes, rss_bytes
+
+    rss = rss_bytes()
+    peak = peak_rss_bytes()
+    # both probes may be None off-Linux; here they must agree on sanity
+    if rss is not None:
+        assert 1 << 20 < rss < 1 << 40       # between 1 MB and 1 TB
+    if rss is not None and peak is not None:
+        assert peak >= rss // 2              # peak tracks the high-water mark

@@ -90,3 +90,27 @@ def test_null_recorder_is_inert():
     with NULL_RECORDER:
         pass
     assert NULL_RECORDER.events == ()
+
+
+def test_heartbeat_rounds_and_renames_units():
+    recorder = FlightRecorder()
+    recorder.heartbeat(in_flight=37, completed=2048, hps=41234.567,
+                      rss=96 * 1048576, shard=3)
+    beat = recorder.events[-1]
+    assert beat["event"] == "heartbeat"
+    assert beat["in_flight"] == 37
+    assert beat["completed"] == 2048
+    assert beat["hps"] == 41234.6           # one decimal is plenty
+    assert beat["rss_mb"] == 96.0           # bytes in, MB in the log
+    assert beat["shard"] == 3
+
+
+def test_heartbeat_omits_what_the_emitter_cannot_observe():
+    recorder = FlightRecorder()
+    recorder.heartbeat(completed=10)        # no rss/hps/in_flight available
+    beat = recorder.events[-1]
+    assert beat["completed"] == 10
+    for absent in ("in_flight", "hps", "rss_mb"):
+        assert absent not in beat
+    NULL_RECORDER.heartbeat(completed=10)   # inert, like every other event
+    assert NULL_RECORDER.events == ()

@@ -175,3 +175,56 @@ def test_reservoir_state_round_trip():
 def test_reservoir_rejects_bad_k():
     with pytest.raises(ValueError):
         ReservoirSample(k=0)
+
+
+# -- traffic-scale shard merges ----------------------------------------------
+# The traffic engine streams ~1M latencies through per-shard sketches and
+# merges them on the leader; these tests pin the contract at that scale.
+
+def test_sketch_three_way_shard_merge_at_traffic_scale():
+    values = synthetic_latencies(100_000)
+    single = QuantileSketch()
+    for v in values:
+        single.add(v)
+
+    shards = []
+    for i in range(3):                      # contiguous time-slices
+        shard = QuantileSketch()
+        for v in values[i * 40_000:(i + 1) * 40_000]:
+            shard.add(v)
+        shards.append(shard)
+    merged = QuantileSketch()
+    for shard in shards:
+        merged.merge(shard)
+
+    # sharding must be invisible: identical state, not just close numbers
+    assert merged.state() == single.state()
+    assert merged.count == 100_000
+    for q in (0.5, 0.9, 0.99, 0.999):
+        exact = exact_quantile(values, q)
+        assert merged.quantile(q) == pytest.approx(
+            exact, rel=DEFAULT_RELATIVE_ACCURACY)  # <= 1% by construction
+
+
+def test_reservoir_shard_merge_order_is_invisible_at_traffic_scale():
+    shards = []
+    base = 0
+    for worker in range(4):
+        shard = ReservoirSample()
+        values = synthetic_latencies(25_000, worker=worker)
+        for offset, v in enumerate(values):
+            shard.add(base + offset, v)     # global observation indices
+        base += len(values)
+        shards.append(shard)
+
+    def merge_in(order):
+        merged = ReservoirSample()
+        for i in order:
+            merged.merge(shards[i])
+        return merged
+
+    forward = merge_in([0, 1, 2, 3])
+    scrambled = merge_in([2, 0, 3, 1])
+    assert forward.state() == scrambled.state()
+    assert forward.values() == scrambled.values()
+    assert len(forward.values()) == forward.k

@@ -1,0 +1,115 @@
+"""Arrival models: spec parsing, thinning correctness, determinism."""
+
+import pytest
+
+from repro.crypto.drbg import Drbg
+from repro.traffic.arrivals import (
+    ClosedSpec,
+    DiurnalSpec,
+    FlashSpec,
+    PoissonSpec,
+    Window,
+    open_arrivals,
+    parse_arrival,
+)
+
+
+def _drain(spec, window, label="arrivals"):
+    arrivals = open_arrivals(spec, window, Drbg("test").fork(label))
+    times = []
+    while (t := arrivals.next_time()) is not None:
+        times.append(t)
+    return times
+
+
+# -- parsing -----------------------------------------------------------------
+
+def test_parse_poisson():
+    spec = parse_arrival("poisson:1000/s", duration=60.0)
+    assert spec == PoissonSpec(rate=1000.0)
+    assert parse_arrival("poisson:250", 1.0).rate == 250.0  # /s optional
+
+
+def test_parse_diurnal_defaults_period_to_duration():
+    spec = parse_arrival("diurnal:100/s", duration=120.0)
+    assert spec == DiurnalSpec(rate=100.0, amplitude=0.5, period=120.0)
+    spec = parse_arrival("diurnal:100/s,amp=0.9,period=10", duration=120.0)
+    assert spec.amplitude == 0.9 and spec.period == 10.0
+    assert spec.peak_rate == pytest.approx(190.0)
+
+
+def test_parse_flash_defaults_derive_from_duration():
+    spec = parse_arrival("flash:200/s", duration=100.0)
+    assert spec == FlashSpec(rate=200.0, peak=2000.0, at=50.0, width=10.0)
+    spec = parse_arrival("flash:200/s,peak=500/s,at=5,width=2", duration=100.0)
+    assert spec == FlashSpec(rate=200.0, peak=500.0, at=5.0, width=2.0)
+
+
+def test_parse_closed():
+    assert parse_arrival("closed:500", 1.0) == ClosedSpec(clients=500)
+    assert parse_arrival("closed:8,think=0.25", 1.0) == ClosedSpec(
+        clients=8, think=0.25)
+
+
+@pytest.mark.parametrize("bad", [
+    "poisson",                     # no rate
+    "poisson:zero/s",              # non-numeric rate
+    "poisson:-5/s",                # non-positive rate
+    "poisson:100/s,burst=2",       # unknown option
+    "diurnal:100/s,amp=1.5",       # amplitude out of [0, 1)
+    "diurnal:100/s,period=0",      # non-positive period
+    "flash:100/s,width=-1",        # non-positive width
+    "flash:100/s,peak",            # option without '='
+    "closed:0",                    # no clients
+    "closed:4,think=-1",           # negative think
+    "pareto:100/s",                # unknown kind
+])
+def test_parse_rejects_bad_specs(bad):
+    with pytest.raises(ValueError):
+        parse_arrival(bad, duration=60.0)
+
+
+def test_open_arrivals_rejects_closed_spec():
+    with pytest.raises(ValueError):
+        open_arrivals(ClosedSpec(clients=4), Window(0, 0.0, 1.0), Drbg("t"))
+
+
+# -- the thinned processes ---------------------------------------------------
+
+def test_poisson_count_near_rate_times_duration():
+    times = _drain(PoissonSpec(rate=1000.0), Window(0, 0.0, 4.0))
+    # mean 4000, sd ~63: a 6-sigma band that still catches rate bugs
+    assert 3600 < len(times) < 4400
+
+
+def test_arrivals_are_strictly_inside_the_window_and_ordered():
+    window = Window(2, 3.0, 4.5)
+    times = _drain(DiurnalSpec(rate=800.0, amplitude=0.9, period=2.0), window)
+    assert times == sorted(times)
+    assert all(window.start <= t < window.end for t in times)
+
+
+def test_same_seed_same_timeline_different_fork_differs():
+    spec = PoissonSpec(rate=500.0)
+    window = Window(0, 0.0, 2.0)
+    assert _drain(spec, window, "a") == _drain(spec, window, "a")
+    assert _drain(spec, window, "a") != _drain(spec, window, "b")
+
+
+def test_flash_burst_is_denser_than_baseline():
+    spec = FlashSpec(rate=100.0, peak=1000.0, at=1.0, width=1.0)
+    times = _drain(spec, Window(0, 0.0, 3.0))
+    burst = sum(1 for t in times if 1.0 <= t < 2.0)
+    outside = len(times) - burst
+    # ~1000 in-burst vs ~200 outside; 2x the off-burst *total* is a
+    # comfortable margin for a 10x rate step
+    assert burst > 2 * outside
+
+
+def test_thinning_skips_candidates_without_shifting_later_draws():
+    # at amp -> 0 the diurnal process degenerates to homogeneous Poisson;
+    # both consume (gap, accept) per candidate, so the timelines coincide
+    flat = _drain(PoissonSpec(rate=300.0), Window(0, 0.0, 2.0))
+    nearly_flat = _drain(DiurnalSpec(rate=300.0, amplitude=0.0, period=1.0),
+                         Window(0, 0.0, 2.0))
+    assert flat == nearly_flat

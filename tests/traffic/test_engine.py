@@ -1,0 +1,208 @@
+"""The traffic engine: queueing semantics, sharding, --jobs bit-identity."""
+
+import json
+
+import pytest
+
+from repro.core import executor
+from repro.obs.metrics import Metrics
+from repro.obs.recorder import FlightRecorder
+from repro.traffic.engine import (
+    TrafficConfig,
+    metric_key,
+    run_traffic,
+    shard_windows,
+)
+from repro.traffic.profile import handshake_profile
+
+PAIR = ("kyber512", "dilithium2")
+PREFIX = "traffic.kyber512.dilithium2."
+
+
+@pytest.fixture
+def multicore(monkeypatch):
+    """Pretend the host has 4 cores so jobs > 1 exercises the pool."""
+    monkeypatch.setattr(executor.os, "cpu_count", lambda: 4)
+
+
+def _run(metrics=None, **overrides):
+    config = TrafficConfig(pairs=(PAIR,), **overrides)
+    metrics = Metrics() if metrics is None else metrics
+    summary = run_traffic(config, metrics=metrics)
+    return metrics, summary
+
+
+# -- layout ------------------------------------------------------------------
+
+def test_shard_windows_partition_the_timeline():
+    windows = shard_windows(TrafficConfig(duration=10.0, shard_seconds=3.0))
+    assert [w.index for w in windows] == [0, 1, 2, 3]
+    assert windows[0].start == 0.0
+    assert all(a.end == b.start for a, b in zip(windows, windows[1:]))
+    assert windows[-1].end == 10.0          # last window absorbs the remainder
+    assert len(shard_windows(TrafficConfig(duration=6.0,
+                                           shard_seconds=3.0))) == 2
+    assert len(shard_windows(TrafficConfig(duration=2.0,
+                                           shard_seconds=60.0))) == 1
+
+
+@pytest.mark.parametrize("overrides", [
+    {"duration": 0.0},
+    {"shard_seconds": 0.0},
+    {"arrival": "pareto:100/s"},
+])
+def test_run_traffic_rejects_bad_configs(overrides):
+    with pytest.raises(ValueError):
+        run_traffic(TrafficConfig(**overrides))
+
+
+def test_metric_key_sanitizes_names():
+    assert metric_key("Kyber-512") == "kyber_512"
+    assert metric_key("rsa:2048") == "rsa_2048"
+
+
+# -- queueing semantics ------------------------------------------------------
+
+def test_uncontended_run_reproduces_the_calibrated_baseline():
+    profile = handshake_profile(*PAIR)
+    metrics, summary = _run(arrival="poisson:20/s", duration=2.0)
+    total = metrics.histogram(PREFIX + "total")
+    assert total.count == summary.completed > 0
+    # at rho ~2% the median handshake never queues: exact base latency
+    assert total.quantile(0.5) == pytest.approx(profile.total, abs=1e-12)
+    assert total.min == pytest.approx(profile.total, abs=1e-12)
+    # part B is constant under load by design (client Finished processing
+    # happens after the client's flight is already on the wire)
+    part_b = metrics.histogram(PREFIX + "part_b")
+    assert part_b.max - part_b.min < 1e-12
+    assert summary.dropped == 0
+    assert summary.load_factor < 0.1
+
+
+def test_overload_amplifies_the_tail_not_part_b():
+    profile = handshake_profile(*PAIR)
+    metrics, summary = _run(arrival="poisson:2000/s", duration=1.0)
+    assert summary.load_factor > 1.5        # ~2x overload on one core
+    total = metrics.histogram(PREFIX + "total")
+    assert total.quantile(0.99) > 5 * profile.total
+    wait = metrics.histogram(PREFIX + "server_wait")
+    assert wait.max > 0.1                   # backlog grows through the window
+    part_b = metrics.histogram(PREFIX + "part_b")
+    assert part_b.max - part_b.min < 1e-12
+
+
+def test_more_server_cores_shrink_the_tail():
+    _, one = _run(arrival="poisson:1500/s", duration=1.0, server_cores=1)
+    metrics4, four = _run(arrival="poisson:1500/s", duration=1.0,
+                          server_cores=4)
+    assert one.load_factor > 1.0
+    assert four.load_factor < 0.6
+    wait = metrics4.histogram(PREFIX + "server_wait")
+    assert wait.quantile(0.99) < 0.01       # queueing nearly vanishes
+
+
+def test_admission_cap_drops_and_accounts_for_overflow():
+    _, summary = _run(arrival="poisson:3000/s", duration=1.0,
+                      max_in_flight=50)
+    assert summary.dropped > 0
+    assert summary.offered == summary.completed + summary.dropped
+    assert summary.peak_in_flight <= 50
+
+
+def test_closed_loop_bounds_in_flight_by_the_client_count():
+    _, summary = _run(arrival="closed:25,think=0.001", duration=1.0)
+    assert summary.peak_in_flight <= 25
+    assert summary.completed > 25           # clients cycle many times
+    assert summary.dropped == 0
+    # the connection pool is bounded by concurrency, not completions
+    assert summary.pool_peak <= 25
+
+
+def test_pair_mix_observes_every_pair():
+    config = TrafficConfig(arrival="poisson:400/s", duration=1.0,
+                           pairs=(PAIR, ("kyber512", "falcon512")))
+    metrics = Metrics()
+    summary = run_traffic(config, metrics=metrics)
+    counts = [metrics.histogram(
+        f"traffic.{metric_key(k)}.{metric_key(s)}.total").count
+        for k, s in config.pairs]
+    assert all(c > 0 for c in counts)
+    assert sum(counts) == summary.completed
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["traffic.completed"] == summary.completed
+
+
+# -- determinism / sharding --------------------------------------------------
+
+def test_sharding_is_invisible_to_results_offered_wise():
+    # shard boundaries change which DRBG generates which arrival, so the
+    # exact timelines differ — but the process statistics must not drift
+    _, whole = _run(arrival="poisson:1000/s", duration=2.0,
+                    shard_seconds=2.0)
+    _, split = _run(arrival="poisson:1000/s", duration=2.0,
+                    shard_seconds=0.5)
+    assert split.shards == 4 and whole.shards == 1
+    assert abs(split.offered - whole.offered) < 6 * 45  # 6 sigma at n=2000
+
+
+def test_jobs_bit_identity(multicore):
+    config = TrafficConfig(arrival="poisson:500/s", duration=1.5,
+                           pairs=(PAIR,), shard_seconds=0.5)
+    serial, parallel = Metrics(), Metrics()
+    s1 = run_traffic(config, jobs=1, metrics=serial)
+    s3 = run_traffic(config, jobs=3, metrics=parallel)
+    assert (json.dumps(serial.snapshot(), sort_keys=True)
+            == json.dumps(parallel.snapshot(), sort_keys=True))
+    assert s1.jobs == 1 and s3.jobs == 3
+    assert (s1.offered, s1.completed, s1.dropped) \
+        == (s3.offered, s3.completed, s3.dropped)
+    assert s1.busy_seconds == pytest.approx(s3.busy_seconds, abs=1e-12)
+
+
+def test_run_is_reproducible_and_seed_sensitive():
+    a, _ = _run(arrival="poisson:300/s", duration=1.0)
+    b, _ = _run(arrival="poisson:300/s", duration=1.0)
+    c, _ = _run(arrival="poisson:300/s", duration=1.0, seed="other")
+    dumps = [json.dumps(m.snapshot(), sort_keys=True) for m in (a, b, c)]
+    assert dumps[0] == dumps[1]
+    assert dumps[0] != dumps[2]
+
+
+# -- constant memory ---------------------------------------------------------
+
+def test_memory_is_flat_in_the_handshake_count():
+    # past the retention window histograms spill to sketch + reservoir;
+    # sample lists stay capped no matter how many handshakes stream in
+    metrics = Metrics(retention=256)
+    _, summary = _run(arrival="poisson:2000/s", duration=1.0,
+                      metrics=metrics)
+    total = metrics.histogram(PREFIX + "total")
+    assert summary.completed > 1000
+    assert total.count == summary.completed
+    assert total.spilled
+    assert len(total.samples) == 0          # raw samples were released
+    assert total.quantile(0.5) > 0
+
+
+# -- observation -------------------------------------------------------------
+
+def test_flight_recorder_sees_heartbeats_and_shard_finishes():
+    recorder = FlightRecorder()
+    config = TrafficConfig(arrival="poisson:3000/s", duration=1.0,
+                           pairs=(PAIR,), shard_seconds=0.5)
+    run_traffic(config, metrics=Metrics(), recorder=recorder,
+                heartbeat_seconds=0.0)
+    kinds = [e["event"] for e in recorder.events]
+    assert kinds[0] == "traffic_begin"
+    assert kinds[-1] == "traffic_end"
+    assert kinds.count("shard_finish") == 2
+    beats = [e for e in recorder.events if e["event"] == "heartbeat"]
+    # heartbeat_seconds=0 emits on every 1024-completion check
+    assert beats
+    for beat in beats:
+        assert beat["completed"] > 0
+        assert "in_flight" in beat and "sim_t" in beat
+        assert beat.get("rss_mb") is None or beat["rss_mb"] > 0
+    finish = next(e for e in recorder.events if e["event"] == "shard_finish")
+    assert finish["mode"] == "serial"
+    assert finish["completed"] > 0
