@@ -77,13 +77,16 @@ class WireSizeChecker(Checker):
         "WIRE002": "registered algorithm missing from the embedded spec table",
         "WIRE003": "hybrid/composite size is not the sum of its components",
         "WIRE004": "registry not importable for auditing",
+        "WIRE005": "session-scenario wire delta differs from the live encoders",
     }
     scope = "project"
 
-    def __init__(self, kem_table: dict | None = None, sig_table: dict | None = None):
+    def __init__(self, kem_table: dict | None = None, sig_table: dict | None = None,
+                 session_deltas: dict | None = None):
         # injectable tables let the self-tests prove a mismatch is caught
         self._kem_table = KEM_SPEC_SIZES if kem_table is None else kem_table
         self._sig_table = SIG_SPEC_SIZES if sig_table is None else sig_table
+        self._session_deltas = session_deltas  # None = the module's declared set
 
     def check_project(self, ctxs: list[FileContext],
                       engine=None) -> Iterator[Finding]:
@@ -142,6 +145,38 @@ class WireSizeChecker(Checker):
                 if declared != expected:
                     yield self._mismatch("WIRE001", sig, name, declared, expected,
                                          ("pk", "sig"), project_root)
+
+        yield from self._check_session_deltas(ctxs)
+
+    def _check_session_deltas(self, ctxs: list[FileContext]) -> Iterator[Finding]:
+        """WIRE005: the resumption wire-delta constants the tests and the
+        per-scenario byte accounting rely on must match what the live
+        ClientHello/ServerHello encoders actually emit."""
+        anchor = next((ctx for ctx in ctxs
+                       if ctx.relpath.endswith("repro/tls/scenarios.py")), None)
+        if anchor is None:
+            return
+        from repro.tls import scenarios
+        declared = (self._session_deltas if self._session_deltas is not None
+                    else scenarios.declared_wire_deltas())
+        computed = scenarios.computed_wire_deltas()
+        for key in sorted(set(declared) | set(computed)):
+            got, want = declared.get(key), computed.get(key)
+            if got != want:
+                yield Finding(
+                    code="WIRE005",
+                    message=f"{key}: declared {got}B but the live hello "
+                            f"encoders emit a {want}B delta; the per-scenario "
+                            "byte accounting (and its tests) would drift",
+                    path=anchor.relpath, line=1, checker=self.name)
+        for name in ("full", "resume", "mtls", "hrr"):
+            if name not in scenarios.SESSION_SCENARIOS:
+                yield Finding(
+                    code="WIRE005",
+                    message=f"session scenario {name!r} missing from "
+                            "SESSION_SCENARIOS; the lifecycle sweep and the "
+                            "--scenario combos expect all four shapes",
+                    path=anchor.relpath, line=1, checker=self.name)
 
     # -- helpers -------------------------------------------------------------
     @staticmethod

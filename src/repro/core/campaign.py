@@ -22,6 +22,24 @@ SCENARIO_ORDER = ["none", "high-loss", "low-bandwidth", "high-delay", "lte-m", "
 
 SPHINCS_VARIANTS = ["sphincs128", "sphincs192", "sphincs256", "sphincs-shake-128f"]
 
+# session-lifecycle sweep: every handshake shape over a classical
+# baseline and the paper's level-1/level-3 primary PQ pairs
+SESSION_ORDER = ["full", "resume", "mtls", "hrr"]
+LIFECYCLE_PAIRS = [
+    ("x25519", "rsa:2048"),
+    ("kyber512", "dilithium2"),
+    ("kyber768", "dilithium3"),
+]
+
+
+def lifecycle() -> list[ExperimentConfig]:
+    """Each session shape for each lifecycle pair (scenario ``none``)."""
+    return [
+        ExperimentConfig(kem=kem, sig=sig, session=session)
+        for session in SESSION_ORDER
+        for kem, sig in LIFECYCLE_PAIRS
+    ]
+
 
 def all_kem(scenario: str = "none", policy: str = "optimized") -> list[ExperimentConfig]:
     return [
@@ -106,6 +124,7 @@ EXPERIMENT_SETS = {
     "level5-perf": lambda: level(5, perf=True),
     "all-sphincs": all_sphincs,
     "table3-perf": table3_perf,
+    "lifecycle": lifecycle,
 }
 
 

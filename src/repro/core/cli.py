@@ -19,7 +19,8 @@ from repro.core import campaign, evaluate, report
 from repro.core.analysis import deviations_for_levels
 from repro.core.experiment import ExperimentConfig, run_experiment
 from repro.faults.plan import FAULT_PLANS, resolve_fault_plan
-from repro.netsim.netem import SCENARIOS
+from repro.netsim.netem import SCENARIOS, split_scenario
+from repro.tls.scenarios import SESSION_SCENARIOS
 from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics_json
 from repro.obs.flame import write_flame_svg
 from repro.obs.metrics import NULL_METRICS, Metrics
@@ -104,15 +105,19 @@ def evaluate_artifact(name: str, outdir: Path, jobs: int | None = 1,
 
 def run_single(args, metrics) -> None:
     """Run (and optionally trace) one experiment named by --kem/--sig."""
-    config = ExperimentConfig(kem=args.kem, sig=args.sig, scenario=args.scenario,
+    netem_name, session_name = split_scenario(args.scenario)
+    config = ExperimentConfig(kem=args.kem, sig=args.sig, scenario=netem_name,
                               policy=args.policy, profiling=args.profiling,
-                              faults=args.faults)
+                              faults=args.faults, session=session_name)
     tracing = bool(args.trace or args.trace_jsonl or args.flame)
     tracer = Tracer() if tracing else NULL_TRACER
     result = run_experiment(config, tracer=tracer, metrics=metrics)
-    print(f"{config.kem} x {config.sig} ({config.scenario}, {config.policy}): "
+    shape = config.scenario if config.session == "full" \
+        else f"{config.scenario}+{config.session}"
+    print(f"{config.kem} x {config.sig} ({shape}, {config.policy}): "
           f"partA {result.part_a_median * 1e3:.2f} ms, "
           f"partB {result.part_b_median * 1e3:.2f} ms, "
+          f"ttfb {result.ttfb_median * 1e3:.2f} ms, "
           f"{result.n_handshakes} handshakes/{config.duration:.0f}s",
           file=sys.stderr)
     outcomes = getattr(result, "outcomes", {})
@@ -152,8 +157,13 @@ def main(argv: list[str] | None = None) -> int:
         "single experiment", "trace or profile one (KA, SA) pair instead of a set")
     single.add_argument("--kem", help="key-agreement algorithm, e.g. kyber512")
     single.add_argument("--sig", help="signature algorithm, e.g. dilithium2")
-    single.add_argument("--scenario", default="none", choices=sorted(SCENARIOS),
-                        help="network emulation scenario (default: none)")
+    single.add_argument("--scenario", default="none", metavar="SPEC",
+                        help="network emulation scenario "
+                             f"({', '.join(sorted(SCENARIOS))}), a session "
+                             f"shape ({', '.join(sorted(SESSION_SCENARIOS))}), "
+                             "or a '+'-joined combo like lte-m+resume "
+                             "(default: none, i.e. full handshakes on an "
+                             "unimpaired link)")
     single.add_argument("--policy", default="optimized",
                         choices=["optimized", "default"],
                         help="OpenSSL buffering policy (default: optimized)")
@@ -202,6 +212,10 @@ def main(argv: list[str] | None = None) -> int:
     if (args.trace or args.trace_jsonl or args.flame) and not single_mode:
         parser.error("--trace/--trace-jsonl/--flame trace a single handshake; "
                      "select it with --kem/--sig")
+    try:
+        split_scenario(args.scenario)
+    except ValueError as exc:
+        parser.error(f"--scenario: {exc}")
     if args.faults != "none":
         if not single_mode:
             parser.error("--faults applies to a single experiment; "

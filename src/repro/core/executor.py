@@ -156,7 +156,8 @@ def schedule(configs: list[ExperimentConfig]) -> list[ExperimentConfig]:
     """
     groups: dict[str, list[ExperimentConfig]] = {}
     for config in configs:
-        key = script_key(config.kem, config.sig, config.policy, config.seed)
+        key = script_key(config.kem, config.sig, config.policy, config.seed,
+                         config.session, config.chain)
         groups.setdefault(key, []).append(config)
     leaders, followers = [], []
     for members in groups.values():
@@ -453,14 +454,15 @@ def run_campaign(configs: list[ExperimentConfig], *, jobs: int | None = 1,
     warm_scripts: set[str] = set()
     for config in ordered:
         script = script_key(config.kem, config.sig, config.policy,
-                            config.seed)
+                            config.seed, config.session, config.chain)
         costs[config.key] = estimated_cost(
             config, cold=script not in warm_scripts)
         warm_scripts.add(script)
     total_cost = sum(costs.values())
     units = batch_units(ordered, costs, batch_seconds, traced_key)
     stats.update(hits=len(resolved), dispatched=len(misses),
-                 distinct_scripts=len({script_key(c.kem, c.sig, c.policy, c.seed)
+                 distinct_scripts=len({script_key(c.kem, c.sig, c.policy, c.seed,
+                                                  c.session, c.chain)
                                        for c in misses}),
                  units=len(units),
                  batched=sum(len(u) for u in units if len(u) > 1))

@@ -48,6 +48,8 @@ class ExperimentConfig:
     faults: str = "none"               # FaultPlan name or key=value spec
     handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT  # per-handshake wall clock
     failure_quota: int = DEFAULT_FAILURE_QUOTA  # failed handshakes tolerated per run
+    session: str = "full"              # handshake shape (repro.tls.scenarios)
+    chain: str = "direct"              # certificate-chain profile (certs.py)
 
     @property
     def key(self) -> str:
@@ -62,6 +64,10 @@ class ExperimentConfig:
             base += f"|hsto={self.handshake_timeout}"
         if self.failure_quota != DEFAULT_FAILURE_QUOTA:
             base += f"|quota={self.failure_quota}"
+        if self.session != "full":
+            base += f"|session={self.session}"
+        if self.chain != "direct":
+            base += f"|chain={self.chain}"
         return base
 
 
@@ -85,6 +91,9 @@ class ExperimentResult:
     # "timeout", "transport-error", "alert.<name>"); read with
     # getattr(result, "outcomes", {}) when old cached pickles may appear
     outcomes: dict = field(default_factory=dict)
+    # connect -> first application byte, per successful handshake; read
+    # with getattr(result, "ttfb_samples", []) against old cached pickles
+    ttfb_samples: list = field(default_factory=list)
 
     @property
     def n_failures(self) -> int:
@@ -103,18 +112,32 @@ class ExperimentResult:
         return statistics.median(self.total_samples)
 
     @property
+    def ttfb_median(self) -> float:
+        samples = getattr(self, "ttfb_samples", [])
+        return statistics.median(samples) if samples else 0.0
+
+    @property
     def handshakes_per_second(self) -> float:
         return self.n_handshakes / self.config.duration
 
 
-def script_key(kem: str, sig: str, policy_value: str, seed: str = "paper") -> str:
+def script_key(kem: str, sig: str, policy_value: str, seed: str = "paper",
+               session: str = "full", chain: str = "direct") -> str:
     """The script-cache key; the executor groups experiments by this to
-    single-flight recording (one script serves every scenario/duration)."""
-    return f"{kem}|{sig}|{policy_value}|{seed}"
+    single-flight recording (one script serves every scenario/duration).
+    Session/chain append only when non-default so pre-lifecycle cache
+    entries stay addressable."""
+    key = f"{kem}|{sig}|{policy_value}|{seed}"
+    if session != "full":
+        key += f"|session={session}"
+    if chain != "direct":
+        key += f"|chain={chain}"
+    return key
 
 
 def load_script(kem: str, sig: str, policy: BufferPolicy,
-                seed: str = "paper") -> HandshakeScript:
+                seed: str = "paper", session: str = "full",
+                chain: str = "direct") -> HandshakeScript:
     """Load a recorded handshake script from the cache, recording on miss.
 
     Recording is single-flighted across processes: under parallel
@@ -122,13 +145,14 @@ def load_script(kem: str, sig: str, policy: BufferPolicy,
     per-key file lock while its peers block on the lock and then load the
     stored script, instead of N workers redoing identical crypto.
     """
-    key = script_key(kem, sig, policy.value, seed)
+    key = script_key(kem, sig, policy.value, seed, session, chain)
     script = cache.load("script", key)
     if script is None:
         with cache.lock("script", key):
             script = cache.load("script", key)
             if script is None:
-                script = record_script(kem, sig, policy, seed=seed)
+                script = record_script(kem, sig, policy, seed=seed,
+                                       session=session, chain=chain)
                 cache.store("script", key, script)
     return script
 
@@ -177,7 +201,8 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
             merge_result_metrics(cached, metrics)
             return cached
     policy = BufferPolicy(config.policy)
-    script = load_script(config.kem, config.sig, policy, config.seed)
+    script = load_script(config.kem, config.sig, policy, config.seed,
+                         config.session, config.chain)
     scenario = SCENARIOS[config.scenario]
     cost_model = CostModel(profiling=config.profiling)
     drbg = Drbg(f"experiment:{config.key}")
@@ -185,7 +210,7 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
     deterministic = scenario.loss == 0.0
     sample_cap = 3 if deterministic else config.max_samples
 
-    part_a, part_b, totals, periods = [], [], [], []
+    part_a, part_b, totals, ttfbs, periods = [], [], [], [], []
     outcomes: dict[str, int] = {}
     first_trace = None
     run_metrics = Metrics()
@@ -227,6 +252,7 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
         part_a.append(trace.part_a)
         part_b.append(trace.part_b)
         totals.append(trace.total)
+        ttfbs.append(trace.ttfb)
         period = trace.wall_end + INTER_HANDSHAKE_GAP
         periods.append(period)
         for lib, seconds in trace.client_cpu.items():
@@ -266,6 +292,7 @@ def run_experiment(config: ExperimentConfig, use_cache: bool = True,
         server_cpu_by_library={k: v / samples_run for k, v in cpu_server.items()},
         metrics=run_metrics.snapshot(),
         outcomes=outcomes,
+        ttfb_samples=ttfbs,
     )
     if metrics.enabled:
         metrics.merge(run_metrics)

@@ -83,6 +83,10 @@ GENERIC_COSTS: dict[str, tuple[float, float, str]] = {
     "record_crypt": (0.008, 0.0000011, "libcrypto"),
     "key_schedule": (0.060, 0.0, "libcrypto"),
     "finished_mac": (0.015, 0.0, "libcrypto"),
+    # session lifecycle: PSK binder HMAC chain (compute or verify) and
+    # NewSessionTicket minting/receipt (HKDF expand + ticket bookkeeping)
+    "psk_binder":     (0.018, 0.0, "libcrypto"),
+    "session_ticket": (0.025, 0.000002, "libssl"),
 }
 
 # per-packet processing (ms), attribution

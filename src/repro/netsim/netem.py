@@ -61,6 +61,36 @@ SCENARIOS = {
 }
 
 
+def split_scenario(spec: str) -> tuple[str, str]:
+    """Parse a combined ``--scenario`` spec into (netem name, session name).
+
+    Accepts a netem scenario (``lte-m``), a session scenario
+    (``resume``), or a ``+``-joined combination (``lte-m+resume``), in
+    either order. Missing components default to ``none`` / ``full``.
+    """
+    from repro.tls.scenarios import SESSION_SCENARIOS
+
+    netem_name, session_name = "none", "full"
+    netem_seen = session_seen = False
+    for part in filter(None, (spec or "").split("+")):
+        if part in SCENARIOS:
+            if netem_seen:
+                raise ValueError(
+                    f"scenario spec {spec!r} names two netem scenarios")
+            netem_name, netem_seen = part, True
+        elif part in SESSION_SCENARIOS:
+            if session_seen:
+                raise ValueError(
+                    f"scenario spec {spec!r} names two session scenarios")
+            session_name, session_seen = part, True
+        else:
+            raise ValueError(
+                f"unknown scenario component {part!r}; netem scenarios: "
+                f"{sorted(SCENARIOS)}, session scenarios: "
+                f"{sorted(SESSION_SCENARIOS)}")
+    return netem_name, session_name
+
+
 class Link:
     """One direction of the emulated path, with an optional passive tap."""
 

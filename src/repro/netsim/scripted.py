@@ -20,10 +20,14 @@ from dataclasses import dataclass
 
 from repro.crypto.drbg import Drbg
 from repro.tls.actions import Compute, Send
-from repro.tls.certs import make_server_credentials
-from repro.tls.client import TlsClient
+from repro.tls.certs import (
+    make_chain_credentials,
+    make_client_credentials,
+    make_server_credentials,
+)
 from repro.tls.records import decode_records
-from repro.tls.server import BufferPolicy, TlsServer
+from repro.tls.scenarios import DEFAULT_SESSION, build_session_endpoints
+from repro.tls.server import BufferPolicy
 
 
 class RecordingError(RuntimeError):
@@ -52,6 +56,10 @@ class HandshakeScript:
     server_milestones: tuple[Milestone, ...]
     client_total_in: int              # bytes the client must consume to finish
     server_total_in: int
+    # session shape and chain profile (defaults keep pre-lifecycle cache
+    # entries loadable; read with getattr for the same reason)
+    session: str = "full"
+    chain: str = "direct"
 
 
 def _record_side(actions) -> tuple:
@@ -95,48 +103,104 @@ def load_credentials(sig_name: str, seed: str = "paper"):
     return creds
 
 
+def load_chain_credentials(sig_name: str, chain: str = "direct",
+                           seed: str = "paper"):
+    """Credentials for one chain profile (direct reuses the legacy cache)."""
+    if chain == "direct":
+        return load_credentials(sig_name, seed)
+    from repro import cache
+
+    key = f"{sig_name}|{seed}|chain={chain}"
+    creds = cache.load("creds", key)
+    if creds is None:
+        with cache.lock("creds", key):
+            creds = cache.load("creds", key)
+            if creds is None:
+                creds = make_chain_credentials(
+                    sig_name, Drbg(f"creds:{sig_name}:{seed}:chain={chain}"),
+                    chain=chain)
+                cache.store("creds", key, creds)
+    return creds
+
+
+def load_client_credentials(sig_name: str, seed: str = "paper"):
+    """Client chain + key + server-side trust store for mutual TLS."""
+    from repro import cache
+
+    key = f"{sig_name}|{seed}|client"
+    creds = cache.load("creds", key)
+    if creds is None:
+        with cache.lock("creds", key):
+            creds = cache.load("creds", key)
+            if creds is None:
+                creds = make_client_credentials(
+                    sig_name, Drbg(f"creds:{sig_name}:{seed}:client"))
+                cache.store("creds", key, creds)
+    return creds
+
+
 def record_script(kem_name: str, sig_name: str,
                   policy: BufferPolicy = BufferPolicy.OPTIMIZED,
-                  seed: str = "paper") -> HandshakeScript:
-    """Run one real handshake in lockstep and capture both endpoint scripts."""
-    drbg = Drbg(f"script:{kem_name}:{sig_name}:{policy.value}:{seed}")
-    cert, sk, store = load_credentials(sig_name, seed)
-    client = TlsClient(kem_name, sig_name, store, drbg.fork("client"))
-    server = TlsServer(kem_name, sig_name, cert, sk, drbg.fork("server"),
-                       policy=policy)
+                  seed: str = "paper", session: str = DEFAULT_SESSION,
+                  chain: str = "direct") -> HandshakeScript:
+    """Run one real handshake in lockstep and capture both endpoint scripts.
+
+    *session* selects the handshake shape (full / resume / mtls / hrr, see
+    :mod:`repro.tls.scenarios`); *chain* the server's certificate-chain
+    profile. Defaults reproduce the pre-lifecycle recordings bit-exactly
+    (same DRBG label, same fork structure).
+    """
+    label = f"script:{kem_name}:{sig_name}:{policy.value}:{seed}"
+    if session != DEFAULT_SESSION:
+        label += f":{session}"
+    if chain != "direct":
+        label += f":chain={chain}"
+    drbg = Drbg(label)
+    cert, sk, store = load_chain_credentials(sig_name, chain, seed)
+    client_credentials = None
+    if session == "mtls":
+        client_credentials = load_client_credentials(sig_name, seed)
+    client, server = build_session_endpoints(
+        session, kem_name, sig_name, cert, sk, store, drbg,
+        policy=policy, client_credentials=client_credentials)
 
     client_milestones: list[Milestone] = []
     server_milestones: list[Milestone] = []
 
     start_actions = client.start()
     client_milestones.append(Milestone(0, _record_side(start_actions)))
-    client_out = b"".join(a.data for a in start_actions if isinstance(a, Send))
+    to_server = b"".join(a.data for a in start_actions if isinstance(a, Send))
+    to_client = b""
 
-    # feed the server record-by-record (a sans-io endpoint can only act on
-    # complete records, so record boundaries are the exact trigger points)
-    server_in = 0
-    server_out = b""
-    for record in _split_record_boundaries(client_out):
-        server_in += len(record)
-        actions = server.receive(record)
-        if actions:
-            server_milestones.append(Milestone(server_in, _record_side(actions)))
-            server_out += b"".join(a.data for a in actions if isinstance(a, Send))
-
-    client_in = 0
-    client_out2 = b""
-    for record in _split_record_boundaries(server_out):
-        client_in += len(record)
-        actions = client.receive(record)
-        if actions:
-            client_milestones.append(Milestone(client_in, _record_side(actions)))
-            client_out2 += b"".join(a.data for a in actions if isinstance(a, Send))
-
-    for record in _split_record_boundaries(client_out2):
-        server_in += len(record)
-        actions = server.receive(record)
-        if actions:
-            server_milestones.append(Milestone(server_in, _record_side(actions)))
+    # feed each endpoint record-by-record (a sans-io endpoint can only act
+    # on complete records, so record boundaries are the exact trigger
+    # points), alternating directions until the link goes quiet — the
+    # HelloRetryRequest shape needs an extra round trip the fixed
+    # three-pass lockstep of earlier recordings could not express
+    client_in = server_in = 0
+    for _round in range(12):
+        if not to_server and not to_client:
+            break
+        out = b""
+        for record in _split_record_boundaries(to_server):
+            server_in += len(record)
+            actions = server.receive(record)
+            if actions:
+                server_milestones.append(
+                    Milestone(server_in, _record_side(actions)))
+                out += b"".join(a.data for a in actions if isinstance(a, Send))
+        to_server = b""
+        to_client += out
+        out = b""
+        for record in _split_record_boundaries(to_client):
+            client_in += len(record)
+            actions = client.receive(record)
+            if actions:
+                client_milestones.append(
+                    Milestone(client_in, _record_side(actions)))
+                out += b"".join(a.data for a in actions if isinstance(a, Send))
+        to_client = b""
+        to_server = out
 
     if not (client.handshake_complete and server.handshake_complete):
         for endpoint in (client, server):
@@ -154,6 +218,8 @@ def record_script(kem_name: str, sig_name: str,
         server_milestones=tuple(server_milestones),
         client_total_in=client_in,
         server_total_in=server_in,
+        session=session,
+        chain=chain,
     )
 
 

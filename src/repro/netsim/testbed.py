@@ -63,6 +63,22 @@ class HandshakeTrace:
     t_ch: float = 0.0                    # ClientHello on the wire
     t_sh: float = 0.0                    # ServerHello flight starts
     t_fin: float = 0.0                   # client Finished on the wire
+    # connect -> first application byte back at the client: the client
+    # Finished timestamp plus one analytic MSS transit of the response
+    # (read with getattr for pre-lifecycle cached traces)
+    ttfb: float = 0.0
+
+
+# analytic first-response transit: one full MSS segment with TCP/IP/
+# Ethernet framing (matches repro.traffic.profile's transit model)
+_TTFB_MSS = 1448
+_TTFB_HEADER_BYTES = 66
+
+
+def first_byte_transit(scenario: NetemConfig) -> float:
+    """One-way flight time of the first application-data segment."""
+    wire_bits = 8.0 * (_TTFB_MSS + _TTFB_HEADER_BYTES)
+    return scenario.one_way_delay + wire_bits / scenario.rate_bps
 
 
 def _tapped(tap_fn, tracer, direction: str):
@@ -188,8 +204,10 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
         "/".join(r.segment.labels) for r in tap.records
         if r.direction == "s2c" and r.segment.labels
     )
+    ttfb = 0.0
     if outcome.ok:
         t_ch, t_sh, t_fin = tap.phase_times()
+        ttfb = t_fin + first_byte_transit(scenario)
     else:
         t_ch = t_sh = t_fin = 0.0  # no complete handshake: no phase timings
         if tracer.enabled:
@@ -212,6 +230,7 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
             metrics.observe("handshake.part_a", t_sh - t_ch)
             metrics.observe("handshake.part_b", t_fin - t_sh)
             metrics.observe("handshake.total", t_fin - t_ch)
+            metrics.observe("handshake.ttfb", ttfb)
         metrics.inc("wire.c2s.bytes", tap.bytes_in_direction("c2s"))
         metrics.inc("wire.s2c.bytes", tap.bytes_in_direction("s2c"))
         metrics.inc("wire.c2s.packets", tap.packets_in_direction("c2s"))
@@ -233,6 +252,7 @@ def run_simulated_handshake(client_app: App, server_app: App, *,
         t_ch=t_ch,
         t_sh=t_sh,
         t_fin=t_fin,
+        ttfb=ttfb,
     )
 
 
@@ -292,7 +312,9 @@ class Testbed:
                  scenario: NetemConfig | str = "none",
                  policy: BufferPolicy = BufferPolicy.OPTIMIZED,
                  profiling: bool = False,
-                 drbg: Drbg | None = None):
+                 drbg: Drbg | None = None,
+                 session: str = "full",
+                 client_credentials=None):
         self.kem_name = kem_name
         self.sig_name = sig_name
         self._certificate = certificate
@@ -300,6 +322,8 @@ class Testbed:
         self._trust_store = trust_store
         self.scenario = SCENARIOS[scenario] if isinstance(scenario, str) else scenario
         self.policy = policy
+        self.session = session
+        self._client_credentials = client_credentials
         self._cost_model = CostModel(profiling=profiling)
         self._drbg = drbg if drbg is not None else Drbg(
             f"testbed:{kem_name}:{sig_name}:{self.scenario.name}:{policy.value}"
@@ -309,14 +333,17 @@ class Testbed:
     def run_handshake(self, max_sim_seconds: float = 120.0, *,
                       plan: FaultPlan | None = None,
                       tracer=NULL_TRACER, metrics=NULL_METRICS) -> HandshakeTrace:
+        from repro.tls.scenarios import build_session_endpoints
+
         index = self._handshake_index
         self._handshake_index += 1
         tls_drbg = self._drbg.fork(f"tls:{index}")
-        tls_client = TlsClient(self.kem_name, self.sig_name, self._trust_store,
-                               tls_drbg.fork("client"))
-        tls_server = TlsServer(self.kem_name, self.sig_name, self._certificate,
-                               self._server_secret, tls_drbg.fork("server"),
-                               policy=self.policy)
+        # build_session_endpoints forks "client"/"server" exactly like the
+        # pre-lifecycle testbed, so session="full" stays byte-identical
+        tls_client, tls_server = build_session_endpoints(
+            self.session, self.kem_name, self.sig_name, self._certificate,
+            self._server_secret, self._trust_store, tls_drbg,
+            policy=self.policy, client_credentials=self._client_credentials)
         return run_simulated_handshake(  # pqtls: allow[LEAK001] — outcome labels are alert codes, not key material (object-granularity taint over the credential)
             _ClientApp(tls_client), _ServerApp(tls_server),
             scenario=self.scenario,

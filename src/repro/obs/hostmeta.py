@@ -60,6 +60,12 @@ def host_metadata() -> dict:
     }
 
 
+# /proc and the kilobyte ru_maxrss convention below are Linux-specific;
+# on other hosts the probes return None and consumers (flight-recorder
+# heartbeats, bench-check) skip the metric instead of raising.
+_LINUX = sys.platform.startswith("linux")
+
+
 def rss_bytes() -> int | None:
     """Current resident set size of this process, or None off-Linux.
 
@@ -67,16 +73,25 @@ def rss_bytes() -> int | None:
     recorder's heartbeat and the traffic benchmark to show that
     streaming evaluation holds memory flat; purely observational.
     """
+    if not _LINUX:
+        return None
     try:
         with open("/proc/self/statm") as statm:
             pages = int(statm.read().split()[1])
         return pages * os.sysconf("SC_PAGE_SIZE")
-    except (OSError, ValueError, IndexError):
+    except (OSError, ValueError, IndexError, AttributeError):
         return None
 
 
 def peak_rss_bytes(include_children: bool = False) -> int | None:
-    """High-water resident set size (ru_maxrss), or None off-POSIX."""
+    """High-water resident set size (ru_maxrss), or None off-Linux.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS and absent on
+    Windows; rather than guess per-platform scale factors we only report
+    on Linux, matching :func:`rss_bytes`.
+    """
+    if not _LINUX:
+        return None
     try:
         import resource
     except ImportError:

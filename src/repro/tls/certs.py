@@ -3,14 +3,20 @@
 A compact TLV encoding stands in for DER (the paper's sizes are dominated
 by keys and signatures, not ASN.1 overhead; we add a fixed metadata block
 comparable to a typical certificate's name/validity/extension footprint).
-The trust model matches the paper's testbed: the server presents one leaf
-certificate signed by a CA whose certificate the client holds out-of-band,
-so only the leaf travels on the wire.
+The default trust model matches the paper's testbed: the server presents
+one leaf certificate signed by a CA whose certificate the client holds
+out-of-band, so only the leaf travels on the wire.
+
+Real deployments rarely look like that, so :data:`CHAIN_PROFILES` also
+models leaf+intermediate chains and intermediate-CA suppression (the
+client pre-caches the intermediate, as in CDN/"abridged certificates"
+deployments), with :data:`CHAIN_DISTRIBUTIONS` giving weights over the
+profiles in the spirit of the post-quantum TTFB study (PAPERS.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.drbg import Drbg
 from repro.pqc.registry import get_sig
@@ -129,9 +135,16 @@ class CertificateAuthority:
 
 @dataclass(frozen=True)
 class TrustStore:
-    """Client-side roots: issuer name -> (algorithm, public key)."""
+    """Client-side roots (and pre-cached intermediates) by issuer name.
+
+    ``roots`` maps issuer name -> (algorithm, public key). ``cached``
+    holds intermediate CAs the client already knows (intermediate-CA
+    suppression): a chain may terminate at one of them without the
+    intermediate certificate ever travelling on the wire.
+    """
 
     roots: dict
+    cached: dict = field(default_factory=dict)
 
     def verify_chain(self, chain: list[Certificate], expected_subject: str | None = None) -> Certificate:
         """Verify a (leaf-only or leaf..intermediate) chain; return the leaf."""
@@ -147,15 +160,18 @@ class TrustStore:
             if not scheme.verify(issuer_cert.public_key, current.tbs(), current.signature):
                 raise HandshakeFailure(f"bad signature on {current.subject!r}")
             current = issuer_cert
-        root = self.roots.get(current.issuer)
-        if root is None:
+        anchor = self.roots.get(current.issuer)
+        if anchor is None:
+            # suppressed intermediate: validated out-of-band when cached
+            anchor = self.cached.get(current.issuer)
+        if anchor is None:
             raise HandshakeFailure(f"unknown issuer {current.issuer!r}")
-        root_algorithm, root_key = root
-        if root_algorithm != current.issuer_algorithm:
+        anchor_algorithm, anchor_key = anchor
+        if anchor_algorithm != current.issuer_algorithm:
             raise HandshakeFailure("issuer algorithm mismatch")
         scheme = get_sig(current.issuer_algorithm)
-        if not scheme.verify(root_key, current.tbs(), current.signature):
-            raise HandshakeFailure(f"bad root signature on {current.subject!r}")
+        if not scheme.verify(anchor_key, current.tbs(), current.signature):
+            raise HandshakeFailure(f"bad issuer signature on {current.subject!r}")
         return leaf
 
 
@@ -171,3 +187,87 @@ def make_server_credentials(algorithm: str, drbg: Drbg, subject: str = "server.r
     cert = ca.issue(subject, algorithm, server_pk, drbg)
     store = TrustStore(roots={ca.name: (ca.algorithm, ca.public_key)})
     return cert, server_sk, store
+
+
+@dataclass(frozen=True)
+class ChainProfile:
+    """How a server's certificate chain is built and presented."""
+
+    name: str
+    intermediates: int       # CAs between root and leaf
+    suppressed: bool = False  # leaf's issuer pre-cached client-side, off-wire
+
+
+# The deployment shapes studied by the post-quantum TTFB paper: direct
+# root-signed leaves (the source paper's testbed), one or two
+# intermediates (the common WebPKI shapes), and suppression.
+CHAIN_PROFILES = {
+    "direct": ChainProfile(name="direct", intermediates=0),
+    "intermediate": ChainProfile(name="intermediate", intermediates=1),
+    "long": ChainProfile(name="long", intermediates=2),
+    "suppressed": ChainProfile(name="suppressed", intermediates=1, suppressed=True),
+}
+
+# Weights over chain profiles, roughly: most WebPKI chains carry one
+# intermediate, a tail carries two, suppression is an emerging deployment.
+CHAIN_DISTRIBUTIONS = {
+    "paper": (("direct", 1.0),),
+    "web": (("intermediate", 0.60), ("long", 0.20),
+            ("direct", 0.15), ("suppressed", 0.05)),
+}
+
+
+def pick_chain_profile(unit_draw: float, distribution: str = "web") -> str:
+    """Map a unit-interval draw to a chain profile name (deterministic)."""
+    weights = CHAIN_DISTRIBUTIONS[distribution]
+    acc = 0.0
+    for name, weight in weights:
+        acc += weight
+        if unit_draw < acc:
+            return name
+    return weights[-1][0]
+
+
+def make_chain_credentials(algorithm: str, drbg: Drbg, chain: str = "direct",
+                           subject: str = "server.repro.test"):
+    """A full PKI for one chain profile.
+
+    Returns ``(wire_chain, server secret key, trust store)`` where
+    ``wire_chain`` is the leaf-first certificate list the server puts in
+    its Certificate message. For the ``suppressed`` profile the
+    intermediate is absent from the wire chain but present in the trust
+    store's cache.
+    """
+    profile = CHAIN_PROFILES[chain]
+    scheme: SignatureScheme = get_sig(algorithm)
+    root = CertificateAuthority.create(algorithm, drbg)
+    issuer = root
+    intermediate_certs: list[Certificate] = []
+    for depth in range(profile.intermediates):
+        ica_pk, ica_sk = scheme.keygen(drbg)
+        name = f"repro-ica-{depth + 1}"
+        intermediate_certs.append(issuer.issue(name, algorithm, ica_pk, drbg))
+        issuer = CertificateAuthority(
+            name=name, algorithm=algorithm, public_key=ica_pk, secret_key=ica_sk
+        )
+    server_pk, server_sk = scheme.keygen(drbg)
+    leaf = issuer.issue(subject, algorithm, server_pk, drbg)
+    wire_chain = [leaf] + list(reversed(intermediate_certs))
+    cached = {}
+    if profile.suppressed:
+        wire_chain = [leaf]
+        cached[issuer.name] = (issuer.algorithm, issuer.public_key)
+    store = TrustStore(roots={root.name: (root.algorithm, root.public_key)},
+                       cached=cached)
+    return wire_chain, server_sk, store
+
+
+def make_client_credentials(algorithm: str, drbg: Drbg,
+                            subject: str = "client.repro.test"):
+    """Leaf + key for mutual TLS, and the store the *server* verifies with."""
+    scheme: SignatureScheme = get_sig(algorithm)
+    ca = CertificateAuthority.create(algorithm, drbg, name="repro-client-ca")
+    client_pk, client_sk = scheme.keygen(drbg)
+    cert = ca.issue(subject, algorithm, client_pk, drbg)
+    store = TrustStore(roots={ca.name: (ca.algorithm, ca.public_key)})
+    return [cert], client_sk, store

@@ -1,12 +1,22 @@
 """Sans-io TLS 1.3 client (1-RTT, pre-computed key share).
 
 As in the paper's setup the client pre-computes a key share for exactly
-the group the server will select, so the 2-RTT HelloRetryRequest fallback
-never happens, and it sends the dummy ChangeCipherSpec in the same flight
-(and, on the wire, the same packet) as its Finished.
+the group the server will select, so by default the 2-RTT
+HelloRetryRequest fallback never happens, and it sends the dummy
+ChangeCipherSpec in the same flight (and, on the wire, the same packet)
+as its Finished.
+
+Beyond the paper's full handshake the client also speaks the session
+lifecycle: it can offer a resumption PSK from a :class:`SessionCache`
+ticket (falling back to a full handshake when the server declines),
+recover from a HelloRetryRequest when started without a key share,
+authenticate itself when the server sends a CertificateRequest, and
+store post-handshake NewSessionTickets.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from repro.crypto.drbg import Drbg
 from repro.pqc.registry import get_kem, get_sig
@@ -14,9 +24,20 @@ from repro.tls import messages as msg
 from repro.tls.actions import Action, Compute, CryptoOp, Send
 from repro.tls.certs import Certificate, TrustStore
 from repro.tls.abort import AbortMixin
-from repro.tls.errors import HandshakeFailure, PeerAlert, TlsError, UnexpectedMessage
+from repro.tls.errors import (
+    HandshakeFailure,
+    IllegalParameter,
+    PeerAlert,
+    TlsError,
+    UnexpectedMessage,
+)
 from repro.tls.groups import SIGSCHEME_NAMES, group_id, sigscheme_id
-from repro.tls.keyschedule import KeySchedule, traffic_keys
+from repro.tls.keyschedule import (
+    KeySchedule,
+    derive_secret,
+    hkdf_extract,
+    traffic_keys,
+)
 from repro.tls.records import (
     CONTENT_ALERT,
     CONTENT_CHANGE_CIPHER_SPEC,
@@ -27,19 +48,33 @@ from repro.tls.records import (
     decode_alert,
     encrypt_handshake_stream,
 )
+from repro.tls.ticket import SessionCache, SessionTicket
 from repro.tls.transcript import TranscriptHash
 
 # what an encrypted record holds, by receive state (tracing context only)
 _DECRYPT_DETAIL = {
     "wait_ee": "EE", "wait_cert": "Cert", "wait_cv": "CV", "wait_fin": "Fin",
+    "connected": "NST",
 }
+
+HASH_LEN = 32
+
+
+def _binder_key_for(psk: bytes) -> bytes:
+    """The binder key for an offered PSK, without touching a schedule."""
+    early = hkdf_extract(b"\x00" * HASH_LEN, psk)
+    return derive_secret(early, "res binder", hashlib.sha256(b"").digest())
 
 
 class TlsClient(AbortMixin):
     """One client-side handshake (fresh instance per connection)."""
 
     def __init__(self, kem_name: str, sig_name: str, trust_store: TrustStore,
-                 drbg: Drbg, server_name: str = "server.repro.test"):
+                 drbg: Drbg, server_name: str = "server.repro.test", *,
+                 ticket: SessionTicket | None = None,
+                 session_cache: SessionCache | None = None,
+                 credentials: tuple[list[Certificate], bytes] | None = None,
+                 offer_share: bool = True):
         self.kem_name = kem_name
         self.sig_name = sig_name
         self._kem = get_kem(kem_name)
@@ -53,7 +88,17 @@ class TlsClient(AbortMixin):
         self._kem_secret: bytes | None = None
         self._recv_protection: RecordProtection | None = None
         self._send_protection: RecordProtection | None = None
+        self._app_send_protection: RecordProtection | None = None
+        self._app_recv_protection: RecordProtection | None = None
         self._server_cert: Certificate | None = None
+        self._ticket = ticket
+        self._session_cache = session_cache
+        self._credentials = credentials
+        self._offer_share = offer_share
+        self._cert_requested = False
+        self._retried = False
+        self._first_hello_raw: bytes | None = None
+        self.resumed = False
         self._state = "start"
         self.handshake_complete = False
         self.bytes_out = 0
@@ -66,22 +111,43 @@ class TlsClient(AbortMixin):
         """Generate the key share and produce the ClientHello flight."""
         if self._state != "start":
             raise HandshakeFailure("client already started")
-        actions: list[Action] = [Compute((CryptoOp("kem_keygen", self.kem_name, detail="CH"),))]
-        public_key, self._kem_secret = self._kem.keygen(self._drbg)
+        actions: list[Action] = []
+        key_shares: list[tuple[int, bytes]] = []
+        share_map: dict[str, bytes] = {}
+        if self._offer_share:
+            actions.append(
+                Compute((CryptoOp("kem_keygen", self.kem_name, detail="CH"),)))
+            public_key, self._kem_secret = self._kem.keygen(self._drbg)
+            key_shares = [(group_id(self.kem_name), public_key)]
+            share_map = {self.kem_name: public_key}
         hello = msg.ClientHello(
             random=self._drbg.random_bytes(32),
             session_id=self._drbg.random_bytes(32),
-            group_name_to_share={self.kem_name: public_key},
+            group_name_to_share=share_map,
             group_ids=[group_id(self.kem_name)],
-            key_shares=[(group_id(self.kem_name), public_key)],
+            key_shares=key_shares,
             sig_scheme_ids=[sigscheme_id(self.sig_name)],
             server_name=self._server_name,
-        ).encode()
-        self._transcript.update(hello)
+        )
+        if self._ticket is not None:
+            if (self._ticket.kem, self._ticket.sig) != (self.kem_name, self.sig_name):
+                raise HandshakeFailure(
+                    "ticket was minted for a different algorithm pair")
+            hello.psk_identity = self._ticket.identity
+            hello.psk_obfuscated_age = self._ticket.obfuscated_age
+            binder_key = _binder_key_for(self._ticket.psk)
+            truncated_hash = hashlib.sha256(hello.encode_truncated()).digest()
+            hello.psk_binder = KeySchedule.psk_binder(binder_key, truncated_hash)
+            actions.append(Compute((CryptoOp("psk_binder", detail="CH"),)))
+        encoded = hello.encode()
+        self._hello = hello
+        self._first_hello_raw = encoded
+        self._transcript.update(encoded)
         from repro.tls.records import fragment_handshake
 
-        wire = b"".join(r.encode() for r in fragment_handshake(hello))
-        actions.append(Compute((CryptoOp("tls_frame", size=len(hello), detail="CH"),)))
+        wire = b"".join(r.encode() for r in fragment_handshake(encoded))
+        actions.append(
+            Compute((CryptoOp("tls_frame", size=len(encoded), detail="CH"),)))
         actions.append(Send(wire, "ClientHello"))
         self.bytes_out += len(wire)
         self._state = "wait_sh"
@@ -111,6 +177,17 @@ class TlsClient(AbortMixin):
                 detail=_DECRYPT_DETAIL.get(self._state, "handshake"),
             ),))
             return [decrypt_cost] + self._consume_handshake_plaintext(plaintext)
+        if self._state == "connected":
+            # post-handshake messages (NewSessionTicket) on app traffic keys
+            send_prot, recv_prot = self.app_protections()
+            content_type, plaintext = recv_prot.decrypt(record)
+            if content_type != CONTENT_HANDSHAKE:
+                raise UnexpectedMessage(
+                    "expected post-handshake record, got inner "
+                    f"{content_type_name(content_type)}")
+            decrypt_cost = Compute((CryptoOp(
+                "record_crypt", size=len(plaintext), detail="NST"),))
+            return [decrypt_cost] + self._consume_handshake_plaintext(plaintext)
         raise UnexpectedMessage(f"record in state {self._state}")
 
     def _consume_handshake_plaintext(self, plaintext: bytes) -> list[Action]:
@@ -130,9 +207,11 @@ class TlsClient(AbortMixin):
             if msg_type != msg.HT_ENCRYPTED_EXTENSIONS:
                 raise UnexpectedMessage("expected EncryptedExtensions")
             self._transcript.update(raw)
-            self._state = "wait_cert"
+            self._state = "wait_fin" if self.resumed else "wait_cert"
             return [Compute((CryptoOp("tls_frame", size=len(raw), detail="EE"),))]
         if self._state == "wait_cert":
+            if msg_type == msg.HT_CERTIFICATE_REQUEST:
+                return self._process_certificate_request(body, raw)
             if msg_type != msg.HT_CERTIFICATE:
                 raise UnexpectedMessage("expected Certificate")
             return self._process_certificate(body, raw)
@@ -144,12 +223,27 @@ class TlsClient(AbortMixin):
             if msg_type != msg.HT_FINISHED:
                 raise UnexpectedMessage("expected Finished")
             return self._process_finished(body, raw)
+        if self._state == "connected":
+            if msg_type != msg.HT_NEW_SESSION_TICKET:
+                raise UnexpectedMessage(
+                    f"unexpected post-handshake message type {msg_type}")
+            return self._process_session_ticket(body, raw)
         raise UnexpectedMessage(f"message in state {self._state}")
 
     def _process_server_hello(self, body: bytes, raw: bytes) -> list[Action]:
         hello = msg.ServerHello.decode(body)
+        if hello.is_hello_retry_request:
+            return self._process_hello_retry(hello, raw)
         if hello.group_id != group_id(self.kem_name):
             raise HandshakeFailure("server selected a group we did not offer")
+        if self._kem_secret is None:
+            raise HandshakeFailure(
+                "server completed without a key share (expected HelloRetryRequest)")
+        if hello.psk_selected:
+            if self._ticket is None:
+                raise IllegalParameter("server selected a PSK we did not offer")
+            self.resumed = True
+            self._schedule = KeySchedule(psk=self._ticket.psk)
         self._transcript.update(raw)
         actions = [Compute((
             CryptoOp("tls_frame", size=len(raw), detail="SH"),
@@ -166,6 +260,49 @@ class TlsClient(AbortMixin):
         )
         self._state = "wait_ee"
         return actions
+
+    def _process_hello_retry(self, hello: msg.ServerHello, raw: bytes) -> list[Action]:
+        if self._retried:
+            raise UnexpectedMessage("second HelloRetryRequest")
+        if hello.group_id != group_id(self.kem_name):
+            raise HandshakeFailure("HelloRetryRequest for a group we do not support")
+        if self._kem_secret is not None:
+            raise IllegalParameter(
+                "HelloRetryRequest for a group we already offered a share for")
+        self._retried = True
+        # transcript becomes message_hash(CH1) || HRR || CH2 (§4.4.1)
+        self._transcript.restart(msg.message_hash(self._first_hello_raw))
+        self._transcript.update(raw)
+        actions: list[Action] = [
+            Compute((CryptoOp("tls_frame", size=len(raw), detail="HRR"),)),
+            Compute((CryptoOp("kem_keygen", self.kem_name, detail="CH2"),)),
+        ]
+        public_key, self._kem_secret = self._kem.keygen(self._drbg)
+        self._hello.key_shares = [(group_id(self.kem_name), public_key)]
+        self._hello.group_name_to_share = {self.kem_name: public_key}
+        retry_hello = self._hello.encode()
+        self._transcript.update(retry_hello)
+        from repro.tls.records import fragment_handshake
+
+        wire = b"".join(r.encode() for r in fragment_handshake(retry_hello))
+        actions.append(
+            Compute((CryptoOp("tls_frame", size=len(retry_hello), detail="CH2"),)))
+        actions.append(Send(wire, "ClientHello2"))
+        self.bytes_out += len(wire)
+        return actions
+
+    def _process_certificate_request(self, body: bytes, raw: bytes) -> list[Action]:
+        if self._cert_requested:
+            raise UnexpectedMessage("second CertificateRequest")
+        if self.resumed:
+            raise UnexpectedMessage("CertificateRequest on a resumed handshake")
+        scheme_ids = msg.decode_certificate_request(body)
+        if self._credentials is not None and sigscheme_id(self.sig_name) not in scheme_ids:
+            raise HandshakeFailure(
+                f"server does not accept client signatures with {self.sig_name}")
+        self._cert_requested = True
+        self._transcript.update(raw)
+        return [Compute((CryptoOp("tls_frame", size=len(raw), detail="CR"),))]
 
     def _process_certificate(self, body: bytes, raw: bytes) -> list[Action]:
         cert_blobs = msg.decode_certificate(body)
@@ -205,26 +342,85 @@ class TlsClient(AbortMixin):
         # application secrets derive from the transcript up to server Finished
         self._schedule.derive_master(self._transcript.digest())
         actions: list[Action] = [Compute((CryptoOp("finished_mac", detail="Fin"),))]
-        # client flight: dummy CCS + Finished, one TCP push (one packet)
+        # client flight: dummy CCS + [Certificate + CertificateVerify +]
+        # Finished, one TCP push (one packet when it fits)
+        flight = b""
+        label = "CCS+Fin"
+        if self._cert_requested:
+            label = "CCS+Cert+CV+Fin"
+            chain = self._credentials[0] if self._credentials else []
+            cert_msg = msg.encode_certificate([c.encode() for c in chain])
+            self._transcript.update(cert_msg)
+            flight += cert_msg
+            actions.append(Compute((
+                CryptoOp("tls_frame", size=len(cert_msg), detail="CliCert"),)))
+            if self._credentials:
+                payload = (msg.CERTIFICATE_VERIFY_CLIENT_CONTEXT
+                           + self._transcript.digest())
+                actions.append(Compute((
+                    CryptoOp("sig_sign", self.sig_name, detail="CliCV"),)))
+                scheme = get_sig(self.sig_name)
+                signature = scheme.sign(self._credentials[1], payload, self._drbg)
+                cert_verify = msg.encode_certificate_verify(
+                    sigscheme_id(self.sig_name), signature
+                )
+                self._transcript.update(cert_verify)
+                flight += cert_verify
         verify_data = self._schedule.finished_verify_data(
             self._schedule.client_hs_secret, self._transcript.digest()
         )
         finished = msg.encode_finished(verify_data)
         self._transcript.update(finished)
-        fin_records = b"".join(
-            r.encode() for r in encrypt_handshake_stream(self._send_protection, finished)
+        flight += finished
+        flight_records = b"".join(
+            r.encode() for r in encrypt_handshake_stream(self._send_protection, flight)
         )
         ccs = Record(CONTENT_CHANGE_CIPHER_SPEC, b"\x01").encode()
-        wire = ccs + fin_records
+        wire = ccs + flight_records
         actions.append(Compute((
-            CryptoOp("finished_mac", detail="CCS+Fin"),
-            CryptoOp("record_crypt", size=len(finished), detail="CCS+Fin"),
+            CryptoOp("finished_mac", detail=label),
+            CryptoOp("record_crypt", size=len(flight), detail=label),
         )))
-        actions.append(Send(wire, "CCS+Fin"))
+        actions.append(Send(wire, label))
         self.bytes_out += len(wire)
+        # the resumption master closes over the full transcript (§7.1)
+        self._schedule.derive_resumption(self._transcript.digest())
         self.handshake_complete = True
         self._state = "connected"
         return actions
+
+    def _process_session_ticket(self, body: bytes, raw: bytes) -> list[Action]:
+        ticket = msg.NewSessionTicket.decode(body)
+        psk = KeySchedule.ticket_psk(
+            self._schedule.resumption_master_secret, ticket.nonce
+        )
+        if self._session_cache is not None:
+            self._session_cache.put(self._server_name, SessionTicket(
+                identity=ticket.ticket,
+                psk=psk,
+                kem=self.kem_name,
+                sig=self.sig_name,
+                age_add=ticket.age_add,
+                lifetime=ticket.lifetime,
+            ))
+        return [Compute((
+            CryptoOp("tls_frame", size=len(raw), detail="NST"),
+            CryptoOp("session_ticket", detail="NST"),
+        ))]
+
+    def app_protections(self) -> tuple[RecordProtection, RecordProtection]:
+        """(send, receive) protections over the application secrets.
+
+        Shared with post-handshake traffic (NewSessionTicket receipt) so a
+        :class:`~repro.tls.session.SecureChannel` adopting them continues
+        the same record sequence instead of reusing nonces.
+        """
+        client_secret, server_secret = self.application_secrets
+        if self._app_send_protection is None:
+            self._app_send_protection = RecordProtection(traffic_keys(client_secret))
+        if self._app_recv_protection is None:
+            self._app_recv_protection = RecordProtection(traffic_keys(server_secret))
+        return self._app_send_protection, self._app_recv_protection
 
     @property
     def application_secrets(self) -> tuple[bytes, bytes]:

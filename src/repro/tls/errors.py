@@ -7,18 +7,24 @@ outcomes and metrics.
 """
 
 # RFC 8446 §6 AlertDescription values (the subset this stack can emit).
+ALERT_CLOSE_NOTIFY = 0
 ALERT_UNEXPECTED_MESSAGE = 10
 ALERT_BAD_RECORD_MAC = 20
 ALERT_HANDSHAKE_FAILURE = 40
 ALERT_DECODE_ERROR = 50
+ALERT_ILLEGAL_PARAMETER = 47
 ALERT_INTERNAL_ERROR = 80
+ALERT_CERTIFICATE_REQUIRED = 116
 
 _ALERT_NAMES = {
+    ALERT_CLOSE_NOTIFY: "close_notify",
     ALERT_UNEXPECTED_MESSAGE: "unexpected_message",
     ALERT_BAD_RECORD_MAC: "bad_record_mac",
     ALERT_HANDSHAKE_FAILURE: "handshake_failure",
+    ALERT_ILLEGAL_PARAMETER: "illegal_parameter",
     ALERT_DECODE_ERROR: "decode_error",
     ALERT_INTERNAL_ERROR: "internal_error",
+    ALERT_CERTIFICATE_REQUIRED: "certificate_required",
 }
 
 
@@ -55,6 +61,18 @@ class UnexpectedMessage(TlsError):
     """A message arrived in the wrong state."""
 
     alert = ALERT_UNEXPECTED_MESSAGE
+
+
+class IllegalParameter(TlsError):
+    """A field was legal to parse but violates the negotiation rules."""
+
+    alert = ALERT_ILLEGAL_PARAMETER
+
+
+class CertificateRequired(TlsError):
+    """The server required client authentication and none was offered."""
+
+    alert = ALERT_CERTIFICATE_REQUIRED
 
 
 class PeerAlert(TlsError):

@@ -43,21 +43,38 @@ def traffic_keys(secret: bytes) -> TrafficKeys:
 
 
 class KeySchedule:
-    """Incremental TLS 1.3 key schedule driven by the transcript hash."""
+    """Incremental TLS 1.3 key schedule driven by the transcript hash.
 
-    def __init__(self):
+    With no ``psk`` the early secret is ``HKDF-Extract(0, 0)`` (full
+    handshake); with a resumption PSK it is ``HKDF-Extract(0, psk)``
+    (RFC 8446 §7.1, left column), which also roots the binder key.
+    """
+
+    def __init__(self, psk: bytes | None = None):
         zeros = b"\x00" * HASH_LEN
-        self._early_secret = hkdf_extract(zeros, zeros)
+        self._early_secret = hkdf_extract(zeros, psk if psk is not None else zeros)
         self.handshake_secret: bytes | None = None
         self.master_secret: bytes | None = None
         self.client_hs_secret: bytes | None = None
         self.server_hs_secret: bytes | None = None
         self.client_app_secret: bytes | None = None
         self.server_app_secret: bytes | None = None
+        self.exporter_master_secret: bytes | None = None
+        self.resumption_master_secret: bytes | None = None
 
     @staticmethod
     def _empty_hash() -> bytes:
         return hashlib.sha256(b"").digest()
+
+    def psk_binder_key(self) -> bytes:
+        """The binder key for an offered resumption PSK (§4.2.11.2)."""
+        return derive_secret(self._early_secret, "res binder", self._empty_hash())
+
+    @staticmethod
+    def psk_binder(binder_key: bytes, truncated_transcript_hash: bytes) -> bytes:
+        """The binder value: an HMAC over the truncated ClientHello."""
+        finished_key = hkdf_expand_label(binder_key, "finished", b"", HASH_LEN)
+        return hmac_digest(finished_key, truncated_transcript_hash)
 
     def set_shared_secret(self, shared_secret: bytes, transcript_hash: bytes) -> None:
         """Feed the (EC)DHE/KEM shared secret once CH..SH is known."""
@@ -82,6 +99,29 @@ class KeySchedule:
         self.server_app_secret = derive_secret(
             self.master_secret, "s ap traffic", transcript_hash
         )
+        self.exporter_master_secret = derive_secret(
+            self.master_secret, "exp master", transcript_hash
+        )
+
+    def derive_resumption(self, transcript_hash: bytes) -> None:
+        """Derive ``res master`` once the client Finished is hashed (§7.1)."""
+        if self.master_secret is None:
+            raise HandshakeFailure("master secret not established")
+        self.resumption_master_secret = derive_secret(
+            self.master_secret, "res master", transcript_hash
+        )
+
+    @staticmethod
+    def ticket_psk(resumption_master_secret: bytes, ticket_nonce: bytes) -> bytes:
+        """The per-ticket PSK both peers derive from ``res master`` (§4.6.1)."""
+        return hkdf_expand_label(
+            resumption_master_secret, "resumption", ticket_nonce, HASH_LEN
+        )
+
+    @staticmethod
+    def next_traffic_secret(traffic_secret: bytes) -> bytes:
+        """The post-KeyUpdate generation of a traffic secret (§7.2)."""
+        return hkdf_expand_label(traffic_secret, "traffic upd", b"", HASH_LEN)
 
     @staticmethod
     def finished_verify_data(traffic_secret: bytes, transcript_hash: bytes) -> bytes:

@@ -2,26 +2,47 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.tls.errors import DecodeError
 
 HT_CLIENT_HELLO = 1
+HT_NEW_SESSION_TICKET = 4
 HT_SERVER_HELLO = 2
 HT_ENCRYPTED_EXTENSIONS = 8
 HT_CERTIFICATE = 11
+HT_CERTIFICATE_REQUEST = 13
 HT_CERTIFICATE_VERIFY = 15
 HT_FINISHED = 20
+HT_KEY_UPDATE = 24
+HT_MESSAGE_HASH = 254
 
 EXT_SERVER_NAME = 0x0000
 EXT_SUPPORTED_GROUPS = 0x000A
 EXT_SIGNATURE_ALGORITHMS = 0x000D
+EXT_PRE_SHARED_KEY = 0x0029
 EXT_SUPPORTED_VERSIONS = 0x002B
+EXT_PSK_KEY_EXCHANGE_MODES = 0x002D
 EXT_KEY_SHARE = 0x0033
 EXT_PADDING = 0x0015
 
 TLS13 = 0x0304
 CIPHER_TLS_AES_128_GCM_SHA256 = 0x1301
+
+# psk_key_exchange_modes: we only ever offer/accept psk_dhe_ke (§4.2.9),
+# so every resumption still does a fresh (EC)DHE/KEM exchange.
+PSK_DHE_KE = 1
+
+# The fixed ServerHello.random value that marks a HelloRetryRequest
+# (RFC 8446 §4.1.3: SHA-256 of "HelloRetryRequest").
+HELLO_RETRY_REQUEST_RANDOM = bytes.fromhex(
+    "cf21ad74e59a6111be1d8c021e65b891c2a211167abb8c5e079e09e2c8a8339c"
+)
+
+# Wire bytes a single offered PSK binder adds after the identities list:
+# 2 (binders list length) + 1 (binder length) + 32 (SHA-256 binder).
+BINDER_SUFFIX_LEN = 2 + 1 + 32
 
 
 class _Reader:
@@ -96,6 +117,9 @@ class ClientHello:
     key_shares: list[tuple[int, bytes]]         # (group codepoint, share)
     sig_scheme_ids: list[int]
     server_name: str | None = None
+    psk_identity: bytes | None = None           # offered resumption ticket
+    psk_obfuscated_age: int = 0
+    psk_binder: bytes = b""
 
     def encode(self) -> bytes:
         extensions: list[tuple[int, bytes]] = []
@@ -112,6 +136,19 @@ class ClientHello:
             gid.to_bytes(2, "big") + _vec(share, 2) for gid, share in self.key_shares
         )
         extensions.append((EXT_KEY_SHARE, _vec(shares, 2)))
+        if self.psk_identity is not None:
+            extensions.append(
+                (EXT_PSK_KEY_EXCHANGE_MODES, _vec(PSK_DHE_KE.to_bytes(1, "big"), 1))
+            )
+            identity = (
+                _vec(self.psk_identity, 2)
+                + self.psk_obfuscated_age.to_bytes(4, "big")
+            )
+            binder = self.psk_binder or b"\x00" * 32
+            # pre_shared_key MUST be the last extension (§4.2.11)
+            extensions.append(
+                (EXT_PRE_SHARED_KEY, _vec(identity, 2) + _vec(_vec(binder, 1), 2))
+            )
         body = (
             (0x0303).to_bytes(2, "big")
             + self.random
@@ -121,6 +158,12 @@ class ClientHello:
             + _encode_extensions(extensions)
         )
         return wrap_handshake(HT_CLIENT_HELLO, body)
+
+    def encode_truncated(self) -> bytes:
+        """The binder-transcript prefix: everything up to the binders list."""
+        if self.psk_identity is None:
+            raise DecodeError("no PSK offered; nothing to truncate")
+        return self.encode()[:-BINDER_SUFFIX_LEN]
 
     @classmethod
     def decode(cls, body: bytes) -> "ClientHello":
@@ -159,6 +202,25 @@ class ClientHello:
             entry = _Reader(sni_reader.vector(2))
             entry.uint(1)
             server_name = entry.vector(2).decode()
+        psk_identity = None
+        psk_age = 0
+        psk_binder = b""
+        if EXT_PRE_SHARED_KEY in extensions:
+            if EXT_PSK_KEY_EXCHANGE_MODES not in extensions:
+                raise DecodeError("pre_shared_key without psk_key_exchange_modes")
+            modes = _Reader(extensions[EXT_PSK_KEY_EXCHANGE_MODES]).vector(1)
+            if PSK_DHE_KE.to_bytes(1, "big") not in modes:
+                raise DecodeError("peer does not offer psk_dhe_ke")
+            psk_reader = _Reader(extensions[EXT_PRE_SHARED_KEY])
+            identities = _Reader(psk_reader.vector(2))
+            psk_identity = identities.vector(2)
+            psk_age = identities.uint(4)
+            if identities.remaining():
+                raise DecodeError("multiple PSK identities not supported")
+            binders = _Reader(psk_reader.vector(2))
+            psk_binder = binders.vector(1)
+            if len(psk_binder) != 32 or binders.remaining():
+                raise DecodeError("malformed PSK binders list")
         return cls(
             random=random,
             session_id=session_id,
@@ -167,6 +229,9 @@ class ClientHello:
             key_shares=key_shares,
             sig_scheme_ids=scheme_ids,
             server_name=server_name,
+            psk_identity=psk_identity,
+            psk_obfuscated_age=psk_age,
+            psk_binder=psk_binder,
         )
 
 
@@ -176,12 +241,25 @@ class ServerHello:
     session_id: bytes
     group_id: int
     key_share: bytes
+    psk_selected: bool = False
+
+    @property
+    def is_hello_retry_request(self) -> bool:
+        return self.random == HELLO_RETRY_REQUEST_RANDOM
 
     def encode(self) -> bytes:
+        if self.is_hello_retry_request:
+            # HRR carries only the selected group, no share (§4.2.8)
+            key_share_ext = self.group_id.to_bytes(2, "big")
+        else:
+            key_share_ext = self.group_id.to_bytes(2, "big") + _vec(self.key_share, 2)
         extensions = [
             (EXT_SUPPORTED_VERSIONS, TLS13.to_bytes(2, "big")),
-            (EXT_KEY_SHARE, self.group_id.to_bytes(2, "big") + _vec(self.key_share, 2)),
+            (EXT_KEY_SHARE, key_share_ext),
         ]
+        if self.psk_selected:
+            # selected_identity: always the single identity we allow (§4.2.11)
+            extensions.append((EXT_PRE_SHARED_KEY, (0).to_bytes(2, "big")))
         body = (
             (0x0303).to_bytes(2, "big")
             + self.random
@@ -207,8 +285,24 @@ class ServerHello:
             raise DecodeError("server did not select TLS 1.3")
         share_reader = _Reader(extensions[EXT_KEY_SHARE])
         gid = share_reader.uint(2)
-        share = share_reader.vector(2)
-        return cls(random=random, session_id=session_id, group_id=gid, key_share=share)
+        if random == HELLO_RETRY_REQUEST_RANDOM:
+            if share_reader.remaining():
+                raise DecodeError("HelloRetryRequest must not carry a key share")
+            share = b""
+        else:
+            share = share_reader.vector(2)
+        psk_selected = False
+        if EXT_PRE_SHARED_KEY in extensions:
+            if _Reader(extensions[EXT_PRE_SHARED_KEY]).uint(2) != 0:
+                raise DecodeError("server selected an unknown PSK identity")
+            psk_selected = True
+        return cls(
+            random=random,
+            session_id=session_id,
+            group_id=gid,
+            key_share=share,
+            psk_selected=psk_selected,
+        )
 
 
 def encode_encrypted_extensions() -> bytes:
@@ -247,6 +341,86 @@ def encode_finished(verify_data: bytes) -> bytes:
     return wrap_handshake(HT_FINISHED, verify_data)
 
 
+@dataclass(frozen=True)
+class NewSessionTicket:
+    """A NewSessionTicket message (RFC 8446 §4.6.1), sans early-data."""
+
+    lifetime: int
+    age_add: int
+    nonce: bytes
+    ticket: bytes
+
+    def encode(self) -> bytes:
+        body = (
+            self.lifetime.to_bytes(4, "big")
+            + self.age_add.to_bytes(4, "big")
+            + _vec(self.nonce, 1)
+            + _vec(self.ticket, 2)
+            + _vec(b"", 2)
+        )
+        return wrap_handshake(HT_NEW_SESSION_TICKET, body)
+
+    @classmethod
+    def decode(cls, body: bytes) -> "NewSessionTicket":
+        reader = _Reader(body)
+        lifetime = reader.uint(4)
+        age_add = reader.uint(4)
+        nonce = reader.vector(1)
+        ticket = reader.vector(2)
+        if not ticket:
+            raise DecodeError("empty session ticket")
+        reader.vector(2)  # extensions (early_data unsupported, ignored)
+        return cls(lifetime=lifetime, age_add=age_add, nonce=nonce, ticket=ticket)
+
+
+def encode_certificate_request(sig_scheme_ids: list[int]) -> bytes:
+    schemes = b"".join(s.to_bytes(2, "big") for s in sig_scheme_ids)
+    extensions = _encode_extensions([(EXT_SIGNATURE_ALGORITHMS, _vec(schemes, 2))])
+    body = _vec(b"", 1) + extensions  # empty certificate_request_context
+    return wrap_handshake(HT_CERTIFICATE_REQUEST, body)
+
+
+def decode_certificate_request(body: bytes) -> list[int]:
+    reader = _Reader(body)
+    if reader.vector(1):
+        raise DecodeError("non-empty certificate_request_context")
+    extensions = _decode_extensions(reader)
+    if EXT_SIGNATURE_ALGORITHMS not in extensions:
+        raise DecodeError("CertificateRequest missing signature_algorithms")
+    blob = _Reader(extensions[EXT_SIGNATURE_ALGORITHMS]).vector(2)
+    return [int.from_bytes(blob[i: i + 2], "big") for i in range(0, len(blob), 2)]
+
+
+KEY_UPDATE_NOT_REQUESTED = 0
+KEY_UPDATE_REQUESTED = 1
+
+
+def encode_key_update(request_update: bool) -> bytes:
+    value = KEY_UPDATE_REQUESTED if request_update else KEY_UPDATE_NOT_REQUESTED
+    return wrap_handshake(HT_KEY_UPDATE, value.to_bytes(1, "big"))
+
+
+def decode_key_update(body: bytes) -> bool:
+    """True when the sender requests a KeyUpdate in return."""
+    if len(body) != 1 or body[0] not in (
+        KEY_UPDATE_NOT_REQUESTED,
+        KEY_UPDATE_REQUESTED,
+    ):
+        raise DecodeError("malformed KeyUpdate")
+    return body[0] == KEY_UPDATE_REQUESTED
+
+
+def message_hash(client_hello_raw: bytes) -> bytes:
+    """The synthetic message replacing CH1 in an HRR transcript (§4.4.1)."""
+    return wrap_handshake(
+        HT_MESSAGE_HASH, hashlib.sha256(client_hello_raw).digest()
+    )
+
+
 CERTIFICATE_VERIFY_SERVER_CONTEXT = (
     b"\x20" * 64 + b"TLS 1.3, server CertificateVerify" + b"\x00"
+)
+
+CERTIFICATE_VERIFY_CLIENT_CONTEXT = (
+    b"\x20" * 64 + b"TLS 1.3, client CertificateVerify" + b"\x00"
 )

@@ -14,16 +14,24 @@ overlap with the server still computing its handshake signature (§4, §5.2).
 from __future__ import annotations
 
 import enum
+import hashlib
 
 from repro.crypto.drbg import Drbg
 from repro.pqc.registry import get_kem, get_sig
 from repro.tls import messages as msg
 from repro.tls.actions import Action, Compute, CryptoOp, Send
-from repro.tls.certs import Certificate
+from repro.tls.certs import Certificate, TrustStore
 from repro.tls.abort import AbortMixin
-from repro.tls.errors import HandshakeFailure, PeerAlert, TlsError, UnexpectedMessage
-from repro.tls.groups import GROUP_NAMES, group_id, sigscheme_id
+from repro.tls.errors import (
+    CertificateRequired,
+    HandshakeFailure,
+    PeerAlert,
+    TlsError,
+    UnexpectedMessage,
+)
+from repro.tls.groups import GROUP_NAMES, SIGSCHEME_NAMES, group_id, sigscheme_id
 from repro.tls.keyschedule import KeySchedule, traffic_keys
+from repro.tls.ticket import ResumptionState, ServerSessionStore
 from repro.tls.records import (
     CONTENT_ALERT,
     CONTENT_CHANGE_CIPHER_SPEC,
@@ -88,23 +96,42 @@ class _FlightBuffer:
 class TlsServer(AbortMixin):
     """One server-side handshake (fresh instance per connection)."""
 
-    def __init__(self, kem_name: str, sig_name: str, certificate: Certificate,
+    def __init__(self, kem_name: str, sig_name: str,
+                 certificate: Certificate | list[Certificate] | tuple,
                  secret_key: bytes, drbg: Drbg,
-                 policy: BufferPolicy = BufferPolicy.OPTIMIZED):
+                 policy: BufferPolicy = BufferPolicy.OPTIMIZED, *,
+                 client_auth: TrustStore | None = None,
+                 session_store: ServerSessionStore | None = None,
+                 issue_tickets: int = 0):
         self.kem_name = kem_name
         self.sig_name = sig_name
         self._kem = get_kem(kem_name)
         self._sig = get_sig(sig_name)
-        self._certificate = certificate
+        if isinstance(certificate, Certificate):
+            self._chain = [certificate]
+        else:
+            self._chain = list(certificate)
+        self._certificate = self._chain[0]
         self._secret_key = secret_key
         self._drbg = drbg
         self._policy = policy
+        self._client_auth = client_auth
+        self._session_store = session_store
+        self._issue_tickets = issue_tickets
+        if issue_tickets and session_store is None:
+            raise HandshakeFailure("ticket issuance requires a session store")
         self._transcript = TranscriptHash()
         self._schedule = KeySchedule()
         self._recv_buffer = b""
         self._hs_stream = b""
         self._fin_stream = b""  # reassembles a client Finished split across records
         self._client_fin_protection: RecordProtection | None = None
+        self._app_send_protection: RecordProtection | None = None
+        self._app_recv_protection: RecordProtection | None = None
+        self._client_cert: Certificate | None = None
+        self._retry_sent = False
+        self._auth_state = "fin"  # or "cert"/"cv" while client auth is pending
+        self.resumed = False
         self._state = "start"
         self.handshake_complete = False
         self.bytes_out = 0
@@ -143,12 +170,17 @@ class TlsServer(AbortMixin):
         my_group = group_id(self.kem_name)
         share = next((s for gid, s in hello.key_shares if gid == my_group), None)
         if share is None:
+            if my_group in hello.group_ids and not self._retry_sent:
+                return self._send_hello_retry(hello, raw)
             offered = [GROUP_NAMES.get(gid, hex(gid)) for gid, _ in hello.key_shares]
             raise HandshakeFailure(
-                f"client offered {offered}, server requires {self.kem_name} "
-                "(2-RTT HelloRetryRequest is out of the paper's scope)")
+                f"client offered {offered}, server requires {self.kem_name}")
         if sigscheme_id(self.sig_name) not in hello.sig_scheme_ids:
             raise HandshakeFailure(f"client does not accept {self.sig_name}")
+        psk = self._redeem_psk(hello, raw)
+        if psk is not None:
+            self.resumed = True
+            self._schedule = KeySchedule(psk=psk)
         self._transcript.update(raw)
         actions: list[Action] = [
             Compute((
@@ -156,6 +188,8 @@ class TlsServer(AbortMixin):
                 CryptoOp("kem_encaps", self.kem_name, detail="CH"),
             )),
         ]
+        if psk is not None:
+            actions.append(Compute((CryptoOp("psk_binder", detail="CH"),)))
         ciphertext, shared_secret = self._kem.encaps(share, self._drbg)
         buffer = _FlightBuffer(self._policy)
 
@@ -164,6 +198,7 @@ class TlsServer(AbortMixin):
             session_id=hello.session_id,
             group_id=my_group,
             key_share=ciphertext,
+            psk_selected=self.resumed,
         ).encode()
         self._transcript.update(server_hello)
         sh_records = b"".join(r.encode() for r in fragment_handshake(server_hello))
@@ -181,34 +216,53 @@ class TlsServer(AbortMixin):
         )
 
         encrypted_ext = msg.encode_encrypted_extensions()
-        cert_msg = msg.encode_certificate([self._certificate.encode()])
         self._transcript.update(encrypted_ext)
-        self._transcript.update(cert_msg)
-        flight = encrypted_ext + cert_msg
+        flight = encrypted_ext
+        flight_label = "EE"
+        if not self.resumed:
+            if self._client_auth is not None:
+                cert_request = msg.encode_certificate_request(
+                    [sigscheme_id(self.sig_name)]
+                )
+                self._transcript.update(cert_request)
+                flight += cert_request
+                flight_label += "+CR"
+                self._auth_state = "cert"
+            cert_msg = msg.encode_certificate(
+                [cert.encode() for cert in self._chain]
+            )
+            self._transcript.update(cert_msg)
+            flight += cert_msg
+            flight_label += "+Cert"
         records = b"".join(
             r.encode() for r in encrypt_handshake_stream(send_protection, flight)
         )
         actions.append(Compute((
-            CryptoOp("record_crypt", size=len(flight), detail="EE+Cert"),
-            CryptoOp("tls_frame", size=len(flight), detail="EE+Cert"),
+            CryptoOp("record_crypt", size=len(flight), detail=flight_label),
+            CryptoOp("tls_frame", size=len(flight), detail=flight_label),
         )))
-        actions.extend(buffer.add(records, "EE+Cert", push_now=True))
+        actions.extend(buffer.add(records, flight_label, push_now=True))
 
-        cv_payload = msg.CERTIFICATE_VERIFY_SERVER_CONTEXT + self._transcript.digest()
-        actions.append(Compute((CryptoOp("sig_sign", self.sig_name, detail="CV"),)))
-        signature = self._sig.sign(self._secret_key, cv_payload, self._drbg)
-        cert_verify = msg.encode_certificate_verify(
-            sigscheme_id(self.sig_name), signature
-        )
-        self._transcript.update(cert_verify)
-        cv_records = b"".join(
-            r.encode() for r in encrypt_handshake_stream(send_protection, cert_verify)
-        )
-        actions.append(Compute((
-            CryptoOp("record_crypt", size=len(cert_verify), detail="CV"),
-            CryptoOp("tls_frame", size=len(cert_verify), detail="CV"),
-        )))
-        actions.extend(buffer.add(cv_records, "CV", push_now=False))
+        if not self.resumed:
+            cv_payload = (
+                msg.CERTIFICATE_VERIFY_SERVER_CONTEXT + self._transcript.digest()
+            )
+            actions.append(
+                Compute((CryptoOp("sig_sign", self.sig_name, detail="CV"),)))
+            signature = self._sig.sign(self._secret_key, cv_payload, self._drbg)
+            cert_verify = msg.encode_certificate_verify(
+                sigscheme_id(self.sig_name), signature
+            )
+            self._transcript.update(cert_verify)
+            cv_records = b"".join(
+                r.encode()
+                for r in encrypt_handshake_stream(send_protection, cert_verify)
+            )
+            actions.append(Compute((
+                CryptoOp("record_crypt", size=len(cert_verify), detail="CV"),
+                CryptoOp("tls_frame", size=len(cert_verify), detail="CV"),
+            )))
+            actions.extend(buffer.add(cv_records, "CV", push_now=False))
 
         verify_data = self._schedule.finished_verify_data(
             self._schedule.server_hs_secret, self._transcript.digest()
@@ -232,34 +286,168 @@ class TlsServer(AbortMixin):
                 self.bytes_out += len(action.data)
         return actions
 
-    # -- client Finished --------------------------------------------------------
+    def _send_hello_retry(self, hello: msg.ClientHello, raw: bytes) -> list[Action]:
+        """No usable key share but a supported group: ask for a second CH."""
+        self._retry_sent = True
+        self._transcript.restart(msg.message_hash(raw))
+        retry = msg.ServerHello(
+            random=msg.HELLO_RETRY_REQUEST_RANDOM,
+            session_id=hello.session_id,
+            group_id=group_id(self.kem_name),
+            key_share=b"",
+        ).encode()
+        self._transcript.update(retry)
+        wire = b"".join(r.encode() for r in fragment_handshake(retry))
+        self.bytes_out += len(wire)
+        return [
+            Compute((
+                CryptoOp("tls_frame", size=len(raw), detail="CH1"),
+                CryptoOp("tls_frame", size=len(retry), detail="HRR"),
+            )),
+            Send(wire, "HRR"),
+        ]
+
+    def _redeem_psk(self, hello: msg.ClientHello, raw: bytes) -> bytes | None:
+        """Validate an offered ticket; None falls back to a full handshake."""
+        if hello.psk_identity is None or self._session_store is None:
+            return None
+        if self._retry_sent:
+            # the binder would cover the post-HRR transcript; out of scope
+            return None
+        state = self._session_store.redeem(hello.psk_identity)
+        if state is None:
+            return None
+        if (state.kem, state.sig) != (self.kem_name, self.sig_name):
+            return None
+        binder_key = KeySchedule(psk=state.psk).psk_binder_key()
+        truncated_hash = hashlib.sha256(raw[:-msg.BINDER_SUFFIX_LEN]).digest()
+        expected = KeySchedule.psk_binder(binder_key, truncated_hash)
+        if hello.psk_binder != expected:
+            raise HandshakeFailure("PSK binder verification failed")
+        return state.psk
+
+    # -- client flight: [Certificate + CertificateVerify +] Finished ----------
     def _process_client_finished(self, record: Record) -> list[Action]:
         content_type, plaintext = self._client_fin_protection.decrypt(record)
         if content_type != CONTENT_HANDSHAKE:
             raise UnexpectedMessage(
                 "expected encrypted handshake record, got inner "
                 f"{content_type_name(content_type)}")
-        # a Finished split across record boundaries (RFC 8446 §5.1 allows any
+        # a flight split across record boundaries (RFC 8446 §5.1 allows any
         # fragmentation) reassembles here; incomplete tails wait for more bytes
         self._fin_stream += plaintext
         msgs, self._fin_stream = msg.iter_handshake_messages(self._fin_stream)
         actions: list[Action] = []
         for msg_type, body, raw in msgs:
-            if msg_type != msg.HT_FINISHED:
-                raise UnexpectedMessage(f"unexpected handshake type {msg_type}")
-            expected = self._schedule.finished_verify_data(
-                self._schedule.client_hs_secret, self._transcript.digest()
-            )
-            if body != expected:
-                raise HandshakeFailure("client Finished verification failed")
-            self._transcript.update(raw)
-            self.handshake_complete = True
-            self._state = "connected"
-            actions.append(Compute((
-                CryptoOp("finished_mac", detail="CliFin"),
-                CryptoOp("record_crypt", size=len(raw), detail="CliFin"),
-            )))
+            if self._auth_state == "cert":
+                actions.extend(self._process_client_certificate(msg_type, body, raw))
+            elif self._auth_state == "cv":
+                actions.extend(
+                    self._process_client_certificate_verify(msg_type, body, raw))
+            else:
+                actions.extend(self._process_finished_message(msg_type, body, raw))
         return actions
+
+    def _process_client_certificate(self, msg_type: int, body: bytes,
+                                    raw: bytes) -> list[Action]:
+        if msg_type != msg.HT_CERTIFICATE:
+            raise UnexpectedMessage("expected client Certificate")
+        cert_blobs = msg.decode_certificate(body)
+        if not cert_blobs:
+            raise CertificateRequired("client declined to authenticate")
+        chain = [Certificate.decode(blob) for blob in cert_blobs]
+        leaf = self._client_auth.verify_chain(chain)
+        if leaf.algorithm != self.sig_name:
+            raise HandshakeFailure(
+                f"client certificate uses {leaf.algorithm}, expected {self.sig_name}")
+        self._client_cert = leaf
+        self._transcript.update(raw)
+        self._auth_state = "cv"
+        return [Compute((
+            CryptoOp("tls_frame", size=len(raw), detail="CliCert"),
+            CryptoOp("cert_verify", self.sig_name, detail="CliCert"),
+        ))]
+
+    def _process_client_certificate_verify(self, msg_type: int, body: bytes,
+                                           raw: bytes) -> list[Action]:
+        if msg_type != msg.HT_CERTIFICATE_VERIFY:
+            raise UnexpectedMessage("expected client CertificateVerify")
+        scheme_id, signature = msg.decode_certificate_verify(body)
+        scheme_name = SIGSCHEME_NAMES.get(scheme_id)
+        if scheme_name != self.sig_name:
+            raise HandshakeFailure(
+                f"unexpected client CertificateVerify scheme {scheme_name}")
+        payload = msg.CERTIFICATE_VERIFY_CLIENT_CONTEXT + self._transcript.digest()
+        scheme = get_sig(self.sig_name)
+        if not scheme.verify(self._client_cert.public_key, payload, signature):
+            raise HandshakeFailure("client CertificateVerify signature invalid")
+        self._transcript.update(raw)
+        self._auth_state = "fin"
+        return [Compute((CryptoOp("sig_verify", self.sig_name, detail="CliCV"),))]
+
+    def _process_finished_message(self, msg_type: int, body: bytes,
+                                  raw: bytes) -> list[Action]:
+        if msg_type != msg.HT_FINISHED:
+            raise UnexpectedMessage(f"unexpected handshake type {msg_type}")
+        expected = self._schedule.finished_verify_data(
+            self._schedule.client_hs_secret, self._transcript.digest()
+        )
+        if body != expected:
+            raise HandshakeFailure("client Finished verification failed")
+        self._transcript.update(raw)
+        self.handshake_complete = True
+        self._state = "connected"
+        actions: list[Action] = [Compute((
+            CryptoOp("finished_mac", detail="CliFin"),
+            CryptoOp("record_crypt", size=len(raw), detail="CliFin"),
+        ))]
+        self._schedule.derive_resumption(self._transcript.digest())
+        if self._issue_tickets:
+            actions.extend(self._mint_tickets())
+        return actions
+
+    def _mint_tickets(self) -> list[Action]:
+        """Issue NewSessionTickets over the application traffic keys."""
+        send_protection, _recv = self.app_protections()
+        actions: list[Action] = []
+        for index in range(self._issue_tickets):
+            nonce = index.to_bytes(8, "big")
+            psk = KeySchedule.ticket_psk(
+                self._schedule.resumption_master_secret, nonce
+            )
+            identity = self._drbg.random_bytes(32)
+            age_add = int.from_bytes(self._drbg.random_bytes(4), "big")
+            self._session_store.put(identity, ResumptionState(
+                psk=psk, kem=self.kem_name, sig=self.sig_name,
+            ))
+            ticket = msg.NewSessionTicket(
+                lifetime=7200, age_add=age_add, nonce=nonce, ticket=identity
+            ).encode()
+            records = b"".join(
+                r.encode()
+                for r in encrypt_handshake_stream(send_protection, ticket)
+            )
+            actions.append(Compute((
+                CryptoOp("session_ticket", detail="NST"),
+                CryptoOp("record_crypt", size=len(ticket), detail="NST"),
+            )))
+            actions.append(Send(records, "NST"))
+            self.bytes_out += len(records)
+        return actions
+
+    def app_protections(self) -> tuple[RecordProtection, RecordProtection]:
+        """(send, receive) protections over the application secrets.
+
+        Shared with post-handshake traffic (NewSessionTicket issuance) so a
+        :class:`~repro.tls.session.SecureChannel` adopting them continues
+        the same record sequence instead of reusing nonces.
+        """
+        client_secret, server_secret = self.application_secrets
+        if self._app_send_protection is None:
+            self._app_send_protection = RecordProtection(traffic_keys(server_secret))
+        if self._app_recv_protection is None:
+            self._app_recv_protection = RecordProtection(traffic_keys(client_secret))
+        return self._app_send_protection, self._app_recv_protection
 
     @property
     def application_secrets(self) -> tuple[bytes, bytes]:

@@ -7,17 +7,24 @@ actual TLS session, not just a handshake benchmark.
 
 Both peers derive the same application traffic secrets from the handshake
 (RFC 8446 §7.2); a :class:`SecureChannel` frames application bytes into
-protected records in one direction and opens them in the other.
+protected records in one direction and opens them in the other. The
+channel also speaks the two post-handshake messages that ride on the
+application keys: KeyUpdate (§4.6.3) rotates its traffic secrets in
+either direction, and NewSessionTicket messages are handed to the
+owning client's session cache.
 """
 
 from __future__ import annotations
 
-from repro.tls.errors import DecodeError, TlsError
-from repro.tls.keyschedule import traffic_keys
+from repro.tls import messages as msg
+from repro.tls.errors import ALERT_CLOSE_NOTIFY, DecodeError, PeerAlert, TlsError
+from repro.tls.keyschedule import KeySchedule, traffic_keys
 from repro.tls.records import (
     CONTENT_ALERT,
     CONTENT_APPLICATION_DATA,
+    CONTENT_HANDSHAKE,
     RecordProtection,
+    decode_alert,
     decode_records,
 )
 
@@ -27,22 +34,49 @@ _MAX_CHUNK = 2 ** 14 - 256
 class SecureChannel:
     """One endpoint's view of the established application-data channel."""
 
-    def __init__(self, send_secret: bytes, receive_secret: bytes):
-        self._send = RecordProtection(traffic_keys(send_secret))
-        self._receive = RecordProtection(traffic_keys(receive_secret))
+    def __init__(self, send_secret: bytes, receive_secret: bytes, *,
+                 send_protection: RecordProtection | None = None,
+                 receive_protection: RecordProtection | None = None,
+                 ticket_sink=None):
+        self._send_secret = send_secret
+        self._receive_secret = receive_secret
+        self._send = send_protection or RecordProtection(traffic_keys(send_secret))
+        self._receive = (receive_protection
+                         or RecordProtection(traffic_keys(receive_secret)))
+        self._ticket_sink = ticket_sink
         self._buffer = b""
+        self._hs_stream = b""
+        self.pending_out = b""       # auto-responses (KeyUpdate replies)
+        self.send_generation = 0     # KeyUpdate epochs on each direction
+        self.receive_generation = 0
         self.closed = False
 
     # -- constructors ------------------------------------------------------
+    #
+    # When the endpoint already exchanged post-handshake messages
+    # (NewSessionTicket) its application-key record protections exist with
+    # advanced sequence numbers; the channel must adopt them rather than
+    # restart at zero (nonce reuse). Otherwise fresh protections are built.
     @classmethod
     def for_client(cls, tls_client) -> "SecureChannel":
         client_secret, server_secret = tls_client.application_secrets
-        return cls(send_secret=client_secret, receive_secret=server_secret)
+        return cls(
+            send_secret=client_secret,
+            receive_secret=server_secret,
+            send_protection=tls_client._app_send_protection,
+            receive_protection=tls_client._app_recv_protection,
+            ticket_sink=tls_client._process_session_ticket,
+        )
 
     @classmethod
     def for_server(cls, tls_server) -> "SecureChannel":
         client_secret, server_secret = tls_server.application_secrets
-        return cls(send_secret=server_secret, receive_secret=client_secret)
+        return cls(
+            send_secret=server_secret,
+            receive_secret=client_secret,
+            send_protection=tls_server._app_send_protection,
+            receive_protection=tls_server._app_recv_protection,
+        )
 
     # -- sending -----------------------------------------------------------
     def send(self, data: bytes) -> bytes:
@@ -62,11 +96,31 @@ class SecureChannel:
         self.closed = True
         return record.encode()
 
+    def initiate_key_update(self, request_update: bool = False) -> bytes:
+        """Rotate our send keys; returns the KeyUpdate wire bytes.
+
+        With ``request_update`` the peer is asked to rotate its own send
+        direction too; its reply lands in our ``pending_out`` handling on
+        receive.
+        """
+        if self.closed:
+            raise TlsError("channel is closed")
+        record = self._send.encrypt(
+            CONTENT_HANDSHAKE, msg.encode_key_update(request_update))
+        wire = record.encode()
+        self._send_secret = KeySchedule.next_traffic_secret(self._send_secret)
+        self._send = RecordProtection(traffic_keys(self._send_secret))
+        self.send_generation += 1
+        return wire
+
     # -- receiving -----------------------------------------------------------
     def receive(self, wire: bytes) -> bytes:
         """Open incoming records; returns the plaintext application bytes.
 
-        Raises DecodeError on tampering, TlsError after close_notify.
+        Raises DecodeError on tampering or malformed alerts, TlsError on
+        any record following a close_notify. KeyUpdate requests queue an
+        automatic reply in :attr:`pending_out`; the caller flushes it to
+        the transport.
         """
         self._buffer += wire
         records, self._buffer = decode_records(self._buffer)
@@ -74,17 +128,49 @@ class SecureChannel:
         for record in records:
             content_type, data = self._receive.decrypt(record)
             if content_type == CONTENT_ALERT:
-                if data[:2] == b"\x01\x00":
+                # decode_alert raises DecodeError on short/oversized payloads
+                # instead of misreading garbage as a peer alert
+                _level, description = decode_alert(data)
+                if description == ALERT_CLOSE_NOTIFY:
                     self.closed = True
                     continue
-                raise TlsError(f"peer alert: {data.hex()}")
+                raise PeerAlert(description)
+            if self.closed:
+                raise TlsError("data received after close_notify")
+            if content_type == CONTENT_HANDSHAKE:
+                self._handle_post_handshake(data)
+                continue
             if content_type != CONTENT_APPLICATION_DATA:
                 raise DecodeError(
                     f"unexpected content type {content_type} on the app channel")
-            if self.closed:
-                raise TlsError("data received after close_notify")
             plaintext.extend(data)
         return bytes(plaintext)
+
+    def _handle_post_handshake(self, data: bytes) -> None:
+        self._hs_stream += data
+        msgs, self._hs_stream = msg.iter_handshake_messages(self._hs_stream)
+        for msg_type, body, _raw in msgs:
+            if msg_type == msg.HT_KEY_UPDATE:
+                requested = msg.decode_key_update(body)
+                self._receive_secret = KeySchedule.next_traffic_secret(
+                    self._receive_secret)
+                self._receive = RecordProtection(traffic_keys(self._receive_secret))
+                self.receive_generation += 1
+                if requested:
+                    self.pending_out += self.initiate_key_update(False)
+            elif msg_type == msg.HT_NEW_SESSION_TICKET and self._ticket_sink:
+                self._ticket_sink(body, _raw)
+            elif msg_type == msg.HT_NEW_SESSION_TICKET:
+                # a client with no session cache ignores tickets (§4.6.1)
+                continue
+            else:
+                raise DecodeError(
+                    f"unexpected post-handshake message type {msg_type}")
+
+    def take_pending(self) -> bytes:
+        """Drain queued auto-responses (KeyUpdate replies) for the wire."""
+        out, self.pending_out = self.pending_out, b""
+        return out
 
 
 def establish_channels(tls_client, tls_server) -> tuple[SecureChannel, SecureChannel]:

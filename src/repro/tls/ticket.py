@@ -1,0 +1,91 @@
+"""Session tickets and the stores that redeem them (RFC 8446 §4.6.1).
+
+The server mints an opaque ticket identity per NewSessionTicket and
+remembers the associated resumption PSK in a :class:`ServerSessionStore`
+(the "session cache" flavour of ticket handling: deterministic, no
+self-encryption, and the lookup failure path — an unknown identity —
+falls back to a full handshake exactly like a cache miss would).
+
+The client keeps redeemable tickets in a :class:`SessionCache` keyed by
+server name, pops one to offer resumption, and re-fills it from
+post-handshake NewSessionTicket messages.
+
+Both sides derive the per-ticket PSK themselves from their resumption
+master secret and the ticket nonce (``KeySchedule.ticket_psk``), so no
+secret ever rides the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SessionTicket:
+    """A redeemable ticket as held by the client."""
+
+    identity: bytes          # opaque ticket bytes offered in pre_shared_key
+    psk: bytes               # HKDF-Expand-Label(res_master, "resumption", nonce)
+    kem: str                 # negotiated group of the original session
+    sig: str                 # server signature algorithm of the original session
+    age_add: int
+    lifetime: int
+
+    @property
+    def obfuscated_age(self) -> int:
+        # The simulated clock starts every connection at zero, so the
+        # ticket age is always 0 and the obfuscated value is just age_add.
+        return self.age_add & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ResumptionState:
+    """What the server remembers about a minted ticket."""
+
+    psk: bytes
+    kem: str
+    sig: str
+
+
+class ServerSessionStore:
+    """Server-side ticket registry: identity -> resumption state."""
+
+    def __init__(self):
+        self._tickets: dict[bytes, ResumptionState] = {}
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+    def put(self, identity: bytes, state: ResumptionState) -> None:
+        self._tickets[identity] = state
+
+    def redeem(self, identity: bytes) -> ResumptionState | None:
+        """Single-use lookup: tickets must not be replayable."""
+        return self._tickets.pop(identity, None)
+
+
+class SessionCache:
+    """Client-side ticket cache keyed by server name."""
+
+    def __init__(self):
+        self._by_server: dict[str, list[SessionTicket]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(tickets) for tickets in self._by_server.values())
+
+    def put(self, server_name: str, ticket: SessionTicket) -> None:
+        self._by_server.setdefault(server_name, []).append(ticket)
+
+    def peek(self, server_name: str) -> SessionTicket | None:
+        tickets = self._by_server.get(server_name)
+        return tickets[0] if tickets else None
+
+    def take(self, server_name: str) -> SessionTicket | None:
+        """Pop the oldest ticket for this server (tickets are single-use)."""
+        tickets = self._by_server.get(server_name)
+        if not tickets:
+            return None
+        ticket = tickets.pop(0)
+        if not tickets:
+            del self._by_server[server_name]
+        return ticket

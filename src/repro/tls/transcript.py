@@ -14,5 +14,16 @@ class TranscriptHash:
         self._hash.update(handshake_bytes)
         self.bytes_hashed += len(handshake_bytes)
 
+    def restart(self, synthetic_message: bytes) -> None:
+        """Replace the transcript so far with a synthetic message.
+
+        HelloRetryRequest rewrites the transcript to
+        ``message_hash(CH1) || HRR || ...`` (RFC 8446 §4.4.1); the caller
+        passes the already-framed message_hash message.
+        """
+        self._hash = hashlib.sha256()
+        self.bytes_hashed = 0
+        self.update(synthetic_message)
+
     def digest(self) -> bytes:
         return self._hash.copy().digest()

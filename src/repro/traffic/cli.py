@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--policy", default="optimized",
                         choices=["optimized", "default"],
                         help="server buffering policy (default %(default)s)")
+    parser.add_argument("--resume", default=None, metavar="FRACS",
+                        help="PSK-resumption fraction(s) in [0,1]: one "
+                             "value for all pairs or a comma list with one "
+                             "entry per pair, e.g. '0.6' or '0.6,0.3' "
+                             "(default: 0, all-full handshakes)")
     parser.add_argument("--seed", default="paper",
                         help="DRBG seed label (default %(default)s)")
     parser.add_argument("--shard-seconds", type=float, default=60.0,
@@ -74,6 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def parse_resume(spec: str | None, n_pairs: int) -> tuple[float, ...]:
+    """``--resume`` -> per-pair fractions (a single value fans out)."""
+    if spec is None:
+        return ()
+    try:
+        fractions = tuple(float(part) for part in spec.split(","))
+    except ValueError:
+        raise ValueError(f"--resume: not a number list: {spec!r}") from None
+    if len(fractions) == 1 and n_pairs > 1:
+        fractions = fractions * n_pairs
+    if len(fractions) != n_pairs:
+        raise ValueError(
+            f"--resume: {len(fractions)} fractions for {n_pairs} pairs "
+            "(give one value, or one per pair)")
+    for fraction in fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"--resume: fractions must be in [0, 1], got {fraction!r}")
+    return fractions
+
+
 def build_config(args: argparse.Namespace) -> TrafficConfig:
     kems = args.kem or ["kyber512"]
     sigs = args.sig or ["dilithium2"]
@@ -88,6 +114,7 @@ def build_config(args: argparse.Namespace) -> TrafficConfig:
         shard_seconds=args.shard_seconds,
         server_cores=args.server_cores,
         max_in_flight=args.max_in_flight,
+        resume=parse_resume(args.resume, len(pairs)),
     )
 
 

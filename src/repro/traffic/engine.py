@@ -67,14 +67,21 @@ class TrafficConfig:
     shard_seconds: float = 60.0
     server_cores: int = 1
     max_in_flight: int = 100_000
+    # per-pair PSK-resumption fraction in [0, 1] (one entry per pair;
+    # empty = all-full handshakes, the pre-lifecycle behavior)
+    resume: tuple[float, ...] = ()
 
     @property
     def key(self) -> str:
         pair_text = "+".join(f"{kem}/{sig}" for kem, sig in self.pairs)
-        return (f"{self.arrival}|d={self.duration}|{pair_text}"
+        base = (f"{self.arrival}|d={self.duration}|{pair_text}"
                 f"|{self.scenario}|{self.policy}|seed={self.seed}"
                 f"|shard={self.shard_seconds}|cores={self.server_cores}"
                 f"|mif={self.max_in_flight}")
+        # appended only when set, so pre-lifecycle keys stay stable
+        if any(self.resume):
+            base += "|resume=" + ",".join(f"{f:g}" for f in self.resume)
+        return base
 
 
 @dataclass(frozen=True)
@@ -152,16 +159,27 @@ class _ShardEngine:
         self.server = ServerCores(config.server_cores)
         self.spec = parse_arrival(config.arrival, config.duration)
         self.drbg = Drbg(f"traffic:{config.key}").fork(f"shard:{window.index}")
-        self.channels = [
-            _PairChannel(
+        fractions = config.resume or (0.0,) * len(config.pairs)
+        self.channels = []
+        self.resume_channels = []
+        for (kem, sig), fraction in zip(config.pairs, fractions):
+            prefix = f"traffic.{metric_key(kem)}.{metric_key(sig)}."
+            self.channels.append(_PairChannel(
                 handshake_profile(kem, sig, scenario=config.scenario,
                                   policy=config.policy, seed=config.seed),
-                metrics,
-                f"traffic.{metric_key(kem)}.{metric_key(sig)}.")
-            for kem, sig in config.pairs
-        ]
+                metrics, prefix))
+            # a resumed-handshake channel exists only for mixed pairs, so
+            # all-full configs build (and draw) exactly what they used to
+            self.resume_channels.append(_PairChannel(
+                handshake_profile(kem, sig, scenario=config.scenario,
+                                  policy=config.policy, seed=config.seed,
+                                  session="resume"),
+                metrics, prefix + "resume.") if fraction > 0.0 else None)
+        self.fractions = fractions
         self._pick = (self.drbg.fork("pair")
                       if len(self.channels) > 1 else None)
+        self._resume_pick = (self.drbg.fork("resume")
+                             if any(fractions) else None)
         self.pool: list[_Conn] = []
         self.pool_peak = 0
         self.in_flight = 0
@@ -215,8 +233,13 @@ class _ShardEngine:
             self.dropped += 1
             return
         channels = self.channels
-        channel = (channels[0] if self._pick is None
-                   else channels[self._pick.randint_below(len(channels))])
+        index = (0 if self._pick is None
+                 else self._pick.randint_below(len(channels)))
+        channel = channels[index]
+        resume_channel = self.resume_channels[index]
+        if resume_channel is not None and \
+                self._resume_pick.random() < self.fractions[index]:
+            channel = resume_channel
         pool = self.pool
         conn = pool.pop() if pool else _Conn()
         conn.channel = channel
@@ -292,6 +315,9 @@ class _ShardEngine:
         metrics.inc("traffic.server.busy_s", self.server.busy_seconds)
         for channel in self.channels:
             metrics.inc(channel.prefix + "completed", channel.completed)
+        for channel in self.resume_channels:
+            if channel is not None:
+                metrics.inc(channel.prefix + "completed", channel.completed)
         return {
             "offered": self.offered,
             "completed": self.completed,
@@ -334,9 +360,23 @@ def run_traffic(config: TrafficConfig, *, jobs: int | None = 1,
     observes (shard progress, heartbeats) and never alters results.
     """
     parse_arrival(config.arrival, config.duration)  # fail fast on bad specs
-    for kem, sig in config.pairs:
+    if config.resume:
+        if len(config.resume) != len(config.pairs):
+            raise ValueError(
+                f"resume needs one fraction per pair: got "
+                f"{len(config.resume)} fractions for {len(config.pairs)} pairs")
+        for fraction in config.resume:
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(
+                    f"resume fractions must be in [0, 1], got {fraction!r}")
+    fractions = config.resume or (0.0,) * len(config.pairs)
+    for (kem, sig), fraction in zip(config.pairs, fractions):
         handshake_profile(kem, sig, scenario=config.scenario,
                           policy=config.policy, seed=config.seed)
+        if fraction > 0.0:
+            handshake_profile(kem, sig, scenario=config.scenario,
+                              policy=config.policy, seed=config.seed,
+                              session="resume")
     windows = shard_windows(config)
     jobs = executor.resolve_jobs(jobs)
     flight = recorder.enabled

@@ -79,6 +79,7 @@ class HandshakeProfile:
     server_cpu: float
     client_cpu: float
     wire_bytes: int
+    session: str = "full"        # handshake shape (repro.tls.scenarios)
 
 
 def _transit(stream_bytes: int, scenario: NetemConfig) -> float:
@@ -113,17 +114,23 @@ def _phase_b_cost(script: HandshakeScript, ch_bytes: int,
 
 def build_profile(kem: str, sig: str, scenario: str = "none",
                   policy: str = "optimized",
-                  seed: str = "paper") -> HandshakeProfile:
+                  seed: str = "paper",
+                  session: str = "full") -> HandshakeProfile:
     """Run the calibration handshake and derive the queueing profile."""
     netem = SCENARIOS[scenario]
     if netem.loss:
         netem = NetemConfig(name=netem.name, loss=0.0, rtt=netem.rtt,
                             rate_bps=netem.rate_bps)
     buffer_policy = BufferPolicy(policy)
-    script = load_script(kem, sig, buffer_policy, seed)
+    script = load_script(kem, sig, buffer_policy, seed, session)
     cost_model = CostModel()
     client_app, server_app = scripted_apps(script)
-    drbg = Drbg(f"traffic-profile:{kem}:{sig}:{scenario}:{policy}:{seed}")
+    label = f"traffic-profile:{kem}:{sig}:{scenario}:{policy}:{seed}"
+    if session != "full":
+        # appended only when non-default: full-session labels (and the
+        # netem draws they seed) stay identical to pre-lifecycle runs
+        label += f":{session}"
+    drbg = Drbg(label)
     trace = run_simulated_handshake(
         client_app, server_app, scenario=netem,
         netem_drbg=drbg.fork("netem:0"), cost_model=cost_model)
@@ -155,6 +162,7 @@ def build_profile(kem: str, sig: str, scenario: str = "none",
         sig=sig,
         scenario=scenario,
         policy=policy,
+        session=session,
         part_a=trace.part_a,
         part_b=trace.part_b,
         total=trace.total,
@@ -175,11 +183,13 @@ _PROFILES: dict[tuple, HandshakeProfile] = {}
 
 def handshake_profile(kem: str, sig: str, scenario: str = "none",
                       policy: str = "optimized",
-                      seed: str = "paper") -> HandshakeProfile:
+                      seed: str = "paper",
+                      session: str = "full") -> HandshakeProfile:
     """Per-process cached :func:`build_profile` (pure, so caching is safe)."""
-    key = (kem, sig, scenario, policy, seed)
+    key = (kem, sig, scenario, policy, seed, session)
     profile = _PROFILES.get(key)
     if profile is None:
         profile = _PROFILES[key] = build_profile(
-            kem, sig, scenario=scenario, policy=policy, seed=seed)
+            kem, sig, scenario=scenario, policy=policy, seed=seed,
+            session=session)
     return profile

@@ -32,18 +32,25 @@ def render_traffic(metrics, config: TrafficConfig,
         + " ".join(f"{label:>9}" for _, label in QUANTILES)
         + f" {'max':>9}   (ms)",
     ]
-    for kem, sig in config.pairs:
+    fractions = getattr(config, "resume", ()) or (0.0,) * len(config.pairs)
+    for (kem, sig), fraction in zip(config.pairs, fractions):
         prefix = f"traffic.{metric_key(kem)}.{metric_key(sig)}."
-        pair = f"{kem}/{sig}"
-        for phase in PHASES:
-            histogram = metrics.histogram(prefix + phase)
-            if histogram.count == 0:
-                continue
-            cells = " ".join(_ms(histogram.quantile(q)) for q, _ in QUANTILES)
-            lines.append(
-                f"{pair:<28} {phase:<12} {histogram.count:>9} "
-                f"{_ms(histogram.mean)} {cells} {_ms(histogram.max)}")
-            pair = ""  # print the pair label once per block
+        # a resumption mix splits the pair into full and resumed blocks,
+        # each with its own latency/TTFB distribution
+        blocks = [(f"{kem}/{sig}", prefix)]
+        if fraction > 0.0:
+            blocks.append((f"{kem}/{sig} (resumed)", prefix + "resume."))
+        for pair, block_prefix in blocks:
+            for phase in PHASES:
+                histogram = metrics.histogram(block_prefix + phase)
+                if histogram.count == 0:
+                    continue
+                cells = " ".join(_ms(histogram.quantile(q))
+                                 for q, _ in QUANTILES)
+                lines.append(
+                    f"{pair:<28} {phase:<12} {histogram.count:>9} "
+                    f"{_ms(histogram.mean)} {cells} {_ms(histogram.max)}")
+                pair = ""  # print the pair label once per block
     drop_text = (f", {summary.dropped} dropped "
                  f"({summary.dropped / summary.offered:.2%})"
                  if summary.offered else "")

@@ -51,6 +51,37 @@ def test_missing_table_entry_yields_wire002(repo_root):
     assert "falcon512" in findings[0].message
 
 
+def _tls_contexts(repo_root: Path) -> list[FileContext]:
+    scenarios = repo_root / "src" / "repro" / "tls" / "scenarios.py"
+    return [FileContext.load(scenarios, repo_root)]
+
+
+def test_session_deltas_clean_on_the_real_module(repo_root):
+    ctxs = _pqc_contexts(repo_root) + _tls_contexts(repo_root)
+    findings = list(WireSizeChecker().check_project(ctxs))
+    assert findings == []
+
+
+def test_doctored_session_delta_yields_wire005(repo_root):
+    from repro.tls.scenarios import declared_wire_deltas
+
+    bad = dict(declared_wire_deltas())
+    bad["client_hello_resume_delta"] += 1
+    ctxs = _pqc_contexts(repo_root) + _tls_contexts(repo_root)
+    findings = list(WireSizeChecker(session_deltas=bad).check_project(ctxs))
+    assert [f.code for f in findings] == ["WIRE005"]
+    assert "client_hello_resume_delta" in findings[0].message
+    assert findings[0].path.endswith("repro/tls/scenarios.py")
+
+
+def test_session_audit_skips_without_scenarios_context(repo_root):
+    # a pqc-only lint run must not import (or flag) the tls layer
+    findings = list(
+        WireSizeChecker(session_deltas={"client_hello_resume_delta": 0})
+        .check_project(_pqc_contexts(repo_root)))
+    assert findings == []
+
+
 def test_skips_trees_without_pqc(tmp_path):
     other = tmp_path / "plain.py"
     other.write_text("x = 1\n")

@@ -155,6 +155,23 @@ def test_fault_knobs_extend_key_only_when_set():
     assert spec.key == chaotic.key
 
 
+def test_session_and_chain_extend_key_only_when_set():
+    base = ExperimentConfig(kem="x25519", sig="rsa:1024")
+    assert "session" not in base.key and "chain" not in base.key
+    resumed = ExperimentConfig(kem="x25519", sig="rsa:1024", session="resume")
+    assert "session=resume" in resumed.key
+    chained = ExperimentConfig(kem="x25519", sig="rsa:1024",
+                               chain="intermediate")
+    assert "chain=intermediate" in chained.key
+    # same for the script cache key (shared across scenarios/durations)
+    from repro.core.experiment import script_key
+    assert script_key("x25519", "rsa:1024", "optimized") \
+        == "x25519|rsa:1024|optimized|paper"
+    assert script_key("x25519", "rsa:1024", "optimized",
+                      session="mtls", chain="suppressed") \
+        == "x25519|rsa:1024|optimized|paper|session=mtls|chain=suppressed"
+
+
 def test_successful_run_outcomes_all_success(baseline):
     outcomes = getattr(baseline, "outcomes", {})
     assert outcomes == {"success": len(baseline.total_samples)}

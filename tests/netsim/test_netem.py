@@ -102,3 +102,32 @@ def test_syn_frames_carry_extra_options():
     assert seg.wire_bytes == 74
     plain = Segment("a", "b", seq=0, payload=b"", ack=0)
     assert plain.wire_bytes == 66
+
+
+# -- combined --scenario specs ------------------------------------------------
+
+def test_split_scenario_defaults_and_single_components():
+    from repro.netsim.netem import split_scenario
+
+    assert split_scenario("none") == ("none", "full")
+    assert split_scenario("") == ("none", "full")
+    assert split_scenario("lte-m") == ("lte-m", "full")
+    assert split_scenario("resume") == ("none", "resume")
+
+
+def test_split_scenario_combos_in_either_order():
+    from repro.netsim.netem import split_scenario
+
+    assert split_scenario("lte-m+resume") == ("lte-m", "resume")
+    assert split_scenario("mtls+5g") == ("5g", "mtls")
+
+
+def test_split_scenario_rejects_bad_specs():
+    from repro.netsim.netem import split_scenario
+
+    with pytest.raises(ValueError, match="unknown scenario component"):
+        split_scenario("bogus")
+    with pytest.raises(ValueError, match="two netem"):
+        split_scenario("lte-m+5g")
+    with pytest.raises(ValueError, match="two session"):
+        split_scenario("resume+hrr")

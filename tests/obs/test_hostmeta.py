@@ -1,0 +1,27 @@
+"""Host metadata probes: Linux specifics must degrade, not raise."""
+
+from repro.obs import hostmeta
+
+
+def test_rss_probes_work_on_linux_hosts():
+    if not hostmeta._LINUX:
+        return  # covered by the guard test below
+    rss = hostmeta.rss_bytes()
+    peak = hostmeta.peak_rss_bytes()
+    assert rss is not None and rss > 0
+    assert peak is not None and peak >= 0
+
+
+def test_rss_probes_return_none_off_linux(monkeypatch):
+    # heartbeats and bench-check skip the metric instead of crashing
+    monkeypatch.setattr(hostmeta, "_LINUX", False)
+    assert hostmeta.rss_bytes() is None
+    assert hostmeta.peak_rss_bytes() is None
+    assert hostmeta.peak_rss_bytes(include_children=True) is None
+
+
+def test_host_metadata_is_platform_agnostic():
+    meta = hostmeta.host_metadata()
+    for key in hostmeta.FINGERPRINT_KEYS:
+        assert key in meta
+    assert meta["python_major"].count(".") == 1

@@ -1,0 +1,120 @@
+"""Key-schedule trace vectors from RFC 8448 §3 ("Simple 1-RTT Handshake").
+
+These pin every secret of the SHA-256 schedule — handshake, application,
+exporter, and resumption masters plus the finished keys — against the
+published trace, so any HKDF labelling or extraction bug fails loudly
+rather than producing a self-consistent-but-wrong schedule.
+"""
+
+from repro.tls.keyschedule import (
+    HASH_LEN,
+    KeySchedule,
+    derive_secret,
+    hkdf_expand_label,
+)
+
+# inputs from the RFC 8448 §3 trace
+SHARED_SECRET = bytes.fromhex(
+    "8bd4054fb55b9d63fdfbacf9f04b9f0d35e6d63f537563efd46272900f89492d"
+)
+HASH_CH_SH = bytes.fromhex(
+    "860c06edc07858ee8e78f0e7428c58edd6b43f2ca3e6e95f02ed063cf0e1cad8"
+)
+HASH_CH_CV = bytes.fromhex(
+    "edb7725fa7a3473b031ec8ef65a2485493900138a2b91291407d7951a06110ed"
+)
+HASH_CH_SFIN = bytes.fromhex(
+    "9608102a0f1ccc6db6250b7b7e417b1a000eaada3daae4777a7686c9ff83df13"
+)
+HASH_CH_CFIN = bytes.fromhex(
+    "209145a96ee8e2a122ff810047cc952684658d6049e86429426db87c54ad143d"
+)
+
+
+def _schedule() -> KeySchedule:
+    schedule = KeySchedule()
+    schedule.set_shared_secret(SHARED_SECRET, HASH_CH_SH)
+    schedule.derive_master(HASH_CH_SFIN)
+    schedule.derive_resumption(HASH_CH_CFIN)
+    return schedule
+
+
+def test_early_secret():
+    schedule = KeySchedule()
+    assert schedule._early_secret == bytes.fromhex(
+        "33ad0a1c607ec03b09e6cd9893680ce210adf300aa1f2660e1b22e10f170f92a"
+    )
+
+
+def test_handshake_secret_and_traffic_secrets():
+    schedule = _schedule()
+    assert schedule.handshake_secret == bytes.fromhex(
+        "1dc826e93606aa6fdc0aadc12f741b01046aa6b99f691ed221a9f0ca043fbeac"
+    )
+    assert schedule.client_hs_secret == bytes.fromhex(
+        "b3eddb126e067f35a780b3abf45e2d8f3b1a950738f52e9600746a0e27a55a21"
+    )
+    assert schedule.server_hs_secret == bytes.fromhex(
+        "b67b7d690cc16c4e75e54213cb2d37b4e9c912bcded9105d42befd59d391ad38"
+    )
+
+
+def test_master_and_application_secrets():
+    schedule = _schedule()
+    assert schedule.master_secret == bytes.fromhex(
+        "18df06843d13a08bf2a449844c5f8a478001bc4d4c627984d5a41da8d0402919"
+    )
+    assert schedule.client_app_secret == bytes.fromhex(
+        "9e40646ce79a7f9dc05af8889bce6552875afa0b06df0087f792ebb7c17504a5"
+    )
+    assert schedule.server_app_secret == bytes.fromhex(
+        "a11af9f05531f856ad47116b45a950328204b4f44bfb6b3a4b4f1f3fcb631643"
+    )
+
+
+def test_exporter_and_resumption_masters():
+    schedule = _schedule()
+    assert schedule.exporter_master_secret == bytes.fromhex(
+        "fe22f881176eda18eb8f44529e6792c50c9a3f89452f68d8ae311b4309d3cf50"
+    )
+    assert schedule.resumption_master_secret == bytes.fromhex(
+        "7df235f2031d2a051287d02b0241b0bfdaf86cc856231f2d5aba46c434ec196c"
+    )
+
+
+def test_server_finished_key_and_verify_data():
+    schedule = _schedule()
+    finished_key = hkdf_expand_label(
+        schedule.server_hs_secret, "finished", b"", HASH_LEN
+    )
+    assert finished_key == bytes.fromhex(
+        "008d3b66f816ea559f96b537e885c31fc068bf492c652f01f288a1d8cdc19fc8"
+    )
+    verify_data = KeySchedule.finished_verify_data(
+        schedule.server_hs_secret, HASH_CH_CV
+    )
+    assert verify_data == bytes.fromhex(
+        "9b9b141d906337fbd2cbdce71df4deda4ab42c309572cb7fffee5454b78f0718"
+    )
+
+
+def test_resumption_psk_for_ticket_nonce():
+    schedule = _schedule()
+    psk = KeySchedule.ticket_psk(schedule.resumption_master_secret, b"\x00\x00")
+    assert psk == bytes.fromhex(
+        "4ecd0eb6ec3b4d87f5d6028f922ca4c5851a277fd41311c9e62d2c9492e1c4f3"
+    )
+
+
+def test_derived_intermediates():
+    schedule = KeySchedule()
+    empty_hash = KeySchedule._empty_hash()
+    derived = derive_secret(schedule._early_secret, "derived", empty_hash)
+    assert derived == bytes.fromhex(
+        "6f2615a108c702c5678f54fc9dbab69716c076189c48250cebeac3576c3611ba"
+    )
+    full = _schedule()
+    derived_master = derive_secret(full.handshake_secret, "derived", empty_hash)
+    assert derived_master == bytes.fromhex(
+        "43de77e0c77713859a944db9db2590b53190a65b3ee2e4f12dd7a0bb7ce254b4"
+    )

@@ -1,0 +1,35 @@
+"""The session-scenario registry and its wire-delta self-audit."""
+
+import pytest
+
+from repro.tls.scenarios import (
+    CLIENT_HELLO_RESUME_DELTA,
+    SERVER_HELLO_RESUME_DELTA,
+    SESSION_SCENARIOS,
+    computed_wire_deltas,
+    declared_wire_deltas,
+    session_scenario,
+)
+
+
+def test_registry_has_all_four_shapes():
+    assert set(SESSION_SCENARIOS) == {"full", "resume", "mtls", "hrr"}
+    assert not SESSION_SCENARIOS["full"].resumption
+    assert SESSION_SCENARIOS["resume"].resumption
+    assert SESSION_SCENARIOS["mtls"].client_auth
+    assert SESSION_SCENARIOS["hrr"].hello_retry
+
+
+def test_unknown_session_lists_the_known_ones():
+    with pytest.raises(KeyError, match="full"):
+        session_scenario("quic")
+
+
+def test_declared_deltas_match_the_live_encoders():
+    # the constants the byte-accounting tests (and WIRE005) rely on are
+    # recomputed here from the real ClientHello/ServerHello encoders
+    assert computed_wire_deltas() == declared_wire_deltas()
+    assert declared_wire_deltas() == {
+        "client_hello_resume_delta": CLIENT_HELLO_RESUME_DELTA,
+        "server_hello_resume_delta": SERVER_HELLO_RESUME_DELTA,
+    }

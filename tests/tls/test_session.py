@@ -6,7 +6,8 @@ from repro.crypto.drbg import Drbg
 from repro.tls.actions import Send
 from repro.tls.certs import make_server_credentials
 from repro.tls.client import TlsClient
-from repro.tls.errors import BadRecordMac, TlsError
+from repro.tls.errors import BadRecordMac, DecodeError, PeerAlert, TlsError
+from repro.tls.records import CONTENT_ALERT, CONTENT_APPLICATION_DATA
 from repro.tls.server import TlsServer
 from repro.tls.session import SecureChannel, establish_channels
 
@@ -80,6 +81,63 @@ def test_close_notify_flow(completed_handshake):
     with pytest.raises(TlsError):
         server_chan.receive(
             SecureChannel.for_client(completed_handshake[0]).send(b"x"))
+
+
+def test_malformed_alert_is_decode_error(completed_handshake):
+    """A 1-byte alert payload must raise DecodeError, not read as a peer alert."""
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    record = client_chan._send.encrypt(CONTENT_ALERT, b"\x02")
+    with pytest.raises(DecodeError):
+        server_chan.receive(record.encode())
+
+
+def test_oversized_alert_is_decode_error(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    record = client_chan._send.encrypt(CONTENT_ALERT, b"\x02\x28\x00")
+    with pytest.raises(DecodeError):
+        server_chan.receive(record.encode())
+
+
+def test_well_formed_alert_still_surfaces_peer_alert(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    record = client_chan._send.encrypt(CONTENT_ALERT, b"\x02\x28")  # handshake_failure
+    with pytest.raises(PeerAlert) as exc:
+        server_chan.receive(record.encode())
+    assert exc.value.code == 40
+
+
+def test_app_data_after_close_is_clean_tls_error(completed_handshake):
+    """Records following close_notify fail loudly, not as MAC noise."""
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    assert server_chan.receive(client_chan.send_close()) == b""
+    # bypass the sender-side closed guard to forge a post-close record
+    record = client_chan._send.encrypt(CONTENT_APPLICATION_DATA, b"late")
+    with pytest.raises(TlsError) as exc:
+        server_chan.receive(record.encode())
+    assert not isinstance(exc.value, BadRecordMac)
+    assert "close_notify" in str(exc.value)
+
+
+def test_key_update_rotates_one_direction(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    assert server_chan.receive(client_chan.initiate_key_update()) == b""
+    assert client_chan.send_generation == 1
+    assert server_chan.receive_generation == 1
+    assert server_chan.receive(client_chan.send(b"fresh keys")) == b"fresh keys"
+    # the reverse direction is untouched
+    assert server_chan.send_generation == 0
+    assert client_chan.receive(server_chan.send(b"old keys")) == b"old keys"
+
+
+def test_key_update_request_triggers_reply(completed_handshake):
+    client_chan, server_chan = establish_channels(*completed_handshake)
+    server_chan.receive(client_chan.initiate_key_update(request_update=True))
+    reply = server_chan.take_pending()
+    assert reply  # the automatic KeyUpdate(update_not_requested) response
+    assert client_chan.receive(reply) == b""
+    assert client_chan.receive_generation == 1
+    assert server_chan.send_generation == 1
+    assert client_chan.receive(server_chan.send(b"both rotated")) == b"both rotated"
 
 
 def test_channels_require_completed_handshake():

@@ -159,6 +159,50 @@ def test_jobs_bit_identity(multicore):
     assert s1.busy_seconds == pytest.approx(s3.busy_seconds, abs=1e-12)
 
 
+def test_resume_mix_splits_the_pair_and_is_cheaper():
+    config = TrafficConfig(arrival="poisson:400/s", duration=1.0,
+                           pairs=(PAIR,), resume=(0.5,))
+    metrics = Metrics()
+    summary = run_traffic(config, metrics=metrics)
+    full = metrics.histogram(PREFIX + "total")
+    resumed = metrics.histogram(PREFIX + "resume.total")
+    assert full.count > 0 and resumed.count > 0
+    assert full.count + resumed.count == summary.completed
+    # a resumed handshake skips the certificate flight: the server's
+    # burst shrinks and the uncontended total drops
+    assert (metrics.histogram(PREFIX + "resume.part_b").mean
+            < metrics.histogram(PREFIX + "part_b").mean)
+    assert "resume=0.5" in config.key
+
+
+def test_all_full_config_key_is_unchanged():
+    # pre-lifecycle cache/DRBG keys must stay stable: an unset (or
+    # all-zero) resume mix adds nothing to the key
+    assert "resume" not in TrafficConfig(pairs=(PAIR,)).key
+    assert "resume" not in TrafficConfig(pairs=(PAIR,), resume=(0.0,)).key
+
+
+def test_resume_mix_rejects_bad_fractions():
+    with pytest.raises(ValueError, match="one fraction per pair"):
+        run_traffic(TrafficConfig(pairs=(PAIR,), resume=(0.5, 0.5)),
+                    metrics=Metrics())
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        run_traffic(TrafficConfig(pairs=(PAIR,), resume=(1.5,)),
+                    metrics=Metrics())
+
+
+def test_resume_mix_jobs_bit_identity(multicore):
+    config = TrafficConfig(arrival="poisson:500/s", duration=1.5,
+                           pairs=(PAIR, ("x25519", "rsa:2048")),
+                           shard_seconds=0.5, resume=(0.6, 0.3))
+    serial, parallel = Metrics(), Metrics()
+    s1 = run_traffic(config, jobs=1, metrics=serial)
+    s3 = run_traffic(config, jobs=3, metrics=parallel)
+    assert (json.dumps(serial.snapshot(), sort_keys=True)
+            == json.dumps(parallel.snapshot(), sort_keys=True))
+    assert (s1.offered, s1.completed) == (s3.offered, s3.completed)
+
+
 def test_run_is_reproducible_and_seed_sensitive():
     a, _ = _run(arrival="poisson:300/s", duration=1.0)
     b, _ = _run(arrival="poisson:300/s", duration=1.0)
